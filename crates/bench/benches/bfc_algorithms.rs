@@ -1,0 +1,39 @@
+//! Criterion bench: CPU wall-clock of all BFC algorithms on one shape.
+//!
+//! Absolute CPU times do not reproduce the paper's GPU numbers (that is
+//! what the gpu-sim model is for); this bench exists to compare the *real*
+//! implementations against each other and to catch performance regressions
+//! in the engine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use winrs_bench::Algo;
+use winrs_conv::ConvShape;
+use winrs_gpu_sim::RTX_4090;
+use winrs_tensor::Tensor4;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let shape = ConvShape::square(2, 24, 8, 8, 3);
+    let x = Tensor4::<f32>::random_uniform([2, 24, 24, 8], 1, 1.0);
+    let dy = Tensor4::<f32>::random_uniform([2, 24, 24, 8], 2, 1.0);
+
+    let mut g = c.benchmark_group("bfc_cpu");
+    g.throughput(Throughput::Elements(shape.bfc_flops()));
+    for algo in [
+        Algo::WinRs,
+        Algo::CuAlgo1,
+        Algo::CuAlgo3,
+        Algo::CuFft,
+        Algo::CuWinNF,
+    ] {
+        g.bench_function(algo.name(), |b| {
+            b.iter(|| {
+                black_box(algo.execute_f32(&shape, &RTX_4090, black_box(&x), black_box(&dy)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: the FFT and GEMM substrates the baselines run on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use winrs_fft::{fft_pow2, Complex};
+use winrs_gemm::{gemm_f32, gemm_flops};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_radix2");
+    for &n in &[256usize, 4096] {
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                fft_pow2(black_box(&mut buf), false);
+                black_box(buf[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_f32");
+    for &dim in &[64usize, 256] {
+        let a = vec![1.0f32; dim * dim];
+        let bm = vec![0.5f32; dim * dim];
+        g.throughput(Throughput::Elements(gemm_flops(dim, dim, dim)));
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            let mut cbuf = vec![0.0f32; dim * dim];
+            b.iter(|| {
+                gemm_f32(dim, dim, dim, 1.0, black_box(&a), black_box(&bm), 0.0, &mut cbuf);
+                black_box(cbuf[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_gemm);
+criterion_main!(benches);

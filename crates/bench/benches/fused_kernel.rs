@@ -1,0 +1,51 @@
+//! Criterion bench: the fused WinRS engine (FP32 and FP16 paths) on a
+//! fixed mid-sized shape, plus segmentation on/off ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use winrs_conv::ConvShape;
+use winrs_core::{Precision, WinRsPlan};
+use winrs_gpu_sim::RTX_4090;
+use winrs_tensor::Tensor4;
+
+fn bench_fused_execute(c: &mut Criterion) {
+    let shape = ConvShape::square(2, 32, 16, 16, 3);
+    let x = Tensor4::<f32>::random_uniform([2, 32, 32, 16], 1, 1.0);
+    let dy = Tensor4::<f32>::random_uniform([2, 32, 32, 16], 2, 1.0);
+    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+
+    let mut g = c.benchmark_group("fused_execute");
+    g.throughput(Throughput::Elements(shape.bfc_flops()));
+    g.bench_function("fp32", |b| {
+        b.iter(|| black_box(plan.execute_f32(black_box(&x), black_box(&dy))))
+    });
+
+    let plan16 = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp16);
+    let x16 = x.cast::<winrs_tensor::f16>();
+    let dy16 = dy.scale(0.01).cast::<winrs_tensor::f16>();
+    g.bench_function("fp16_mixed", |b| {
+        b.iter(|| black_box(plan16.execute_f16(black_box(&x16), black_box(&dy16))))
+    });
+    g.finish();
+}
+
+/// Segmentation ablation on the CPU substrate: more segments = more rayon
+/// parallelism here, mirroring (qualitatively) the SM-utilisation effect
+/// the partitioning buys on a GPU.
+fn bench_segmentation_scaling(c: &mut Criterion) {
+    let shape = ConvShape::square(2, 48, 8, 8, 3);
+    let x = Tensor4::<f32>::random_uniform([2, 48, 48, 8], 3, 1.0);
+    let dy = Tensor4::<f32>::random_uniform([2, 48, 48, 8], 4, 1.0);
+
+    let mut g = c.benchmark_group("segmentation_scaling");
+    for z in [1usize, 4, 16] {
+        let plan = WinRsPlan::with_z_hat(&shape, &RTX_4090, Precision::Fp32, z);
+        g.bench_function(format!("z_{}", plan.z()), |b| {
+            b.iter(|| black_box(plan.execute_f32(black_box(&x), black_box(&dy))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fused_execute, bench_segmentation_scaling);
+criterion_main!(benches);

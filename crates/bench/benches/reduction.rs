@@ -1,0 +1,37 @@
+//! Criterion bench: bucket reduction (Kahan vs the plain sum it replaces).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use winrs_core::reduce::reduce_buckets;
+use winrs_tensor::Tensor4;
+
+fn bench_reduction(c: &mut Criterion) {
+    let dw = 64 * 3 * 3 * 64; // VGG-conv2-sized ∇W
+    let mut g = c.benchmark_group("bucket_reduction");
+    for &z in &[2usize, 8, 48] {
+        let buckets: Vec<f32> = (0..z * dw).map(|i| (i % 97) as f32 * 1e-3).collect();
+        g.bench_with_input(BenchmarkId::new("kahan", z), &z, |b, &z| {
+            let mut out = Tensor4::<f32>::zeros([64, 3, 3, 64]);
+            b.iter(|| {
+                reduce_buckets(black_box(&buckets), z, &mut out);
+                black_box(out.as_slice()[0])
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("naive", z), &z, |b, &z| {
+            let mut out = vec![0.0f32; dw];
+            b.iter(|| {
+                out.fill(0.0);
+                for zi in 0..z {
+                    for (o, v) in out.iter_mut().zip(&buckets[zi * dw..(zi + 1) * dw]) {
+                        *o += v;
+                    }
+                }
+                black_box(out[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: transform generation and application costs, including
+//! the §5.2 "Transform Simplification" ablation (even/odd symmetry reuse).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use winrs_winograd::cook_toom::Transform;
+use winrs_winograd::symmetry::SymmetryPlan;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transform_generation");
+    for &(n, r) in &[(2usize, 3usize), (3, 6), (9, 8)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("F({n},{r})")),
+            &(n, r),
+            |b, &(n, r)| b.iter(|| Transform::generate(black_box(n), black_box(r))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_filter_transform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filter_transform");
+    for &(n, r) in &[(3usize, 6usize), (9, 8)] {
+        let t = Transform::generate(n, r);
+        let real = t.to_real();
+        let plan = SymmetryPlan::analyze(&t);
+        let w: Vec<f32> = (0..r).map(|k| k as f32 * 0.1).collect();
+        let w64: Vec<f64> = w.iter().map(|&v| v as f64).collect();
+        let alpha = t.alpha;
+
+        g.bench_function(format!("naive_F({n},{r})"), |b| {
+            let mut out = vec![0.0f32; alpha];
+            b.iter(|| {
+                real.filter_transform_f32(black_box(&w), &mut out);
+                black_box(out[0])
+            })
+        });
+        g.bench_function(format!("symmetry_paired_F({n},{r})"), |b| {
+            let mut out = vec![0.0f64; alpha];
+            b.iter(|| {
+                plan.filter_transform_paired(&t, black_box(&w64), &mut out);
+                black_box(out[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_filter_transform);
+criterion_main!(benches);

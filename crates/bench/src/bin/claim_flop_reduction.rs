@@ -1,0 +1,49 @@
+//! E15 — §1 claim: "WinRS … reduc[es] time complexity by 1.5× to 4.5×,
+//! with a small average workspace 18% of data size."
+//!
+//! Measures the executed-FLOP reduction of every sweep point's actual plan
+//! (including hybrid-pair dilution, boundary redundancy and height
+//! clipping) and the workspace-to-data ratios.
+
+use winrs_bench::{paper_sweep, Table};
+use winrs_core::{Precision, WinRsPlan};
+use winrs_gpu_sim::RTX_4090;
+
+fn main() {
+    println!("Claim check — FLOP reduction band and average workspace ratio\n");
+    let sweep = paper_sweep();
+    let mut reductions = Vec::new();
+    let mut ws_ratios = Vec::new();
+    let mut per_f: std::collections::BTreeMap<usize, Vec<f64>> = Default::default();
+
+    for w in &sweep {
+        let plan = WinRsPlan::new(&w.shape, &RTX_4090, Precision::Fp32);
+        let red = plan.flop_reduction();
+        reductions.push(red);
+        per_f.entry(w.shape.fh).or_default().push(red);
+        ws_ratios.push(plan.workspace_bytes() as f64 / w.shape.data_bytes(4) as f64);
+    }
+
+    let mut t = Table::new(&["F_HxF_W", "avg reduction", "min", "max"]);
+    for (f, v) in &per_f {
+        t.row(vec![
+            format!("{f}x{f}"),
+            format!("{:.2}x", v.iter().sum::<f64>() / v.len() as f64),
+            format!("{:.2}x", v.iter().copied().fold(f64::INFINITY, f64::min)),
+            format!("{:.2}x", v.iter().copied().fold(0.0f64, f64::max)),
+        ]);
+    }
+    t.print();
+
+    let rmin = reductions.iter().copied().fold(f64::INFINITY, f64::min);
+    let rmax = reductions.iter().copied().fold(0.0f64, f64::max);
+    let ws_avg = ws_ratios.iter().sum::<f64>() / ws_ratios.len() as f64;
+    println!(
+        "\nOverall reduction band: {rmin:.2}x .. {rmax:.2}x (paper: 1.5x .. 4.5x;\n\
+         height clipping can push individual points slightly above 4.5x)."
+    );
+    println!(
+        "Average workspace: {:.1}% of data size (paper: 18%).",
+        100.0 * ws_avg
+    );
+}

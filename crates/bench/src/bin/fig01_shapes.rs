@@ -1,0 +1,50 @@
+//! E1 — Figure 1: the shape inversion of backward-filter convolution.
+//!
+//! The 2nd convolutional layer of VGG16 (batch 32): FC and BDC convolve
+//! with 3×3 filters and produce 224×224 outputs; the BFC convolves with the
+//! 224×224 output gradients as filters and produces a 3×3 output.
+
+use winrs_bench::Table;
+use winrs_conv::ConvShape;
+
+fn main() {
+    let s = ConvShape::vgg16_conv2(32);
+    println!("Figure 1 — VGG16 conv2 (N = {}), stride 1, padding 1\n", s.n);
+
+    let mut t = Table::new(&["pass", "input", "\"filter\"", "output"]);
+    t.row(vec![
+        "FC".into(),
+        format!("X {}x{}x{}x{}", s.n, s.ih, s.iw, s.ic),
+        format!("W {}x{}x{}x{}", s.oc, s.fh, s.fw, s.ic),
+        format!("Y {}x{}x{}x{}", s.n, s.oh(), s.ow(), s.oc),
+    ]);
+    t.row(vec![
+        "BDC".into(),
+        format!("dY {}x{}x{}x{}", s.n, s.oh(), s.ow(), s.oc),
+        format!("Wᵀ {}x{}x{}x{}", s.ic, s.fh, s.fw, s.oc),
+        format!("dX {}x{}x{}x{}", s.n, s.ih, s.iw, s.ic),
+    ]);
+    t.row(vec![
+        "BFC".into(),
+        format!("X {}x{}x{}x{}", s.n, s.ih, s.iw, s.ic),
+        format!("dY {}x{}x{}x{} (large!)", s.n, s.oh(), s.ow(), s.oc),
+        format!("dW {}x{}x{}x{} (small!)", s.oc, s.fh, s.fw, s.ic),
+    ]);
+    t.print();
+
+    println!(
+        "\nFC/BDC: {}x{} filters, {}x{} outputs.",
+        s.fh,
+        s.fw,
+        s.oh(),
+        s.ow()
+    );
+    println!(
+        "BFC:    {}x{} filters, {}x{} outputs — the inversion that breaks",
+        s.oh(),
+        s.ow(),
+        s.fh,
+        s.fw
+    );
+    println!("standard fused-Winograd blocking (Challenges 1 and 2 of the paper).");
+}

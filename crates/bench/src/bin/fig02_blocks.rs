@@ -1,0 +1,40 @@
+//! E2 — Figure 2: block counts of FC/BDC vs BFC for VGG16 conv2.
+//!
+//! Paper caption: "With a cache-block size of B_N(64) × B_M(32) × 8 and a
+//! batch size of 32, the F(2×2, 3×3) kernel yields 12544 blocks for the FC
+//! and BDC, but only 8 for the BFC."
+
+use winrs_bench::Table;
+use winrs_conv::ConvShape;
+use winrs_gpu_sim::{bfc_block_count, fc_block_count, BlockGeometry, RTX_4090};
+
+fn main() {
+    let s = ConvShape::vgg16_conv2(32);
+    let g = BlockGeometry::FIG2;
+    println!(
+        "Figure 2 — block counts, VGG16 conv2, F(2x2,3x3), B_N={} B_M={}\n",
+        g.bn, g.bm
+    );
+
+    let fc = fc_block_count(g, s.oc, s.n, s.oh(), s.ow(), 2, 2);
+    let bdc = fc_block_count(g, s.ic, s.n, s.ih, s.iw, 2, 2);
+    let bfc = bfc_block_count(g, s.oc, s.ic, s.fh, s.fw, 2, 2);
+
+    let mut t = Table::new(&["pass", "blocks", "vs SMs (RTX 4090: 128)"]);
+    for (name, b) in [("FC", fc), ("BDC", bdc), ("BFC", bfc)] {
+        t.row(vec![
+            name.into(),
+            b.to_string(),
+            format!("{:.2}x", b as f64 / RTX_4090.n_sm as f64),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "\nPaper reports 12544 FC/BDC blocks and 8 BFC blocks; this harness\n\
+         computes FC = {fc}, BDC = {bdc}, BFC = {bfc}. The BFC launch covers\n\
+         {:.1}% of the RTX 4090's SMs — the parallelism deficit WinRS's\n\
+         segmentation repairs (Level-1 decomposition).",
+        100.0 * bfc as f64 / RTX_4090.n_sm as f64
+    );
+}

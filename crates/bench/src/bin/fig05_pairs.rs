@@ -1,0 +1,52 @@
+//! E4 — Figure 5: the fastest WinRS kernel pairs across (F_W, O_W).
+
+use winrs_bench::Table;
+use winrs_core::config::pair::select_pair;
+use winrs_core::Precision;
+
+fn main() {
+    println!("Figure 5 — fastest kernel pairs (FP32)\n");
+    let mut t = Table::new(&[
+        "F_W", "O_W", "bulk", "k0", "bulk cols", "residual", "k1", "res cols", "pad",
+    ]);
+    for &(fw, ow) in &[
+        (3usize, 16usize), // the paper's worked example
+        (3, 224),
+        (3, 56),
+        (4, 16),
+        (4, 112),
+        (6, 48),
+        (2, 57),
+        (5, 100),
+        (7, 28),
+        (8, 64),
+        (9, 81),
+    ] {
+        let p = select_pair(fw, ow, Precision::Fp32);
+        t.row(vec![
+            fw.to_string(),
+            ow.to_string(),
+            p.bulk.to_string(),
+            p.bulk_units.to_string(),
+            p.bulk_width().to_string(),
+            p.residual.map_or("-".into(), |k| k.to_string()),
+            p.residual_units.to_string(),
+            p.residual_width().to_string(),
+            p.padded_cols.to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\nFP16 pairs (restricted to the six Tensor-Core-ported kernels):\n");
+    let mut t16 = Table::new(&["F_W", "O_W", "bulk", "residual"]);
+    for &(fw, ow) in &[(3usize, 224usize), (5, 56), (7, 28), (9, 81)] {
+        let p = select_pair(fw, ow, Precision::Fp16);
+        t16.row(vec![
+            fw.to_string(),
+            ow.to_string(),
+            p.bulk.to_string(),
+            p.residual.map_or("-".into(), |k| k.to_string()),
+        ]);
+    }
+    t16.print();
+}

@@ -1,0 +1,55 @@
+//! E14 — Figure 13: CNN training convergence with WinRS gradients.
+//!
+//! The paper trains VGG/ResNet on ImageNet-1K; this substitution (see
+//! DESIGN.md) trains a small CNN on a synthetic structured-image task —
+//! same protocol: identical data and initialisation across backends, only
+//! the filter-gradient algorithm differs. The claim being reproduced is
+//! that the WinRS curves (FP32, and FP16 + loss scaling) coincide with the
+//! direct-gradient curve.
+
+use winrs_nn::model::Backend;
+use winrs_nn::{train, TrainConfig};
+
+fn main() {
+    println!("Figure 13 — training loss, direct vs WinRS gradients (real training)\n");
+    let cfg = TrainConfig {
+        steps: 120,
+        ..TrainConfig::default()
+    };
+    println!(
+        "task: {} classes of {}x{}x{} synthetic images, batch {}, lr {}, {} steps\n",
+        cfg.classes, cfg.res, cfg.res, cfg.channels, cfg.batch, cfg.lr, cfg.steps
+    );
+
+    let direct = train(&cfg, Backend::Direct);
+    let winrs32 = train(&cfg, Backend::WinRsFp32);
+    let winrs16 = train(&cfg, Backend::WinRsFp16);
+
+    println!("step   direct    WinRS-FP32  WinRS-FP16+LS");
+    for i in (0..cfg.steps).step_by(10) {
+        println!(
+            "{:>4}   {:7.4}   {:9.4}   {:12.4}",
+            i, direct.losses[i], winrs32.losses[i], winrs16.losses[i]
+        );
+    }
+    let tail = |v: &[f32]| -> f32 {
+        let t = &v[v.len() - 10..];
+        t.iter().sum::<f32>() / t.len() as f32
+    };
+    println!(
+        "\nfinal-10-step mean loss: direct {:.4}, WinRS-FP32 {:.4}, WinRS-FP16 {:.4}",
+        tail(&direct.losses),
+        tail(&winrs32.losses),
+        tail(&winrs16.losses)
+    );
+    println!(
+        "held-out accuracy:       direct {:.1}%, WinRS-FP32 {:.1}%, WinRS-FP16 {:.1}%",
+        100.0 * direct.final_accuracy,
+        100.0 * winrs32.final_accuracy,
+        100.0 * winrs16.final_accuracy
+    );
+    println!(
+        "\nExpected shape (paper Figure 13 / §6.3): all three curves coincide;\n\
+         the paper reports <0.6% accuracy difference across models."
+    );
+}

@@ -1,0 +1,58 @@
+//! Extension experiment: whole-model backward-filter cost.
+//!
+//! The paper trains VGG-16 and ResNet-34/50 (§6.3); this binary plans WinRS
+//! for *every* convolutional layer of VGG-16 and ResNet-34 and totals the
+//! modelled wgrad time against the best Cu-GEMM per layer — the end-to-end
+//! number a training engineer would care about (BFC is ~⅓ of the step).
+
+use winrs_bench::models::{resnet34, vgg16, Layer};
+use winrs_bench::{cu_gemm_best, Algo, Table};
+use winrs_core::{Precision, WinRsPlan};
+use winrs_gpu_sim::{DeviceSpec, RTX_4090};
+
+fn sweep(model: &str, layers: &[Layer], device: &DeviceSpec, detail: bool) {
+    println!("== {model} @ batch {} on {} (FP32) ==\n", layers[0].shape.n, device.name);
+    let mut t = Table::new(&[
+        "layer", "O_C", "map", "Z", "ws MB", "WinRS ms", "Cu-GEMM ms", "speedup",
+    ]);
+    let mut total_winrs = 0.0;
+    let mut total_gemm = 0.0;
+    let mut total_ws: usize = 0;
+    for layer in layers {
+        let plan = WinRsPlan::new(&layer.shape, device, Precision::Fp32);
+        let w = Algo::WinRs.costs(&layer.shape, device, Precision::Fp32);
+        let g = cu_gemm_best(&layer.shape, device, Precision::Fp32);
+        total_winrs += w.time;
+        total_gemm += g.time;
+        total_ws = total_ws.max(plan.workspace_bytes());
+        if detail {
+            t.row(vec![
+                layer.name.into(),
+                layer.shape.oc.to_string(),
+                format!("{}x{}", layer.shape.oh(), layer.shape.ow()),
+                plan.z().to_string(),
+                format!("{:.1}", plan.workspace_bytes() as f64 / 1e6),
+                format!("{:.3}", w.time * 1e3),
+                format!("{:.3}", g.time * 1e3),
+                format!("{:.2}x", g.time / w.time),
+            ]);
+        }
+    }
+    if detail {
+        t.print();
+    }
+    println!(
+        "\ntotal wgrad: WinRS {:.2} ms vs Cu-GEMM {:.2} ms -> {:.2}x end-to-end;\n\
+         peak workspace {:.1} MB (reusable across layers)\n",
+        total_winrs * 1e3,
+        total_gemm * 1e3,
+        total_gemm / total_winrs,
+        total_ws as f64 / 1e6
+    );
+}
+
+fn main() {
+    println!("Model-level backward-filter sweep (modelled times)\n");
+    sweep("VGG-16", &vgg16(32), &RTX_4090, true);
+    sweep("ResNet-34 (3x3 stride-1 convs)", &resnet34(32), &RTX_4090, false);
+}

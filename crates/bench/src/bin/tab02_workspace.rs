@@ -1,0 +1,93 @@
+//! E7 — Table 2: algorithm workspace over the §6 parameter sweep.
+//!
+//! All workspace numbers are *real buffer sizes* computed by each
+//! algorithm's planner (nothing modelled here). Reported like the paper:
+//! average / min / max in MB and as multiples of the data size.
+
+use winrs_bench::{paper_sweep, Algo, Table, ALL_ALGOS};
+use winrs_gpu_sim::RTX_4090;
+
+fn main() {
+    println!("Table 2 — algorithm workspace over the paper sweep (RTX 4090 plans)\n");
+    let sweep = paper_sweep();
+    println!(
+        "{} sweep points; data sizes {:.0} MB .. {:.0} MB\n",
+        sweep.len(),
+        sweep
+            .iter()
+            .map(|w| w.shape.data_bytes(4) as f64 / 1e6)
+            .fold(f64::INFINITY, f64::min),
+        sweep
+            .iter()
+            .map(|w| w.shape.data_bytes(4) as f64 / 1e6)
+            .fold(0.0, f64::max)
+    );
+
+    let mut t = Table::new(&[
+        "Algorithm",
+        "Average",
+        "(x data)",
+        "Min",
+        "(x data)",
+        "Max",
+        "(x data)",
+    ]);
+    for algo in ALL_ALGOS {
+        if algo == Algo::CuAlgo0 {
+            continue; // the paper omits Algo0: it needs no workspace
+        }
+        let mut ws = Vec::new();
+        let mut ratios = Vec::new();
+        for w in &sweep {
+            if !algo.supports(&w.shape, winrs_core::Precision::Fp32) {
+                continue;
+            }
+            let bytes = algo.workspace_bytes(&w.shape, &RTX_4090);
+            ws.push(bytes as f64 / 1e6);
+            ratios.push(bytes as f64 / w.shape.data_bytes(4) as f64);
+        }
+        let avg = ws.iter().sum::<f64>() / ws.len() as f64;
+        let avg_r = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let (min_i, _) = ws
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let (max_i, _) = ws
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        t.row(vec![
+            algo.name().into(),
+            format!("{:.1} MB", avg),
+            format!("{:.2}x", avg_r),
+            format!("{:.1} MB", ws[min_i]),
+            format!("{:.2}x", ratios[min_i]),
+            format!("{:.1} MB", ws[max_i]),
+            format!("{:.2}x", ratios[max_i]),
+        ]);
+    }
+    t.print();
+
+    // The paper's headline workspace comparisons.
+    let avg_of = |algo: Algo| -> f64 {
+        let mut total = 0.0;
+        let mut n = 0;
+        for w in &sweep {
+            if algo.supports(&w.shape, winrs_core::Precision::Fp32) {
+                total += algo.workspace_bytes(&w.shape, &RTX_4090) as f64;
+                n += 1;
+            }
+        }
+        total / n as f64
+    };
+    let winrs = avg_of(Algo::WinRs);
+    println!(
+        "\nWinRS average workspace vs baselines: {:.1}% of Cu-Algo1, {:.2}% of Cu-FFT, {:.2}% of Cu-WinNF",
+        100.0 * winrs / avg_of(Algo::CuAlgo1),
+        100.0 * winrs / avg_of(Algo::CuFft),
+        100.0 * winrs / avg_of(Algo::CuWinNF),
+    );
+    println!("(Paper: 10.6%, 1.29%, 3.96% respectively.)");
+}

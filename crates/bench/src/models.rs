@@ -1,0 +1,93 @@
+//! Layer inventories of the CNNs the paper trains (§6.3): VGG-16 and
+//! ResNet-34 at 224×224, as BFC workloads.
+
+use winrs_conv::ConvShape;
+
+/// One named convolutional layer.
+#[derive(Clone, Debug)]
+pub struct Layer {
+    /// Human-readable name ("conv3_2", "layer2.0.conv1", …).
+    pub name: &'static str,
+    /// The layer's shape at the given batch size.
+    pub shape: ConvShape,
+}
+
+/// All 13 convolutional layers of VGG-16 (Simonyan & Zisserman 2015) at
+/// 224×224 input.
+pub fn vgg16(batch: usize) -> Vec<Layer> {
+    let l = |name, res, ic, oc| Layer {
+        name,
+        shape: ConvShape::square(batch, res, ic, oc, 3),
+    };
+    vec![
+        l("conv1_1", 224, 3, 64),
+        l("conv1_2", 224, 64, 64),
+        l("conv2_1", 112, 64, 128),
+        l("conv2_2", 112, 128, 128),
+        l("conv3_1", 56, 128, 256),
+        l("conv3_2", 56, 256, 256),
+        l("conv3_3", 56, 256, 256),
+        l("conv4_1", 28, 256, 512),
+        l("conv4_2", 28, 512, 512),
+        l("conv4_3", 28, 512, 512),
+        l("conv5_1", 14, 512, 512),
+        l("conv5_2", 14, 512, 512),
+        l("conv5_3", 14, 512, 512),
+    ]
+}
+
+/// The 3×3 convolutional layers of ResNet-34 (He et al. 2016) at 224×224
+/// input; the stride-2 transition layers are listed at their *output*
+/// resolution with stride-1 shapes (this library models stride-1 BFC, which
+/// covers 32 of ResNet-34's 36 convolutions).
+pub fn resnet34(batch: usize) -> Vec<Layer> {
+    let l = |name, res, c| Layer {
+        name,
+        shape: ConvShape::square(batch, res, c, c, 3),
+    };
+    let mut layers = Vec::new();
+    // conv2_x: 3 blocks × 2 convs at 56², 64ch.
+    for _ in 0..6 {
+        layers.push(l("layer1.convs", 56, 64));
+    }
+    // conv3_x: 4 blocks × 2 convs at 28², 128ch.
+    for _ in 0..8 {
+        layers.push(l("layer2.convs", 28, 128));
+    }
+    // conv4_x: 6 blocks × 2 convs at 14², 256ch.
+    for _ in 0..12 {
+        layers.push(l("layer3.convs", 14, 256));
+    }
+    // conv5_x: 3 blocks × 2 convs at 7², 512ch.
+    for _ in 0..6 {
+        layers.push(l("layer4.convs", 7, 512));
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_has_13_conv_layers() {
+        let layers = vgg16(32);
+        assert_eq!(layers.len(), 13);
+        // The paper's running example is conv1_2 / "2nd conv layer".
+        assert_eq!(layers[1].shape, ConvShape::vgg16_conv2(32));
+    }
+
+    #[test]
+    fn resnet34_has_32_stride1_convs() {
+        assert_eq!(resnet34(32).len(), 32);
+    }
+
+    #[test]
+    fn resolutions_halve_as_channels_double() {
+        let layers = vgg16(1);
+        assert_eq!(layers[2].shape.ih, 112);
+        assert_eq!(layers[2].shape.oc, 128);
+        assert_eq!(layers[7].shape.ih, 28);
+        assert_eq!(layers[7].shape.oc, 512);
+    }
+}

@@ -1,0 +1,105 @@
+//! Plain-text table and series printers for the regeneration binaries.
+
+/// A simple aligned text table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, s)| format!("{:width$}", s, width = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Print an x/y series (one figure line) as labelled columns.
+pub fn print_series(name: &str, points: &[(String, f64)], unit: &str) {
+    println!("## {name} ({unit})");
+    for (x, y) in points {
+        println!("  {x:>20}  {y:12.4}");
+    }
+}
+
+/// Format a byte count as MB with two decimals (paper Table 2 style).
+pub fn mb(bytes: usize) -> String {
+    format!("{:.1} MB", bytes as f64 / 1e6)
+}
+
+/// Format a workspace-to-data ratio (paper's `×` columns).
+pub fn ratio(workspace: usize, data: usize) -> String {
+    format!("{:.2}x", workspace as f64 / data as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["algo", "ws"]);
+        t.row(vec!["WinRS".into(), "37.9 MB".into()]);
+        t.row(vec!["Cu-FFT".into(), "2948.0 MB".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("algo"));
+        assert!(lines[2].contains("WinRS"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn wrong_arity_rejected() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(mb(37_900_000), "37.9 MB");
+        assert_eq!(ratio(18, 100), "0.18x");
+    }
+}

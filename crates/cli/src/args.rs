@@ -1,0 +1,109 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed flags: `--key value` pairs plus bare boolean switches.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parse everything after the subcommand. Flags must be `--name`; a
+    /// following token that does not start with `--` is its value,
+    /// otherwise the flag is a boolean switch.
+    pub fn parse(argv: &[String]) -> Result<Flags, String> {
+        let mut flags = Flags::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            let name = token
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{token}'"))?;
+            if name.is_empty() {
+                return Err("empty flag name".into());
+            }
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                flags.values.insert(name.to_string(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                flags.switches.push(name.to_string());
+                i += 1;
+            }
+        }
+        Ok(flags)
+    }
+
+    /// Required integer flag.
+    pub fn req_usize(&self, name: &str) -> Result<usize, String> {
+        let raw = self
+            .values
+            .get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))?;
+        raw.parse()
+            .map_err(|_| format!("--{name} expects an integer, got '{raw}'"))
+    }
+
+    /// Optional integer flag with default.
+    pub fn opt_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{name} expects an integer, got '{raw}'")),
+        }
+    }
+
+    /// Optional string flag.
+    pub fn opt_str(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Boolean switch presence.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let f = Flags::parse(&v(&["--n", "32", "--fp16", "--res", "56"])).unwrap();
+        assert_eq!(f.req_usize("n").unwrap(), 32);
+        assert_eq!(f.req_usize("res").unwrap(), 56);
+        assert!(f.has("fp16"));
+        assert!(!f.has("bf16"));
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        let f = Flags::parse(&v(&["--n", "32"])).unwrap();
+        assert!(f.req_usize("res").unwrap_err().contains("--res"));
+    }
+
+    #[test]
+    fn bad_integer_errors() {
+        let f = Flags::parse(&v(&["--n", "many"])).unwrap();
+        assert!(f.req_usize("n").is_err());
+    }
+
+    #[test]
+    fn non_flag_token_rejected() {
+        assert!(Flags::parse(&v(&["oops"])).is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let f = Flags::parse(&v(&[])).unwrap();
+        assert_eq!(f.opt_usize("batch", 7).unwrap(), 7);
+        assert_eq!(f.opt_str("device"), None);
+    }
+}

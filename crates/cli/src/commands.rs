@@ -1,0 +1,300 @@
+//! Subcommand implementations. Every command returns its output as a
+//! `String` so the logic is unit-testable without capturing stdout.
+
+use crate::args::Flags;
+use std::fmt::Write as _;
+use winrs_conv::{direct, ConvShape};
+use winrs_core::{Precision, WinRsPlan};
+use winrs_gpu_sim::{DeviceSpec, A5000, L40S, RTX_3090, RTX_4090};
+use winrs_tensor::{mare, Tensor4};
+use winrs_winograd::kernels::WINRS_KERNELS;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: winrs <command> [flags]
+
+commands:
+  plan     print the adaptive configuration for a layer
+           --n N --res R --ic C --oc C --f F [--pad P] [--device NAME] [--fp16|--bf16]
+  verify   execute WinRS on random tensors, report MARE vs f64 direct conv
+           --n N --res R --ic C --oc C --f F [--pad P] [--fp16|--bf16] [--seed S]
+  cost     modelled time / throughput / workspace on a device
+           --n N --res R --ic C --oc C --f F [--pad P] [--device NAME] [--fp16]
+  kernels  list the 13-kernel inventory
+  devices  list the modelled GPUs
+
+devices: 4090 (default), 3090, l40s, a5000";
+
+/// Dispatch `argv` (without the program name) to a subcommand.
+pub fn dispatch(argv: &[String]) -> Result<String, String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("no command given".into());
+    };
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "plan" => cmd_plan(&flags),
+        "verify" => cmd_verify(&flags),
+        "cost" => cmd_cost(&flags),
+        "kernels" => Ok(cmd_kernels()),
+        "devices" => Ok(cmd_devices()),
+        "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn device_by_name(name: Option<&str>) -> Result<DeviceSpec, String> {
+    match name.unwrap_or("4090").to_ascii_lowercase().as_str() {
+        "4090" | "rtx4090" => Ok(RTX_4090),
+        "3090" | "rtx3090" => Ok(RTX_3090),
+        "l40s" => Ok(L40S),
+        "a5000" => Ok(A5000),
+        other => Err(format!("unknown device '{other}' (4090/3090/l40s/a5000)")),
+    }
+}
+
+fn shape_from(flags: &Flags) -> Result<ConvShape, String> {
+    let n = flags.req_usize("n")?;
+    let res = flags.req_usize("res")?;
+    let ic = flags.req_usize("ic")?;
+    let oc = flags.req_usize("oc")?;
+    let f = flags.req_usize("f")?;
+    let pad = flags.opt_usize("pad", f / 2)?;
+    if res <= f {
+        return Err(format!("--res {res} must exceed --f {f}"));
+    }
+    Ok(ConvShape::new(n, res, res, ic, oc, f, f, pad, pad))
+}
+
+fn precision_from(flags: &Flags) -> Precision {
+    if flags.has("fp16") {
+        Precision::Fp16
+    } else if flags.has("bf16") {
+        Precision::Bf16
+    } else {
+        Precision::Fp32
+    }
+}
+
+fn cmd_plan(flags: &Flags) -> Result<String, String> {
+    let shape = shape_from(flags)?;
+    let device = device_by_name(flags.opt_str("device"))?;
+    let precision = precision_from(flags);
+    let plan = WinRsPlan::new(&shape, &device, precision);
+    let c = plan.segment_count_plan();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "shape        : {shape:?}");
+    let _ = writeln!(out, "device       : {} ({} SMs)", device.name, device.n_sm);
+    let _ = writeln!(out, "precision    : {precision:?}");
+    let _ = writeln!(out, "kernel pair  : {:?}", plan.pair());
+    let _ = writeln!(
+        out,
+        "block counts : FC {} / BDC {} / BFC(unsegmented) {}",
+        c.b0, c.b1, c.b2
+    );
+    let _ = writeln!(
+        out,
+        "segments     : Z = {} ({} segments incl. residuals)",
+        plan.z(),
+        plan.partition().segments.len()
+    );
+    let _ = writeln!(
+        out,
+        "workspace    : {} bytes ({:.3}x data size)",
+        plan.workspace_bytes(),
+        plan.workspace_bytes() as f64 / shape.data_bytes(plan.elem_bytes()) as f64
+    );
+    let _ = writeln!(out, "FLOP cut     : {:.2}x over direct", plan.flop_reduction());
+    Ok(out)
+}
+
+fn cmd_verify(flags: &Flags) -> Result<String, String> {
+    let shape = shape_from(flags)?;
+    let seed = flags.opt_usize("seed", 42)? as u64;
+    let precision = precision_from(flags);
+    let device = device_by_name(flags.opt_str("device"))?;
+    if shape.x_elems() > 4_000_000 {
+        return Err("verify executes on the CPU: keep N*res^2*C under 4e6 elements".into());
+    }
+
+    let x = Tensor4::<f64>::random_uniform([shape.n, shape.ih, shape.iw, shape.ic], seed, 1.0);
+    let dy_scale = if precision == Precision::Fp32 { 1.0 } else { 0.01 };
+    let dy = Tensor4::<f64>::random_uniform(
+        [shape.n, shape.oh(), shape.ow(), shape.oc],
+        seed + 1,
+        dy_scale,
+    );
+    let exact = direct::bfc_direct(&shape, &x, &dy);
+
+    let plan = WinRsPlan::new(&shape, &device, precision);
+    let m = match precision {
+        Precision::Fp32 => mare(&plan.execute_f32(&x.cast(), &dy.cast()), &exact),
+        Precision::Fp16 => mare(&plan.execute_f16(&x.cast(), &dy.cast()), &exact),
+        Precision::Bf16 => mare(&plan.execute_bf16(&x.cast(), &dy.cast()), &exact),
+    };
+    let verdict = match precision {
+        Precision::Fp32 => m < 1e-4,
+        Precision::Fp16 => m < 1e-1,
+        Precision::Bf16 => m < 2e-1,
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "shape     : {shape:?}");
+    let _ = writeln!(out, "precision : {precision:?}, Z = {}", plan.z());
+    let _ = writeln!(out, "MARE      : {m:.3e} vs f64 direct convolution");
+    let _ = writeln!(out, "verdict   : {}", if verdict { "OK" } else { "SUSPECT" });
+    if verdict {
+        Ok(out)
+    } else {
+        Err(format!("verification failed:\n{out}"))
+    }
+}
+
+fn cmd_cost(flags: &Flags) -> Result<String, String> {
+    let shape = shape_from(flags)?;
+    let device = device_by_name(flags.opt_str("device"))?;
+    let precision = precision_from(flags);
+    let plan = WinRsPlan::new(&shape, &device, precision);
+    let t = plan.estimated_time();
+    let mut out = String::new();
+    let _ = writeln!(out, "shape      : {shape:?}");
+    let _ = writeln!(out, "device     : {}", device.name);
+    let _ = writeln!(out, "time       : {:.4} ms (modelled)", t * 1e3);
+    let _ = writeln!(out, "throughput : {:.1} TFLOPS effective", plan.estimated_tflops());
+    let _ = writeln!(out, "workspace  : {:.2} MB", plan.workspace_bytes() as f64 / 1e6);
+    Ok(out)
+}
+
+fn cmd_kernels() -> String {
+    let mut out = String::from("kernel      alpha  accel  fp16  coeff\n");
+    for k in WINRS_KERNELS {
+        let _ = writeln!(
+            out,
+            "{:<11} {:>5}  {:>5.2}  {:>4}  {:>5.2}",
+            k.to_string(),
+            k.alpha(),
+            k.acceleration(),
+            if k.fp16_supported() { "yes" } else { "-" },
+            k.throughput_coefficient()
+        );
+    }
+    out
+}
+
+fn cmd_devices() -> String {
+    let mut out =
+        String::from("device      SMs  FP32 TFLOPS  FP16 TFLOPS  bandwidth GB/s\n");
+    for d in [RTX_4090, RTX_3090, L40S, A5000] {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>4}  {:>11.1}  {:>11.1}  {:>14.0}",
+            d.name, d.n_sm, d.fp32_tflops, d.fp16_tflops, d.bandwidth_gbs
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, String> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        dispatch(&argv)
+    }
+
+    #[test]
+    fn plan_command_prints_configuration() {
+        let out = run(&[
+            "plan", "--n", "8", "--res", "32", "--ic", "16", "--oc", "16", "--f", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("kernel pair"));
+        assert!(out.contains("Ω8(3,6)"));
+        assert!(out.contains("FLOP cut"));
+    }
+
+    #[test]
+    fn verify_command_passes_on_small_problem() {
+        let out = run(&[
+            "verify", "--n", "1", "--res", "12", "--ic", "2", "--oc", "2", "--f", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("verdict   : OK"), "{out}");
+    }
+
+    #[test]
+    fn verify_fp16_flag() {
+        let out = run(&[
+            "verify", "--n", "1", "--res", "12", "--ic", "2", "--oc", "2", "--f", "3", "--fp16",
+        ])
+        .unwrap();
+        assert!(out.contains("Fp16"));
+        assert!(out.contains("OK"));
+    }
+
+    #[test]
+    fn verify_bf16_flag() {
+        let out = run(&[
+            "verify", "--n", "1", "--res", "12", "--ic", "2", "--oc", "2", "--f", "3", "--bf16",
+        ])
+        .unwrap();
+        assert!(out.contains("Bf16"));
+        assert!(out.contains("OK"));
+    }
+
+    #[test]
+    fn cost_command_reports_model() {
+        let out = run(&[
+            "cost", "--n", "32", "--res", "56", "--ic", "64", "--oc", "64", "--f", "3",
+            "--device", "3090",
+        ])
+        .unwrap();
+        assert!(out.contains("RTX 3090"));
+        assert!(out.contains("TFLOPS"));
+    }
+
+    #[test]
+    fn kernels_lists_13() {
+        let out = run(&["kernels"]).unwrap();
+        assert_eq!(out.lines().count(), 14); // header + 13
+    }
+
+    #[test]
+    fn devices_lists_4() {
+        let out = run(&["devices"]).unwrap();
+        assert_eq!(out.lines().count(), 5);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn unknown_device_errors() {
+        let e = run(&[
+            "plan", "--n", "1", "--res", "8", "--ic", "1", "--oc", "1", "--f", "2", "--device",
+            "h100",
+        ])
+        .unwrap_err();
+        assert!(e.contains("unknown device"));
+    }
+
+    #[test]
+    fn oversized_verify_rejected() {
+        let e = run(&[
+            "verify", "--n", "64", "--res", "224", "--ic", "64", "--oc", "64", "--f", "3",
+        ])
+        .unwrap_err();
+        assert!(e.contains("under 4e6"));
+    }
+
+    #[test]
+    fn bad_shape_rejected() {
+        let e = run(&[
+            "plan", "--n", "1", "--res", "3", "--ic", "1", "--oc", "1", "--f", "5",
+        ])
+        .unwrap_err();
+        assert!(e.contains("must exceed"));
+    }
+}

@@ -1,0 +1,321 @@
+//! GEMM-based BFC: the `Cu-GEMM` baseline family (Algo0 / Algo1 / Algo3
+//! analogues).
+//!
+//! BFC lowers to GEMM as `∇Wᵀ[f, oc] = Σ_n X̃_nᵀ[f, o] · ∇Y_n[o, oc]` where
+//! `o` ranges over the `O_H·O_W` output positions, `f` over the
+//! `F_H·F_W·I_C` filter taps, and `X̃_n[o, f]` is the im2col lowering of
+//! batch item `n`. The three cuDNN algorithms differ in how much of `X̃`
+//! they materialise:
+//!
+//! * **Algo0** — no workspace: direct accumulation (slowest; here it is the
+//!   shared [`crate::direct::bfc_direct`] loop).
+//! * **Algo1** — one batch item's full im2col panel (`F × O` floats) plus a
+//!   transposed accumulation buffer; fastest GEMM shape, biggest buffer.
+//! * **Algo3** — a tiled panel of [`ALGO3_TILE`] output positions: small,
+//!   shape-independent workspace at some GEMM-efficiency cost (the paper's
+//!   Table 2 shows Cu-Algo3 averaging 0.10× data size vs 1.06× for
+//!   Cu-Algo1).
+//!
+//! The FP16 variant reproduces the Tensor-Core contract *and* Cu-Algo1's
+//! accuracy behaviour (Figure 12): accumulation runs in f32 within a flush
+//! window and is stored to binary16 every [`F16_FLUSH`] positions, so error
+//! grows with the accumulation length `N·O_H·O_W` — which is exactly the
+//! degradation the paper measures for Cu-Algo1.
+
+use crate::{direct, ConvShape};
+use winrs_fp16::f16;
+use winrs_gemm::{gemm_f32, gemm_flops};
+use winrs_tensor::{Scalar, Tensor4};
+
+/// Output-position tile of the Algo3 analogue.
+pub const ALGO3_TILE: usize = 512;
+
+/// FP16 flush window: accumulators are rounded to binary16 after this many
+/// output positions. Chained Tensor-Core HGEMM with a binary16 `C` operand
+/// re-rounds the running total every mma step; 16 positions models that
+/// granularity and is what makes Cu-Algo1's error grow with the
+/// accumulation length `N·O_H·O_W` (Figure 12C).
+pub const F16_FLUSH: usize = 16;
+
+/// Which GEMM-based algorithm variant to run / account.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GemmAlgo {
+    /// Zero-workspace direct accumulation.
+    Algo0,
+    /// Full per-batch-item im2col panel.
+    Algo1,
+    /// Tiled im2col panel.
+    Algo3,
+}
+
+/// Fill `buf` (layout `F × tile_len`, row-major) with the *transposed*
+/// im2col panel of batch item `n`, output positions `o0 .. o0+tile_len`.
+fn im2col_transposed(
+    shape: &ConvShape,
+    x: &Tensor4<f32>,
+    n: usize,
+    o0: usize,
+    tile_len: usize,
+    buf: &mut [f32],
+) {
+    let ow = shape.ow();
+    let f_total = shape.fh * shape.fw * shape.ic;
+    debug_assert_eq!(buf.len(), f_total * tile_len);
+    for (t, chunk) in (o0..o0 + tile_len).zip(0..tile_len) {
+        let (i, j) = (t / ow, t % ow);
+        for a in 0..shape.fh {
+            for b in 0..shape.fw {
+                let xi = (i + a) as isize - shape.ph as isize;
+                let xj = (j + b) as isize - shape.pw as isize;
+                for c_in in 0..shape.ic {
+                    let f = (a * shape.fw + b) * shape.ic + c_in;
+                    buf[f * tile_len + chunk] = x.get_padded(n, xi, xj, c_in);
+                }
+            }
+        }
+    }
+}
+
+/// Transpose the `F × O_C` accumulation buffer into the `∇W` tensor layout
+/// `(O_C, F_H, F_W, I_C)`.
+fn transpose_into_dw<T: Scalar>(shape: &ConvShape, dwt: &[T]) -> Tensor4<T> {
+    let f_total = shape.fh * shape.fw * shape.ic;
+    let mut dw = Tensor4::zeros([shape.oc, shape.fh, shape.fw, shape.ic]);
+    for f in 0..f_total {
+        let a = f / (shape.fw * shape.ic);
+        let b = (f / shape.ic) % shape.fw;
+        let c_in = f % shape.ic;
+        for c_out in 0..shape.oc {
+            dw[(c_out, a, b, c_in)] = dwt[f * shape.oc + c_out];
+        }
+    }
+    dw
+}
+
+/// Run the selected GEMM-based BFC in f32.
+pub fn bfc_gemm_f32(
+    algo: GemmAlgo,
+    shape: &ConvShape,
+    x: &Tensor4<f32>,
+    dy: &Tensor4<f32>,
+) -> Tensor4<f32> {
+    match algo {
+        GemmAlgo::Algo0 => direct::bfc_direct(shape, x, dy),
+        GemmAlgo::Algo1 => bfc_gemm_tiled(shape, x, dy, shape.oh() * shape.ow()),
+        GemmAlgo::Algo3 => bfc_gemm_tiled(shape, x, dy, ALGO3_TILE),
+    }
+}
+
+fn bfc_gemm_tiled(
+    shape: &ConvShape,
+    x: &Tensor4<f32>,
+    dy: &Tensor4<f32>,
+    tile: usize,
+) -> Tensor4<f32> {
+    let o_total = shape.oh() * shape.ow();
+    let f_total = shape.fh * shape.fw * shape.ic;
+    let tile = tile.min(o_total);
+    let mut panel = vec![0.0f32; f_total * tile];
+    let mut dwt = vec![0.0f32; f_total * shape.oc];
+
+    for n in 0..shape.n {
+        let mut o0 = 0;
+        while o0 < o_total {
+            let len = tile.min(o_total - o0);
+            let panel_slice = &mut panel[..f_total * len];
+            im2col_transposed(shape, x, n, o0, len, panel_slice);
+            // ∇Y_n rows o0..o0+len are contiguous: (len × O_C) row-major.
+            let dy_base = ((n * o_total) + o0) * shape.oc;
+            let dy_panel = &dy.as_slice()[dy_base..dy_base + len * shape.oc];
+            // dwt (F × O_C) += panel (F × len) · dy_panel (len × O_C).
+            gemm_f32(
+                f_total, shape.oc, len, 1.0, panel_slice, dy_panel, 1.0, &mut dwt,
+            );
+            o0 += len;
+        }
+    }
+    transpose_into_dw(shape, &dwt)
+}
+
+/// FP16 Algo1 analogue: binary16 tensors, f32 accumulation inside a flush
+/// window, binary16 storage between windows (Tensor-Core GEMM chaining with
+/// a binary16 `C`).
+pub fn bfc_gemm_f16(shape: &ConvShape, x: &Tensor4<f16>, dy: &Tensor4<f16>) -> Tensor4<f16> {
+    let o_total = shape.oh() * shape.ow();
+    let f_total = shape.fh * shape.fw * shape.ic;
+    let mut dwt16 = vec![f16::ZERO; f_total * shape.oc];
+    // The f32 im2col panel is rebuilt from the f16 input per tile (loads
+    // widen f16 -> f32 for the MMA, exactly like `ldmatrix` + `mma`).
+    let tile = F16_FLUSH.min(o_total);
+    let mut panel = vec![0.0f32; f_total * tile];
+    let x32 = x.cast::<f32>();
+
+    for n in 0..shape.n {
+        let mut o0 = 0;
+        while o0 < o_total {
+            let len = tile.min(o_total - o0);
+            let panel_slice = &mut panel[..f_total * len];
+            im2col_transposed(shape, &x32, n, o0, len, panel_slice);
+            let dy_base = ((n * o_total) + o0) * shape.oc;
+            // f32 accumulator for this window.
+            let mut win = vec![0.0f32; f_total * shape.oc];
+            let dy_panel: Vec<f32> = dy.as_slice()[dy_base..dy_base + len * shape.oc]
+                .iter()
+                .map(|v| v.to_f32())
+                .collect();
+            gemm_f32(f_total, shape.oc, len, 1.0, panel_slice, &dy_panel, 0.0, &mut win);
+            // Flush: binary16 read-modify-write of the running total — the
+            // step that loses precision as N·O_H·O_W grows.
+            for (acc16, w) in dwt16.iter_mut().zip(&win) {
+                *acc16 = f16::from_f32(acc16.to_f32() + *w);
+            }
+            o0 += len;
+        }
+    }
+    transpose_into_dw(shape, &dwt16)
+}
+
+/// Workspace bytes of each algorithm analogue at 4-byte elements.
+pub fn workspace_bytes(algo: GemmAlgo, shape: &ConvShape) -> usize {
+    let f_total = shape.fh * shape.fw * shape.ic;
+    let o_total = shape.oh() * shape.ow();
+    match algo {
+        GemmAlgo::Algo0 => 0,
+        GemmAlgo::Algo1 => (f_total * o_total + f_total * shape.oc) * 4,
+        GemmAlgo::Algo3 => (f_total * ALGO3_TILE.min(o_total) + f_total * shape.oc) * 4,
+    }
+}
+
+/// Total FLOPs (identical to direct: the lowering adds no multiplies).
+pub fn flops(shape: &ConvShape) -> u64 {
+    let f_total = shape.fh * shape.fw * shape.ic;
+    let o_total = shape.oh() * shape.ow();
+    shape.n as u64 * gemm_flops(f_total, shape.oc, o_total)
+}
+
+/// Global-memory traffic (bytes) spent on *intermediate* data: each im2col
+/// panel is written once and read once per GEMM.
+pub fn intermediate_traffic_bytes(algo: GemmAlgo, shape: &ConvShape) -> u64 {
+    match algo {
+        GemmAlgo::Algo0 => 0,
+        // Every output position expands to F values, written + read.
+        GemmAlgo::Algo1 | GemmAlgo::Algo3 => {
+            let f_total = (shape.fh * shape.fw * shape.ic) as u64;
+            let o_total = (shape.oh() * shape.ow()) as u64;
+            2 * shape.n as u64 * o_total * f_total * 4
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winrs_tensor::mare;
+
+    fn setup(shape: &ConvShape) -> (Tensor4<f32>, Tensor4<f32>, Tensor4<f64>) {
+        let x64 = Tensor4::<f64>::random_uniform([shape.n, shape.ih, shape.iw, shape.ic], 21, 1.0);
+        let dy64 =
+            Tensor4::<f64>::random_uniform([shape.n, shape.oh(), shape.ow(), shape.oc], 22, 1.0);
+        let exact = direct::bfc_direct(shape, &x64, &dy64);
+        (x64.cast(), dy64.cast(), exact)
+    }
+
+    #[test]
+    fn algo1_matches_direct() {
+        let shape = ConvShape::new(2, 9, 11, 3, 5, 3, 3, 1, 1);
+        let (x, dy, exact) = setup(&shape);
+        let dw = bfc_gemm_f32(GemmAlgo::Algo1, &shape, &x, &dy);
+        assert!(mare(&dw, &exact) < 1e-5);
+    }
+
+    #[test]
+    fn algo3_tiling_matches_direct() {
+        // Output area > ALGO3_TILE forces multiple tiles per batch item.
+        let shape = ConvShape::new(1, 40, 40, 2, 3, 3, 3, 1, 1);
+        assert!(shape.oh() * shape.ow() > ALGO3_TILE);
+        let (x, dy, exact) = setup(&shape);
+        let dw = bfc_gemm_f32(GemmAlgo::Algo3, &shape, &x, &dy);
+        assert!(mare(&dw, &exact) < 1e-5);
+    }
+
+    #[test]
+    fn algo0_is_direct() {
+        let shape = ConvShape::new(1, 6, 6, 2, 2, 2, 2, 1, 1);
+        let (x, dy, exact) = setup(&shape);
+        let dw = bfc_gemm_f32(GemmAlgo::Algo0, &shape, &x, &dy);
+        assert!(mare(&dw, &exact) < 1e-5);
+    }
+
+    #[test]
+    fn uneven_tile_edges_are_exact() {
+        // o_total not a multiple of the tile: residual tile path.
+        let shape = ConvShape::new(1, 25, 23, 1, 2, 2, 2, 1, 1);
+        let (x, dy, exact) = setup(&shape);
+        let dw = bfc_gemm_f32(GemmAlgo::Algo3, &shape, &x, &dy);
+        assert!(mare(&dw, &exact) < 1e-5);
+    }
+
+    #[test]
+    fn even_filters_and_asymmetric_padding() {
+        let shape = ConvShape::new(2, 8, 8, 2, 2, 4, 4, 2, 2);
+        let (x, dy, exact) = setup(&shape);
+        let dw = bfc_gemm_f32(GemmAlgo::Algo1, &shape, &x, &dy);
+        assert!(mare(&dw, &exact) < 1e-5);
+    }
+
+    #[test]
+    fn fp16_matches_exact_loosely() {
+        let shape = ConvShape::new(1, 8, 8, 2, 2, 3, 3, 1, 1);
+        let x64 = Tensor4::<f64>::random_uniform([shape.n, shape.ih, shape.iw, shape.ic], 31, 1.0);
+        let dy64 =
+            Tensor4::<f64>::random_uniform([shape.n, shape.oh(), shape.ow(), shape.oc], 32, 0.01);
+        let exact = direct::bfc_direct(&shape, &x64, &dy64);
+        let dw = bfc_gemm_f16(&shape, &x64.cast(), &dy64.cast());
+        let m = mare(&dw, &exact);
+        assert!(m < 5e-3, "MARE {m}");
+    }
+
+    #[test]
+    fn fp16_error_grows_with_accumulation_length() {
+        // The Figure 12C phenomenon: longer accumulation -> worse Cu-Algo1
+        // FP16 accuracy, because the running total is stored in binary16.
+        let small = ConvShape::new(1, 16, 16, 1, 1, 3, 3, 1, 1);
+        let large = ConvShape::new(16, 32, 32, 1, 1, 3, 3, 1, 1);
+        let mut mares = Vec::new();
+        for shape in [small, large] {
+            let x64 =
+                Tensor4::<f64>::random_uniform([shape.n, shape.ih, shape.iw, shape.ic], 41, 1.0);
+            let dy64 = Tensor4::<f64>::random_uniform(
+                [shape.n, shape.oh(), shape.ow(), shape.oc],
+                42,
+                0.01,
+            );
+            let exact = direct::bfc_direct(&shape, &x64, &dy64);
+            let dw = bfc_gemm_f16(&shape, &x64.cast(), &dy64.cast());
+            mares.push(mare(&dw, &exact));
+        }
+        assert!(
+            mares[1] > 2.0 * mares[0],
+            "expected growth: {:?}",
+            mares
+        );
+    }
+
+    #[test]
+    fn workspace_ordering_matches_table2() {
+        // Algo0 = 0, Algo3 small and shape-capped, Algo1 grows with O·F.
+        let shape = ConvShape::vgg16_conv2(32);
+        let w0 = workspace_bytes(GemmAlgo::Algo0, &shape);
+        let w3 = workspace_bytes(GemmAlgo::Algo3, &shape);
+        let w1 = workspace_bytes(GemmAlgo::Algo1, &shape);
+        assert_eq!(w0, 0);
+        assert!(w3 < w1, "w3 {w3} < w1 {w1}");
+        assert!(w1 > 100 << 20, "Algo1 panel should be >100 MiB: {w1}");
+    }
+
+    #[test]
+    fn flops_equal_direct_complexity() {
+        let shape = ConvShape::new(2, 5, 5, 3, 4, 2, 2, 0, 0);
+        assert_eq!(flops(&shape), shape.bfc_flops());
+    }
+}

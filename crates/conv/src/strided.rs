@@ -1,0 +1,237 @@
+//! Strided / dilated convolution — the general-case fallback.
+//!
+//! WinRS (like the paper) targets stride-1, dilation-1 convolutions; real
+//! models also contain strided transition layers (e.g. ResNet's stride-2
+//! downsampling convs, 4 of ResNet-34's 36). A credible library needs a
+//! correct fallback for them, so this module provides direct FC and BFC
+//! with arbitrary stride and dilation. The gradients are defined by the
+//! usual correspondence:
+//!
+//! ```text
+//! Y[n,i,j,oc]      = Σ X[n, i·s_H + a·d_H − p_H, j·s_W + b·d_W − p_W, ic] · W[oc,a,b,ic]
+//! ∇W[oc,a,b,ic]    = Σ X[n, i·s_H + a·d_H − p_H, j·s_W + b·d_W − p_W, ic] · ∇Y[n,i,j,oc]
+//! ```
+//!
+//! With `s = d = 1` these reduce exactly to [`crate::direct`], which the
+//! tests assert.
+
+use crate::ConvShape;
+use rayon::prelude::*;
+use winrs_tensor::{Scalar, Tensor4};
+
+/// A convolution shape with stride and dilation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StridedShape {
+    /// The stride-1 base parameters (batch, input dims, channels, filter,
+    /// padding).
+    pub base: ConvShape,
+    /// Stride along height.
+    pub sh: usize,
+    /// Stride along width.
+    pub sw: usize,
+    /// Dilation along height.
+    pub dh: usize,
+    /// Dilation along width.
+    pub dw: usize,
+}
+
+impl StridedShape {
+    /// Wrap a base shape with stride and dilation.
+    pub fn new(base: ConvShape, sh: usize, sw: usize, dh: usize, dw: usize) -> StridedShape {
+        assert!(sh > 0 && sw > 0 && dh > 0 && dw > 0);
+        let s = StridedShape {
+            base,
+            sh,
+            sw,
+            dh,
+            dw,
+        };
+        // Explicit checks (usize subtraction in oh()/ow() would wrap in
+        // release builds instead of panicking).
+        assert!(
+            base.ih + 2 * base.ph >= s.eff_fh() && base.iw + 2 * base.pw >= s.eff_fw(),
+            "empty output: {s:?}"
+        );
+        s
+    }
+
+    /// Effective filter extent along height: `(F_H − 1)·d_H + 1`.
+    pub fn eff_fh(&self) -> usize {
+        (self.base.fh - 1) * self.dh + 1
+    }
+
+    /// Effective filter extent along width.
+    pub fn eff_fw(&self) -> usize {
+        (self.base.fw - 1) * self.dw + 1
+    }
+
+    /// Output height `⌊(I_H + 2p_H − eff_F_H)/s_H⌋ + 1`.
+    pub fn oh(&self) -> usize {
+        (self.base.ih + 2 * self.base.ph - self.eff_fh()) / self.sh + 1
+    }
+
+    /// Output width.
+    pub fn ow(&self) -> usize {
+        (self.base.iw + 2 * self.base.pw - self.eff_fw()) / self.sw + 1
+    }
+}
+
+/// Strided/dilated forward convolution.
+pub fn fc_strided<T: Scalar>(s: &StridedShape, x: &Tensor4<T>, w: &Tensor4<T>) -> Tensor4<T> {
+    let b = &s.base;
+    assert_eq!(x.dims(), [b.n, b.ih, b.iw, b.ic]);
+    assert_eq!(w.dims(), [b.oc, b.fh, b.fw, b.ic]);
+    let (oh, ow) = (s.oh(), s.ow());
+    let mut y = Tensor4::zeros([b.n, oh, ow, b.oc]);
+    let per_n = oh * ow * b.oc;
+    y.as_mut_slice()
+        .par_chunks_mut(per_n)
+        .enumerate()
+        .for_each(|(n, yn)| {
+            for i in 0..oh {
+                for j in 0..ow {
+                    for oc in 0..b.oc {
+                        let mut acc = T::ZERO;
+                        for a in 0..b.fh {
+                            let xi = (i * s.sh + a * s.dh) as isize - b.ph as isize;
+                            for bb in 0..b.fw {
+                                let xj = (j * s.sw + bb * s.dw) as isize - b.pw as isize;
+                                for ic in 0..b.ic {
+                                    acc += x.get_padded(n, xi, xj, ic) * w[(oc, a, bb, ic)];
+                                }
+                            }
+                        }
+                        yn[(i * ow + j) * b.oc + oc] = acc;
+                    }
+                }
+            }
+        });
+    y
+}
+
+/// Strided/dilated backward-filter convolution.
+pub fn bfc_strided<T: Scalar>(s: &StridedShape, x: &Tensor4<T>, dy: &Tensor4<T>) -> Tensor4<T> {
+    let b = &s.base;
+    let (oh, ow) = (s.oh(), s.ow());
+    assert_eq!(x.dims(), [b.n, b.ih, b.iw, b.ic]);
+    assert_eq!(dy.dims(), [b.n, oh, ow, b.oc]);
+    let mut dw = Tensor4::zeros([b.oc, b.fh, b.fw, b.ic]);
+    let per_oc = b.fh * b.fw * b.ic;
+    dw.as_mut_slice()
+        .par_chunks_mut(per_oc)
+        .enumerate()
+        .for_each(|(oc, dwo)| {
+            for a in 0..b.fh {
+                for bb in 0..b.fw {
+                    for ic in 0..b.ic {
+                        let mut acc = T::ZERO;
+                        for n in 0..b.n {
+                            for i in 0..oh {
+                                let xi = (i * s.sh + a * s.dh) as isize - b.ph as isize;
+                                for j in 0..ow {
+                                    let xj = (j * s.sw + bb * s.dw) as isize - b.pw as isize;
+                                    acc += x.get_padded(n, xi, xj, ic) * dy[(n, i, j, oc)];
+                                }
+                            }
+                        }
+                        dwo[(a * b.fw + bb) * b.ic + ic] = acc;
+                    }
+                }
+            }
+        });
+    dw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct;
+    use winrs_tensor::mare;
+
+    #[test]
+    fn stride_one_dilation_one_reduces_to_direct() {
+        let base = ConvShape::new(2, 9, 11, 3, 4, 3, 3, 1, 1);
+        let s = StridedShape::new(base, 1, 1, 1, 1);
+        assert_eq!((s.oh(), s.ow()), (base.oh(), base.ow()));
+        let x = Tensor4::<f64>::random_uniform([2, 9, 11, 3], 1, 1.0);
+        let w = Tensor4::<f64>::random_uniform([4, 3, 3, 3], 2, 1.0);
+        let dy = Tensor4::<f64>::random_uniform([2, s.oh(), s.ow(), 4], 3, 1.0);
+        assert_eq!(
+            fc_strided(&s, &x, &w).as_slice(),
+            direct::fc_direct(&base, &x, &w).as_slice()
+        );
+        assert_eq!(
+            bfc_strided(&s, &x, &dy).as_slice(),
+            direct::bfc_direct(&base, &x, &dy).as_slice()
+        );
+    }
+
+    #[test]
+    fn stride2_output_shape() {
+        // ResNet downsampling conv: 56 -> 28 with 3×3 s2 p1.
+        let base = ConvShape::new(1, 56, 56, 4, 4, 3, 3, 1, 1);
+        let s = StridedShape::new(base, 2, 2, 1, 1);
+        assert_eq!((s.oh(), s.ow()), (28, 28));
+    }
+
+    #[test]
+    fn stride2_bfc_matches_finite_difference() {
+        let base = ConvShape::new(1, 8, 8, 2, 2, 3, 3, 1, 1);
+        let s = StridedShape::new(base, 2, 2, 1, 1);
+        let x = Tensor4::<f64>::random_uniform([1, 8, 8, 2], 4, 1.0);
+        let w = Tensor4::<f64>::random_uniform([2, 3, 3, 2], 5, 1.0);
+        let dy = Tensor4::<f64>::random_uniform([1, s.oh(), s.ow(), 2], 6, 1.0);
+        let dw = bfc_strided(&s, &x, &dy);
+        let loss = |w: &Tensor4<f64>| -> f64 {
+            fc_strided(&s, &x, w)
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let eps = 1e-6;
+        for &(oc, a, b, ic) in &[(0usize, 0usize, 0usize, 0usize), (1, 2, 1, 1), (0, 1, 2, 0)] {
+            let mut wp = w.clone();
+            wp[(oc, a, b, ic)] += eps;
+            let mut wm = w.clone();
+            wm[(oc, a, b, ic)] -= eps;
+            let fd = (loss(&wp) - loss(&wm)) / (2.0 * eps);
+            let an = dw[(oc, a, b, ic)];
+            assert!(
+                (fd - an).abs() < 1e-4 * an.abs().max(1.0),
+                "({oc},{a},{b},{ic}): fd {fd} vs {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn dilation2_equals_conv_with_spread_filter() {
+        // A d=2 3×3 filter equals a stride-1 5×5 filter with zeros between
+        // taps.
+        let base3 = ConvShape::new(1, 10, 10, 1, 1, 3, 3, 0, 0);
+        let s = StridedShape::new(base3, 1, 1, 2, 2);
+        let x = Tensor4::<f64>::random_uniform([1, 10, 10, 1], 7, 1.0);
+        let w3 = Tensor4::<f64>::random_uniform([1, 3, 3, 1], 8, 1.0);
+        let y_dilated = fc_strided(&s, &x, &w3);
+
+        let base5 = ConvShape::new(1, 10, 10, 1, 1, 5, 5, 0, 0);
+        let w5 = Tensor4::<f64>::from_fn([1, 5, 5, 1], |_, a, b, _| {
+            if a % 2 == 0 && b % 2 == 0 {
+                w3[(0, a / 2, b / 2, 0)]
+            } else {
+                0.0
+            }
+        });
+        let y_spread = direct::fc_direct(&base5, &x, &w5);
+        let m = mare(&y_dilated, &y_spread);
+        assert!(m < 1e-12, "MARE {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty output")]
+    fn oversized_dilation_rejected() {
+        let base = ConvShape::new(1, 5, 5, 1, 1, 3, 3, 0, 0);
+        let _ = StridedShape::new(base, 1, 1, 4, 4);
+    }
+}

@@ -1,0 +1,133 @@
+//! A keyed plan cache for training loops.
+//!
+//! Plan construction runs exact rational linear algebra (Cook–Toom) and the
+//! configuration algorithms — cheap, but not free, and a training loop hits
+//! the same handful of layer shapes thousands of times. `PlanCache` memoises
+//! plans by `(shape, device, precision)`; `winrs-nn`'s convolution layer and
+//! any long-running caller should go through it.
+
+use crate::config::Precision;
+use crate::plan::WinRsPlan;
+use std::collections::HashMap;
+use winrs_conv::ConvShape;
+use winrs_gpu_sim::DeviceSpec;
+
+/// Cache key: the full problem identity.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct Key {
+    shape: [usize; 9],
+    device: &'static str,
+    precision: u8,
+}
+
+fn key(shape: &ConvShape, device: &DeviceSpec, precision: Precision) -> Key {
+    Key {
+        shape: [
+            shape.n, shape.ih, shape.iw, shape.ic, shape.oc, shape.fh, shape.fw, shape.ph,
+            shape.pw,
+        ],
+        device: device.name,
+        precision: match precision {
+            Precision::Fp32 => 0,
+            Precision::Fp16 => 1,
+            Precision::Bf16 => 2,
+        },
+    }
+}
+
+/// Memoised plan store. Not thread-safe by itself; wrap in your own sync
+/// primitive if plans must be shared across threads (plans themselves are
+/// `Sync` once built).
+#[derive(Default)]
+pub struct PlanCache {
+    plans: HashMap<Key, WinRsPlan>,
+    hits: usize,
+    misses: usize,
+}
+
+impl PlanCache {
+    /// Empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Fetch or build the plan for a problem.
+    pub fn get(
+        &mut self,
+        shape: &ConvShape,
+        device: &DeviceSpec,
+        precision: Precision,
+    ) -> &WinRsPlan {
+        let k = key(shape, device, precision);
+        if self.plans.contains_key(&k) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            self.plans
+                .insert(k.clone(), WinRsPlan::new(shape, device, precision));
+        }
+        &self.plans[&k]
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of distinct plans held.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Drop all cached plans.
+    pub fn clear(&mut self) {
+        self.plans.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winrs_gpu_sim::{RTX_3090, RTX_4090};
+
+    #[test]
+    fn caches_by_shape_device_precision() {
+        let mut cache = PlanCache::new();
+        let a = ConvShape::square(2, 16, 4, 4, 3);
+        let b = ConvShape::square(2, 16, 4, 4, 5);
+
+        cache.get(&a, &RTX_4090, Precision::Fp32);
+        cache.get(&a, &RTX_4090, Precision::Fp32); // hit
+        cache.get(&b, &RTX_4090, Precision::Fp32); // miss: different shape
+        cache.get(&a, &RTX_3090, Precision::Fp32); // miss: different device
+        cache.get(&a, &RTX_4090, Precision::Fp16); // miss: different precision
+        assert_eq!(cache.stats(), (1, 4));
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn cached_plan_is_usable() {
+        let mut cache = PlanCache::new();
+        let shape = ConvShape::square(1, 12, 2, 2, 3);
+        let x = winrs_tensor::Tensor4::<f32>::random_uniform([1, 12, 12, 2], 1, 1.0);
+        let dy = winrs_tensor::Tensor4::<f32>::random_uniform([1, 12, 12, 2], 2, 1.0);
+        let first = cache.get(&shape, &RTX_4090, Precision::Fp32).execute_f32(&x, &dy);
+        let second = cache.get(&shape, &RTX_4090, Precision::Fp32).execute_f32(&x, &dy);
+        assert_eq!(first.as_slice(), second.as_slice());
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut cache = PlanCache::new();
+        cache.get(&ConvShape::square(1, 8, 1, 1, 2), &RTX_4090, Precision::Fp32);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! Configuration adaptation (paper §4): kernel-pair selection, baseline
+//! segment count (Algorithm 1) and segment shape (Algorithm 2).
+
+pub mod pair;
+pub mod segment_count;
+pub mod segment_shape;
+
+/// Arithmetic precision of a WinRS execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Precision {
+    /// FP32 on CUDA cores: all 13 kernels available.
+    Fp32,
+    /// FP16 on Tensor Cores: the six ported kernels only; mixed-precision
+    /// transforms; scaling matrices for α = 16.
+    Fp16,
+    /// BF16 on Tensor Cores — the paper's first stated porting target.
+    /// Same kernel set and cache blocks as FP16; bfloat16 shares the f32
+    /// exponent range, so the α = 16 scaling matrices are unnecessary.
+    Bf16,
+}

@@ -1,0 +1,259 @@
+//! Fastest-kernel-pair selection (paper §4.1).
+//!
+//! A 1D filter (one ∇Y row) of width `O_W` must be split into hybrid units
+//! without zero padding, which needs at least two distinct unit widths.
+//! WinRS therefore selects a *pair* of kernels `Ω_{α₀}(n₀, r₀)` (bulk) and
+//! `Ω_{α₁}(n₁, r₁)` (residual) subject to the paper's three criteria:
+//!
+//! 1. `n₀` and `n₁` divide `F_W`;
+//! 2. integers `k₀, k₁ ≥ 0` exist with `k₀·r₀ + k₁·r₁ = O_W`;
+//! 3. the weighted theoretical throughput is maximal, where each kernel's
+//!    weight is the fraction of `O_W` it covers and its speed is its
+//!    throughput coefficient.
+//!
+//! If no exact decomposition exists (e.g. odd `O_W` with only even unit
+//! widths available) the row is padded with up to `r₁ − 1` phantom zero
+//! columns — the zero reads contribute nothing, so correctness is
+//! unaffected; only the phantom FLOPs are accounted. The paper avoids this
+//! case in its sweep; we keep the fallback so every shape executes.
+
+use super::Precision;
+use winrs_winograd::kernels::{kernels_for_fw, KernelId};
+
+/// The selected pair and its row decomposition `k₀·r₀ + k₁·r₁ = O_W(+pad)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelPair {
+    /// Higher-throughput kernel, used for the bulk of the row.
+    pub bulk: KernelId,
+    /// Residual kernel (`None` when `r₀` divides `O_W` exactly).
+    pub residual: Option<KernelId>,
+    /// Bulk unit count `k₀`.
+    pub bulk_units: usize,
+    /// Residual unit count `k₁`.
+    pub residual_units: usize,
+    /// Phantom zero columns appended to make the decomposition exact.
+    pub padded_cols: usize,
+}
+
+impl KernelPair {
+    /// Width covered by bulk units.
+    pub fn bulk_width(&self) -> usize {
+        self.bulk_units * self.bulk.r
+    }
+
+    /// Width covered by residual units (including phantom columns).
+    pub fn residual_width(&self) -> usize {
+        self.residual.map_or(0, |k| self.residual_units * k.r)
+    }
+
+    /// Weighted throughput score of this decomposition: width divided by
+    /// modelled time (`Σ widthᵢ / coefficientᵢ`). Higher is faster.
+    pub fn score(&self) -> f64 {
+        let mut time = self.bulk_width() as f64 / self.bulk.throughput_coefficient();
+        if let Some(res) = self.residual {
+            time += self.residual_width() as f64 / res.throughput_coefficient();
+        }
+        let useful = (self.bulk_width() + self.residual_width() - self.padded_cols) as f64;
+        useful / time
+    }
+}
+
+/// Candidate kernels for a filter width under a precision constraint.
+pub fn candidates(fw: usize, precision: Precision) -> Vec<KernelId> {
+    kernels_for_fw(fw)
+        .into_iter()
+        .filter(|k| precision == Precision::Fp32 || k.fp16_supported())
+        .collect()
+}
+
+/// Decompose `ow = k0·r0 + k1·r1` maximising `k0` (bulk coverage). Returns
+/// `(k0, k1)`.
+fn decompose(ow: usize, r0: usize, r1: usize) -> Option<(usize, usize)> {
+    let mut k0 = ow / r0;
+    loop {
+        let rest = ow - k0 * r0;
+        if rest.is_multiple_of(r1) {
+            return Some((k0, rest / r1));
+        }
+        if k0 == 0 {
+            return None;
+        }
+        k0 -= 1;
+    }
+}
+
+/// Select the fastest kernel pair for `(F_W, O_W)` under `precision`.
+///
+/// Panics only if the candidate set is empty, which cannot happen: Ω₂(1,2)
+/// accepts every `F_W` and both precisions would have to exclude it —
+/// Ω₂(1,2) is FP32-only, so FP16 requests fall back to Ω₄(3,2)-style
+/// candidates; if none exists (e.g. `F_W` coprime to every ported `n`),
+/// selection falls back to the FP32 candidate set (mixed-precision
+/// execution of the unported kernel).
+pub fn select_pair(fw: usize, ow: usize, precision: Precision) -> KernelPair {
+    let mut cands = candidates(fw, precision);
+    if cands.is_empty() {
+        cands = candidates(fw, Precision::Fp32);
+    }
+    assert!(!cands.is_empty(), "no kernel candidates for F_W = {fw}");
+
+    let mut best: Option<KernelPair> = None;
+    let mut consider = |p: KernelPair| {
+        if best.as_ref().is_none_or(|b| p.score() > b.score()) {
+            best = Some(p);
+        }
+    };
+
+    // Single-kernel decompositions.
+    for &k in &cands {
+        if ow.is_multiple_of(k.r) {
+            consider(KernelPair {
+                bulk: k,
+                residual: None,
+                bulk_units: ow / k.r,
+                residual_units: 0,
+                padded_cols: 0,
+            });
+        }
+    }
+    // Exact pairs (bulk must contribute at least one unit).
+    for &k0 in &cands {
+        for &k1 in &cands {
+            if k0 == k1 {
+                continue;
+            }
+            if let Some((a, b)) = decompose(ow, k0.r, k1.r) {
+                if a == 0 {
+                    continue; // covered by the single-kernel case for k1
+                }
+                consider(KernelPair {
+                    bulk: k0,
+                    residual: if b > 0 { Some(k1) } else { None },
+                    bulk_units: a,
+                    residual_units: b,
+                    padded_cols: 0,
+                });
+            }
+        }
+    }
+    if let Some(p) = best {
+        return p;
+    }
+
+    // Fallback: pad the row. Choose the kernel with the best coefficient
+    // and the smallest residual padding.
+    let mut padded_best: Option<KernelPair> = None;
+    for &k0 in &cands {
+        for &k1 in &cands {
+            for pad in 1..k1.r.max(2) {
+                if let Some((a, b)) = decompose(ow + pad, k0.r, k1.r) {
+                    let p = KernelPair {
+                        bulk: k0,
+                        residual: if b > 0 { Some(k1) } else { None },
+                        bulk_units: a,
+                        residual_units: b,
+                        padded_cols: pad,
+                    };
+                    if padded_best.as_ref().is_none_or(|b| p.score() > b.score()) {
+                        padded_best = Some(p);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    padded_best.expect("padded decomposition always exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_fw3_ow16() {
+        // Paper Figure 5: F_W = 3, O_W = 16 → Ω₈(3,6) bulk + Ω₄(3,2)
+        // residual, with 12 + 4 columns.
+        let p = select_pair(3, 16, Precision::Fp32);
+        assert_eq!(p.bulk, KernelId::new(3, 6));
+        assert_eq!(p.residual, Some(KernelId::new(3, 2)));
+        assert_eq!(p.bulk_units, 2);
+        assert_eq!(p.residual_units, 2);
+        assert_eq!(p.bulk_width(), 12);
+        assert_eq!(p.residual_width(), 4);
+        assert_eq!(p.padded_cols, 0);
+    }
+
+    #[test]
+    fn exact_single_kernel_when_divisible() {
+        // O_W = 18 is a multiple of r₀ = 6: no residual kernel needed.
+        let p = select_pair(3, 18, Precision::Fp32);
+        assert_eq!(p.bulk, KernelId::new(3, 6));
+        assert_eq!(p.residual, None);
+        assert_eq!(p.bulk_units, 3);
+    }
+
+    #[test]
+    fn decomposition_always_covers_ow() {
+        for fw in 2..=9 {
+            for ow in [7usize, 16, 56, 224, 100, 33] {
+                let p = select_pair(fw, ow, Precision::Fp32);
+                assert_eq!(
+                    p.bulk_width() + p.residual_width(),
+                    ow + p.padded_cols,
+                    "fw={fw} ow={ow} {p:?}"
+                );
+                assert_eq!(fw % p.bulk.n, 0);
+                if let Some(r) = p.residual {
+                    assert_eq!(fw % r.n, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fp16_restricts_to_ported_kernels() {
+        let p = select_pair(3, 224, Precision::Fp16);
+        assert!(p.bulk.fp16_supported());
+        if let Some(r) = p.residual {
+            assert!(r.fp16_supported());
+        }
+    }
+
+    #[test]
+    fn bulk_kernel_has_higher_coefficient_than_residual() {
+        for ow in [16usize, 56, 224] {
+            let p = select_pair(3, ow, Precision::Fp32);
+            if let Some(r) = p.residual {
+                assert!(
+                    p.bulk.throughput_coefficient() >= r.throughput_coefficient(),
+                    "ow={ow}: {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_fw_uses_large_tiles() {
+        // F_W = 9: Ω₁₆(9,8) dominates (acceleration 4.5).
+        let p = select_pair(9, 224, Precision::Fp32);
+        assert_eq!(p.bulk, KernelId::new(9, 8));
+    }
+
+    #[test]
+    fn infeasible_ow_gets_padded() {
+        // F_W = 5, O_W = 7: unit widths available are {2, 4, 12} — all
+        // even, so an odd row needs one phantom column.
+        let p = select_pair(5, 7, Precision::Fp32);
+        assert!(p.padded_cols > 0);
+        assert_eq!(p.bulk_width() + p.residual_width(), 7 + p.padded_cols);
+    }
+
+    #[test]
+    fn score_prefers_bulk_heavy_splits() {
+        // For F_W = 3, O_W = 24: 4×6 beats 12×2 columns.
+        let p = select_pair(3, 24, Precision::Fp32);
+        assert_eq!(p.bulk, KernelId::new(3, 6));
+        assert_eq!(p.bulk_units, 4);
+        assert_eq!(p.residual, None);
+    }
+}

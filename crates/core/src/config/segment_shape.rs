@@ -1,0 +1,130 @@
+//! Segment shape calculation — Algorithm 2 of the paper (§4.3).
+//!
+//! Given the baseline segment count `Ẑ`, pick the expected segment height
+//! `Ŝ_H` and width `Ŝ_W` subject to:
+//!
+//! * `Ŝ_W` is a multiple of `r₀` (segments must map onto whole bulk units);
+//! * `Ŝ_H > p_H` (shorter segments would contain only zero-padding rows);
+//! * `Z = ⌊O_H/Ŝ_H⌋ × ⌈O_W/Ŝ_W⌉ ≈ Ẑ`.
+//!
+//! Inequality (5) of the paper shows that when `O_W` is not a multiple of
+//! `Ŝ_W`, *smaller* `Ŝ_W` reduces boundary redundancy — hence the search
+//! for the smallest factor `x` of `W_max` that still satisfies the segment
+//! budget.
+
+/// Result of Algorithm 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentShape {
+    /// Expected segment height `Ŝ_H` (rows of ∇Y).
+    pub sh: usize,
+    /// Expected segment width `Ŝ_W` (columns of ∇Y, multiple of `r₀`).
+    pub sw: usize,
+}
+
+/// Run Algorithm 2 for `(Ẑ, O_H, O_W, r₀, p_H)`.
+pub fn calculate(z_hat: usize, oh: usize, ow: usize, r0: usize, ph: usize) -> SegmentShape {
+    // Line 1 bounds: H_max = ⌊O_H/p_H⌋ (segments shorter than p_H would be
+    // pure padding), W_max = ⌈O_W/r₀⌉.
+    let hmax = oh.checked_div(ph).map_or(oh, |h| h.max(1));
+    let wmax = ow.div_ceil(r0).max(1);
+    let z = z_hat.clamp(1, hmax * wmax);
+
+    let full_width = (r0 * (ow / r0)).max(r0);
+    // Line 2: a single segment takes the whole bulk region.
+    if z == 1 {
+        return SegmentShape {
+            sh: oh,
+            sw: full_width,
+        };
+    }
+    // Line 3: more segments than width slots — minimum width r₀, split
+    // height to distribute the area evenly. The paper's ⌊O_H·O_W/(Ẑ·r₀)⌋
+    // height is quantised to a whole number of row bands here, so that
+    // ⌊O_H/Ŝ_H⌋ actually realises ≈ Ẑ/W_max bands instead of collapsing to
+    // one when the division rounds unluckily.
+    if z >= wmax {
+        let bands = z.div_ceil(wmax).clamp(1, hmax.max(1));
+        let sh = (oh / bands).max(1);
+        return SegmentShape { sh, sw: r0 };
+    }
+    // Line 4: width divides evenly — full-height column strips.
+    if wmax.is_multiple_of(z) {
+        return SegmentShape {
+            sh: oh,
+            sw: r0 * (wmax / z),
+        };
+    }
+    // Lines 5–6: smallest factor x of W_max inside the feasible interval.
+    let lo = (wmax / z).max(1);
+    let hi = (hmax * wmax) / z;
+    let x = (lo..=hi).find(|&x| wmax.is_multiple_of(x));
+    if let Some(x) = x {
+        let sh = ((oh * ow) / (z * x * r0)).clamp(1, oh);
+        return SegmentShape { sh, sw: x * r0 };
+    }
+    // Line 7 fallback.
+    SegmentShape {
+        sh: oh,
+        sw: full_width,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_segment_takes_everything() {
+        let s = calculate(1, 224, 224, 6, 1);
+        assert_eq!(s.sh, 224);
+        assert_eq!(s.sw, 6 * (224 / 6));
+    }
+
+    #[test]
+    fn width_divisible_gives_column_strips() {
+        // W_max = ⌈16/2⌉ = 8, Ẑ = 4: strips of width 2·(8/4) = 4.
+        let s = calculate(4, 32, 16, 2, 1);
+        assert_eq!(s, SegmentShape { sh: 32, sw: 4 });
+    }
+
+    #[test]
+    fn oversubscribed_width_splits_height() {
+        // Ẑ ≥ W_max: minimum width r₀ and height split.
+        let s = calculate(64, 32, 16, 2, 1);
+        assert_eq!(s.sw, 2);
+        assert!(s.sh >= 1 && s.sh <= 32);
+        // Area check: 64 segments of sh×2 ≈ 32×16.
+        assert_eq!(s.sh, (32 * 16) / (64 * 2));
+    }
+
+    #[test]
+    fn sw_is_always_multiple_of_r0() {
+        for z in 1..40 {
+            for &(oh, ow, r0, ph) in &[(224usize, 224usize, 6usize, 1usize), (56, 56, 2, 2), (100, 90, 4, 0)] {
+                let s = calculate(z, oh, ow, r0, ph);
+                assert_eq!(s.sw % r0, 0, "z={z} {s:?}");
+                assert!(s.sh >= 1 && s.sh <= oh);
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_nine_segments() {
+        // Figure 3: ∇Y split into 9 segments for the F_W=3, O_W=16 example
+        // (3 row bands × 3 column groups: widths 12 = 2·6 and 4 = 2·2).
+        // With Ẑ = 9, r₀ = 6, O_W = 16: W_max = 3, Ẑ > W_max -> minimum
+        // width segments (height-split). The shape calculator yields the
+        // narrow-segment regime the figure's right column shows.
+        let s = calculate(9, 16, 16, 6, 1);
+        assert_eq!(s.sw, 6);
+        assert!(s.sh < 16);
+    }
+
+    #[test]
+    fn padding_bounds_segment_height() {
+        // p_H = 8 on a 16-row map: H_max = 2, so at most 2·W_max segments.
+        let s = calculate(100, 16, 64, 2, 8);
+        let z = (16 / s.sh) * 64usize.div_ceil(s.sw);
+        assert!(z <= 2 * 32, "z = {z} from {s:?}");
+    }
+}

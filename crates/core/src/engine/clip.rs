@@ -1,0 +1,96 @@
+//! Height-axis zero-padding clipping (paper §5.1, Figure 7).
+//!
+//! All threads of a block read the same height-axis locations, so the
+//! data-loading region can be clipped to skip rows that fall entirely in
+//! the zero padding: for filter row `f_h`, an ∇Y row `i` only contributes
+//! when the X row `f_h + i − p_H` is in range. The paper quantifies the
+//! saving as `p_H(p_H+1)/(F_H·O_H)` of the total time complexity.
+
+/// Clip segment rows `[h0, h1)` for filter row `fh`: returns the sub-range
+/// of ∇Y rows whose X row `fh + i − p_H ∈ [0, I_H)`.
+pub fn clip_rows(h0: usize, h1: usize, fh: usize, ph: usize, ih: usize) -> (usize, usize) {
+    // i ≥ p_H − f_h  and  i < I_H + p_H − f_h.
+    let lo = ph.saturating_sub(fh).max(h0);
+    let hi = (ih + ph).saturating_sub(fh).min(h1);
+    (lo, hi.max(lo))
+}
+
+/// Fraction of main-loop iterations removed by clipping across a full
+/// (unsegmented) BFC: the paper's `p_H(p_H+1)/(F_H·O_H)` expression.
+pub fn clip_savings_fraction(fh_total: usize, oh: usize, ph: usize) -> f64 {
+    (ph * (ph + 1)) as f64 / (fh_total * oh) as f64
+}
+
+/// Count the clipped row-iterations over a whole filter height, to verify
+/// the closed form and feed the FLOP accounting.
+pub fn clipped_rows_total(fh_total: usize, oh: usize, ph: usize, ih: usize) -> usize {
+    let mut total = 0;
+    for fh in 0..fh_total {
+        let (lo, hi) = clip_rows(0, oh, fh, ph, ih);
+        total += hi - lo;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_example() {
+        // Figure 7: 6-row loading area, padding 1 -> clipped to 4–6 rows
+        // depending on the filter row; 12.5% of work removed for F_H = 3.
+        // Shape: I_H = 4, p_H = 1, F_H = 3 -> O_H = 4.
+        let (ih, ph, fh_total, oh) = (4usize, 1usize, 3usize, 4usize);
+        // fh = 0: rows 1..4 (X rows −1..3 clipped to 0..3).
+        assert_eq!(clip_rows(0, oh, 0, ph, ih), (1, 4));
+        // fh = 1: all rows valid.
+        assert_eq!(clip_rows(0, oh, 1, ph, ih), (0, 4));
+        // fh = 2: rows 0..3.
+        assert_eq!(clip_rows(0, oh, 2, ph, ih), (0, 3));
+        let kept = clipped_rows_total(fh_total, oh, ph, ih);
+        let full = fh_total * oh;
+        let measured = 1.0 - kept as f64 / full as f64;
+        let predicted = clip_savings_fraction(fh_total, oh, ph);
+        assert!((measured - predicted).abs() < 1e-12);
+        assert!((measured - 2.0 / 12.0) < 1e-12);
+    }
+
+    #[test]
+    fn closed_form_matches_counting() {
+        for &(ih, ph, fh_total) in &[(32usize, 1usize, 3usize), (56, 2, 5), (24, 4, 9), (16, 3, 7)]
+        {
+            let oh = ih + 2 * ph + 1 - fh_total;
+            let kept = clipped_rows_total(fh_total, oh, ph, ih);
+            let measured = 1.0 - kept as f64 / (fh_total * oh) as f64;
+            let predicted = clip_savings_fraction(fh_total, oh, ph);
+            assert!(
+                (measured - predicted).abs() < 1e-12,
+                "ih={ih} ph={ph} fh={fh_total}: {measured} vs {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_padding_no_clipping() {
+        assert_eq!(clip_rows(0, 30, 2, 0, 32), (0, 30));
+        assert_eq!(clip_savings_fraction(3, 30, 0), 0.0);
+    }
+
+    #[test]
+    fn segment_bounds_respected() {
+        // Clip range never escapes the segment's own rows.
+        let (lo, hi) = clip_rows(10, 20, 0, 3, 64);
+        assert!(lo >= 10 && hi <= 20);
+    }
+
+    #[test]
+    fn fully_clipped_segment_is_empty() {
+        // A segment living entirely in the padding contributes nothing.
+        let (lo, hi) = clip_rows(0, 2, 0, 5, 64);
+        assert_eq!(lo, hi.min(lo).max(lo));
+        assert!(lo >= 2 || lo == hi || lo == 3);
+        let (lo2, hi2) = clip_rows(0, 1, 0, 8, 4);
+        assert!(lo2 >= hi2);
+    }
+}

@@ -1,0 +1,405 @@
+//! The fused `Ω_α(n, r)` kernel engine (paper §5, Algorithm 3).
+//!
+//! Each segment's workload is processed by a group of
+//! `⌈O_C/B_N⌉ × ⌈I_C/B_M⌉ × F_H·(F_W/n)` blocks. A block owns one
+//! `(oc-tile, ic-tile, filter-tile)` triple and runs the fully fused main
+//! loop: fetch a filter tile (`r` ∇Y values per output channel) and an
+//! input tile (`α` X values per input channel), apply the filter transform
+//! `G` and input transform `Dᵀ` on the fly, and accumulate the α-batched
+//! outer products into `v[α][B_N][B_M]` — the only state that survives the
+//! loop. The output transform `Aᵀ` runs once per block at the end, and the
+//! result is written to the segment's `∇Ŵ` bucket.
+//!
+//! On this CPU substrate a "block" is a rayon task and `v` lives in the
+//! task's stack/heap instead of registers+SMEM, but the numerics — what is
+//! computed, in which precision, in which order — follow Algorithm 3
+//! exactly, including:
+//!
+//! * **height-axis clipping** (Figure 7): for filter row `f_h`, only ∇Y
+//!   rows `i` with `0 ≤ f_h + i − p_H < I_H` are visited;
+//! * **implicit width padding**: out-of-range X (and phantom ∇Y) columns
+//!   read as zero, like the masked texture loads of the FP32 kernels;
+//! * **mixed-precision FP16 path**: tiles are loaded in binary16, widened,
+//!   transformed in FP32, *re-rounded to binary16* (the SMEM `Gs`/`Ds`
+//!   store before `ldmatrix`), multiplied into FP32 accumulators
+//!   (Tensor-Core `mma` semantics) and written back in binary16 after the
+//!   FP32 output transform.
+
+mod clip;
+
+pub use clip::{clip_rows, clip_savings_fraction, clipped_rows_total};
+
+use crate::partition::{Partition, Segment};
+use rayon::prelude::*;
+use winrs_conv::ConvShape;
+use winrs_fp16::{bf16, e4m3, f16};
+use winrs_tensor::{Scalar, Tensor4};
+use winrs_winograd::cook_toom::TransformReal;
+use winrs_winograd::kernels::{fp16_cache_block, fp32_cache_block, KernelId};
+
+/// Resolve the (possibly scaled) transform for a segment's kernel.
+pub trait TransformSource: Sync {
+    /// Return the materialised transform for `kernel`.
+    fn transform(&self, kernel: KernelId) -> &TransformReal;
+}
+
+/// Numeric mode of the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TileMode {
+    /// FP32 path: transforms and EWM in f32.
+    Fp32,
+    /// FP16 path: transformed tiles re-rounded to binary16 before the EWM
+    /// (FP32 accumulate).
+    Fp16,
+    /// BF16 path: tiles re-rounded to bfloat16 (FP32 accumulate). No
+    /// scaling matrices needed — bfloat16 shares f32's exponent range.
+    Bf16,
+    /// FP8 path (conclusion's final porting target): transformed tiles
+    /// re-rounded to OCP E4M3 before the EWM, FP32 accumulate. Requires the
+    /// row-scaled transforms (E4M3 tops out at 448).
+    Fp8,
+}
+
+/// Execute all segments, accumulating each segment's result into its
+/// bucket.
+///
+/// `buckets` must hold `partition.z() · dw_elems` zero-initialised
+/// elements; bucket `z` occupies `buckets[z·dw .. (z+1)·dw]` in
+/// `(O_C, F_H, F_W, I_C)` layout. Execution runs in two sequential passes
+/// (bulk kernel launch, then residual kernel launch); within a pass every
+/// segment owns a distinct bucket, so segments parallelise freely.
+pub fn execute_segments<T: Scalar, S: TransformSource>(
+    conv: &ConvShape,
+    partition: &Partition,
+    transforms: &S,
+    x: &Tensor4<T>,
+    dy: &Tensor4<T>,
+    mode: TileMode,
+    buckets: &mut [T],
+) {
+    let dw_elems = conv.dw_elems();
+    assert_eq!(buckets.len(), partition.z() * dw_elems, "bucket size");
+    assert_eq!(x.dims(), [conv.n, conv.ih, conv.iw, conv.ic]);
+    assert_eq!(dy.dims(), [conv.n, conv.oh(), conv.ow(), conv.oc]);
+    buckets.iter_mut().for_each(|b| *b = T::ZERO);
+
+    for pass in 0..=1u8 {
+        // Map bucket index -> the (unique) segment of this pass using it.
+        let mut by_bucket: Vec<Option<&Segment>> = vec![None; partition.z()];
+        for seg in partition.segments.iter().filter(|s| s.pass == pass) {
+            debug_assert!(by_bucket[seg.bucket].is_none(), "bucket collision");
+            by_bucket[seg.bucket] = Some(seg);
+        }
+        buckets
+            .par_chunks_mut(dw_elems)
+            .zip(by_bucket.into_par_iter())
+            .for_each(|(bucket, segment)| {
+                let Some(segment) = segment else { return };
+                let (bn, bm) = match mode {
+                    TileMode::Fp32 => fp32_cache_block(segment.kernel.alpha()),
+                    TileMode::Fp16 | TileMode::Bf16 | TileMode::Fp8 => {
+                        fp16_cache_block(segment.kernel.alpha())
+                    }
+                };
+                let t = transforms.transform(segment.kernel);
+                // Parallelise over output-channel tiles inside the segment:
+                // each tile owns a contiguous bucket slice.
+                let oc_tile_elems = bn * conv.fh * conv.fw * conv.ic;
+                bucket
+                    .par_chunks_mut(oc_tile_elems)
+                    .enumerate()
+                    .for_each(|(tile_idx, slice)| {
+                        let oc0 = tile_idx * bn;
+                        let bn_cur = bn.min(conv.oc - oc0);
+                        run_block_column(
+                            conv, segment, t, x, dy, mode, oc0, bn_cur, bm, slice,
+                        );
+                    });
+            });
+    }
+}
+
+/// Process every `(ic-tile, filter-tile)` block of one `oc` tile of one
+/// segment. `slice` is the bucket region for channels `oc0..oc0+bn_cur`,
+/// laid out `(bn_cur, F_H, F_W, I_C)`.
+#[allow(clippy::too_many_arguments)]
+fn run_block_column<T: Scalar>(
+    conv: &ConvShape,
+    seg: &Segment,
+    t: &TransformReal,
+    x: &Tensor4<T>,
+    dy: &Tensor4<T>,
+    mode: TileMode,
+    oc0: usize,
+    bn_cur: usize,
+    bm: usize,
+    slice: &mut [T],
+) {
+    let alpha = t.alpha;
+    let (n_out, r) = (t.n, t.r);
+    debug_assert_eq!(seg.kernel.r, r);
+    let fw_tiles = conv.fw / n_out;
+
+    // Hoisted scratch buffers (the "SMEM" of a block).
+    let mut ghat = vec![0.0f32; alpha * bn_cur];
+    let mut dhat = vec![0.0f32; alpha * bm];
+    let mut acc = vec![0.0f32; alpha * bn_cur * bm];
+
+    let mut ic0 = 0;
+    while ic0 < conv.ic {
+        let bm_cur = bm.min(conv.ic - ic0);
+        for fh in 0..conv.fh {
+            let (i_lo, i_hi) = clip_rows(seg.h0, seg.h1, fh, conv.ph, conv.ih);
+            for ftw in 0..fw_tiles {
+                let fw0 = ftw * n_out;
+                acc[..alpha * bn_cur * bm_cur].fill(0.0);
+
+                for i in i_lo..i_hi {
+                    let x_row = (fh + i) as isize - conv.ph as isize;
+                    for u in 0..seg.units {
+                        let col0 = seg.w0 + u * r;
+                        let x_col0 = (fw0 + col0) as isize - conv.pw as isize;
+                        for b in 0..conv.n {
+                            // Filter transform: ghat[β][oc] = Σ_t G[β][t]·∇Y.
+                            load_filter_tile(
+                                dy, t, b, i, col0, oc0, bn_cur, mode, &mut ghat,
+                            );
+                            // Input transform: dhat[β][ic] = Σ_s Dᵀ[β][s]·X.
+                            load_input_tile(
+                                x, t, b, x_row, x_col0, ic0, bm_cur, mode, &mut dhat,
+                            );
+                            // α-batched outer-product accumulation.
+                            for beta in 0..alpha {
+                                let g_row = &ghat[beta * bn_cur..(beta + 1) * bn_cur];
+                                let d_row = &dhat[beta * bm_cur..(beta + 1) * bm_cur];
+                                let a_row =
+                                    &mut acc[beta * bn_cur * bm_cur..(beta + 1) * bn_cur * bm_cur];
+                                for (oi, &gv) in g_row.iter().enumerate() {
+                                    let dst = &mut a_row[oi * bm_cur..(oi + 1) * bm_cur];
+                                    for (ii, &dv) in d_row.iter().enumerate() {
+                                        dst[ii] += gv * dv;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Output transform Aᵀ and bucket accumulation (the
+                // residual pass adds onto the bulk pass's bucket).
+                for oi in 0..bn_cur {
+                    for ii in 0..bm_cur {
+                        for d in 0..n_out {
+                            let mut y = 0.0f32;
+                            for beta in 0..alpha {
+                                y += t.at_f32[d * alpha + beta]
+                                    * acc[(beta * bn_cur + oi) * bm_cur + ii];
+                            }
+                            let fw = fw0 + d;
+                            let dst =
+                                ((oi * conv.fh + fh) * conv.fw + fw) * conv.ic + ic0 + ii;
+                            slice[dst] += T::from_f32(y);
+                        }
+                    }
+                }
+            }
+        }
+        ic0 += bm_cur;
+    }
+}
+
+/// Load one filter tile (`r` ∇Y columns × `bn_cur` output channels) and
+/// apply `G`. Phantom columns (width padding from the pair fallback) read
+/// zero through the padded accessor.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn load_filter_tile<T: Scalar>(
+    dy: &Tensor4<T>,
+    t: &TransformReal,
+    b: usize,
+    i: usize,
+    col0: usize,
+    oc0: usize,
+    bn_cur: usize,
+    mode: TileMode,
+    ghat: &mut [f32],
+) {
+    let (alpha, r) = (t.alpha, t.r);
+    ghat[..alpha * bn_cur].fill(0.0);
+    for tt in 0..r {
+        // One padded-row read per (t): channels are contiguous.
+        let col = (col0 + tt) as isize;
+        for oc_i in 0..bn_cur {
+            let v = dy.get_padded(b, i as isize, col, oc0 + oc_i).to_f32();
+            if v != 0.0 {
+                for beta in 0..alpha {
+                    ghat[beta * bn_cur + oc_i] += t.g_f32[beta * r + tt] * v;
+                }
+            }
+        }
+    }
+    match mode {
+        TileMode::Fp16 => {
+            for g in ghat[..alpha * bn_cur].iter_mut() {
+                *g = f16::from_f32(*g).to_f32();
+            }
+        }
+        TileMode::Bf16 => {
+            for g in ghat[..alpha * bn_cur].iter_mut() {
+                *g = bf16::from_f32(*g).to_f32();
+            }
+        }
+        TileMode::Fp8 => {
+            for g in ghat[..alpha * bn_cur].iter_mut() {
+                *g = e4m3::from_f32(*g).to_f32();
+            }
+        }
+        TileMode::Fp32 => {}
+    }
+}
+
+/// Load one input tile (`α` X columns × `bm_cur` input channels) and apply
+/// `Dᵀ`. Out-of-range rows/columns read zero (width padding, Figure 7's
+/// clipping already removed out-of-range rows).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn load_input_tile<T: Scalar>(
+    x: &Tensor4<T>,
+    t: &TransformReal,
+    b: usize,
+    x_row: isize,
+    x_col0: isize,
+    ic0: usize,
+    bm_cur: usize,
+    mode: TileMode,
+    dhat: &mut [f32],
+) {
+    let alpha = t.alpha;
+    dhat[..alpha * bm_cur].fill(0.0);
+    for s in 0..alpha {
+        let col = x_col0 + s as isize;
+        for ic_i in 0..bm_cur {
+            let v = x.get_padded(b, x_row, col, ic0 + ic_i).to_f32();
+            if v != 0.0 {
+                for beta in 0..alpha {
+                    dhat[beta * bm_cur + ic_i] += t.dt_f32[beta * alpha + s] * v;
+                }
+            }
+        }
+    }
+    match mode {
+        TileMode::Fp16 => {
+            for d in dhat[..alpha * bm_cur].iter_mut() {
+                *d = f16::from_f32(*d).to_f32();
+            }
+        }
+        TileMode::Bf16 => {
+            for d in dhat[..alpha * bm_cur].iter_mut() {
+                *d = bf16::from_f32(*d).to_f32();
+            }
+        }
+        TileMode::Fp8 => {
+            for d in dhat[..alpha * bm_cur].iter_mut() {
+                *d = e4m3::from_f32(*d).to_f32();
+            }
+        }
+        TileMode::Fp32 => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::pair::select_pair;
+    use crate::config::segment_shape::calculate;
+    use crate::config::Precision;
+    use crate::reduce::reduce_buckets;
+    use std::collections::HashMap;
+    use winrs_conv::direct::bfc_direct;
+    use winrs_tensor::mare;
+    use winrs_winograd::cook_toom::Transform;
+
+    struct Plain(HashMap<(usize, usize), TransformReal>);
+    impl TransformSource for Plain {
+        fn transform(&self, k: KernelId) -> &TransformReal {
+            &self.0[&(k.n, k.r)]
+        }
+    }
+
+    fn run_f32(conv: &ConvShape, z_hat: usize) -> f64 {
+        let pair = select_pair(conv.fw, conv.ow(), Precision::Fp32);
+        let seg_shape = calculate(z_hat, conv.oh(), conv.ow(), pair.bulk.r, conv.ph);
+        let partition = Partition::build(conv, &pair, seg_shape);
+        let mut map = HashMap::new();
+        for k in [Some(pair.bulk), pair.residual].into_iter().flatten() {
+            map.entry((k.n, k.r))
+                .or_insert_with(|| Transform::generate(k.n, k.r).to_real());
+        }
+        let src = Plain(map);
+
+        let x64 = Tensor4::<f64>::random_uniform([conv.n, conv.ih, conv.iw, conv.ic], 71, 1.0);
+        let dy64 =
+            Tensor4::<f64>::random_uniform([conv.n, conv.oh(), conv.ow(), conv.oc], 72, 1.0);
+        let exact = bfc_direct(conv, &x64, &dy64);
+        let x = x64.cast::<f32>();
+        let dy = dy64.cast::<f32>();
+
+        let mut buckets = vec![0.0f32; partition.z() * conv.dw_elems()];
+        execute_segments(conv, &partition, &src, &x, &dy, TileMode::Fp32, &mut buckets);
+        let mut dw = Tensor4::<f32>::zeros([conv.oc, conv.fh, conv.fw, conv.ic]);
+        reduce_buckets(&buckets, partition.z(), &mut dw);
+        mare(&dw, &exact)
+    }
+
+    #[test]
+    fn fused_engine_matches_direct_fw3() {
+        let conv = ConvShape::new(2, 16, 16, 4, 6, 3, 3, 1, 1);
+        let m = run_f32(&conv, 4);
+        assert!(m < 1e-5, "MARE {m}");
+    }
+
+    #[test]
+    fn fused_engine_matches_direct_single_segment() {
+        let conv = ConvShape::new(1, 12, 12, 3, 3, 3, 3, 1, 1);
+        let m = run_f32(&conv, 1);
+        assert!(m < 1e-5, "MARE {m}");
+    }
+
+    #[test]
+    fn fused_engine_matches_direct_many_segments() {
+        let conv = ConvShape::new(2, 24, 24, 2, 2, 3, 3, 1, 1);
+        let m = run_f32(&conv, 16);
+        assert!(m < 1e-5, "MARE {m}");
+    }
+
+    #[test]
+    fn fused_engine_handles_even_filters() {
+        let conv = ConvShape::new(1, 14, 14, 2, 2, 4, 4, 2, 2);
+        let m = run_f32(&conv, 4);
+        assert!(m < 1e-5, "MARE {m}");
+    }
+
+    #[test]
+    fn fused_engine_handles_large_filters() {
+        let conv = ConvShape::new(1, 18, 18, 2, 2, 9, 9, 4, 4);
+        let m = run_f32(&conv, 2);
+        assert!(m < 1e-4, "MARE {m}");
+    }
+
+    #[test]
+    fn fused_engine_handles_phantom_padding() {
+        // F_W = 5, odd O_W: pair selection pads the row with a phantom
+        // column; results must still be exact.
+        let conv = ConvShape::new(1, 11, 11, 2, 2, 5, 5, 2, 2);
+        assert_eq!(conv.ow() % 2, 1);
+        let m = run_f32(&conv, 2);
+        assert!(m < 1e-5, "MARE {m}");
+    }
+
+    #[test]
+    fn fused_engine_no_padding_case() {
+        let conv = ConvShape::new(2, 13, 17, 3, 2, 2, 2, 0, 0);
+        let m = run_f32(&conv, 3);
+        assert!(m < 1e-5, "MARE {m}");
+    }
+}

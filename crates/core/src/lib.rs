@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+//! WinRS: fast, memory-efficient, flexible Winograd backward-filter
+//! convolution — the primary contribution of the reproduced paper.
+//!
+//! # Algorithm (paper §3)
+//!
+//! Given input feature maps `X` and output gradients `∇Y`, WinRS computes
+//! the filter gradients `∇W` through a three-phase pipeline:
+//!
+//! 1. **Partitioning** — `∇Y` is split into `Z` segments. Segment widths
+//!    are multiples of the selected kernels' unit widths `r₀`/`r₁`, so each
+//!    segment maps exactly onto one fused kernel. A workspace of
+//!    `(Z−1) × |∇W|` is allocated and logically concatenated with `∇W`
+//!    into `Z` buckets.
+//! 2. **Kernel execution** — each segment's block group runs a fully fused
+//!    `Ω_α(n, r)` kernel: *dimension reduction* (treat each ∇Y row as a 1D
+//!    filter), *filter split* (cut rows into width-`r` units), 1D Winograd
+//!    convolution `F(n, r)` against the matching region of `X`, and
+//!    accumulation of all unit contributions into the segment's bucket —
+//!    entirely in on-chip memory, with only the output transform after the
+//!    main loop.
+//! 3. **Reduction** — the `Z` buckets are summed (FP32 Kahan) into `∇W`.
+//!
+//! # Configuration adaptation (paper §4)
+//!
+//! Before execution WinRS picks the fastest kernel pair (§4.1, criterion:
+//! `n | F_W`, `k₀r₀ + k₁r₁ = O_W`, maximal weighted throughput), estimates
+//! the baseline segment count `Ẑ` (Algorithm 1), and derives the segment
+//! shape `Ŝ_H × Ŝ_W` (Algorithm 2).
+//!
+//! # Entry point
+//!
+//! ```
+//! use winrs_core::{Precision, WinRsPlan};
+//! use winrs_conv::ConvShape;
+//! use winrs_gpu_sim::RTX_4090;
+//! use winrs_tensor::Tensor4;
+//!
+//! let shape = ConvShape::square(2, 16, 8, 8, 3);
+//! let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+//! let x = Tensor4::<f32>::random_uniform([2, 16, 16, 8], 1, 1.0);
+//! let dy = Tensor4::<f32>::random_uniform([2, 16, 16, 8], 2, 1.0);
+//! let dw = plan.execute_f32(&x, &dy);
+//! assert_eq!(dw.dims(), [8, 3, 3, 8]);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod engine;
+pub mod forward;
+pub mod ndim;
+pub mod partition;
+pub mod plan;
+pub mod reduce;
+
+pub use config::pair::KernelPair;
+pub use config::Precision;
+pub use partition::{Partition, Segment};
+pub use cache::PlanCache;
+pub use plan::WinRsPlan;

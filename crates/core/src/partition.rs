@@ -1,0 +1,218 @@
+//! ∇Y partitioning (paper §3 phase 1, Figure 3).
+//!
+//! The partition turns the abstract `(Ẑ, Ŝ_H, Ŝ_W)` configuration into a
+//! concrete list of segments. Each row band contributes a run of *bulk*
+//! segments (width a multiple of `r₀`, executed by `Ω_{α₀}(n₀, r₀)`) and at
+//! most one *residual* segment (width `k₁·r₁`, executed by
+//! `Ω_{α₁}(n₁, r₁)`), mirroring Figure 3 where a 16-column ∇Y splits into
+//! 12-column `F(3,6)` segments and 4-column `F(3,2)` segments.
+
+use crate::config::pair::KernelPair;
+use crate::config::segment_shape::SegmentShape;
+use winrs_conv::ConvShape;
+use winrs_winograd::kernels::KernelId;
+
+/// One ∇Y segment and the kernel that processes it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// First ∇Y row (inclusive).
+    pub h0: usize,
+    /// Last ∇Y row (exclusive).
+    pub h1: usize,
+    /// First ∇Y column.
+    pub w0: usize,
+    /// Number of width-`r` units in this segment.
+    pub units: usize,
+    /// The kernel `Ω_α(n, r)` assigned to this segment.
+    pub kernel: KernelId,
+    /// The `∇Ŵ` bucket this segment accumulates into. Bulk segments own
+    /// distinct buckets; each band's residual segment shares the bucket of
+    /// the band's first bulk segment (the residual kernel is a second,
+    /// serialised launch, as on the GPU), so residuals never inflate the
+    /// workspace.
+    pub bucket: usize,
+    /// Launch pass: 0 = bulk kernel `Ω_{α₀}`, 1 = residual kernel
+    /// `Ω_{α₁}`. Passes execute sequentially; segments within a pass have
+    /// distinct buckets and run in parallel.
+    pub pass: u8,
+}
+
+impl Segment {
+    /// Row count `S_H(z)`.
+    pub fn height(&self) -> usize {
+        self.h1 - self.h0
+    }
+
+    /// Column count `S_W(z) = units · r`.
+    pub fn width(&self) -> usize {
+        self.units * self.kernel.r
+    }
+}
+
+/// The complete partition of one ∇Y tensor.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// All segments (bulk pass first, then residuals).
+    pub segments: Vec<Segment>,
+    /// Number of `∇Ŵ` buckets — the paper's segment count `Z` that sizes
+    /// the workspace `(Z−1)·|∇W|`.
+    pub num_buckets: usize,
+    /// The expected shape Algorithm 2 produced.
+    pub shape: SegmentShape,
+}
+
+impl Partition {
+    /// Final bucket count `Z` (sizes the workspace and the reduction).
+    pub fn z(&self) -> usize {
+        self.num_buckets
+    }
+
+    /// Build the partition for a shape, kernel pair and expected segment
+    /// geometry.
+    pub fn build(conv: &ConvShape, pair: &KernelPair, seg_shape: SegmentShape) -> Partition {
+        let (oh, _ow) = (conv.oh(), conv.ow());
+        let r0 = pair.bulk.r;
+        let sh = seg_shape.sh.clamp(1, oh);
+        let units_per_bulk_segment = (seg_shape.sw / r0).max(1);
+
+        // Row bands: ⌊O_H/Ŝ_H⌋ bands, the last absorbs the remainder
+        // (Algorithm 2's Z = ⌊O_H/Ŝ_H⌋ · …).
+        let bands = (oh / sh).max(1);
+        let mut segments = Vec::new();
+        let mut bucket = 0;
+        for band in 0..bands {
+            let h0 = band * sh;
+            let h1 = if band + 1 == bands { oh } else { (band + 1) * sh };
+            let band_first_bucket = bucket;
+
+            // Bulk region: k₀ units of width r₀, grouped Ŝ_W/r₀ at a time.
+            let mut unit = 0;
+            while unit < pair.bulk_units {
+                let take = units_per_bulk_segment.min(pair.bulk_units - unit);
+                segments.push(Segment {
+                    h0,
+                    h1,
+                    w0: unit * r0,
+                    units: take,
+                    kernel: pair.bulk,
+                    bucket,
+                    pass: 0,
+                });
+                bucket += 1;
+                unit += take;
+            }
+            // Residual region: one segment of k₁ units of width r₁,
+            // accumulating into the band's first bucket in a second pass.
+            if let (Some(res), true) = (pair.residual, pair.residual_units > 0) {
+                segments.push(Segment {
+                    h0,
+                    h1,
+                    w0: pair.bulk_units * r0,
+                    units: pair.residual_units,
+                    kernel: res,
+                    bucket: band_first_bucket,
+                    pass: 1,
+                });
+            }
+        }
+        Partition {
+            segments,
+            num_buckets: bucket.max(1),
+            shape: seg_shape,
+        }
+    }
+
+    /// Verify the segments tile `O_H × (O_W + pad)` exactly: used by tests
+    /// and debug assertions.
+    pub fn covers_exactly(&self, oh: usize, padded_ow: usize) -> bool {
+        let mut covered = vec![false; oh * padded_ow];
+        for s in &self.segments {
+            for i in s.h0..s.h1 {
+                for j in s.w0..s.w0 + s.width() {
+                    if j >= padded_ow || covered[i * padded_ow + j] {
+                        return false;
+                    }
+                    covered[i * padded_ow + j] = true;
+                }
+            }
+        }
+        covered.iter().all(|&c| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::pair::select_pair;
+    use crate::config::segment_shape::calculate;
+    use crate::config::Precision;
+
+    fn build_for(conv: &ConvShape, z_hat: usize) -> (Partition, KernelPair) {
+        let pair = select_pair(conv.fw, conv.ow(), Precision::Fp32);
+        let shape = calculate(z_hat, conv.oh(), conv.ow(), pair.bulk.r, conv.ph);
+        (Partition::build(conv, &pair, shape), pair)
+    }
+
+    #[test]
+    fn figure3_like_partition() {
+        // F_W = 3, O_W = O_H = 16, Ẑ = 9: three row bands × (bulk + residual)
+        // segments with widths 12 and 4, matching Figure 3.
+        let conv = ConvShape::new(1, 16, 16, 8, 8, 3, 3, 1, 1);
+        let (p, pair) = build_for(&conv, 9);
+        assert_eq!(pair.bulk.r, 6);
+        let widths: Vec<usize> = p.segments.iter().map(Segment::width).collect();
+        assert!(widths.iter().all(|&w| w == 12 || w == 4 || w == 6));
+        assert!(p.covers_exactly(16, 16 + pair.padded_cols));
+    }
+
+    #[test]
+    fn partition_covers_exactly_for_many_shapes() {
+        for &(res, f, z) in &[
+            (224usize, 3usize, 48usize),
+            (56, 5, 8),
+            (32, 4, 16),
+            (17, 2, 5),
+            (100, 7, 12),
+            (9, 9, 3),
+        ] {
+            let conv = ConvShape::square(2, res, 16, 16, f);
+            let (p, pair) = build_for(&conv, z);
+            assert!(
+                p.covers_exactly(conv.oh(), conv.ow() + pair.padded_cols),
+                "res={res} f={f} z={z}: {:?}",
+                p.shape
+            );
+        }
+    }
+
+    #[test]
+    fn z1_yields_single_segment() {
+        let conv = ConvShape::square(1, 24, 8, 8, 3);
+        let (p, _) = build_for(&conv, 1);
+        // One band; the bulk region is one segment; a residual may follow.
+        assert!(p.z() <= 2, "z = {}", p.z());
+    }
+
+    #[test]
+    fn segment_widths_are_unit_multiples() {
+        let conv = ConvShape::square(2, 112, 32, 32, 3);
+        let (p, _) = build_for(&conv, 16);
+        for s in &p.segments {
+            assert_eq!(s.width() % s.kernel.r, 0);
+            assert!(s.height() >= 1);
+        }
+    }
+
+    #[test]
+    fn all_rows_same_band_structure() {
+        let conv = ConvShape::square(1, 64, 16, 16, 3);
+        let (p, _) = build_for(&conv, 8);
+        // Within a band, segments share h0/h1.
+        let mut by_band = std::collections::BTreeMap::<(usize, usize), usize>::new();
+        for s in &p.segments {
+            *by_band.entry((s.h0, s.h1)).or_insert(0) += 1;
+        }
+        let counts: Vec<usize> = by_band.values().copied().collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+}

@@ -1,0 +1,684 @@
+//! The public WinRS API: plan construction, execution, and cost reporting.
+
+use crate::config::pair::{select_pair, KernelPair};
+use crate::config::segment_count::{estimate, SegmentCountPlan};
+use crate::config::segment_shape::calculate;
+use crate::config::Precision;
+use crate::engine::{clip_rows, execute_segments, TileMode, TransformSource};
+use crate::partition::Partition;
+use crate::reduce::reduce_buckets;
+use std::collections::HashMap;
+use winrs_conv::ConvShape;
+use winrs_fp16::f16;
+use winrs_gpu_sim::{
+    estimate_pipeline_time, DeviceSpec, KernelProfile, Precision as SimPrecision,
+};
+use winrs_tensor::Tensor4;
+use winrs_winograd::cook_toom::TransformReal;
+use winrs_winograd::kernels::KernelId;
+
+/// Materialised transforms for the plan's kernels (shared through the
+/// process-wide registry, so repeated plan construction re-derives
+/// nothing).
+struct TransformSet {
+    map: HashMap<(usize, usize), std::sync::Arc<TransformReal>>,
+}
+
+impl TransformSource for TransformSet {
+    fn transform(&self, k: KernelId) -> &TransformReal {
+        &self.map[&(k.n, k.r)]
+    }
+}
+
+/// A fully configured WinRS execution plan for one BFC problem.
+///
+/// Construction runs the paper's three configuration steps (§4): fastest
+/// kernel pair, Algorithm 1 (segment count), Algorithm 2 (segment shape),
+/// then materialises the partition and transform matrices. The plan is
+/// immutable and reusable across executions of the same shape — exactly how
+/// a cuDNN-style `plan / execute` API would be used inside a training loop.
+pub struct WinRsPlan {
+    conv: ConvShape,
+    precision: Precision,
+    device: DeviceSpec,
+    pair: KernelPair,
+    count: SegmentCountPlan,
+    partition: Partition,
+    transforms: TransformSet,
+}
+
+impl WinRsPlan {
+    /// Configure WinRS for `conv` on `device` at `precision`.
+    pub fn new(conv: &ConvShape, device: &DeviceSpec, precision: Precision) -> WinRsPlan {
+        Self::build(conv, device, precision, None)
+    }
+
+    /// Configure with a caller-forced baseline segment count `Ẑ`,
+    /// bypassing Algorithm 1 (used by the Z-sweep ablation).
+    pub fn with_z_hat(
+        conv: &ConvShape,
+        device: &DeviceSpec,
+        precision: Precision,
+        z_hat: usize,
+    ) -> WinRsPlan {
+        Self::build(conv, device, precision, Some(z_hat))
+    }
+
+    /// Configure under a hard workspace budget (the cuDNN
+    /// `get_workspace_size` contract inverted): runs the normal adaptive
+    /// configuration, then shrinks the segment count until
+    /// `(Z − 1) · |∇W|` fits `max_workspace_bytes`. `Z = 1` always fits
+    /// (zero workspace), so this never fails.
+    pub fn with_workspace_limit(
+        conv: &ConvShape,
+        device: &DeviceSpec,
+        precision: Precision,
+        max_workspace_bytes: usize,
+    ) -> WinRsPlan {
+        let plan = Self::build(conv, device, precision, None);
+        if plan.workspace_bytes() <= max_workspace_bytes {
+            return plan;
+        }
+        let elem = plan.elem_bytes();
+        let max_z = 1 + max_workspace_bytes / (conv.dw_elems() * elem);
+        let mut z = max_z;
+        loop {
+            let cand = Self::build(conv, device, precision, Some(z));
+            if cand.workspace_bytes() <= max_workspace_bytes {
+                return cand;
+            }
+            // The partition may round Ẑ up (bands × strips); back off.
+            z = z.saturating_sub(1).max(1);
+            if z == 1 {
+                return Self::build(conv, device, precision, Some(1));
+            }
+        }
+    }
+
+    /// Configure by *searching* over segment counts with the cost model
+    /// instead of trusting Algorithm 1's closed form: builds candidate
+    /// plans at Ẑ ∈ {1, 2, 4, …, Z_max} plus Algorithm 1's own choice and
+    /// keeps the one with the lowest modelled time. More expensive to
+    /// construct (one cost evaluation per candidate — still microseconds)
+    /// but never worse than `new` under the model; useful when a layer
+    /// shape sits far from the calibration sweep.
+    pub fn autotuned(conv: &ConvShape, device: &DeviceSpec, precision: Precision) -> WinRsPlan {
+        let auto = Self::build(conv, device, precision, None);
+        let z_max = auto.count.z_max;
+        let mut best = auto;
+        let mut z = 1usize;
+        while z <= z_max {
+            let cand = Self::build(conv, device, precision, Some(z));
+            if cand.estimated_time() < best.estimated_time() {
+                best = cand;
+            }
+            z *= 2;
+        }
+        best
+    }
+
+    fn build(
+        conv: &ConvShape,
+        device: &DeviceSpec,
+        precision: Precision,
+        force_z: Option<usize>,
+    ) -> WinRsPlan {
+        let pair = select_pair(conv.fw, conv.ow(), precision);
+        let mut count = estimate(conv, &pair, device, precision);
+        if let Some(z) = force_z {
+            count.z_hat = z.max(1);
+        }
+        let seg_shape = calculate(count.z_hat, conv.oh(), conv.ow(), pair.bulk.r, conv.ph);
+        let partition = Partition::build(conv, &pair, seg_shape);
+
+        let mut map = HashMap::new();
+        for k in [Some(pair.bulk), pair.residual].into_iter().flatten() {
+            map.entry((k.n, k.r)).or_insert_with(|| {
+                // FP16 α = 16 kernels need the scaling matrices (§5.2
+                // Eq. 7) to fit binary16's dynamic range; everywhere else
+                // the plain transform is used.
+                if precision == Precision::Fp16 && k.alpha() == 16 {
+                    winrs_winograd::registry::scaled_transform(k.n, k.r)
+                } else {
+                    winrs_winograd::registry::transform(k.n, k.r)
+                }
+            });
+        }
+
+        WinRsPlan {
+            conv: *conv,
+            precision,
+            device: *device,
+            pair,
+            count,
+            partition,
+            transforms: TransformSet { map },
+        }
+    }
+
+    /// The problem shape this plan was built for.
+    pub fn shape(&self) -> &ConvShape {
+        &self.conv
+    }
+
+    /// The selected kernel pair.
+    pub fn pair(&self) -> &KernelPair {
+        &self.pair
+    }
+
+    /// Final segment count `Z`.
+    pub fn z(&self) -> usize {
+        self.partition.z()
+    }
+
+    /// The Algorithm 1 intermediate quantities (for reporting).
+    pub fn segment_count_plan(&self) -> &SegmentCountPlan {
+        &self.count
+    }
+
+    /// The concrete ∇Y partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Element size of the execution precision in bytes.
+    pub fn elem_bytes(&self) -> usize {
+        match self.precision {
+            Precision::Fp32 => 4,
+            Precision::Fp16 | Precision::Bf16 => 2,
+        }
+    }
+
+    /// Workspace in bytes: `(Z − 1) × |∇W|` (paper §3 phase 1). Zero when a
+    /// single segment suffices.
+    pub fn workspace_bytes(&self) -> usize {
+        (self.z() - 1) * self.conv.dw_elems() * self.elem_bytes()
+    }
+
+    /// Execute in FP32.
+    pub fn execute_f32(&self, x: &Tensor4<f32>, dy: &Tensor4<f32>) -> Tensor4<f32> {
+        assert_eq!(self.precision, Precision::Fp32, "plan built for FP16");
+        let mut buckets = vec![0.0f32; self.z() * self.conv.dw_elems()];
+        execute_segments(
+            &self.conv,
+            &self.partition,
+            &self.transforms,
+            x,
+            dy,
+            TileMode::Fp32,
+            &mut buckets,
+        );
+        let mut dw =
+            Tensor4::<f32>::zeros([self.conv.oc, self.conv.fh, self.conv.fw, self.conv.ic]);
+        reduce_buckets(&buckets, self.z(), &mut dw);
+        dw
+    }
+
+    /// Execute in FP16 (mixed-precision transforms, FP32 accumulation,
+    /// FP32 Kahan reduction).
+    pub fn execute_f16(&self, x: &Tensor4<f16>, dy: &Tensor4<f16>) -> Tensor4<f16> {
+        assert_eq!(self.precision, Precision::Fp16, "plan built for FP32");
+        let mut buckets = vec![f16::ZERO; self.z() * self.conv.dw_elems()];
+        execute_segments(
+            &self.conv,
+            &self.partition,
+            &self.transforms,
+            x,
+            dy,
+            TileMode::Fp16,
+            &mut buckets,
+        );
+        let mut dw =
+            Tensor4::<f16>::zeros([self.conv.oc, self.conv.fh, self.conv.fw, self.conv.ic]);
+        reduce_buckets(&buckets, self.z(), &mut dw);
+        dw
+    }
+
+    /// Execute in BF16 (the conclusion's porting target): bfloat16 tiles,
+    /// FP32 accumulation, FP32 Kahan reduction. No scaling matrices — the
+    /// bfloat16 exponent range matches f32.
+    pub fn execute_bf16(
+        &self,
+        x: &Tensor4<winrs_fp16::bf16>,
+        dy: &Tensor4<winrs_fp16::bf16>,
+    ) -> Tensor4<winrs_fp16::bf16> {
+        assert_eq!(self.precision, Precision::Bf16, "plan not built for BF16");
+        let mut buckets =
+            vec![winrs_fp16::bf16::ZERO; self.z() * self.conv.dw_elems()];
+        execute_segments(
+            &self.conv,
+            &self.partition,
+            &self.transforms,
+            x,
+            dy,
+            TileMode::Bf16,
+            &mut buckets,
+        );
+        let mut dw = Tensor4::<winrs_fp16::bf16>::zeros([
+            self.conv.oc,
+            self.conv.fh,
+            self.conv.fw,
+            self.conv.ic,
+        ]);
+        reduce_buckets(&buckets, self.z(), &mut dw);
+        dw
+    }
+
+    /// Execute with FP8 (E4M3) tile quantisation — the conclusion's final
+    /// porting target, in the usual FP8-training recipe: higher-precision
+    /// I/O (f32 here, standing in for the BF16 master copies), transformed
+    /// tiles rounded to E4M3 for the Tensor-Core EWM, FP32 accumulation.
+    /// The plan must be FP16-class (it reuses the ported kernel set and,
+    /// for α = 16, the scaling matrices that keep tiles inside E4M3's
+    /// ±448 range).
+    pub fn execute_fp8(&self, x: &Tensor4<f32>, dy: &Tensor4<f32>) -> Tensor4<f32> {
+        assert_eq!(
+            self.precision,
+            Precision::Fp16,
+            "build the plan with Precision::Fp16 for the FP8 path"
+        );
+        let mut buckets = vec![0.0f32; self.z() * self.conv.dw_elems()];
+        execute_segments(
+            &self.conv,
+            &self.partition,
+            &self.transforms,
+            x,
+            dy,
+            TileMode::Fp8,
+            &mut buckets,
+        );
+        let mut dw =
+            Tensor4::<f32>::zeros([self.conv.oc, self.conv.fh, self.conv.fw, self.conv.ic]);
+        reduce_buckets(&buckets, self.z(), &mut dw);
+        dw
+    }
+
+    /// EWM multiply–accumulate count actually executed (after Winograd
+    /// reduction, height clipping, and boundary/phantom redundancy).
+    pub fn ewm_macs(&self) -> u64 {
+        let mut macs = 0u64;
+        for seg in &self.partition.segments {
+            let alpha = seg.kernel.alpha() as u64;
+            let fw_tiles = (self.conv.fw / seg.kernel.n) as u64;
+            let mut row_iters = 0u64;
+            for fh in 0..self.conv.fh {
+                let (lo, hi) = clip_rows(seg.h0, seg.h1, fh, self.conv.ph, self.conv.ih);
+                row_iters += (hi - lo) as u64;
+            }
+            macs += row_iters
+                * seg.units as u64
+                * self.conv.n as u64
+                * alpha
+                * fw_tiles
+                * self.conv.oc as u64
+                * self.conv.ic as u64;
+        }
+        macs
+    }
+
+    /// Total executed FLOPs: EWM plus on-the-fly transforms plus the
+    /// bucket reduction.
+    pub fn flops(&self) -> u64 {
+        let mut transform = 0u64;
+        for seg in &self.partition.segments {
+            let k = seg.kernel;
+            let (alpha, r) = (k.alpha() as u64, k.r as u64);
+            let fw_tiles = (self.conv.fw / k.n) as u64;
+            let mut row_iters = 0u64;
+            for fh in 0..self.conv.fh {
+                let (lo, hi) = clip_rows(seg.h0, seg.h1, fh, self.conv.ph, self.conv.ih);
+                row_iters += (hi - lo) as u64;
+            }
+            let positions = row_iters * seg.units as u64 * self.conv.n as u64 * fw_tiles;
+            // FT: α·r per output channel; IT: α·α per input channel; both
+            // per position and per channel tile revisit — the fused kernel
+            // re-transforms per (oc-tile × ic-tile) pass like the GPU
+            // kernel does per block.
+            transform += positions * (alpha * r * self.conv.oc as u64)
+                + positions * (alpha * alpha * self.conv.ic as u64);
+        }
+        let ot = (self.conv.dw_elems() * self.z()) as u64
+            * (self.pair.bulk.alpha() as u64);
+        let reduction = (self.conv.dw_elems() * self.z()) as u64;
+        2 * self.ewm_macs() + 2 * transform + 2 * ot + reduction
+    }
+
+    /// Time-complexity reduction over direct convolution (the paper claims
+    /// 1.5×–4.5× from the kernel inventory, diluted by transforms and
+    /// boundary work).
+    pub fn flop_reduction(&self) -> f64 {
+        self.conv.bfc_flops() as f64 / (2 * self.ewm_macs()) as f64
+    }
+
+    /// Per-launch cost profiles for the GPU model: one fused launch per
+    /// kernel type plus the reduction kernel.
+    pub fn kernel_profiles(&self) -> Vec<KernelProfile> {
+        let sim_prec = match self.precision {
+            Precision::Fp32 => SimPrecision::Fp32,
+            // The GPU model's Tensor-Core peak covers both 16-bit formats.
+            Precision::Fp16 | Precision::Bf16 => SimPrecision::Fp16,
+        };
+        let eb = self.elem_bytes() as u64;
+        let dw_bytes = self.conv.dw_elems() as u64 * eb;
+
+        // Group segments by kernel.
+        let mut groups: HashMap<(usize, usize), (u64, usize)> = HashMap::new();
+        for seg in &self.partition.segments {
+            let k = seg.kernel;
+            let (bn, bm) = match self.precision {
+                Precision::Fp32 => winrs_winograd::kernels::fp32_cache_block(k.alpha()),
+                Precision::Fp16 | Precision::Bf16 => {
+                    winrs_winograd::kernels::fp16_cache_block(k.alpha())
+                }
+            };
+            let blocks = self.conv.oc.div_ceil(bn)
+                * self.conv.ic.div_ceil(bm)
+                * self.conv.fh
+                * (self.conv.fw / k.n);
+            let alpha = k.alpha() as u64;
+            let fw_tiles = (self.conv.fw / k.n) as u64;
+            let mut row_iters = 0u64;
+            for fh in 0..self.conv.fh {
+                let (lo, hi) = clip_rows(seg.h0, seg.h1, fh, self.conv.ph, self.conv.ih);
+                row_iters += (hi - lo) as u64;
+            }
+            let macs = row_iters
+                * seg.units as u64
+                * self.conv.n as u64
+                * alpha
+                * fw_tiles
+                * self.conv.oc as u64
+                * self.conv.ic as u64;
+            let e = groups.entry((k.n, k.r)).or_insert((0, 0));
+            e.0 += 2 * macs;
+            e.1 += blocks;
+        }
+
+        let x_bytes = self.conv.x_elems() as u64 * eb;
+        let dy_bytes = self.conv.dy_elems() as u64 * eb;
+        // The bulk and residual launches are independent until the
+        // reduction, so they execute concurrently (separate streams /
+        // back-to-back waves); model them as one launch whose efficiency is
+        // the FLOP-weighted harmonic mean of the kernels involved.
+        let total_flops: u64 = groups.values().map(|(f, _)| f).sum();
+        let total_blocks: usize = groups.values().map(|(_, b)| b).sum();
+        let weighted_time: f64 = groups
+            .iter()
+            .map(|(&(n, r), &(flops, _))| {
+                flops as f64 / KernelId::pipe_efficiency(KernelId::new(n, r).alpha())
+            })
+            .sum();
+        let eff = if weighted_time > 0.0 {
+            total_flops as f64 / weighted_time
+        } else {
+            1.0
+        };
+        let mut profiles = vec![KernelProfile {
+            flops: total_flops,
+            io_bytes: x_bytes + dy_bytes + dw_bytes,
+            intermediate_bytes: 0,
+            blocks: total_blocks,
+            pipe_efficiency: eff,
+            precision: sim_prec,
+        }];
+        // Reduction kernel: bandwidth-bound pass over Z buckets.
+        if self.z() > 1 {
+            profiles.push(KernelProfile {
+                flops: (self.conv.dw_elems() * self.z()) as u64,
+                io_bytes: dw_bytes,
+                intermediate_bytes: self.z() as u64 * dw_bytes,
+                blocks: self.conv.dw_elems().div_ceil(4096).max(1),
+                pipe_efficiency: 0.9,
+                precision: sim_prec,
+            });
+        }
+        profiles
+    }
+
+    /// Modelled execution time on the plan's device (seconds).
+    pub fn estimated_time(&self) -> f64 {
+        estimate_pipeline_time(&self.kernel_profiles(), &self.device)
+    }
+
+    /// Modelled effective throughput in TFLOPS, using the paper's
+    /// direct-complexity numerator `2·O_C·F_H·F_W·I_C·O_H·O_W·N / t̂`.
+    pub fn estimated_tflops(&self) -> f64 {
+        self.conv.bfc_flops() as f64 / self.estimated_time() / 1e12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winrs_conv::direct::bfc_direct;
+    use winrs_gpu_sim::RTX_4090;
+    use winrs_tensor::mare;
+
+    fn tensors(conv: &ConvShape, dy_scale: f64) -> (Tensor4<f64>, Tensor4<f64>, Tensor4<f64>) {
+        let x = Tensor4::<f64>::random_uniform([conv.n, conv.ih, conv.iw, conv.ic], 81, 1.0);
+        let dy = Tensor4::<f64>::random_uniform(
+            [conv.n, conv.oh(), conv.ow(), conv.oc],
+            82,
+            dy_scale,
+        );
+        let exact = bfc_direct(conv, &x, &dy);
+        (x, dy, exact)
+    }
+
+    #[test]
+    fn fp32_plan_matches_direct() {
+        for &(res, f) in &[(16usize, 3usize), (14, 2), (20, 4), (18, 5), (24, 6)] {
+            let conv = ConvShape::square(2, res, 4, 4, f);
+            let (x, dy, exact) = tensors(&conv, 1.0);
+            let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
+            let dw = plan.execute_f32(&x.cast(), &dy.cast());
+            let m = mare(&dw, &exact);
+            assert!(m < 1e-5, "res={res} f={f}: MARE {m}");
+        }
+    }
+
+    #[test]
+    fn fp16_plan_matches_direct_loosely() {
+        let conv = ConvShape::square(2, 16, 4, 4, 3);
+        let (x, dy, exact) = tensors(&conv, 0.01);
+        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp16);
+        let dw = plan.execute_f16(&x.cast(), &dy.cast());
+        let m = mare(&dw, &exact);
+        // Table 4: FP16 Ω₈ MARE 3.35e-4 … 2.69e-3.
+        assert!(m < 5e-3, "MARE {m}");
+    }
+
+    #[test]
+    fn workspace_limit_is_respected() {
+        let conv = ConvShape::vgg16_conv2(32);
+        let unlimited = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
+        assert!(unlimited.workspace_bytes() > 1 << 20);
+        for &budget in &[0usize, 147_456, 1 << 20, 8 << 20] {
+            let plan = WinRsPlan::with_workspace_limit(&conv, &RTX_4090, Precision::Fp32, budget);
+            assert!(
+                plan.workspace_bytes() <= budget,
+                "budget {budget}: got {}",
+                plan.workspace_bytes()
+            );
+        }
+        // Zero budget still executes correctly (Z = 1).
+        let zero = WinRsPlan::with_workspace_limit(&conv, &RTX_4090, Precision::Fp32, 0);
+        assert_eq!(zero.z(), 1);
+    }
+
+    #[test]
+    fn workspace_limited_execution_is_exact() {
+        let conv = ConvShape::square(2, 16, 4, 4, 3);
+        let (x, dy, exact) = tensors(&conv, 1.0);
+        let plan = WinRsPlan::with_workspace_limit(&conv, &RTX_4090, Precision::Fp32, 600);
+        let dw = plan.execute_f32(&x.cast(), &dy.cast());
+        assert!(mare(&dw, &exact) < 1e-5);
+    }
+
+    #[test]
+    fn fp8_path_is_rough_but_usable() {
+        // E4M3 keeps only 3 mantissa bits: MARE lands around 2^-4..2^-3 —
+        // usable for the FP8-training recipe (master weights stay wide),
+        // and far coarser than FP16's.
+        let conv = ConvShape::square(2, 16, 4, 4, 3);
+        let (x, dy, exact) = tensors(&conv, 0.01);
+        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp16);
+        let dw8 = plan.execute_fp8(&x.cast(), &dy.cast());
+        let m8 = mare(&dw8, &exact);
+        let dw16 = plan.execute_f16(&x.cast(), &dy.cast());
+        let m16 = mare(&dw16, &exact);
+        assert!(m8 < 0.2, "fp8 MARE {m8}");
+        assert!(m8 > 5.0 * m16, "fp8 {m8} should be coarser than fp16 {m16}");
+        assert!(dw8.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn autotuned_never_worse_than_algorithm1() {
+        for &(res, c, f) in &[
+            (224usize, 64usize, 3usize),
+            (56, 256, 5),
+            (28, 512, 3),
+            (17, 96, 2),
+        ] {
+            let conv = ConvShape::square(32, res, c, c, f);
+            let auto = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
+            let tuned = WinRsPlan::autotuned(&conv, &RTX_4090, Precision::Fp32);
+            assert!(
+                tuned.estimated_time() <= auto.estimated_time() * (1.0 + 1e-12),
+                "res={res} c={c} f={f}: tuned {} vs auto {}",
+                tuned.estimated_time(),
+                auto.estimated_time()
+            );
+        }
+    }
+
+    #[test]
+    fn autotuned_executes_correctly() {
+        let conv = ConvShape::square(2, 16, 4, 4, 3);
+        let (x, dy, exact) = tensors(&conv, 1.0);
+        let plan = WinRsPlan::autotuned(&conv, &RTX_4090, Precision::Fp32);
+        let dw = plan.execute_f32(&x.cast(), &dy.cast());
+        assert!(mare(&dw, &exact) < 1e-5);
+    }
+
+    #[test]
+    fn bf16_plan_matches_direct_loosely() {
+        // BF16 has only 8 mantissa bits (ε = 2⁻⁷), so the MARE band is
+        // roughly 2³–2⁴ wider than FP16's — but no scaling matrices are
+        // needed and nothing overflows.
+        let conv = ConvShape::square(2, 16, 4, 4, 3);
+        let (x, dy, exact) = tensors(&conv, 0.01);
+        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Bf16);
+        let dw = plan.execute_bf16(&x.cast(), &dy.cast());
+        let m = mare(&dw, &exact);
+        assert!(m > 1e-5 && m < 5e-2, "MARE {m}");
+    }
+
+    #[test]
+    fn bf16_large_alpha_needs_no_scaling() {
+        // Ω₁₆ kernels overflow binary16 without Eq. 7 scaling; bfloat16's
+        // f32 exponent range handles them unscaled.
+        let conv = ConvShape::square(1, 20, 2, 2, 9); // selects α = 16
+        let (x, dy, exact) = tensors(&conv, 1.0);
+        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Bf16);
+        assert_eq!(plan.pair().bulk.alpha(), 16);
+        let dw = plan.execute_bf16(&x.cast(), &dy.cast());
+        let m = mare(&dw, &exact);
+        assert!(m < 0.1, "MARE {m}");
+        assert!(dw.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn workspace_is_z_minus_1_buckets() {
+        let conv = ConvShape::vgg16_conv2(8);
+        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
+        assert!(plan.z() > 1);
+        assert_eq!(
+            plan.workspace_bytes(),
+            (plan.z() - 1) * conv.dw_elems() * 4
+        );
+    }
+
+    #[test]
+    fn single_segment_means_zero_workspace() {
+        let conv = ConvShape::square(32, 28, 1024, 1024, 3);
+        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
+        assert_eq!(plan.z(), 1);
+        assert_eq!(plan.workspace_bytes(), 0);
+    }
+
+    #[test]
+    fn flop_reduction_within_paper_band() {
+        // §1: WinRS reduces time complexity by 1.5×–4.5×.
+        for &f in &[3usize, 4, 5, 6, 7, 8, 9] {
+            let conv = ConvShape::square(4, 56, 32, 32, f);
+            let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
+            let red = plan.flop_reduction();
+            // Kernel inventory gives 1.5–4.5×; height clipping (Figure 7)
+            // can push the effective reduction slightly above 4.5.
+            assert!(
+                red > 1.2 && red <= 5.0,
+                "f={f}: reduction {red} via {:?}",
+                plan.pair()
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_provide_enough_blocks() {
+        // The whole point of segmentation: the fused launches must fill the
+        // SMs where the unsegmented launch could not.
+        let conv = ConvShape::vgg16_conv2(32);
+        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
+        let blocks: usize = plan
+            .kernel_profiles()
+            .iter()
+            .filter(|p| p.intermediate_bytes == 0)
+            .map(|p| p.blocks)
+            .sum();
+        assert!(
+            blocks >= RTX_4090.n_sm,
+            "only {blocks} blocks from Z = {}",
+            plan.z()
+        );
+    }
+
+    #[test]
+    fn estimated_time_beats_unsegmented_equivalent() {
+        // Compare the plan's modelled time against a hypothetical Z = 1
+        // launch with identical FLOPs: segmentation must win on this
+        // small-channel shape.
+        let conv = ConvShape::vgg16_conv2(32);
+        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
+        let profiles = plan.kernel_profiles();
+        let fused_flops: u64 = profiles
+            .iter()
+            .filter(|p| p.intermediate_bytes == 0)
+            .map(|p| p.flops)
+            .sum();
+        let unsegmented = KernelProfile {
+            flops: fused_flops,
+            io_bytes: profiles[0].io_bytes,
+            intermediate_bytes: 0,
+            blocks: plan.segment_count_plan().b2,
+            pipe_efficiency: profiles[0].pipe_efficiency,
+            precision: winrs_gpu_sim::Precision::Fp32,
+        };
+        let t_seg = plan.estimated_time();
+        let t_unseg = winrs_gpu_sim::estimate_time(&unsegmented, &RTX_4090);
+        assert!(
+            t_seg < t_unseg / 2.0,
+            "segmented {t_seg} vs unsegmented {t_unseg}"
+        );
+    }
+
+    #[test]
+    fn fp16_plan_faster_than_fp32_in_model() {
+        let conv = ConvShape::square(32, 56, 128, 128, 3);
+        let p32 = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
+        let p16 = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp16);
+        let speedup = p32.estimated_time() / p16.estimated_time();
+        // Paper: FP16 Tensor-Core WinRS averages 3.27× its FP32 version.
+        assert!(speedup > 2.0 && speedup < 5.0, "speedup {speedup}");
+    }
+}

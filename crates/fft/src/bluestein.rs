@@ -1,0 +1,128 @@
+//! Bluestein's chirp-z algorithm: DFT of arbitrary length via a
+//! power-of-two convolution.
+
+use crate::radix2::{fft_pow2, ifft_pow2, next_pow2};
+use crate::Complex;
+
+/// DFT of arbitrary length (forward for `inverse = false`), out of place.
+///
+/// Power-of-two lengths dispatch straight to the radix-2 path; other
+/// lengths use Bluestein's identity `k·j = (k² + j² − (k−j)²)/2`, turning
+/// the DFT into a linear convolution of chirp-modulated sequences, which is
+/// evaluated with zero-padded radix-2 FFTs.
+pub fn fft_arbitrary(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut data = input.to_vec();
+        if inverse {
+            ifft_pow2(&mut data);
+        } else {
+            fft_pow2(&mut data, false);
+        }
+        return data;
+    }
+
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp: w_k = e^{sign·iπk²/n}. Index k² mod 2n keeps the argument
+    // accurate for large k.
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            let sq = (k as u128 * k as u128) % (2 * n as u128);
+            Complex::cis(sign * std::f64::consts::PI * sq as f64 / n as f64)
+        })
+        .collect();
+
+    let m = next_pow2(2 * n - 1);
+    let mut a = vec![Complex::ZERO; m];
+    let mut b = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+        b[k] = chirp[k].conj();
+    }
+    // b must be symmetric: b[m−k] = b[k] for the circular convolution to
+    // realise the linear chirp correlation.
+    for k in 1..n {
+        b[m - k] = chirp[k].conj();
+    }
+
+    fft_pow2(&mut a, false);
+    fft_pow2(&mut b, false);
+    for i in 0..m {
+        a[i] *= b[i];
+    }
+    ifft_pow2(&mut a);
+
+    let scale = if inverse { 1.0 / n as f64 } else { 1.0 };
+    (0..n).map(|k| (a[k] * chirp[k]).scale(scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex], inverse: bool) -> Vec<Complex> {
+        let n = x.len();
+        let sign = if inverse { 1.0 } else { -1.0 };
+        let scale = if inverse { 1.0 / n as f64 } else { 1.0 };
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    acc +=
+                        v * Complex::cis(sign * 2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
+                }
+                acc.scale(scale)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn arbitrary_lengths_match_naive() {
+        for &n in &[3usize, 5, 6, 7, 9, 12, 15, 17, 31, 100] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64).sin(), (2.5 * i as f64).cos()))
+                .collect();
+            let got = fft_arbitrary(&x, false);
+            let want = naive_dft(&x, false);
+            for i in 0..n {
+                assert!(
+                    (got[i] - want[i]).abs() < 1e-8,
+                    "n={n} bin {i}: {:?} vs {:?}",
+                    got[i],
+                    want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pow2_dispatch_matches() {
+        let x: Vec<Complex> = (0..16).map(|i| Complex::real(i as f64)).collect();
+        let got = fft_arbitrary(&x, false);
+        let want = naive_dft(&x, false);
+        for i in 0..16 {
+            assert!((got[i] - want[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for &n in &[7usize, 24, 33] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(0.1 * i as f64 - 1.0, 0.05 * i as f64))
+                .collect();
+            let back = fft_arbitrary(&fft_arbitrary(&x, false), true);
+            for i in 0..n {
+                assert!((back[i] - x[i]).abs() < 1e-9, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(fft_arbitrary(&[], false).is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! FFT-based "valid" correlation, 1D and 2D.
+//!
+//! Correlation of an input of length `L` with a filter of length `R` is
+//! computed as a circular convolution of size `M = next_pow2(L + R − 1)`
+//! with the filter reversed: exactly what the cuDNN FFT backend does (up to
+//! tiling). The functions also report the intermediate-buffer footprint so
+//! the baseline can account workspace the way cuDNN's `get_workspace_size`
+//! would.
+
+use crate::radix2::{fft_pow2, ifft_pow2, next_pow2};
+use crate::Complex;
+
+/// Number of complex workspace *elements* an FFT correlation of `(len_x,
+/// len_w)` needs: two padded forward buffers (the product is computed into
+/// one of them).
+pub fn fft_workspace_elems(len_x: usize, len_w: usize) -> usize {
+    2 * next_pow2(len_x + len_w - 1)
+}
+
+/// 1D valid correlation via FFT: `y_i = Σ_k w_k x_{i+k}`,
+/// `len(y) = len(x) − len(w) + 1`.
+pub fn correlate_1d(x: &[f64], w: &[f64]) -> Vec<f64> {
+    assert!(x.len() >= w.len(), "input shorter than filter");
+    let out_len = x.len() - w.len() + 1;
+    let m = next_pow2(x.len() + w.len() - 1);
+
+    let mut fx = vec![Complex::ZERO; m];
+    let mut fw = vec![Complex::ZERO; m];
+    for (i, &v) in x.iter().enumerate() {
+        fx[i] = Complex::real(v);
+    }
+    // Correlation = convolution with the reversed filter.
+    for (k, &v) in w.iter().enumerate() {
+        fw[w.len() - 1 - k] = Complex::real(v);
+    }
+
+    fft_pow2(&mut fx, false);
+    fft_pow2(&mut fw, false);
+    for i in 0..m {
+        fx[i] *= fw[i];
+    }
+    ifft_pow2(&mut fx);
+
+    // Valid outputs sit at offsets (r−1) .. (r−1+out_len).
+    (0..out_len).map(|i| fx[w.len() - 1 + i].re).collect()
+}
+
+/// 2D valid correlation via row–column FFT. `x` is `xh × xw`, `w` is
+/// `rh × rw`, both row-major; output is `(xh−rh+1) × (xw−rw+1)`.
+pub fn correlate_2d(x: &[f64], xh: usize, xw: usize, w: &[f64], rh: usize, rw: usize) -> Vec<f64> {
+    assert_eq!(x.len(), xh * xw);
+    assert_eq!(w.len(), rh * rw);
+    assert!(xh >= rh && xw >= rw);
+    let oh = xh - rh + 1;
+    let ow = xw - rw + 1;
+    let mh = next_pow2(xh + rh - 1);
+    let mw = next_pow2(xw + rw - 1);
+
+    let mut fx = vec![Complex::ZERO; mh * mw];
+    let mut fw = vec![Complex::ZERO; mh * mw];
+    for i in 0..xh {
+        for j in 0..xw {
+            fx[i * mw + j] = Complex::real(x[i * xw + j]);
+        }
+    }
+    for a in 0..rh {
+        for b in 0..rw {
+            fw[(rh - 1 - a) * mw + (rw - 1 - b)] = Complex::real(w[a * rw + b]);
+        }
+    }
+
+    let fft2 = |buf: &mut Vec<Complex>, inverse: bool| {
+        // Rows.
+        for i in 0..mh {
+            let row = &mut buf[i * mw..(i + 1) * mw];
+            if inverse {
+                ifft_pow2(row);
+            } else {
+                fft_pow2(row, false);
+            }
+        }
+        // Columns via transpose-free strided gather.
+        let mut col = vec![Complex::ZERO; mh];
+        for j in 0..mw {
+            for i in 0..mh {
+                col[i] = buf[i * mw + j];
+            }
+            if inverse {
+                ifft_pow2(&mut col);
+            } else {
+                fft_pow2(&mut col, false);
+            }
+            for i in 0..mh {
+                buf[i * mw + j] = col[i];
+            }
+        }
+    };
+
+    fft2(&mut fx, false);
+    fft2(&mut fw, false);
+    for i in 0..mh * mw {
+        fx[i] *= fw[i];
+    }
+    fft2(&mut fx, true);
+
+    let mut y = vec![0.0f64; oh * ow];
+    for i in 0..oh {
+        for j in 0..ow {
+            y[i * ow + j] = fx[(rh - 1 + i) * mw + (rw - 1 + j)].re;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn direct_1d(x: &[f64], w: &[f64]) -> Vec<f64> {
+        (0..x.len() - w.len() + 1)
+            .map(|i| w.iter().enumerate().map(|(k, &wk)| wk * x[i + k]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn correlate_1d_matches_direct() {
+        let x: Vec<f64> = (0..23).map(|i| (i as f64 * 0.37).sin()).collect();
+        let w: Vec<f64> = (0..5).map(|k| 0.2 * k as f64 - 0.5).collect();
+        let got = correlate_1d(&x, &w);
+        let want = direct_1d(&x, &w);
+        assert_eq!(got.len(), want.len());
+        for i in 0..want.len() {
+            assert!((got[i] - want[i]).abs() < 1e-10, "i={i}");
+        }
+    }
+
+    #[test]
+    fn correlate_1d_filter_equals_input() {
+        let x = [1.0, 2.0, 3.0];
+        let got = correlate_1d(&x, &x);
+        assert_eq!(got.len(), 1);
+        assert!((got[0] - 14.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn correlate_2d_matches_direct() {
+        let (xh, xw, rh, rw) = (7usize, 9usize, 3usize, 4usize);
+        let x: Vec<f64> = (0..xh * xw).map(|i| ((i * 7) % 13) as f64 * 0.1).collect();
+        let w: Vec<f64> = (0..rh * rw).map(|i| (i as f64) * 0.05 - 0.2).collect();
+        let got = correlate_2d(&x, xh, xw, &w, rh, rw);
+        let oh = xh - rh + 1;
+        let ow = xw - rw + 1;
+        for i in 0..oh {
+            for j in 0..ow {
+                let mut want = 0.0;
+                for a in 0..rh {
+                    for b in 0..rw {
+                        want += w[a * rw + b] * x[(i + a) * xw + (j + b)];
+                    }
+                }
+                assert!(
+                    (got[i * ow + j] - want).abs() < 1e-9,
+                    "({i},{j}): {} vs {want}",
+                    got[i * ow + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_grows_with_problem() {
+        assert_eq!(fft_workspace_elems(224, 3), 2 * 256);
+        assert!(fft_workspace_elems(224, 224) > fft_workspace_elems(224, 3));
+    }
+}

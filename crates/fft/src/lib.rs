@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! FFT substrate: complex arithmetic, radix-2 Cooley–Tukey, Bluestein
+//! (chirp-z) for arbitrary lengths, 2D transforms and FFT-based correlation.
+//!
+//! This crate exists to implement the paper's `Cu-FFT` baseline
+//! (`winrs-conv::fft_bfc`): FFT convolution executes the four Winograd-like
+//! stages (two forward transforms, an element-wise complex multiplication,
+//! one inverse transform) in separate passes with large intermediate
+//! buffers — exactly the workspace/IO behaviour the paper contrasts WinRS
+//! against. Transforms are computed in `f64` internally; the convolution
+//! entry points round to the caller's precision at the end, mirroring
+//! cuFFT's higher internal precision.
+
+mod bluestein;
+mod complex;
+mod conv;
+mod radix2;
+
+pub use bluestein::fft_arbitrary;
+pub use complex::Complex;
+pub use conv::{correlate_1d, correlate_2d, fft_workspace_elems};
+pub use radix2::{fft_pow2, ifft_pow2, next_pow2};

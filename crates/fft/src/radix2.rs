@@ -1,0 +1,141 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+
+use crate::Complex;
+
+/// Smallest power of two `≥ n`.
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place decimation-in-time FFT. `data.len()` must be a power of two.
+///
+/// `inverse` selects the conjugate transform *without* the 1/N scale; use
+/// [`ifft_pow2`] for the scaled inverse.
+pub fn fft_pow2(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT needs power-of-two length");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// In-place inverse FFT with the 1/N normalisation.
+pub fn ifft_pow2(data: &mut [Complex]) {
+    let n = data.len();
+    fft_pow2(data, true);
+    let inv_n = 1.0 / n as f64;
+    for x in data {
+        *x = x.scale(inv_n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    acc += v * Complex::cis(-2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for &n in &[2usize, 4, 8, 16, 64] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            let mut got = x.clone();
+            fft_pow2(&mut got, false);
+            let want = naive_dft(&x);
+            for i in 0..n {
+                assert!(
+                    (got[i] - want[i]).abs() < 1e-9,
+                    "n={n} bin {i}: {:?} vs {:?}",
+                    got[i],
+                    want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::new(i as f64 * 0.11 - 1.0, (i % 5) as f64))
+            .collect();
+        let mut y = x.clone();
+        fft_pow2(&mut y, false);
+        ifft_pow2(&mut y);
+        for i in 0..x.len() {
+            assert!((y[i] - x[i]).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn delta_transforms_to_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        fft_pow2(&mut x, false);
+        for v in x {
+            assert!((v - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trivial_lengths() {
+        let mut one = vec![Complex::new(3.0, 1.0)];
+        fft_pow2(&mut one, false);
+        assert_eq!(one[0], Complex::new(3.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_pow2_rejected() {
+        let mut x = vec![Complex::ZERO; 6];
+        fft_pow2(&mut x, false);
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(8), 8);
+        assert_eq!(next_pow2(1000), 1024);
+    }
+}

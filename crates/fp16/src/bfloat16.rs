@@ -1,0 +1,196 @@
+//! Google bfloat16: the top 16 bits of an IEEE-754 binary32.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// bfloat16: 1 sign bit, 8 exponent bits (f32-compatible range), 7 mantissa
+/// bits. Conversion from `f32` is a round-to-nearest-even truncation of the
+/// low 16 mantissa bits; conversion to `f32` is exact (append zero bits).
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Default, PartialEq)]
+#[repr(transparent)]
+pub struct bf16(pub u16);
+
+impl bf16 {
+    /// Positive zero.
+    pub const ZERO: bf16 = bf16(0x0000);
+    /// One.
+    pub const ONE: bf16 = bf16(0x3F80);
+    /// Largest finite value, ≈ 3.39e38.
+    pub const MAX: bf16 = bf16(0x7F7F);
+    /// Machine epsilon, 2⁻⁷.
+    pub const EPSILON: bf16 = bf16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: bf16 = bf16(0x7F80);
+    /// A quiet NaN.
+    pub const NAN: bf16 = bf16(0x7FC0);
+
+    /// Reinterpret a bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> bf16 {
+        bf16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Convert from `f32` with round-to-nearest-even on the discarded 16
+    /// mantissa bits. NaNs are quietened so the payload cannot truncate to an
+    /// infinity pattern.
+    pub fn from_f32(x: f32) -> bf16 {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            return bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        let round_bit = 0x0000_8000u32;
+        let lower = bits & 0xFFFF;
+        let mut upper = (bits >> 16) as u16;
+        if lower > round_bit || (lower == round_bit && (upper & 1) == 1) {
+            upper = upper.wrapping_add(1); // carry may round to ±∞: correct
+        }
+        bf16(upper)
+    }
+
+    /// Convert to `f32` exactly.
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Convert to `f64` exactly.
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// True for NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7F80) == 0x7F80 && (self.0 & 0x007F) != 0
+    }
+
+    /// True for finite values.
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7F80) != 0x7F80
+    }
+
+    /// Sign-stripped value.
+    pub fn abs(self) -> bf16 {
+        bf16(self.0 & 0x7FFF)
+    }
+}
+
+impl Neg for bf16 {
+    type Output = bf16;
+    fn neg(self) -> bf16 {
+        bf16(self.0 ^ 0x8000)
+    }
+}
+
+macro_rules! bf16_binop {
+    ($trait:ident, $method:ident, $op:tt, $assign_trait:ident, $assign_method:ident) => {
+        impl $trait for bf16 {
+            type Output = bf16;
+            fn $method(self, rhs: bf16) -> bf16 {
+                bf16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+        impl $assign_trait for bf16 {
+            fn $assign_method(&mut self, rhs: bf16) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+bf16_binop!(Add, add, +, AddAssign, add_assign);
+bf16_binop!(Sub, sub, -, SubAssign, sub_assign);
+bf16_binop!(Mul, mul, *, MulAssign, mul_assign);
+bf16_binop!(Div, div, /, DivAssign, div_assign);
+
+impl PartialOrd for bf16 {
+    fn partial_cmp(&self, other: &bf16) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl From<f32> for bf16 {
+    fn from(x: f32) -> bf16 {
+        bf16::from_f32(x)
+    }
+}
+
+impl From<bf16> for f32 {
+    fn from(x: bf16) -> f32 {
+        x.to_f32()
+    }
+}
+
+impl fmt::Debug for bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}bf16", self.to_f32())
+    }
+}
+
+impl fmt::Display for bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(bf16::ONE.to_f32(), 1.0);
+        assert_eq!(bf16::EPSILON.to_f32(), 2.0f32.powi(-7));
+        assert!(bf16::MAX.to_f32() > 3.3e38);
+        assert!(bf16::NAN.is_nan());
+    }
+
+    #[test]
+    fn roundtrip_exhaustive() {
+        for bits in 0u16..=0xFFFF {
+            let b = bf16::from_bits(bits);
+            if b.is_nan() {
+                assert!(bf16::from_f32(b.to_f32()).is_nan());
+            } else {
+                assert_eq!(bf16::from_f32(b.to_f32()).to_bits(), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn rne_on_truncated_bits() {
+        // 1.0 + 2^-8 is halfway between 1.0 and 1 + 2^-7: even mantissa wins.
+        assert_eq!(bf16::from_f32(1.0 + 2.0f32.powi(-8)).to_f32(), 1.0);
+        // 1 + 3·2^-8 is halfway between 1+2^-7 and 1+2^-6: rounds to even
+        // (mantissa 2 -> 1 + 2^-6).
+        assert_eq!(
+            bf16::from_f32(1.0 + 3.0 * 2.0f32.powi(-8)).to_f32(),
+            1.0 + 2.0f32.powi(-6)
+        );
+    }
+
+    #[test]
+    fn huge_f32_survives() {
+        // bf16 shares the f32 exponent range: 1e38 is finite.
+        let b = bf16::from_f32(1e38);
+        assert!(b.is_finite());
+        assert!((b.to_f32() - 1e38).abs() / 1e38 < 0.01);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = bf16::from_f32(3.0);
+        let b = bf16::from_f32(0.5);
+        assert_eq!((a * b).to_f32(), 1.5);
+        assert_eq!((a + b).to_f32(), 3.5);
+        assert_eq!((a - b).to_f32(), 2.5);
+        assert_eq!((a / b).to_f32(), 6.0);
+        assert_eq!((-a).to_f32(), -3.0);
+    }
+}

@@ -1,0 +1,360 @@
+//! IEEE-754 binary16 implemented over a `u16` bit pattern.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// IEEE-754 binary16: 1 sign bit, 5 exponent bits (bias 15), 10 mantissa
+/// bits.
+///
+/// Layout-compatible with hardware `__half`. All arithmetic operators
+/// compute in `f32` and round the result back with round-to-nearest-even,
+/// which matches the behaviour of scalar FP16 units (one rounding per
+/// operation).
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Default, PartialEq)]
+#[repr(transparent)]
+pub struct f16(pub u16);
+
+impl f16 {
+    /// Positive zero.
+    pub const ZERO: f16 = f16(0x0000);
+    /// One.
+    pub const ONE: f16 = f16(0x3C00);
+    /// Largest finite value, 65504.
+    pub const MAX: f16 = f16(0x7BFF);
+    /// Smallest positive normal value, 2⁻¹⁴ ≈ 6.10e-5.
+    pub const MIN_POSITIVE: f16 = f16(0x0400);
+    /// Smallest positive subnormal value, 2⁻²⁴ ≈ 5.96e-8.
+    pub const MIN_SUBNORMAL: f16 = f16(0x0001);
+    /// Machine epsilon, 2⁻¹⁰.
+    pub const EPSILON: f16 = f16(0x1400);
+    /// Positive infinity.
+    pub const INFINITY: f16 = f16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: f16 = f16(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: f16 = f16(0x7E00);
+
+    /// Reinterpret a bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> f16 {
+        f16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Convert from `f32` with round-to-nearest-even, gradual underflow and
+    /// overflow to ±∞. This is the hardware `cvt.rn.f16.f32` semantic.
+    pub fn from_f32(x: f32) -> f16 {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let man = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN. Preserve NaN payload top bits, force quiet bit so a
+            // signalling payload that truncates to zero does not become Inf.
+            return if man == 0 {
+                f16(sign | 0x7C00)
+            } else {
+                f16(sign | 0x7E00 | ((man >> 13) as u16 & 0x03FF))
+            };
+        }
+
+        // Unbiased exponent in f32; f16 bias is 15.
+        let unbiased = exp - 127;
+        if unbiased >= 16 {
+            // Overflows f16 range (max exponent is 15) -> ±∞.
+            return f16(sign | 0x7C00);
+        }
+        if unbiased >= -14 {
+            // Normal range. Keep 10 mantissa bits, RNE on the lower 13.
+            let half_exp = ((unbiased + 15) as u16) << 10;
+            let mut half_man = (man >> 13) as u16;
+            let round_bits = man & 0x1FFF;
+            // Round up if above halfway, or exactly halfway and odd (RNE).
+            if round_bits > 0x1000 || (round_bits == 0x1000 && (half_man & 1) == 1) {
+                half_man += 1;
+            }
+            // A mantissa carry (half_man == 0x400) propagates into the
+            // exponent via the addition; carrying past the max exponent
+            // yields ±∞, which is the correctly rounded result.
+            return f16(sign | (half_exp + half_man));
+        }
+        if unbiased >= -25 {
+            // Subnormal f16 range: shift the (implicit-1) mantissa right.
+            let full_man = man | 0x0080_0000; // restore hidden bit
+            let shift = (-14 - unbiased) as u32 + 13;
+            let half_man = (full_man >> shift) as u16;
+            let rem = full_man & ((1u32 << shift) - 1);
+            let halfway = 1u32 << (shift - 1);
+            let rounded = if rem > halfway || (rem == halfway && (half_man & 1) == 1) {
+                half_man + 1 // may round up into the smallest normal; correct
+            } else {
+                half_man
+            };
+            return f16(sign | rounded);
+        }
+        // Too small even for subnormals: ±0.
+        f16(sign)
+    }
+
+    /// Convert to `f32` exactly (binary16 ⊂ binary32).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 >> 10) & 0x1F) as u32;
+        let man = (self.0 & 0x03FF) as u32;
+        let bits = if exp == 0 {
+            if man == 0 {
+                sign // ±0
+            } else {
+                // Subnormal: value = man * 2^-24 with MSB of `man` at bit
+                // k = 10 - shift. Normalised, that is 1.xxx * 2^(k-24).
+                let shift = man.leading_zeros() - 21;
+                let norm_exp = 127 - 14 - shift; // biased (k - 24) + 127
+                let norm_man = (man << (13 + shift)) & 0x007F_FFFF;
+                sign | (norm_exp << 23) | norm_man
+            }
+        } else if exp == 0x1F {
+            sign | 0x7F80_0000 | (man << 13) // Inf / NaN
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (man << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Convert to `f64` exactly.
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// Round an `f64` through `f32` then to binary16. Double rounding through
+    /// f32 cannot change the binary16 result because f32 keeps 13 extra
+    /// mantissa bits beyond binary16 plus the full exponent range.
+    pub fn from_f64(x: f64) -> f16 {
+        f16::from_f32(x as f32)
+    }
+
+    /// True for NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// True for ±∞.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    /// True for finite values (neither Inf nor NaN).
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7C00) != 0x7C00
+    }
+
+    /// True for subnormal values.
+    pub fn is_subnormal(self) -> bool {
+        (self.0 & 0x7C00) == 0 && (self.0 & 0x03FF) != 0
+    }
+
+    /// Sign-aware absolute value.
+    pub fn abs(self) -> f16 {
+        f16(self.0 & 0x7FFF)
+    }
+}
+
+impl Neg for f16 {
+    type Output = f16;
+    fn neg(self) -> f16 {
+        f16(self.0 ^ 0x8000)
+    }
+}
+
+macro_rules! f16_binop {
+    ($trait:ident, $method:ident, $op:tt, $assign_trait:ident, $assign_method:ident) => {
+        impl $trait for f16 {
+            type Output = f16;
+            fn $method(self, rhs: f16) -> f16 {
+                f16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+        impl $assign_trait for f16 {
+            fn $assign_method(&mut self, rhs: f16) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+f16_binop!(Add, add, +, AddAssign, add_assign);
+f16_binop!(Sub, sub, -, SubAssign, sub_assign);
+f16_binop!(Mul, mul, *, MulAssign, mul_assign);
+f16_binop!(Div, div, /, DivAssign, div_assign);
+
+impl PartialOrd for f16 {
+    fn partial_cmp(&self, other: &f16) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl From<f32> for f16 {
+    fn from(x: f32) -> f16 {
+        f16::from_f32(x)
+    }
+}
+
+impl From<f16> for f32 {
+    fn from(x: f16) -> f32 {
+        x.to_f32()
+    }
+}
+
+impl fmt::Debug for f16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}f16", self.to_f32())
+    }
+}
+
+impl fmt::Display for f16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_constants_roundtrip() {
+        assert_eq!(f16::ONE.to_f32(), 1.0);
+        assert_eq!(f16::MAX.to_f32(), 65504.0);
+        assert_eq!(f16::MIN_POSITIVE.to_f32(), 2.0f32.powi(-14));
+        assert_eq!(f16::MIN_SUBNORMAL.to_f32(), 2.0f32.powi(-24));
+        assert_eq!(f16::EPSILON.to_f32(), 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn simple_values_are_exact() {
+        for &v in &[0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, -0.09375, 3.25] {
+            assert_eq!(f16::from_f32(v).to_f32(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn overflow_goes_to_infinity() {
+        assert_eq!(f16::from_f32(65520.0), f16::INFINITY); // rounds up past MAX
+        assert_eq!(f16::from_f32(1e9), f16::INFINITY);
+        assert_eq!(f16::from_f32(-1e9), f16::NEG_INFINITY);
+        // 65504 + half an ulp rounds back down to MAX (RNE, even mantissa).
+        assert_eq!(f16::from_f32(65519.996), f16::MAX);
+    }
+
+    #[test]
+    fn underflow_is_gradual() {
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f16::from_f32(tiny), f16::MIN_SUBNORMAL);
+        // Below half the smallest subnormal -> zero.
+        assert_eq!(f16::from_f32(tiny / 4.0), f16::ZERO);
+        // Halfway between 0 and MIN_SUBNORMAL rounds to even (zero).
+        assert_eq!(f16::from_f32(tiny / 2.0), f16::ZERO);
+        // Just above halfway rounds up.
+        assert!(f16::from_f32(tiny * 0.50001).to_f32() > 0.0);
+    }
+
+    #[test]
+    fn round_to_nearest_even_at_mantissa_boundary() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10: ties to even
+        // keeps mantissa 0 -> 1.0.
+        assert_eq!(f16::from_f32(1.0 + 2.0f32.powi(-11)).to_f32(), 1.0);
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: ties to even
+        // rounds mantissa up to 2 -> 1 + 2^-9.
+        assert_eq!(
+            f16::from_f32(1.0 + 3.0 * 2.0f32.powi(-11)).to_f32(),
+            1.0 + 2.0f32.powi(-9)
+        );
+        // Slightly above halfway always rounds up.
+        assert_eq!(
+            f16::from_f32(1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20)).to_f32(),
+            1.0 + 2.0f32.powi(-10)
+        );
+    }
+
+    #[test]
+    fn mantissa_carry_into_exponent() {
+        // 1.9995117 (mantissa all ones) + rounding -> 2.0 exactly.
+        let nearly_two = f16::from_bits(0x3FFF).to_f32(); // 1.9990234
+        let just_above = nearly_two + 2.0f32.powi(-11) + 2.0f32.powi(-18);
+        assert_eq!(f16::from_f32(just_above).to_f32(), 2.0);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(f16::from_f32(f32::NAN).is_nan());
+        assert!(f16::NAN.is_nan());
+        assert!(f16::NAN.to_f32().is_nan());
+        assert!((f16::ONE / f16::ZERO).is_infinite());
+        assert!((f16::ZERO / f16::ZERO).is_nan());
+    }
+
+    #[test]
+    fn subnormal_to_f32_exact() {
+        for bits in 1u16..0x0400 {
+            let h = f16::from_bits(bits);
+            let expected = bits as f32 * 2.0f32.powi(-24);
+            assert_eq!(h.to_f32(), expected, "subnormal bits {bits:#x}");
+        }
+    }
+
+    #[test]
+    fn all_finite_values_roundtrip_through_f32() {
+        // Exhaustive: every finite f16 must roundtrip exactly.
+        for bits in 0u16..=0xFFFF {
+            let h = f16::from_bits(bits);
+            if h.is_nan() {
+                assert!(f16::from_f32(h.to_f32()).is_nan());
+            } else {
+                assert_eq!(f16::from_f32(h.to_f32()).to_bits(), bits, "bits {bits:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_rounds_once() {
+        // 1.0 + eps/2 in f16 is 1.0 (the addend vanishes below the mantissa).
+        let one = f16::ONE;
+        let half_eps = f16::from_f32(2.0f32.powi(-11));
+        assert_eq!(one + half_eps, one);
+        // Basic sanity of the four operators.
+        let a = f16::from_f32(3.5);
+        let b = f16::from_f32(0.5);
+        assert_eq!((a + b).to_f32(), 4.0);
+        assert_eq!((a - b).to_f32(), 3.0);
+        assert_eq!((a * b).to_f32(), 1.75);
+        assert_eq!((a / b).to_f32(), 7.0);
+    }
+
+    #[test]
+    fn neg_and_abs_are_bit_ops() {
+        let x = f16::from_f32(2.5);
+        assert_eq!((-x).to_f32(), -2.5);
+        assert_eq!((-x).abs().to_f32(), 2.5);
+        assert_eq!((-f16::ZERO).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn ordering_matches_f32() {
+        let vals = [-2.0f32, -0.5, 0.0, 0.25, 1.0, 100.0];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    f16::from_f32(a).partial_cmp(&f16::from_f32(b)),
+                    a.partial_cmp(&b)
+                );
+            }
+        }
+    }
+}

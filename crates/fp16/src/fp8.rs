@@ -1,0 +1,304 @@
+//! Software FP8: the OCP 8-bit formats `E4M3` and `E5M2`.
+//!
+//! The paper's conclusion lists FP8 as a porting target after BF16. These
+//! types implement the OCP "Open Compute Project 8-bit floating point"
+//! specification as used by Hopper/Ada Tensor Cores:
+//!
+//! * **E4M3** — 1 sign, 4 exponent (bias 7), 3 mantissa bits. No infinity;
+//!   `S.1111.111` is NaN; max finite = 448.
+//! * **E5M2** — 1 sign, 5 exponent (bias 15), 2 mantissa bits. IEEE-style
+//!   infinities and NaNs; max finite = 57344.
+//!
+//! Conversions use round-to-nearest-even with gradual underflow, the
+//! hardware `cvt.rn.satfinite`-free semantics (overflow goes to NaN for
+//! E4M3 — which has no infinity — and to ±∞ for E5M2).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+macro_rules! fp8_type {
+    ($name:ident, $exp_bits:expr, $man_bits:expr, $bias:expr, $has_inf:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[allow(non_camel_case_types)]
+        #[derive(Clone, Copy, Default, PartialEq)]
+        #[repr(transparent)]
+        pub struct $name(pub u8);
+
+        impl $name {
+            /// Positive zero.
+            pub const ZERO: $name = $name(0);
+            const MAN_BITS: u32 = $man_bits;
+            const BIAS: i32 = $bias;
+            const EXP_MASK: u8 = (((1u16 << $exp_bits) - 1) as u8) << $man_bits;
+            const MAN_MASK: u8 = ((1u16 << $man_bits) - 1) as u8;
+
+            /// Reinterpret a bit pattern.
+            pub const fn from_bits(bits: u8) -> $name {
+                $name(bits)
+            }
+
+            /// The raw bit pattern.
+            pub const fn to_bits(self) -> u8 {
+                self.0
+            }
+
+            /// True for NaN.
+            pub fn is_nan(self) -> bool {
+                if $has_inf {
+                    (self.0 & 0x7F) > Self::EXP_MASK
+                } else {
+                    // E4M3: only S.1111.111 is NaN.
+                    (self.0 & 0x7F) == (Self::EXP_MASK | Self::MAN_MASK)
+                }
+            }
+
+            /// True for ±∞ (always false for E4M3).
+            pub fn is_infinite(self) -> bool {
+                $has_inf && (self.0 & 0x7F) == Self::EXP_MASK
+            }
+
+            /// Largest finite value of the format.
+            pub fn max_value() -> f32 {
+                if $has_inf {
+                    // E5M2: 1.75 × 2^15.
+                    (2.0 - 2.0f32.powi(-(Self::MAN_BITS as i32)))
+                        * 2.0f32.powi((Self::EXP_MASK >> Self::MAN_BITS) as i32 - 1 - Self::BIAS)
+                } else {
+                    // E4M3: S.1111.110 = 1.75 × 2^8 = 448.
+                    (2.0 - 2.0 * 2.0f32.powi(-(Self::MAN_BITS as i32)))
+                        * 2.0f32.powi((Self::EXP_MASK >> Self::MAN_BITS) as i32 - Self::BIAS)
+                }
+            }
+
+            /// Round an `f32` into the format (RNE, gradual underflow).
+            pub fn from_f32(x: f32) -> $name {
+                let bits = x.to_bits();
+                let sign = ((bits >> 24) & 0x80) as u8;
+                if x.is_nan() {
+                    return $name(sign | Self::EXP_MASK | Self::MAN_MASK);
+                }
+                let ax = x.abs();
+                if ax > Self::max_value() {
+                    // Overflow: round-to-nearest would exceed the largest
+                    // finite; E5M2 -> ±inf, E4M3 -> NaN (no inf encoding).
+                    // Values exactly between max and the next step round by
+                    // magnitude; keep it simple: anything above max_value
+                    // saturates per RNE only if within half a step.
+                    let step = 2.0f32.powi(
+                        ((Self::EXP_MASK >> Self::MAN_BITS) as i32)
+                            - Self::BIAS
+                            - Self::MAN_BITS as i32
+                            - if $has_inf { 1 } else { 0 },
+                    );
+                    if ax < Self::max_value() + step / 2.0 {
+                        return $name(sign | Self::max_bits());
+                    }
+                    return if $has_inf {
+                        $name(sign | Self::EXP_MASK)
+                    } else {
+                        $name(sign | Self::EXP_MASK | Self::MAN_MASK) // NaN
+                    };
+                }
+                if ax == 0.0 {
+                    return $name(sign);
+                }
+
+                let exp = ((bits >> 23) & 0xFF) as i32 - 127; // unbiased
+                let man = bits & 0x007F_FFFF;
+                let min_norm_exp = 1 - Self::BIAS;
+                if exp >= min_norm_exp {
+                    // Normal range: RNE on the discarded mantissa bits; a
+                    // mantissa carry propagates into the exponent via the
+                    // integer addition.
+                    let shift = 23 - Self::MAN_BITS;
+                    let mut m = (man >> shift) as u16;
+                    let rem = man & ((1u32 << shift) - 1);
+                    let half = 1u32 << (shift - 1);
+                    if rem > half || (rem == half && (m & 1) == 1) {
+                        m += 1;
+                    }
+                    let e = (exp + Self::BIAS) as u16;
+                    let assembled = (e << Self::MAN_BITS) + m;
+                    if assembled > Self::max_bits() as u16 {
+                        return if $has_inf {
+                            $name(sign | Self::EXP_MASK)
+                        } else {
+                            $name(sign | Self::EXP_MASK | Self::MAN_MASK)
+                        };
+                    }
+                    return $name(sign | assembled as u8);
+                }
+                // Subnormal range: value = m × 2^(min_norm_exp − MAN_BITS).
+                let scale = 2.0f32.powi(min_norm_exp - Self::MAN_BITS as i32);
+                let q = ax / scale;
+                let floor = q.floor();
+                let frac = q - floor;
+                let mut m = floor as u8;
+                if frac > 0.5 || (frac == 0.5 && (m & 1) == 1) {
+                    m += 1;
+                }
+                if m > Self::MAN_MASK {
+                    // Rounded up into the smallest normal.
+                    return $name(sign | (1 << Self::MAN_BITS));
+                }
+                $name(sign | m)
+            }
+
+            /// Bit pattern of the largest finite positive value.
+            const fn max_bits() -> u8 {
+                if $has_inf {
+                    // Exponent one below all-ones, full mantissa.
+                    Self::EXP_MASK - (1 << Self::MAN_BITS) + Self::MAN_MASK
+                } else {
+                    // E4M3: all-ones exponent, mantissa just below NaN.
+                    Self::EXP_MASK | (Self::MAN_MASK - 1)
+                }
+            }
+
+            /// Widen to `f32` exactly.
+            pub fn to_f32(self) -> f32 {
+                let sign = if self.0 & 0x80 != 0 { -1.0f32 } else { 1.0 };
+                let e = ((self.0 & Self::EXP_MASK) >> Self::MAN_BITS) as i32;
+                let m = (self.0 & Self::MAN_MASK) as f32;
+                if self.is_nan() {
+                    return f32::NAN;
+                }
+                if self.is_infinite() {
+                    return sign * f32::INFINITY;
+                }
+                let man_scale = 2.0f32.powi(-(Self::MAN_BITS as i32));
+                if e == 0 {
+                    sign * m * man_scale * 2.0f32.powi(1 - Self::BIAS)
+                } else {
+                    sign * (1.0 + m * man_scale) * 2.0f32.powi(e - Self::BIAS)
+                }
+            }
+        }
+
+        impl PartialOrd for $name {
+            fn partial_cmp(&self, other: &$name) -> Option<Ordering> {
+                self.to_f32().partial_cmp(&other.to_f32())
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", self.to_f32(), stringify!($name))
+            }
+        }
+    };
+}
+
+fp8_type!(
+    e4m3,
+    4,
+    3,
+    7,
+    false,
+    "OCP FP8 E4M3: 1-4-3 bits, bias 7, max finite 448, no infinities."
+);
+fp8_type!(
+    e5m2,
+    5,
+    2,
+    15,
+    true,
+    "OCP FP8 E5M2: 1-5-2 bits, bias 15, max finite 57344, IEEE Inf/NaN."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4m3_constants() {
+        assert_eq!(e4m3::max_value(), 448.0);
+        assert_eq!(e4m3::from_f32(1.0).to_f32(), 1.0);
+        assert_eq!(e4m3::from_f32(-2.5).to_f32(), -2.5);
+        assert!(e4m3::from_f32(f32::NAN).is_nan());
+        assert!(!e4m3::from_f32(1e9).is_infinite()); // E4M3 has no inf
+        assert!(e4m3::from_f32(1e9).is_nan());
+    }
+
+    #[test]
+    fn e5m2_constants() {
+        assert_eq!(e5m2::max_value(), 57344.0);
+        assert_eq!(e5m2::from_f32(1.0).to_f32(), 1.0);
+        assert!(e5m2::from_f32(1e9).is_infinite());
+        assert!(e5m2::from_f32(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn e4m3_roundtrip_exhaustive() {
+        for bits in 0u8..=0xFF {
+            let v = e4m3::from_bits(bits);
+            if v.is_nan() {
+                assert!(e4m3::from_f32(v.to_f32()).is_nan());
+            } else {
+                assert_eq!(
+                    e4m3::from_f32(v.to_f32()).to_bits(),
+                    bits,
+                    "bits {bits:#04x} value {}",
+                    v.to_f32()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn e5m2_roundtrip_exhaustive() {
+        for bits in 0u8..=0xFF {
+            let v = e5m2::from_bits(bits);
+            if v.is_nan() {
+                assert!(e5m2::from_f32(v.to_f32()).is_nan());
+            } else {
+                assert_eq!(e5m2::from_f32(v.to_f32()).to_bits(), bits, "bits {bits:#04x}");
+            }
+        }
+    }
+
+    #[test]
+    fn rne_ties_to_even() {
+        // 1.0625 is exactly between 1.0 (mantissa 000) and 1.125 (001) in
+        // E4M3: ties to even -> 1.0.
+        assert_eq!(e4m3::from_f32(1.0625).to_f32(), 1.0);
+        // 1.1875 is between 1.125 (001) and 1.25 (010): ties to even ->
+        // 1.25.
+        assert_eq!(e4m3::from_f32(1.1875).to_f32(), 1.25);
+    }
+
+    #[test]
+    fn subnormals_are_gradual() {
+        // Smallest E4M3 subnormal = 2^-9.
+        let tiny = 2.0f32.powi(-9);
+        assert_eq!(e4m3::from_f32(tiny).to_f32(), tiny);
+        assert_eq!(e4m3::from_f32(tiny / 4.0).to_f32(), 0.0);
+        // Smallest E5M2 subnormal = 2^-16.
+        let tiny5 = 2.0f32.powi(-16);
+        assert_eq!(e5m2::from_f32(tiny5).to_f32(), tiny5);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        for i in 0..1000 {
+            let x = 0.001f32 * i as f32 + 0.1;
+            let r = e4m3::from_f32(x).to_f32();
+            assert!((r - x).abs() <= x * 2.0f32.powi(-3), "x={x} r={r}");
+            let r5 = e5m2::from_f32(x).to_f32();
+            assert!((r5 - x).abs() <= x * 2.0f32.powi(-2), "x={x} r5={r5}");
+        }
+    }
+
+    #[test]
+    fn ordering_matches_f32() {
+        let vals = [-4.0f32, -0.5, 0.0, 0.25, 1.0, 100.0];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    e4m3::from_f32(a).partial_cmp(&e4m3::from_f32(b)),
+                    a.partial_cmp(&b)
+                );
+            }
+        }
+    }
+}

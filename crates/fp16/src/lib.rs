@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! Software half-precision floating point: IEEE-754 `binary16` ([`f16`]) and
+//! Google `bfloat16` ([`bf16`]).
+//!
+//! The WinRS paper's FP16 kernels run on Tensor Cores: inputs are stored in
+//! binary16, multiply–accumulate happens in FP32, and results are rounded
+//! back to binary16 on store. Reproducing the paper's accuracy experiments
+//! (Table 4, Figure 12) therefore requires bit-accurate binary16 conversion
+//! semantics — in particular round-to-nearest-even, gradual underflow to
+//! subnormals, and saturation-free overflow to ±∞. This crate implements
+//! those conversions from first principles (no `half` dependency) and keeps
+//! arithmetic semantics explicit: every binary operation is computed in f32
+//! and rounded once, exactly like a scalar FP16 FMA-free ALU.
+//!
+//! `bf16` is provided because the paper names BF16 as the first porting
+//! target in its conclusion; it shares the f32 exponent range so conversion
+//! is a pure mantissa rounding.
+
+mod bfloat16;
+mod fp8;
+mod binary16;
+
+pub use bfloat16::bf16;
+pub use binary16::f16;
+pub use fp8::{e4m3, e5m2};
+
+/// Round an `f32` slice into a freshly allocated `f16` vector.
+pub fn to_f16_vec(xs: &[f32]) -> Vec<f16> {
+    xs.iter().map(|&x| f16::from_f32(x)).collect()
+}
+
+/// Widen an `f16` slice into a freshly allocated `f32` vector.
+pub fn to_f32_vec(xs: &[f16]) -> Vec<f32> {
+    xs.iter().map(|x| x.to_f32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_roundtrip() {
+        let xs = vec![0.0f32, 1.0, -2.5, 65504.0];
+        let halves = to_f16_vec(&xs);
+        assert_eq!(to_f32_vec(&halves), xs);
+    }
+}

@@ -1,0 +1,83 @@
+//! Block-count arithmetic for cache-blocked convolution kernels.
+//!
+//! Figure 2 of the paper: with a `B_N(64) × B_M(32) × 8` cache block and
+//! batch 32, the `F(2×2, 3×3)` kernel yields 12544 blocks for the FC/BDC of
+//! VGG16-conv2, but only **8** for its BFC — the motivating observation for
+//! WinRS's segment-level parallelism.
+
+/// Cache-block geometry of a fused convolution kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockGeometry {
+    /// Output-channel tile `B_N`.
+    pub bn: usize,
+    /// Second-axis tile `B_M` (input channels for BFC; spatial tiles for
+    /// FC/BDC).
+    pub bm: usize,
+}
+
+impl BlockGeometry {
+    /// The Figure 2 geometry.
+    pub const FIG2: BlockGeometry = BlockGeometry { bn: 64, bm: 32 };
+}
+
+/// Block count of a forward (or backward-data) convolution whose output is
+/// tiled by `n0 × n1` Winograd tiles: `⌈O_C/B_N⌉ · ⌈N·tiles/B_M⌉`.
+pub fn fc_block_count(
+    geom: BlockGeometry,
+    oc: usize,
+    n: usize,
+    oh: usize,
+    ow: usize,
+    n0: usize,
+    n1: usize,
+) -> usize {
+    let tiles = oh.div_ceil(n0) * ow.div_ceil(n1);
+    oc.div_ceil(geom.bn) * (n * tiles).div_ceil(geom.bm)
+}
+
+/// Block count of a backward-filter convolution whose `F_H × F_W` output is
+/// tiled by `n0 × n1`: `⌈O_C/B_N⌉ · ⌈I_C/B_M⌉ · ⌈F_H/n0⌉·⌈F_W/n1⌉`.
+pub fn bfc_block_count(
+    geom: BlockGeometry,
+    oc: usize,
+    ic: usize,
+    fh: usize,
+    fw: usize,
+    n0: usize,
+    n1: usize,
+) -> usize {
+    oc.div_ceil(geom.bn) * ic.div_ceil(geom.bm) * fh.div_ceil(n0) * fw.div_ceil(n1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_fc_blocks() {
+        // VGG16 conv2, batch 32, F(2×2, 3×3): 12544 FC blocks.
+        let b = fc_block_count(BlockGeometry::FIG2, 64, 32, 224, 224, 2, 2);
+        assert_eq!(b, 12544);
+    }
+
+    #[test]
+    fn figure2_bfc_blocks() {
+        // Same layer: only 8 BFC blocks — far fewer than 128 SMs.
+        let b = bfc_block_count(BlockGeometry::FIG2, 64, 64, 3, 3, 2, 2);
+        assert_eq!(b, 8);
+    }
+
+    #[test]
+    fn bfc_blocks_scale_with_channels() {
+        let small = bfc_block_count(BlockGeometry::FIG2, 64, 64, 3, 3, 2, 2);
+        let big = bfc_block_count(BlockGeometry::FIG2, 1024, 1024, 3, 3, 2, 2);
+        assert_eq!(big, small * 16 * 16);
+    }
+
+    #[test]
+    fn ceiling_divisions() {
+        // Non-divisible dimensions round up.
+        let b = bfc_block_count(BlockGeometry::FIG2, 65, 33, 3, 3, 2, 2);
+        assert_eq!(b, 2 * 2 * 2 * 2);
+    }
+}

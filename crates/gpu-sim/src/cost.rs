@@ -1,0 +1,194 @@
+//! Kernel/pipeline time estimation: paper Eq. (8) plus wave quantisation
+//! and latency-hiding effects.
+
+use crate::DeviceSpec;
+
+/// Arithmetic precision of a kernel (selects the device peak).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Precision {
+    /// FP32 on CUDA cores.
+    Fp32,
+    /// FP16 on Tensor Cores (FP32 transforms folded into `pipe_efficiency`).
+    Fp16,
+}
+
+/// Everything the model needs to know about one kernel launch.
+#[derive(Clone, Debug)]
+pub struct KernelProfile {
+    /// Arithmetic work actually executed (after any Winograd/FFT
+    /// reduction), in FLOPs.
+    pub flops: u64,
+    /// Unavoidable input/output tensor traffic, bytes (overlappable with
+    /// compute by software pipelining).
+    pub io_bytes: u64,
+    /// Intermediate-result traffic through global memory, bytes. Zero for
+    /// fully fused kernels; the dominant cost of non-fused pipelines
+    /// (Eq. 8's `C_data`). Not overlappable: it separates kernel launches.
+    pub intermediate_bytes: u64,
+    /// Number of thread blocks launched.
+    pub blocks: usize,
+    /// Kernel quality factor in (0, 1]: fraction of device peak the inner
+    /// loop sustains at full occupancy (pipe stalls, transform overhead,
+    /// mixed-precision inserts).
+    pub pipe_efficiency: f64,
+    /// Precision (selects CUDA-core vs Tensor-Core peak).
+    pub precision: Precision,
+}
+
+impl KernelProfile {
+    /// Wave-quantisation utilisation: `b` blocks on `N_SM` SMs run in
+    /// `⌈b/N_SM⌉` waves; utilisation is the filled fraction.
+    pub fn wave_utilization(&self, device: &DeviceSpec) -> f64 {
+        if self.blocks == 0 {
+            return 1.0;
+        }
+        let waves = self.blocks.div_ceil(device.n_sm);
+        self.blocks as f64 / (waves * device.n_sm) as f64
+    }
+
+    /// Latency-hiding factor: with a single resident block per SM, the
+    /// block's 8 warps hide most but not all latency; a second-plus
+    /// resident block (or wave) closes the gap. This is the effect behind
+    /// Algorithm 1's `Z₁` threshold ("when Ẑ ≥ k·N_SM, each SM has
+    /// sufficient blocks to hide most latency").
+    pub fn latency_hiding(&self, device: &DeviceSpec) -> f64 {
+        // Residency is capped by the SMEM budget (`max_blocks_per_sm`);
+        // beyond that, queued waves still help the tail, so allow one
+        // virtual extra.
+        let cap = device.max_blocks_per_sm as f64 + 1.0;
+        let resident = (self.blocks as f64 / device.n_sm as f64).min(cap);
+        // 0.70 at ≤1 resident block, saturating to 1.0 at ≥3.
+        (0.70 + 0.10 * resident).min(1.0)
+    }
+
+    /// Effective compute throughput in FLOP/s on `device`.
+    pub fn effective_flops(&self, device: &DeviceSpec) -> f64 {
+        let fp16 = self.precision == Precision::Fp16;
+        device.peak_flops(fp16)
+            * self.pipe_efficiency
+            * self.wave_utilization(device)
+            * self.latency_hiding(device)
+    }
+}
+
+/// Estimated execution time (seconds) of one kernel on `device`:
+/// `max(T_compute, T_io) + T_intermediate`.
+///
+/// Compute and direct tensor I/O overlap (software pipelining, §5.2);
+/// intermediate traffic cannot — it crosses kernel-launch boundaries, which
+/// is the paper's core argument for fusion.
+pub fn estimate_time(profile: &KernelProfile, device: &DeviceSpec) -> f64 {
+    let t_comp = profile.flops as f64 / profile.effective_flops(device);
+    let t_io = profile.io_bytes as f64 / device.bandwidth();
+    let t_inter = profile.intermediate_bytes as f64 / device.bandwidth();
+    t_comp.max(t_io) + t_inter
+}
+
+/// Total time of a multi-kernel pipeline (launches serialise).
+pub fn estimate_pipeline_time(profiles: &[KernelProfile], device: &DeviceSpec) -> f64 {
+    profiles.iter().map(|p| estimate_time(p, device)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RTX_3090, RTX_4090};
+
+    fn fused(flops: u64, io: u64, blocks: usize) -> KernelProfile {
+        KernelProfile {
+            flops,
+            io_bytes: io,
+            intermediate_bytes: 0,
+            blocks,
+            pipe_efficiency: 0.8,
+            precision: Precision::Fp32,
+        }
+    }
+
+    #[test]
+    fn few_blocks_starve_the_gpu() {
+        // Figure 2: 8 blocks on a 128-SM GPU — utilisation 1/16.
+        let p = fused(1 << 30, 1 << 20, 8);
+        assert!((p.wave_utilization(&RTX_4090) - 8.0 / 128.0).abs() < 1e-12);
+        let starving = estimate_time(&p, &RTX_4090);
+        let healthy = estimate_time(&fused(1 << 30, 1 << 20, 1024), &RTX_4090);
+        assert!(
+            starving > 10.0 * healthy,
+            "starving {starving} vs healthy {healthy}"
+        );
+    }
+
+    #[test]
+    fn partial_last_wave_costs() {
+        // 129 blocks on 128 SMs: two waves, second nearly empty.
+        let full = fused(1 << 30, 0, 128);
+        let spill = fused(1 << 30, 0, 129);
+        let t_full = estimate_time(&full, &RTX_4090);
+        let t_spill = estimate_time(&spill, &RTX_4090);
+        assert!(t_spill > 1.5 * t_full);
+    }
+
+    #[test]
+    fn intermediate_traffic_is_additive() {
+        // Same compute, one with non-fused intermediate traffic: strictly
+        // slower even when compute-bound (Eq. 8).
+        let mut a = fused(1 << 34, 1 << 24, 4096);
+        let t_fused = estimate_time(&a, &RTX_4090);
+        a.intermediate_bytes = 8 << 30;
+        let t_nonfused = estimate_time(&a, &RTX_4090);
+        let delta = t_nonfused - t_fused;
+        let expected = (8u64 << 30) as f64 / RTX_4090.bandwidth();
+        assert!((delta - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn io_overlaps_with_compute() {
+        // Compute-bound kernel: adding overlappable I/O below T_comp does
+        // not change the estimate.
+        let heavy = fused(1 << 38, 0, 4096);
+        let t0 = estimate_time(&heavy, &RTX_4090);
+        let with_io = fused(1 << 38, 1 << 20, 4096);
+        let t1 = estimate_time(&with_io, &RTX_4090);
+        assert_eq!(t0, t1);
+    }
+
+    #[test]
+    fn fused_algorithms_scale_with_compute_across_generations() {
+        // §6.2 Observation 2: fused-algorithm throughput scales with V_comp
+        // (3090 -> 4090: +132%), non-fused with a blend of V_comp and
+        // V_band (+8%).
+        let fused_k = fused(1 << 36, 1 << 26, 4096);
+        let speedup_fused = estimate_time(&fused_k, &RTX_3090) / estimate_time(&fused_k, &RTX_4090);
+        assert!(
+            speedup_fused > 2.0,
+            "fused generation speedup {speedup_fused}"
+        );
+
+        let mut nonfused = fused_k.clone();
+        nonfused.intermediate_bytes = 64 << 30; // bandwidth-dominated
+        let speedup_nf = estimate_time(&nonfused, &RTX_3090) / estimate_time(&nonfused, &RTX_4090);
+        assert!(
+            speedup_nf < 1.3,
+            "non-fused generation speedup {speedup_nf}"
+        );
+    }
+
+    #[test]
+    fn fp16_peak_selected() {
+        let mut p = fused(1 << 36, 0, 4096);
+        let t32 = estimate_time(&p, &RTX_4090);
+        p.precision = Precision::Fp16;
+        let t16 = estimate_time(&p, &RTX_4090);
+        // ~4× compute peak gap (the paper measures 3.27× end-to-end).
+        let ratio = t32 / t16;
+        assert!(ratio > 3.0 && ratio < 4.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn pipeline_is_sum() {
+        let p = fused(1 << 30, 0, 1024);
+        let one = estimate_time(&p, &RTX_4090);
+        let three = estimate_pipeline_time(&[p.clone(), p.clone(), p], &RTX_4090);
+        assert!((three - 3.0 * one).abs() < 1e-12);
+    }
+}

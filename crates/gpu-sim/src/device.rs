@@ -1,0 +1,128 @@
+//! Device descriptions for the four GPUs of the paper's evaluation.
+
+/// Static description of one GPU.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Streaming multiprocessor count `N_SM`.
+    pub n_sm: usize,
+    /// FP32 CUDA-core peak, TFLOPS.
+    pub fp32_tflops: f64,
+    /// FP16 Tensor-Core peak (FP16 accumulate), TFLOPS.
+    pub fp16_tflops: f64,
+    /// DRAM bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+    /// Shared memory per SM, KiB (bounds resident blocks per SM).
+    pub smem_per_sm_kib: usize,
+    /// Maximum resident blocks per SM for the kernel class modelled here
+    /// (bounded by SMEM: double-buffered Gs/Ds tiles).
+    pub max_blocks_per_sm: usize,
+}
+
+impl DeviceSpec {
+    /// Peak in FLOP/s for the chosen precision.
+    pub fn peak_flops(&self, fp16: bool) -> f64 {
+        (if fp16 { self.fp16_tflops } else { self.fp32_tflops }) * 1e12
+    }
+
+    /// Bandwidth in bytes/s.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth_gbs * 1e9
+    }
+
+    /// Compute-to-bandwidth ratio (FLOP per byte at the roofline ridge).
+    pub fn ridge_point(&self, fp16: bool) -> f64 {
+        self.peak_flops(fp16) / self.bandwidth()
+    }
+}
+
+/// NVIDIA GeForce RTX 4090 (Ada, flagship consumer, 24 GB).
+pub const RTX_4090: DeviceSpec = DeviceSpec {
+    name: "RTX 4090",
+    n_sm: 128,
+    fp32_tflops: 82.6,
+    fp16_tflops: 330.3,
+    bandwidth_gbs: 1008.0,
+    smem_per_sm_kib: 100,
+    max_blocks_per_sm: 3,
+};
+
+/// NVIDIA GeForce RTX 3090 (Ampere, flagship consumer, 24 GB).
+pub const RTX_3090: DeviceSpec = DeviceSpec {
+    name: "RTX 3090",
+    n_sm: 82,
+    fp32_tflops: 35.6,
+    fp16_tflops: 142.3,
+    bandwidth_gbs: 936.0,
+    smem_per_sm_kib: 100,
+    max_blocks_per_sm: 3,
+};
+
+/// NVIDIA L40S (Ada, data-center, 48 GB).
+pub const L40S: DeviceSpec = DeviceSpec {
+    name: "L40S",
+    n_sm: 142,
+    fp32_tflops: 91.6,
+    fp16_tflops: 366.0,
+    bandwidth_gbs: 864.0,
+    smem_per_sm_kib: 100,
+    max_blocks_per_sm: 3,
+};
+
+/// NVIDIA RTX A5000 (Ampere, workstation, 24 GB).
+pub const A5000: DeviceSpec = DeviceSpec {
+    name: "RTX A5000",
+    n_sm: 64,
+    fp32_tflops: 27.8,
+    fp16_tflops: 111.1,
+    bandwidth_gbs: 768.0,
+    smem_per_sm_kib: 100,
+    max_blocks_per_sm: 3,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_generation_gaps_hold() {
+        // §6.2 Observation 2: "From RTX 3090 to RTX 4090, V_comp and V_band
+        // increase by 132% and 8%".
+        let comp_gain = RTX_4090.fp32_tflops / RTX_3090.fp32_tflops - 1.0;
+        let band_gain = RTX_4090.bandwidth_gbs / RTX_3090.bandwidth_gbs - 1.0;
+        assert!((comp_gain - 1.32).abs() < 0.02, "comp gain {comp_gain}");
+        assert!((band_gain - 0.08).abs() < 0.01, "band gain {band_gain}");
+    }
+
+    #[test]
+    fn fp16_tensor_gap_holds() {
+        // §6.2: "from FP32 CUDA Cores to FP16 Tensor Cores, V_comp …
+        // increase[s] by 297%" (on the 4090).
+        let gain = RTX_4090.fp16_tflops / RTX_4090.fp32_tflops - 1.0;
+        assert!((gain - 2.97).abs() < 0.05, "gain {gain}");
+    }
+
+    #[test]
+    fn a5000_has_lowest_compute_to_bandwidth_ratio() {
+        // §6.2: "Compared to RTX 4090, RTX A5000 has a lower ratio of V_comp
+        // to V_band", favouring non-fused algorithms.
+        assert!(A5000.ridge_point(true) < RTX_4090.ridge_point(true));
+        assert!(A5000.ridge_point(true) < L40S.ridge_point(true));
+    }
+
+    #[test]
+    fn l40s_comparable_to_4090() {
+        // §6.2: "L40S achieves similar FP16 throughput to RTX 4090, due to
+        // its comparable V_comp and V_band."
+        let comp = (L40S.fp16_tflops / RTX_4090.fp16_tflops - 1.0).abs();
+        let band = (L40S.bandwidth_gbs / RTX_4090.bandwidth_gbs - 1.0).abs();
+        assert!(comp < 0.15 && band < 0.15);
+    }
+
+    #[test]
+    fn figure2_sm_count() {
+        // Figure 2 caption: "128 on RTX 4090 GPU".
+        assert_eq!(RTX_4090.n_sm, 128);
+    }
+}

@@ -1,0 +1,102 @@
+//! Synthetic structured-image classification data.
+//!
+//! Each class is defined by a fixed random prototype image; samples are the
+//! prototype plus i.i.d. noise. This gives a task that is (a) learnable by
+//! a small CNN in a few hundred steps, (b) fully deterministic given a
+//! seed, and (c) sensitive to gradient quality — a systematically biased
+//! `∇W` visibly slows or stalls the loss curve, which is exactly what the
+//! Figure 13 comparison needs to detect.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use winrs_tensor::Tensor4;
+
+/// A deterministic synthetic dataset of `classes` prototype images.
+pub struct SyntheticDataset {
+    /// Image side length (square images).
+    pub res: usize,
+    /// Channel count.
+    pub channels: usize,
+    /// Number of classes.
+    pub classes: usize,
+    prototypes: Vec<Vec<f32>>,
+    noise: f32,
+    rng: StdRng,
+}
+
+impl SyntheticDataset {
+    /// Create a dataset with the given geometry and noise level.
+    pub fn new(res: usize, channels: usize, classes: usize, noise: f32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prototypes = (0..classes)
+            .map(|_| {
+                (0..res * res * channels)
+                    .map(|_| rng.random::<f32>() * 2.0 - 1.0)
+                    .collect()
+            })
+            .collect();
+        SyntheticDataset {
+            res,
+            channels,
+            classes,
+            prototypes,
+            noise,
+            rng,
+        }
+    }
+
+    /// Draw one batch: images `N×res×res×C` and labels.
+    pub fn batch(&mut self, n: usize) -> (Tensor4<f32>, Vec<usize>) {
+        let mut labels = Vec::with_capacity(n);
+        let mut data = Vec::with_capacity(n * self.res * self.res * self.channels);
+        for _ in 0..n {
+            let class = (self.rng.random::<u32>() as usize) % self.classes;
+            labels.push(class);
+            for &p in &self.prototypes[class] {
+                let eps = self.rng.random::<f32>() * 2.0 - 1.0;
+                data.push(p + self.noise * eps);
+            }
+        }
+        (
+            Tensor4::from_vec([n, self.res, self.res, self.channels], data),
+            labels,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SyntheticDataset::new(8, 2, 4, 0.1, 7);
+        let mut b = SyntheticDataset::new(8, 2, 4, 0.1, 7);
+        let (xa, la) = a.batch(4);
+        let (xb, lb) = b.batch(4);
+        assert_eq!(xa, xb);
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn labels_in_range_and_varied() {
+        let mut d = SyntheticDataset::new(8, 1, 4, 0.1, 3);
+        let (_, labels) = d.batch(64);
+        assert!(labels.iter().all(|&l| l < 4));
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn noise_level_zero_reproduces_prototypes() {
+        let mut d = SyntheticDataset::new(4, 1, 2, 0.0, 9);
+        let (x, labels) = d.batch(8);
+        for (i, &label) in labels.iter().enumerate() {
+            for j in 0..16 {
+                let got = x.as_slice()[i * 16 + j];
+                let want = d.prototypes[label][j];
+                assert_eq!(got, want);
+            }
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Layers: convolution (with pluggable backward-filter engine), ReLU,
+//! max-pool, and a fully connected head.
+
+use winrs_conv::{direct, ConvShape};
+use winrs_core::{Precision, WinRsPlan};
+use winrs_gpu_sim::DeviceSpec;
+use winrs_tensor::Tensor4;
+
+/// How a [`Conv2d`] computes its filter gradients.
+pub enum GradEngine {
+    /// Direct (exact) convolution — the baseline curve of Figure 13.
+    Direct,
+    /// WinRS in FP32.
+    WinRsFp32 {
+        /// Device the plan is configured for (affects Z, not numerics
+        /// semantics beyond segmentation).
+        device: DeviceSpec,
+    },
+    /// WinRS in FP16 with loss scaling: `∇Y` is scaled by `scale`, cast to
+    /// binary16, convolved, and the result unscaled in FP32 — the paper's
+    /// §6.3 training setup.
+    WinRsFp16 {
+        /// Device for plan configuration.
+        device: DeviceSpec,
+        /// Loss scale `S` (e.g. 1024.0).
+        scale: f32,
+    },
+}
+
+/// A stride-1 "same" convolution layer, NHWC, with bias-free filters.
+pub struct Conv2d {
+    shape_template: ConvShape,
+    /// Filters `(O_C, F, F, I_C)`.
+    pub weights: Tensor4<f32>,
+    /// Gradients of the last backward pass.
+    pub grad_weights: Tensor4<f32>,
+    engine: GradEngine,
+    cached_input: Option<Tensor4<f32>>,
+    cached_plan: Option<(usize, WinRsPlan)>,
+}
+
+impl Conv2d {
+    /// Create with He-style random initialisation.
+    pub fn new(res: usize, ic: usize, oc: usize, f: usize, engine: GradEngine, seed: u64) -> Self {
+        let shape = ConvShape::square(1, res, ic, oc, f);
+        let fan_in = (f * f * ic) as f64;
+        let std = (2.0 / fan_in).sqrt();
+        let weights =
+            Tensor4::<f32>::random_uniform([oc, f, f, ic], seed, 2.0 * std).map(|w| w - (std as f32));
+        Conv2d {
+            shape_template: shape,
+            grad_weights: Tensor4::zeros([oc, f, f, ic]),
+            weights,
+            engine,
+            cached_input: None,
+            cached_plan: None,
+        }
+    }
+
+    fn shape_for_batch(&self, n: usize) -> ConvShape {
+        let s = self.shape_template;
+        ConvShape::new(n, s.ih, s.iw, s.ic, s.oc, s.fh, s.fw, s.ph, s.pw)
+    }
+
+    /// Forward: `Y = X ⊛ W`.
+    pub fn forward(&mut self, x: &Tensor4<f32>) -> Tensor4<f32> {
+        let n = x.dims()[0];
+        let shape = self.shape_for_batch(n);
+        self.cached_input = Some(x.clone());
+        direct::fc_direct(&shape, x, &self.weights)
+    }
+
+    /// Backward: computes `∇W` via the configured engine and returns `∇X`.
+    pub fn backward(&mut self, dy: &Tensor4<f32>) -> Tensor4<f32> {
+        let n = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward")
+            .dims()[0];
+        let shape = self.shape_for_batch(n);
+
+        // Decide precision/scale first (DeviceSpec is Copy) so the plan can
+        // be built with a clean mutable borrow.
+        let (precision, scale, device) = match &self.engine {
+            GradEngine::Direct => (None, 0.0, None),
+            GradEngine::WinRsFp32 { device } => (Some(Precision::Fp32), 0.0, Some(*device)),
+            GradEngine::WinRsFp16 { device, scale } => {
+                (Some(Precision::Fp16), *scale, Some(*device))
+            }
+        };
+        if let (Some(p), Some(d)) = (precision, device) {
+            self.ensure_plan(n, &d, p);
+        }
+
+        let x = self.cached_input.as_ref().unwrap();
+        self.grad_weights = match precision {
+            None => direct::bfc_direct(&shape, x, dy),
+            Some(Precision::Fp32) => {
+                let plan = &self.cached_plan.as_ref().unwrap().1;
+                plan.execute_f32(x, dy)
+            }
+            Some(Precision::Fp16) => {
+                let plan = &self.cached_plan.as_ref().unwrap().1;
+                let x16 = x.cast::<winrs_tensor::f16>();
+                let dy16 = dy.scale(scale as f64).cast::<winrs_tensor::f16>();
+                let dw16 = plan.execute_f16(&x16, &dy16);
+                let inv = 1.0 / scale;
+                Tensor4::from_vec(
+                    dw16.dims(),
+                    dw16.as_slice().iter().map(|v| v.to_f32() * inv).collect(),
+                )
+            }
+            // BF16 training is not wired into the NN stack (the paper's
+            // Figure 13 covers FP32 and FP16 + loss scaling only).
+            Some(Precision::Bf16) => unreachable!("BF16 GradEngine not constructed"),
+        };
+        direct::bdc_direct(&shape, dy, &self.weights)
+    }
+
+    fn ensure_plan(&mut self, n: usize, device: &DeviceSpec, precision: Precision) {
+        let needs_rebuild = self
+            .cached_plan
+            .as_ref()
+            .is_none_or(|(cached_n, _)| *cached_n != n);
+        if needs_rebuild {
+            let shape = self.shape_for_batch(n);
+            self.cached_plan = Some((n, WinRsPlan::new(&shape, device, precision)));
+        }
+    }
+
+    /// SGD step.
+    pub fn sgd_step(&mut self, lr: f32) {
+        for (w, g) in self
+            .weights
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.grad_weights.as_slice())
+        {
+            *w -= lr * g;
+        }
+    }
+}
+
+/// Element-wise ReLU.
+#[derive(Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Forward pass; caches the activation mask.
+    pub fn forward(&mut self, x: &Tensor4<f32>) -> Tensor4<f32> {
+        self.mask = x.as_slice().iter().map(|&v| v > 0.0).collect();
+        x.map(|v| if v > 0.0 { v } else { 0.0 })
+    }
+
+    /// Backward pass.
+    pub fn backward(&self, dy: &Tensor4<f32>) -> Tensor4<f32> {
+        let data = dy
+            .as_slice()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor4::from_vec(dy.dims(), data)
+    }
+}
+
+/// 2×2 max pooling, stride 2.
+#[derive(Default)]
+pub struct MaxPool2 {
+    argmax: Vec<usize>,
+    in_dims: [usize; 4],
+}
+
+impl MaxPool2 {
+    /// Forward pass; caches argmax indices.
+    pub fn forward(&mut self, x: &Tensor4<f32>) -> Tensor4<f32> {
+        let [n, h, w, c] = x.dims();
+        assert!(h % 2 == 0 && w % 2 == 0, "MaxPool2 needs even dims");
+        self.in_dims = x.dims();
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor4::zeros([n, oh, ow, c]);
+        self.argmax = vec![0; n * oh * ow * c];
+        for b in 0..n {
+            for i in 0..oh {
+                for j in 0..ow {
+                    for ch in 0..c {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for di in 0..2 {
+                            for dj in 0..2 {
+                                let idx = x.offset(b, 2 * i + di, 2 * j + dj, ch);
+                                let v = x.as_slice()[idx];
+                                if v > best {
+                                    best = v;
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out[(b, i, j, ch)] = best;
+                        self.argmax[out.offset(b, i, j, ch)] = best_idx;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: route gradients to the argmax positions.
+    pub fn backward(&self, dy: &Tensor4<f32>) -> Tensor4<f32> {
+        let mut dx = Tensor4::zeros(self.in_dims);
+        for (flat, &g) in dy.as_slice().iter().enumerate() {
+            dx.as_mut_slice()[self.argmax[flat]] += g;
+        }
+        dx
+    }
+}
+
+/// Fully connected layer over the flattened feature map.
+pub struct Linear {
+    /// Weights `(out, in)` row-major.
+    pub weights: Vec<f32>,
+    /// Bias.
+    pub bias: Vec<f32>,
+    /// Last input (flattened), for the backward pass.
+    cached: Vec<f32>,
+    in_features: usize,
+    out_features: usize,
+    /// Weight gradients.
+    pub grad_w: Vec<f32>,
+    /// Bias gradients.
+    pub grad_b: Vec<f32>,
+    in_dims: [usize; 4],
+}
+
+impl Linear {
+    /// Xavier-ish init.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        let t = Tensor4::<f32>::random_uniform([1, 1, out_features, in_features], seed, 1.0);
+        let scale = (1.0 / in_features as f32).sqrt();
+        Linear {
+            weights: t.as_slice().iter().map(|v| (v - 0.5) * 2.0 * scale).collect(),
+            bias: vec![0.0; out_features],
+            cached: Vec::new(),
+            in_features,
+            out_features,
+            grad_w: vec![0.0; in_features * out_features],
+            grad_b: vec![0.0; out_features],
+            in_dims: [0; 4],
+        }
+    }
+
+    /// Forward: logits `(N, classes)` as a flat vector.
+    pub fn forward(&mut self, x: &Tensor4<f32>) -> Vec<f32> {
+        let n = x.dims()[0];
+        let per = x.len() / n;
+        assert_eq!(per, self.in_features, "Linear input size");
+        self.in_dims = x.dims();
+        self.cached = x.as_slice().to_vec();
+        let mut out = vec![0.0f32; n * self.out_features];
+        for b in 0..n {
+            let xi = &self.cached[b * per..(b + 1) * per];
+            for o in 0..self.out_features {
+                let row = &self.weights[o * per..(o + 1) * per];
+                out[b * self.out_features + o] =
+                    self.bias[o] + row.iter().zip(xi).map(|(w, v)| w * v).sum::<f32>();
+            }
+        }
+        out
+    }
+
+    /// Backward from logit gradients; accumulates parameter gradients and
+    /// returns input gradients.
+    pub fn backward(&mut self, dlogits: &[f32]) -> Tensor4<f32> {
+        let n = self.in_dims[0];
+        let per = self.in_features;
+        self.grad_w.fill(0.0);
+        self.grad_b.fill(0.0);
+        let mut dx = vec![0.0f32; n * per];
+        for b in 0..n {
+            let xi = &self.cached[b * per..(b + 1) * per];
+            for o in 0..self.out_features {
+                let g = dlogits[b * self.out_features + o];
+                self.grad_b[o] += g;
+                let row = &self.weights[o * per..(o + 1) * per];
+                let grow = &mut self.grad_w[o * per..(o + 1) * per];
+                for i in 0..per {
+                    grow[i] += g * xi[i];
+                    dx[b * per + i] += g * row[i];
+                }
+            }
+        }
+        Tensor4::from_vec(self.in_dims, dx)
+    }
+
+    /// SGD step.
+    pub fn sgd_step(&mut self, lr: f32) {
+        for (w, g) in self.weights.iter_mut().zip(&self.grad_w) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.bias.iter_mut().zip(&self.grad_b) {
+            *b -= lr * g;
+        }
+    }
+}
+
+/// Softmax cross-entropy: returns `(mean loss, dlogits)`.
+pub fn softmax_cross_entropy(logits: &[f32], labels: &[usize], classes: usize) -> (f32, Vec<f32>) {
+    let n = labels.len();
+    assert_eq!(logits.len(), n * classes);
+    let mut dlogits = vec![0.0f32; logits.len()];
+    let mut loss = 0.0f32;
+    for b in 0..n {
+        let row = &logits[b * classes..(b + 1) * classes];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let probs: Vec<f32> = exps.iter().map(|e| e / sum).collect();
+        loss -= probs[labels[b]].max(1e-12).ln();
+        for c in 0..classes {
+            dlogits[b * classes + c] =
+                (probs[c] - if c == labels[b] { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    (loss / n as f32, dlogits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winrs_gpu_sim::RTX_4090;
+
+    #[test]
+    fn conv_backward_winrs_matches_direct() {
+        let mut a = Conv2d::new(8, 2, 3, 3, GradEngine::Direct, 1);
+        let mut b = Conv2d::new(8, 2, 3, 3, GradEngine::WinRsFp32 { device: RTX_4090 }, 1);
+        assert_eq!(a.weights, b.weights); // same seed
+        let x = Tensor4::<f32>::random_uniform([2, 8, 8, 2], 5, 1.0);
+        let ya = a.forward(&x);
+        let yb = b.forward(&x);
+        assert_eq!(ya, yb);
+        let dy = Tensor4::<f32>::random_uniform(ya.dims(), 6, 1.0);
+        let dxa = a.backward(&dy);
+        let dxb = b.backward(&dy);
+        assert_eq!(dxa, dxb); // BDC identical (direct both)
+        let m = winrs_tensor::mare(&b.grad_weights, &a.grad_weights);
+        assert!(m < 1e-5, "MARE {m}");
+    }
+
+    #[test]
+    fn relu_masks_gradients() {
+        let mut r = Relu::default();
+        let x = Tensor4::from_vec([1, 1, 1, 4], vec![-1.0, 2.0, -3.0, 4.0]);
+        let y = r.forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+        let dy = Tensor4::from_vec([1, 1, 1, 4], vec![1.0; 4]);
+        let dx = r.backward(&dy);
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_routes_gradient_to_argmax() {
+        let mut p = MaxPool2::default();
+        let x = Tensor4::from_vec([1, 2, 2, 1], vec![1.0, 5.0, 3.0, 2.0]);
+        let y = p.forward(&x);
+        assert_eq!(y.as_slice(), &[5.0]);
+        let dy = Tensor4::from_vec([1, 1, 1, 1], vec![7.0]);
+        let dx = p.backward(&dy);
+        assert_eq!(dx.as_slice(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn linear_gradcheck() {
+        let mut l = Linear::new(3, 2, 11);
+        let x = Tensor4::from_vec([1, 1, 1, 3], vec![0.5, -1.0, 2.0]);
+        let logits = l.forward(&x);
+        let labels = vec![1usize];
+        let (loss0, dlogits) = softmax_cross_entropy(&logits, &labels, 2);
+        l.backward(&dlogits);
+        // Finite-difference check one weight.
+        let eps = 1e-3;
+        let idx = 4;
+        let mut l2 = Linear::new(3, 2, 11);
+        l2.weights[idx] += eps;
+        let logits2 = l2.forward(&x);
+        let (loss1, _) = softmax_cross_entropy(&logits2, &labels, 2);
+        let fd = (loss1 - loss0) / eps;
+        assert!(
+            (fd - l.grad_w[idx]).abs() < 1e-2,
+            "fd {fd} vs {}",
+            l.grad_w[idx]
+        );
+    }
+
+    #[test]
+    fn softmax_ce_prefers_correct_label() {
+        let logits = vec![10.0, -10.0];
+        let (loss_right, _) = softmax_cross_entropy(&logits, &[0], 2);
+        let (loss_wrong, _) = softmax_cross_entropy(&logits, &[1], 2);
+        assert!(loss_right < 1e-3);
+        assert!(loss_wrong > 5.0);
+    }
+}

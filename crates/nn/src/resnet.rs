@@ -1,0 +1,187 @@
+//! A ResNet basic block on the WinRS gradient substrate.
+//!
+//! The paper trains ResNet-34/50 (§6.3). This module provides the basic
+//! residual block — conv3×3 → ReLU → conv3×3 → (+ skip) → ReLU — with both
+//! convolutions' filter gradients computed by the configured engine, plus a
+//! tiny residual classifier used to reproduce the Figure 13 protocol on a
+//! skip-connected architecture (skip connections change gradient flow, so
+//! convergence parity here is a stronger check than the plain CNN's).
+
+use crate::layers::{softmax_cross_entropy, Conv2d, GradEngine, Linear, Relu};
+use crate::model::Backend;
+use winrs_gpu_sim::DeviceSpec;
+use winrs_tensor::Tensor4;
+
+/// conv3×3 → ReLU → conv3×3 → add skip → ReLU, constant channel count.
+pub struct BasicBlock {
+    conv1: Conv2d,
+    relu1: Relu,
+    conv2: Conv2d,
+    relu_out: Relu,
+}
+
+impl BasicBlock {
+    /// Build a block for `res×res×channels` activations.
+    pub fn new(res: usize, channels: usize, backend: Backend, device: DeviceSpec, seed: u64) -> Self {
+        let engine = || match backend {
+            Backend::Direct => GradEngine::Direct,
+            Backend::WinRsFp32 => GradEngine::WinRsFp32 { device },
+            Backend::WinRsFp16 => GradEngine::WinRsFp16 {
+                device,
+                scale: 1024.0,
+            },
+        };
+        BasicBlock {
+            conv1: Conv2d::new(res, channels, channels, 3, engine(), seed + 1),
+            relu1: Relu::default(),
+            conv2: Conv2d::new(res, channels, channels, 3, engine(), seed + 2),
+            relu_out: Relu::default(),
+        }
+    }
+
+    /// Forward pass (caches activations for backward).
+    pub fn forward(&mut self, x: &Tensor4<f32>) -> Tensor4<f32> {
+        let a1 = self.conv1.forward(x);
+        let a2 = self.relu1.forward(&a1);
+        let a3 = self.conv2.forward(&a2);
+        // Residual add.
+        let summed = Tensor4::from_vec(
+            a3.dims(),
+            a3.as_slice()
+                .iter()
+                .zip(x.as_slice())
+                .map(|(a, b)| a + b)
+                .collect(),
+        );
+        self.relu_out.forward(&summed)
+    }
+
+    /// Backward pass: returns `∇X` (both the conv path and the skip path
+    /// contribute).
+    pub fn backward(&mut self, dy: &Tensor4<f32>) -> Tensor4<f32> {
+        let g_sum = self.relu_out.backward(dy);
+        let g3 = self.conv2.backward(&g_sum);
+        let g2 = self.relu1.backward(&g3);
+        let g1 = self.conv1.backward(&g2);
+        // Skip path adds the post-add gradient directly.
+        Tensor4::from_vec(
+            g1.dims(),
+            g1.as_slice()
+                .iter()
+                .zip(g_sum.as_slice())
+                .map(|(a, b)| a + b)
+                .collect(),
+        )
+    }
+
+    /// SGD step on both convolutions.
+    pub fn sgd_step(&mut self, lr: f32) {
+        self.conv1.sgd_step(lr);
+        self.conv2.sgd_step(lr);
+    }
+}
+
+/// block → flatten → linear classifier: the smallest residual network that
+/// exercises skip-connected gradient flow.
+pub struct TinyResNet {
+    block: BasicBlock,
+    fc: Linear,
+    classes: usize,
+}
+
+impl TinyResNet {
+    /// Build for `res×res×channels` inputs.
+    pub fn new(
+        res: usize,
+        channels: usize,
+        classes: usize,
+        backend: Backend,
+        device: DeviceSpec,
+        seed: u64,
+    ) -> TinyResNet {
+        TinyResNet {
+            block: BasicBlock::new(res, channels, backend, device, seed),
+            fc: Linear::new(res * res * channels, classes, seed + 9),
+            classes,
+        }
+    }
+
+    /// One SGD step; returns the batch loss.
+    pub fn train_step(&mut self, x: &Tensor4<f32>, labels: &[usize], lr: f32) -> f32 {
+        let a = self.block.forward(x);
+        let logits = self.fc.forward(&a);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, labels, self.classes);
+        let g = self.fc.backward(&dlogits);
+        let _ = self.block.backward(&g);
+        self.fc.sgd_step(lr);
+        self.block.sgd_step(lr);
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticDataset;
+    use winrs_gpu_sim::RTX_4090;
+
+    #[test]
+    fn block_backward_matches_finite_differences_through_skip() {
+        // ∂loss/∂x via the block must include the identity path: check one
+        // input element by central differences with loss = Σ y ⊙ g.
+        let mut block = BasicBlock::new(6, 2, Backend::Direct, RTX_4090, 3);
+        let x = Tensor4::<f32>::random_uniform([1, 6, 6, 2], 10, 1.0);
+        let g = Tensor4::<f32>::random_uniform([1, 6, 6, 2], 11, 1.0);
+        let y = block.forward(&x);
+        let _ = y;
+        let dx = block.backward(&g);
+
+        let loss = |block: &mut BasicBlock, x: &Tensor4<f32>| -> f64 {
+            block
+                .forward(x)
+                .as_slice()
+                .iter()
+                .zip(g.as_slice())
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum()
+        };
+        let eps = 1e-3f32;
+        for &(i, j, c) in &[(0usize, 0usize, 0usize), (3, 4, 1), (5, 5, 0)] {
+            let mut xp = x.clone();
+            xp[(0, i, j, c)] += eps;
+            let mut xm = x.clone();
+            xm[(0, i, j, c)] -= eps;
+            let fd = (loss(&mut block, &xp) - loss(&mut block, &xm)) / (2.0 * eps as f64);
+            let an = dx[(0, i, j, c)] as f64;
+            assert!(
+                (fd - an).abs() < 2e-2 * an.abs().max(1.0),
+                "({i},{j},{c}): fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_resnet_converges_with_winrs_gradients() {
+        let mut data = SyntheticDataset::new(6, 2, 2, 0.05, 77);
+        let mut direct = TinyResNet::new(6, 2, 2, Backend::Direct, RTX_4090, 5);
+        let mut winrs = TinyResNet::new(6, 2, 2, Backend::WinRsFp32, RTX_4090, 5);
+        let mut last = (0.0f32, 0.0f32);
+        let mut first = (0.0f32, 0.0f32);
+        for step in 0..40 {
+            let (x, l) = data.batch(8);
+            let ld = direct.train_step(&x, &l, 0.03);
+            let lw = winrs.train_step(&x, &l, 0.03);
+            if step == 0 {
+                first = (ld, lw);
+            }
+            last = (ld, lw);
+        }
+        assert!(last.0 < first.0 * 0.8, "direct failed to learn: {first:?} -> {last:?}");
+        assert!(last.1 < first.1 * 0.8, "winrs failed to learn");
+        // Same data + init: curves coincide.
+        assert!(
+            (last.0 - last.1).abs() < 0.05 * last.0.max(0.1),
+            "divergence: {last:?}"
+        );
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! Exact rational arithmetic and small dense rational matrices.
+//!
+//! This crate is the numerical foundation for deriving Winograd transform
+//! matrices via the Cook–Toom construction (see `winrs-winograd`). Transform
+//! matrices must be derived *exactly*: they are products and inverses of
+//! Vandermonde-style matrices whose entries are small rationals, and any
+//! floating-point rounding during derivation would contaminate every
+//! convolution computed with them. All arithmetic here is performed over
+//! `i128` fractions in lowest terms, with checked operations that panic
+//! loudly on overflow rather than silently wrapping.
+//!
+//! The crate deliberately has no dependencies; it is a leaf substrate.
+
+mod matrix;
+mod rational;
+
+pub use matrix::RatMatrix;
+pub use rational::Rational;
+
+/// Convenience constructor: `rat(3, 4)` is 3/4 in lowest terms.
+pub fn rat(num: i128, den: i128) -> Rational {
+    Rational::new(num, den)
+}

@@ -1,0 +1,304 @@
+//! Small dense matrices over [`Rational`], sized for Winograd transform
+//! derivation (dimensions ≤ 16 in practice, no size limit enforced).
+
+use crate::Rational;
+use std::fmt;
+use std::ops::{Index, IndexMut, Mul};
+
+/// A row-major dense matrix of exact rationals.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RatMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rational>,
+}
+
+impl RatMatrix {
+    /// All-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        RatMatrix {
+            rows,
+            cols,
+            data: vec![Rational::ZERO; rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = RatMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Rational::ONE;
+        }
+        m
+    }
+
+    /// Build from a row-major closure.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Rational) -> Self {
+        let mut m = RatMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Build from nested slices (each inner slice is one row).
+    pub fn from_rows(rows: &[Vec<Rational>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        assert!(
+            rows.iter().all(|row| row.len() == c),
+            "ragged rows in RatMatrix::from_rows"
+        );
+        RatMatrix {
+            rows: r,
+            cols: c,
+            data: rows.concat(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        RatMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Exact inverse via Gauss–Jordan elimination with partial (nonzero)
+    /// pivoting. Panics if the matrix is singular or non-square.
+    pub fn inverse(&self) -> Self {
+        assert_eq!(self.rows, self.cols, "inverse of non-square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = RatMatrix::identity(n);
+        for col in 0..n {
+            // Find a nonzero pivot (exact arithmetic: any nonzero works).
+            let pivot_row = (col..n)
+                .find(|&r| !a[(r, col)].is_zero())
+                .unwrap_or_else(|| panic!("singular matrix in RatMatrix::inverse (col {col})"));
+            if pivot_row != col {
+                a.swap_rows(pivot_row, col);
+                inv.swap_rows(pivot_row, col);
+            }
+            let pivot = a[(col, col)];
+            for j in 0..n {
+                a[(col, j)] /= pivot;
+                inv[(col, j)] /= pivot;
+            }
+            for r in 0..n {
+                if r != col && !a[(r, col)].is_zero() {
+                    let factor = a[(r, col)];
+                    for j in 0..n {
+                        let av = a[(col, j)];
+                        let iv = inv[(col, j)];
+                        a[(r, j)] -= factor * av;
+                        inv[(r, j)] -= factor * iv;
+                    }
+                }
+            }
+        }
+        inv
+    }
+
+    fn swap_rows(&mut self, r0: usize, r1: usize) {
+        if r0 == r1 {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(r0 * self.cols + j, r1 * self.cols + j);
+        }
+    }
+
+    /// Scale every element of row `r` by `s`.
+    pub fn scale_row(&mut self, r: usize, s: Rational) {
+        for j in 0..self.cols {
+            self[(r, j)] *= s;
+        }
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: &[Rational]) -> Vec<Rational> {
+        assert_eq!(v.len(), self.cols, "mul_vec dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let mut acc = Rational::ZERO;
+                for j in 0..self.cols {
+                    acc += self[(i, j)] * v[j];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Row-major `f64` rendering of the matrix.
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.data.iter().map(Rational::to_f64).collect()
+    }
+
+    /// Row-major `f32` rendering of the matrix.
+    pub fn to_f32(&self) -> Vec<f32> {
+        self.data.iter().map(Rational::to_f32).collect()
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[Rational] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// L1 norm of row `i` (sum of absolute values).
+    pub fn row_l1_norm(&self, i: usize) -> Rational {
+        self.row(i)
+            .iter()
+            .fold(Rational::ZERO, |acc, x| acc + x.abs())
+    }
+
+    /// Largest absolute element of the matrix.
+    pub fn max_abs(&self) -> Rational {
+        self.data
+            .iter()
+            .map(Rational::abs)
+            .max()
+            .unwrap_or(Rational::ZERO)
+    }
+
+    /// Smallest nonzero absolute element of the matrix, if any.
+    pub fn min_abs_nonzero(&self) -> Option<Rational> {
+        self.data
+            .iter()
+            .filter(|x| !x.is_zero())
+            .map(Rational::abs)
+            .min()
+    }
+}
+
+impl Index<(usize, usize)> for RatMatrix {
+    type Output = Rational;
+    fn index(&self, (i, j): (usize, usize)) -> &Rational {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for RatMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Rational {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Mul<&RatMatrix> for &RatMatrix {
+    type Output = RatMatrix;
+    fn mul(self, rhs: &RatMatrix) -> RatMatrix {
+        assert_eq!(self.cols, rhs.rows, "matrix product dimension mismatch");
+        RatMatrix::from_fn(self.rows, rhs.cols, |i, j| {
+            let mut acc = Rational::ZERO;
+            for k in 0..self.cols {
+                acc += self[(i, k)] * rhs[(k, j)];
+            }
+            acc
+        })
+    }
+}
+
+impl fmt::Debug for RatMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RatMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:>8} ", format!("{}", self[(i, j)]))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat;
+
+    #[test]
+    fn identity_times_anything() {
+        let m = RatMatrix::from_fn(3, 3, |i, j| rat((i * 3 + j) as i128, 1));
+        let id = RatMatrix::identity(3);
+        assert_eq!(&id * &m, m);
+        assert_eq!(&m * &id, m);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = RatMatrix::from_fn(2, 4, |i, j| rat(i as i128 + 1, j as i128 + 1));
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().nrows(), 4);
+        assert_eq!(m.transpose().ncols(), 2);
+    }
+
+    #[test]
+    fn inverse_of_vandermonde() {
+        // Vandermonde at points 0, 1, -1 is well-conditioned and invertible.
+        let points = [rat(0, 1), rat(1, 1), rat(-1, 1)];
+        let v = RatMatrix::from_fn(3, 3, |i, j| points[i].pow(j as i32));
+        let inv = v.inverse();
+        assert_eq!(&v * &inv, RatMatrix::identity(3));
+        assert_eq!(&inv * &v, RatMatrix::identity(3));
+    }
+
+    #[test]
+    fn inverse_with_fractional_entries() {
+        let m = RatMatrix::from_rows(&[
+            vec![rat(1, 2), rat(1, 3)],
+            vec![rat(1, 4), rat(1, 5)],
+        ]);
+        let inv = m.inverse();
+        assert_eq!(&m * &inv, RatMatrix::identity(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_inverse_panics() {
+        let m = RatMatrix::from_rows(&[
+            vec![rat(1, 1), rat(2, 1)],
+            vec![rat(2, 1), rat(4, 1)],
+        ]);
+        let _ = m.inverse();
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let m = RatMatrix::from_rows(&[
+            vec![rat(1, 1), rat(2, 1)],
+            vec![rat(3, 1), rat(4, 1)],
+        ]);
+        let v = [rat(5, 1), rat(6, 1)];
+        assert_eq!(m.mul_vec(&v), vec![rat(17, 1), rat(39, 1)]);
+    }
+
+    #[test]
+    fn row_l1_and_extrema() {
+        let m = RatMatrix::from_rows(&[
+            vec![rat(-1, 2), rat(1, 4)],
+            vec![rat(0, 1), rat(3, 1)],
+        ]);
+        assert_eq!(m.row_l1_norm(0), rat(3, 4));
+        assert_eq!(m.max_abs(), rat(3, 1));
+        assert_eq!(m.min_abs_nonzero(), Some(rat(1, 4)));
+    }
+
+    #[test]
+    fn to_f64_roundtrip_for_dyadics() {
+        let m = RatMatrix::from_rows(&[vec![rat(1, 2), rat(-3, 8)]]);
+        assert_eq!(m.to_f64(), vec![0.5, -0.375]);
+        assert_eq!(m.to_f32(), vec![0.5f32, -0.375f32]);
+    }
+}

@@ -1,0 +1,346 @@
+//! An exact rational number over `i128`, always kept in lowest terms with a
+//! positive denominator.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A rational number `num/den` in lowest terms, `den > 0`.
+///
+/// Arithmetic is checked: overflow of the 128-bit intermediate panics with a
+/// descriptive message instead of wrapping. The magnitudes occurring during
+/// Cook–Toom derivation for transform sizes up to α = 16 with interpolation
+/// points up to ±4 stay far below `i128::MAX` (worst observed denominators
+/// are ~10^12), so panics indicate a genuine logic error.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+#[inline]
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// 0/1.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// 1/1.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Construct `num/den` reduced to lowest terms. Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// The integer `n` as a rational.
+    pub const fn integer(n: i128) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// True iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// True iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn recip(&self) -> Self {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Integer power (negative exponents allowed for nonzero values).
+    pub fn pow(&self, exp: i32) -> Self {
+        if exp == 0 {
+            return Rational::ONE;
+        }
+        let base = if exp < 0 { self.recip() } else { *self };
+        let mut acc = Rational::ONE;
+        for _ in 0..exp.unsigned_abs() {
+            acc *= base;
+        }
+        acc
+    }
+
+    /// Nearest `f64`. Exact when numerator and denominator are exactly
+    /// representable and the quotient rounds once (true for all transform
+    /// entries this repo produces).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Nearest `f32` via the `f64` value.
+    pub fn to_f32(&self) -> f32 {
+        self.to_f64() as f32
+    }
+
+    fn checked_new(num: Option<i128>, den: Option<i128>, op: &str) -> Self {
+        match (num, den) {
+            (Some(n), Some(d)) => Rational::new(n, d),
+            _ => panic!("Rational overflow in {op}"),
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::integer(n as i128)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Self {
+        Rational::integer(n as i128)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        // a/b + c/d = (a*d + c*b) / (b*d), reduced by g = gcd(b, d) early to
+        // keep intermediates small.
+        let g = gcd(self.den, rhs.den).max(1);
+        let lhs_scaled = self.num.checked_mul(rhs.den / g);
+        let rhs_scaled = rhs.num.checked_mul(self.den / g);
+        let num = match (lhs_scaled, rhs_scaled) {
+            (Some(a), Some(b)) => a.checked_add(b),
+            _ => None,
+        };
+        let den = (self.den / g).checked_mul(rhs.den);
+        Rational::checked_new(num, den, "add")
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce before multiplying to delay overflow.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        let num = (self.num / g1).checked_mul(rhs.num / g2);
+        let den = (self.den / g2).checked_mul(rhs.den / g1);
+        Rational::checked_new(num, den, "mul")
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a · b⁻¹ is the definition
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d (b, d > 0)  <=>  a*d vs c*b.
+        let lhs = self.num.checked_mul(other.den);
+        let rhs = other.num.checked_mul(self.den);
+        match (lhs, rhs) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            _ => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .expect("rational comparison"),
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        let r = Rational::new(6, 8);
+        assert_eq!(r.numer(), 3);
+        assert_eq!(r.denom(), 4);
+    }
+
+    #[test]
+    fn sign_normalised_to_numerator() {
+        let r = Rational::new(3, -4);
+        assert_eq!(r.numer(), -3);
+        assert_eq!(r.denom(), 4);
+        assert_eq!(Rational::new(-3, -4), Rational::new(3, 4));
+    }
+
+    #[test]
+    fn zero_reduces() {
+        let r = Rational::new(0, -17);
+        assert_eq!(r, Rational::ZERO);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        let half = Rational::new(1, 2);
+        assert_eq!(half.pow(3), Rational::new(1, 8));
+        assert_eq!(half.pow(-2), Rational::integer(4));
+        assert_eq!(half.pow(0), Rational::ONE);
+        assert_eq!(half.recip(), Rational::integer(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_of_zero_panics() {
+        let _ = Rational::ZERO.recip();
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert_eq!(
+            Rational::new(2, 4).cmp(&Rational::new(1, 2)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Rational::new(1, 4).to_f64(), 0.25);
+        assert_eq!(Rational::new(-3, 8).to_f32(), -0.375);
+        assert_eq!(Rational::from(7i64), Rational::integer(7));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Rational::new(3, 4)), "3/4");
+        assert_eq!(format!("{}", Rational::integer(-5)), "-5");
+    }
+
+    #[test]
+    fn abs_is_nonnegative() {
+        assert_eq!(Rational::new(-7, 3).abs(), Rational::new(7, 3));
+    }
+
+    #[test]
+    fn add_with_common_factors_avoids_blowup() {
+        // Denominators share large factors: early gcd keeps this in range.
+        let big = 1i128 << 60;
+        let a = Rational::new(1, big);
+        let b = Rational::new(1, big);
+        assert_eq!(a + b, Rational::new(2, big));
+    }
+}

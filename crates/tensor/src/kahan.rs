@@ -1,0 +1,109 @@
+//! Kahan (compensated) summation.
+//!
+//! The paper's reduction kernel sums per-segment `∇Ŵ` buckets "using FP32
+//! Kahan summation, to minimize accuracy loss" (§5.2). This module provides
+//! the accumulator used there and in the FP16 accuracy ablations.
+
+/// A compensated (Kahan) accumulator over `f32`.
+///
+/// Keeps a running compensation term `c` that captures the low-order bits
+/// lost in each addition, bounding the error of an `n`-term sum by `O(ε)`
+/// instead of `O(nε)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Kahan {
+    sum: f32,
+    c: f32,
+}
+
+impl Kahan {
+    /// Fresh zero accumulator.
+    pub fn new() -> Self {
+        Kahan::default()
+    }
+
+    /// Start from an existing value (compensation zero).
+    pub fn from_value(v: f32) -> Self {
+        Kahan { sum: v, c: 0.0 }
+    }
+
+    /// Add one term with compensation.
+    #[inline]
+    pub fn add(&mut self, x: f32) {
+        let y = x - self.c;
+        let t = self.sum + y;
+        // (t - sum) is the part of y that made it into the sum; the rest is
+        // the new compensation. Relies on no re-association: fine under
+        // default Rust float semantics.
+        self.c = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn value(&self) -> f32 {
+        self.sum
+    }
+
+    /// Compensated sum of a slice.
+    pub fn sum_slice(xs: &[f32]) -> f32 {
+        let mut acc = Kahan::new();
+        for &x in xs {
+            acc.add(x);
+        }
+        acc.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_plain_sum_for_benign_input() {
+        let xs: Vec<f32> = (1..=100).map(|i| i as f32).collect();
+        assert_eq!(Kahan::sum_slice(&xs), 5050.0);
+    }
+
+    #[test]
+    fn beats_naive_summation_on_adversarial_input() {
+        // Many tiny terms after one large one: naive f32 summation loses all
+        // of them; Kahan keeps them.
+        let n = 1_000_000usize;
+        let tiny = 1e-7f32;
+        let mut naive = 1.0f32;
+        let mut kahan = Kahan::from_value(1.0);
+        for _ in 0..n {
+            naive += tiny;
+            kahan.add(tiny);
+        }
+        let exact = 1.0 + n as f64 * tiny as f64;
+        let naive_err = (naive as f64 - exact).abs();
+        let kahan_err = (kahan.value() as f64 - exact).abs();
+        assert!(
+            kahan_err < naive_err / 100.0,
+            "kahan {kahan_err} vs naive {naive_err}"
+        );
+        assert!(kahan_err / exact < 1e-6);
+    }
+
+    #[test]
+    fn sub_ulp_terms_accumulate_in_compensation() {
+        // ulp(1e8) in f32 is 8, so naive addition of 0.5 never registers.
+        // Kahan's compensation collects the 0.5s until they surface.
+        let mut naive = 1e8f32;
+        let mut kahan = Kahan::from_value(1e8);
+        for _ in 0..1024 {
+            naive += 0.5;
+            kahan.add(0.5);
+        }
+        assert_eq!(naive, 1e8); // every term lost
+        assert_eq!(kahan.value(), 100_000_512.0); // exact
+    }
+
+    #[test]
+    fn from_value_seeds_sum() {
+        let mut k = Kahan::from_value(10.0);
+        k.add(5.0);
+        assert_eq!(k.value(), 15.0);
+    }
+}

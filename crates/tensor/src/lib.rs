@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! NHWC tensor substrate shared by every algorithm crate in the WinRS
+//! workspace.
+//!
+//! The paper (Table 1) fixes the layouts: input feature maps `X` are
+//! `N × I_H × I_W × I_C`, output gradients `∇Y` are `N × O_H × O_W × O_C`,
+//! and filter gradients `∇W` are `O_C × F_H × F_W × I_C`. Both are NHWC-style
+//! "channels last" layouts, so a single generic [`Tensor4`] with named-axis
+//! accessors covers all three.
+//!
+//! The [`Scalar`] trait abstracts the element type across the precisions the
+//! paper evaluates: `f64` (ground truth), `f32` (CUDA-core kernels), and the
+//! software [`winrs_fp16::f16`] / [`winrs_fp16::bf16`] (Tensor-Core
+//! kernels). Conversions go through `f64` so that mixed-precision paths can
+//! be expressed once.
+
+mod kahan;
+mod metrics;
+mod scalar;
+mod tensor4;
+mod tensorn;
+
+pub use kahan::Kahan;
+pub use metrics::{mare, max_abs_error, max_rel_error, rmse};
+pub use scalar::Scalar;
+pub use tensor4::Tensor4;
+pub use tensorn::{mare_n, TensorN};
+
+pub use winrs_fp16::{bf16, f16};

@@ -1,0 +1,126 @@
+//! Accuracy metrics used by the paper's evaluation.
+//!
+//! §6.3: "Accuracy is evaluated using Mean Absolute Relative Error (MARE),
+//! against FP64 ground truth." The comparisons are always performed in f64
+//! regardless of the precision under test.
+
+use crate::{Scalar, Tensor4};
+
+/// Mean Absolute Relative Error of `approx` against `exact`:
+/// `mean(|a_i - e_i| / |e_i|)` over elements with `e_i != 0`.
+///
+/// Elements whose exact value is zero are skipped (relative error is
+/// undefined there); with the paper's uniform-(0,1] test tensors this never
+/// drops anything in practice.
+pub fn mare<A: Scalar, E: Scalar>(approx: &Tensor4<A>, exact: &Tensor4<E>) -> f64 {
+    assert_eq!(approx.dims(), exact.dims(), "MARE shape mismatch");
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for (a, e) in approx.as_slice().iter().zip(exact.as_slice()) {
+        let ev = e.to_f64();
+        if ev != 0.0 {
+            total += (a.to_f64() - ev).abs() / ev.abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Largest absolute element-wise error.
+pub fn max_abs_error<A: Scalar, E: Scalar>(approx: &Tensor4<A>, exact: &Tensor4<E>) -> f64 {
+    assert_eq!(approx.dims(), exact.dims(), "shape mismatch");
+    approx
+        .as_slice()
+        .iter()
+        .zip(exact.as_slice())
+        .map(|(a, e)| (a.to_f64() - e.to_f64()).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Largest relative element-wise error over nonzero exact elements.
+pub fn max_rel_error<A: Scalar, E: Scalar>(approx: &Tensor4<A>, exact: &Tensor4<E>) -> f64 {
+    assert_eq!(approx.dims(), exact.dims(), "shape mismatch");
+    approx
+        .as_slice()
+        .iter()
+        .zip(exact.as_slice())
+        .filter(|(_, e)| e.to_f64() != 0.0)
+        .map(|(a, e)| (a.to_f64() - e.to_f64()).abs() / e.to_f64().abs())
+        .fold(0.0, f64::max)
+}
+
+/// Root-mean-square error.
+pub fn rmse<A: Scalar, E: Scalar>(approx: &Tensor4<A>, exact: &Tensor4<E>) -> f64 {
+    assert_eq!(approx.dims(), exact.dims(), "shape mismatch");
+    let n = approx.len().max(1);
+    let ss: f64 = approx
+        .as_slice()
+        .iter()
+        .zip(exact.as_slice())
+        .map(|(a, e)| {
+            let d = a.to_f64() - e.to_f64();
+            d * d
+        })
+        .sum();
+    (ss / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[f64]) -> Tensor4<f64> {
+        Tensor4::from_vec([1, 1, 1, vals.len()], vals.to_vec())
+    }
+
+    #[test]
+    fn identical_tensors_have_zero_error() {
+        let a = t(&[1.0, 2.0, -3.0]);
+        assert_eq!(mare(&a, &a), 0.0);
+        assert_eq!(max_abs_error(&a, &a), 0.0);
+        assert_eq!(rmse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mare_is_mean_of_relative_errors() {
+        let exact = t(&[1.0, 2.0, 4.0]);
+        let approx = t(&[1.1, 2.0, 3.8]); // rel errs: 0.1, 0, 0.05
+        let m = mare(&approx, &exact);
+        assert!((m - 0.05).abs() < 1e-12, "m = {m}");
+    }
+
+    #[test]
+    fn mare_skips_zero_exact_elements() {
+        let exact = t(&[0.0, 2.0]);
+        let approx = t(&[5.0, 2.2]); // first element undefined -> skipped
+        assert!((mare(&approx, &exact) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_metrics() {
+        let exact = t(&[1.0, -2.0]);
+        let approx = t(&[1.5, -1.0]);
+        assert_eq!(max_abs_error(&approx, &exact), 1.0);
+        assert_eq!(max_rel_error(&approx, &exact), 0.5);
+    }
+
+    #[test]
+    fn rmse_matches_manual() {
+        let exact = t(&[0.0, 0.0]);
+        let approx = t(&[3.0, 4.0]);
+        assert!((rmse(&approx, &exact) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_precision_comparison() {
+        let exact = Tensor4::<f64>::random_uniform([1, 4, 4, 4], 3, 1.0);
+        let half = exact.cast::<crate::f16>();
+        let m = mare(&half, &exact);
+        // Rounding to f16 gives relative error ~2^-11 on average.
+        assert!(m > 0.0 && m < 1e-3, "m = {m}");
+    }
+}

@@ -1,0 +1,209 @@
+//! The [`Scalar`] trait: one abstraction over the four precisions the paper
+//! evaluates.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+use winrs_fp16::{bf16, f16};
+
+/// An element type a convolution can be computed in.
+///
+/// `from_f64`/`to_f64` define the rounding behaviour of the type: for `f16`
+/// and `bf16` they round once with round-to-nearest-even, which is exactly
+/// the store-side rounding of a Tensor-Core pipeline. Arithmetic performed
+/// *through* the trait operators rounds after every operation — matching a
+/// scalar ALU of that precision — while mixed-precision kernels convert to
+/// `f32` explicitly, accumulate there, and round once on store.
+pub trait Scalar:
+    Copy
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Short name used in reports ("fp64", "fp32", "fp16", "bf16").
+    const NAME: &'static str;
+
+    /// Round an `f64` into this precision (one rounding).
+    fn from_f64(x: f64) -> Self;
+    /// Widen to `f64` (exact for every type here).
+    fn to_f64(self) -> f64;
+    /// Round an `f32` into this precision.
+    fn from_f32(x: f32) -> Self;
+    /// Widen to `f32` (exact for f32/f16/bf16; rounds for f64).
+    fn to_f32(self) -> f32;
+    /// Absolute value.
+    fn abs(self) -> Self;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NAME: &'static str = "fp64";
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        x as f64
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NAME: &'static str = "fp32";
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+}
+
+impl Scalar for f16 {
+    const ZERO: Self = f16::ZERO;
+    const ONE: Self = f16::ONE;
+    const NAME: &'static str = "fp16";
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        f16::from_f64(x)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f16::to_f64(self)
+    }
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        f16::from_f32(x)
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        f16::to_f32(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f16::abs(self)
+    }
+}
+
+impl Scalar for bf16 {
+    const ZERO: Self = bf16::ZERO;
+    const ONE: Self = bf16::ONE;
+    const NAME: &'static str = "bf16";
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        bf16::from_f32(x as f32)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        bf16::to_f64(self)
+    }
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        bf16::from_f32(x)
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        bf16::to_f32(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        bf16::abs(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_identity<T: Scalar>(vals: &[f64]) {
+        for &v in vals {
+            let t = T::from_f64(v);
+            assert_eq!(T::from_f64(t.to_f64()), t);
+        }
+    }
+
+    #[test]
+    fn roundtrips_are_idempotent() {
+        let vals = [0.0, 1.0, -1.5, 0.3333, 100.0, 1e-3];
+        roundtrip_identity::<f64>(&vals);
+        roundtrip_identity::<f32>(&vals);
+        roundtrip_identity::<f16>(&vals);
+        roundtrip_identity::<bf16>(&vals);
+    }
+
+    #[test]
+    fn names_distinct() {
+        let names = [f64::NAME, f32::NAME, f16::NAME, bf16::NAME];
+        assert_eq!(names, ["fp64", "fp32", "fp16", "bf16"]);
+    }
+
+    #[test]
+    fn constants_match() {
+        assert_eq!(f16::ONE.to_f64(), 1.0);
+        assert_eq!(bf16::ZERO.to_f64(), 0.0);
+    }
+
+    #[test]
+    fn generic_arithmetic_through_trait() {
+        fn dot<T: Scalar>(a: &[T], b: &[T]) -> T {
+            let mut acc = T::ZERO;
+            for (&x, &y) in a.iter().zip(b) {
+                acc += x * y;
+            }
+            acc
+        }
+        let a32: Vec<f32> = vec![1.0, 2.0, 3.0];
+        let b32: Vec<f32> = vec![4.0, 5.0, 6.0];
+        assert_eq!(dot(&a32, &b32), 32.0);
+
+        let a16: Vec<f16> = a32.iter().map(|&x| f16::from_f32(x)).collect();
+        let b16: Vec<f16> = b32.iter().map(|&x| f16::from_f32(x)).collect();
+        assert_eq!(dot(&a16, &b16).to_f32(), 32.0);
+    }
+}

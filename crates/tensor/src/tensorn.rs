@@ -1,0 +1,201 @@
+//! A dense dynamic-rank tensor in channels-last order, for the N-D
+//! convolution extension (paper §3, Level 2).
+
+use crate::Scalar;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A dense tensor of arbitrary rank, row-major with the last axis
+/// contiguous. Layout convention for feature maps:
+/// `[N, D₁, …, D_k, C]` — batch outermost, channels innermost, spatial
+/// axes in between.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TensorN<T> {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+    data: Vec<T>,
+}
+
+fn strides_for(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    strides
+}
+
+impl<T: Scalar> TensorN<T> {
+    /// Zero-filled tensor.
+    pub fn zeros(dims: &[usize]) -> TensorN<T> {
+        let len = dims.iter().product();
+        TensorN {
+            dims: dims.to_vec(),
+            strides: strides_for(dims),
+            data: vec![T::ZERO; len],
+        }
+    }
+
+    /// Deterministic uniform fill in `[0, scale)`.
+    pub fn random_uniform(dims: &[usize], seed: u64, scale: f64) -> TensorN<T> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len: usize = dims.iter().product();
+        TensorN {
+            dims: dims.to_vec(),
+            strides: strides_for(dims),
+            data: (0..len)
+                .map(|_| T::from_f64(rng.random::<f64>() * scale))
+                .collect(),
+        }
+    }
+
+    /// Shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Rank.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat data view.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Flat mutable data view.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Flat offset of a full index.
+    #[inline]
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.rank());
+        idx.iter()
+            .zip(&self.strides)
+            .map(|(&i, &s)| {
+                debug_assert!(i < usize::MAX);
+                i * s
+            })
+            .sum()
+    }
+
+    /// Read one element.
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> T {
+        self.data[self.offset(idx)]
+    }
+
+    /// Write one element.
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], v: T) {
+        let off = self.offset(idx);
+        self.data[off] = v;
+    }
+
+    /// Read with *signed spatial* coordinates: `outer` is the batch index,
+    /// `spatial` the middle axes (out-of-range reads return zero), `inner`
+    /// the channel. The tensor must have rank `spatial.len() + 2`.
+    pub fn get_padded(&self, outer: usize, spatial: &[isize], inner: usize) -> T {
+        debug_assert_eq!(self.rank(), spatial.len() + 2);
+        let mut off = outer * self.strides[0] + inner;
+        for (axis, &s) in spatial.iter().enumerate() {
+            let limit = self.dims[axis + 1];
+            if s < 0 || s as usize >= limit {
+                return T::ZERO;
+            }
+            off += s as usize * self.strides[axis + 1];
+        }
+        self.data[off]
+    }
+
+    /// Element-wise conversion.
+    pub fn cast<U: Scalar>(&self) -> TensorN<U> {
+        TensorN {
+            dims: self.dims.clone(),
+            strides: self.strides.clone(),
+            data: self.data.iter().map(|x| U::from_f64(x.to_f64())).collect(),
+        }
+    }
+}
+
+/// MARE between two same-shape `TensorN`s (see [`crate::mare`]).
+pub fn mare_n<A: Scalar, E: Scalar>(approx: &TensorN<A>, exact: &TensorN<E>) -> f64 {
+    assert_eq!(approx.dims(), exact.dims());
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (a, e) in approx.as_slice().iter().zip(exact.as_slice()) {
+        let ev = e.to_f64();
+        if ev != 0.0 {
+            total += (a.to_f64() - ev).abs() / ev.abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let t = TensorN::<f32>::zeros(&[2, 3, 4, 5, 6]);
+        assert_eq!(t.rank(), 5);
+        assert_eq!(t.len(), 720);
+        assert_eq!(t.offset(&[0, 0, 0, 0, 1]), 1);
+        assert_eq!(t.offset(&[0, 0, 0, 1, 0]), 6);
+        assert_eq!(t.offset(&[1, 0, 0, 0, 0]), 360);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = TensorN::<f64>::zeros(&[2, 2, 2, 2]);
+        t.set(&[1, 0, 1, 1], 42.0);
+        assert_eq!(t.get(&[1, 0, 1, 1]), 42.0);
+        assert_eq!(t.get(&[0, 0, 1, 1]), 0.0);
+    }
+
+    #[test]
+    fn padded_reads_are_zero_outside() {
+        let t = TensorN::<f32>::random_uniform(&[1, 3, 3, 3, 2], 1, 1.0);
+        assert_eq!(t.get_padded(0, &[-1, 0, 0], 0), 0.0);
+        assert_eq!(t.get_padded(0, &[0, 3, 0], 1), 0.0);
+        assert_eq!(t.get_padded(0, &[0, 0, -5], 0), 0.0);
+        let v = t.get_padded(0, &[1, 2, 0], 1);
+        assert_eq!(v, t.get(&[0, 1, 2, 0, 1]));
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = TensorN::<f64>::random_uniform(&[2, 4, 4, 2], 9, 1.0);
+        let b = TensorN::<f64>::random_uniform(&[2, 4, 4, 2], 9, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mare_n_matches_manual() {
+        let mut a = TensorN::<f64>::zeros(&[1, 2]);
+        let mut e = TensorN::<f64>::zeros(&[1, 2]);
+        a.set(&[0, 0], 1.1);
+        e.set(&[0, 0], 1.0);
+        a.set(&[0, 1], 2.0);
+        e.set(&[0, 1], 2.0);
+        assert!((mare_n(&a, &e) - 0.05).abs() < 1e-12);
+    }
+}

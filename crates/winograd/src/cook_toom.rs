@@ -1,0 +1,357 @@
+//! Cook–Toom derivation of Winograd minimal-filtering transforms.
+//!
+//! ## Construction
+//!
+//! `F(n, r)` computes the length-`n` correlation `y_i = Σ_k w_k · x_{i+k}`
+//! of a length-`α` input with a length-`r` filter, `α = n + r − 1`. It is
+//! the *transpose* of the Toom–Cook algorithm for multiplying a degree-(n−1)
+//! polynomial by a degree-(r−1) polynomial. With evaluation points
+//! `a_0 … a_{α−2}` plus the point at infinity:
+//!
+//! * `A ∈ ℝ^{α×n}`  — evaluation of degree-(n−1) polynomials:
+//!   `A[i][j] = a_i^j`, ∞-row `= e_{n−1}`.
+//! * `G ∈ ℝ^{α×r}`  — evaluation of degree-(r−1) polynomials:
+//!   `G[i][k] = a_i^k`, ∞-row `= e_{r−1}`.
+//! * `V ∈ ℝ^{α×α}`  — evaluation of degree-(α−1) polynomials (square
+//!   Vandermonde, ∞-row `= e_{α−1}`), and `D = V^{−1}`.
+//!
+//! Then `y = Aᵀ [(G·w) ⊙ (Dᵀ·x)]` holds *exactly* over the rationals, which
+//! the unit and property tests verify symbolically. This matches the paper's
+//! Eq. (1) with `D` as the input-transform matrix.
+//!
+//! The derivation is done entirely in exact rational arithmetic
+//! ([`winrs_rational`]); floating-point versions are materialised once via
+//! [`Transform::to_real`].
+
+use crate::points::finite_points;
+use winrs_rational::{RatMatrix, Rational};
+
+/// Exact (rational) transform matrices of one `F(n, r)` algorithm.
+#[derive(Clone, Debug)]
+pub struct Transform {
+    /// Output tile length.
+    pub n: usize,
+    /// Filter tile length.
+    pub r: usize,
+    /// Number of multiplications, `n + r − 1`.
+    pub alpha: usize,
+    /// Output transform source, `α × n`. Applied as `Aᵀ`.
+    pub a: RatMatrix,
+    /// Filter transform, `α × r`. Applied as `G`.
+    pub g: RatMatrix,
+    /// Input transform source, `α × α`. Applied as `Dᵀ`.
+    pub d: RatMatrix,
+    /// The finite interpolation points used (length `α − 1`).
+    pub points: Vec<Rational>,
+}
+
+impl Transform {
+    /// Derive `F(n, r)` with the canonical point family.
+    pub fn generate(n: usize, r: usize) -> Transform {
+        assert!(n >= 1 && r >= 1, "F(n, r) requires n, r >= 1");
+        let alpha = n + r - 1;
+        let pts = finite_points(alpha - 1);
+        Transform::generate_with_points(n, r, &pts)
+    }
+
+    /// Derive `F(n, r)` with caller-chosen finite points (plus implicit ∞).
+    pub fn generate_with_points(n: usize, r: usize, pts: &[Rational]) -> Transform {
+        let alpha = n + r - 1;
+        assert_eq!(pts.len(), alpha - 1, "need α − 1 finite points");
+
+        // Evaluation matrix for degree-(cols-1) polynomials at pts + ∞.
+        let eval = |cols: usize| {
+            RatMatrix::from_fn(alpha, cols, |i, j| {
+                if i < alpha - 1 {
+                    pts[i].pow(j as i32)
+                } else if j == cols - 1 {
+                    Rational::ONE // ∞ row picks the leading coefficient
+                } else {
+                    Rational::ZERO
+                }
+            })
+        };
+
+        let a = eval(n);
+        let g = eval(r);
+        let v = eval(alpha);
+        let d = v.inverse();
+
+        Transform {
+            n,
+            r,
+            alpha,
+            a,
+            g,
+            d,
+            points: pts.to_vec(),
+        }
+    }
+
+    /// Exact correlation through the Winograd pipeline, for validation:
+    /// `y = Aᵀ [(G·w) ⊙ (Dᵀ·x)]` over rationals.
+    pub fn convolve_exact(&self, x: &[Rational], w: &[Rational]) -> Vec<Rational> {
+        assert_eq!(x.len(), self.alpha);
+        assert_eq!(w.len(), self.r);
+        let gw = self.g.mul_vec(w);
+        let dx = self.d.transpose().mul_vec(x);
+        let ewm: Vec<Rational> = gw.iter().zip(&dx).map(|(&a, &b)| a * b).collect();
+        self.a.transpose().mul_vec(&ewm)
+    }
+
+    /// Materialise `f64`/`f32` row-major copies of the *applied* matrices
+    /// (`Aᵀ`, `G`, `Dᵀ`) for the compute kernels.
+    pub fn to_real(&self) -> TransformReal {
+        let at = self.a.transpose();
+        let dt = self.d.transpose();
+        TransformReal {
+            n: self.n,
+            r: self.r,
+            alpha: self.alpha,
+            at_f64: at.to_f64(),
+            g_f64: self.g.to_f64(),
+            dt_f64: dt.to_f64(),
+            at_f32: at.to_f32(),
+            g_f32: self.g.to_f32(),
+            dt_f32: dt.to_f32(),
+        }
+    }
+
+    /// Dynamic range of `D`: (max |d|, min nonzero |d|) as f64. The paper
+    /// notes Ω₁₆ matrices span 10⁻⁸…10⁵, motivating the scaling matrices.
+    pub fn d_dynamic_range(&self) -> (f64, f64) {
+        let max = self.d.max_abs().to_f64();
+        let min = self.d.min_abs_nonzero().map_or(0.0, |m| m.to_f64());
+        (max, min)
+    }
+}
+
+/// Floating-point rendering of a [`Transform`], laid out for kernels.
+///
+/// All matrices are row-major. `at` is `n × α` (so `y = at · m` is a plain
+/// matrix–vector product over the EWM result `m`), `g` is `α × r`, `dt` is
+/// `α × α`.
+#[derive(Clone, Debug)]
+pub struct TransformReal {
+    /// Output tile length.
+    pub n: usize,
+    /// Filter tile length.
+    pub r: usize,
+    /// Multiplication count `n + r − 1`.
+    pub alpha: usize,
+    /// `Aᵀ` in f64, row-major `n × α`.
+    pub at_f64: Vec<f64>,
+    /// `G` in f64, row-major `α × r`.
+    pub g_f64: Vec<f64>,
+    /// `Dᵀ` in f64, row-major `α × α`.
+    pub dt_f64: Vec<f64>,
+    /// `Aᵀ` in f32.
+    pub at_f32: Vec<f32>,
+    /// `G` in f32.
+    pub g_f32: Vec<f32>,
+    /// `Dᵀ` in f32.
+    pub dt_f32: Vec<f32>,
+}
+
+impl TransformReal {
+    /// Filter transform `Ĝw = G·w` in f32.
+    pub fn filter_transform_f32(&self, w: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(w.len(), self.r);
+        debug_assert_eq!(out.len(), self.alpha);
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.g_f32[i * self.r..(i + 1) * self.r];
+            let mut acc = 0.0f32;
+            for (k, &wv) in w.iter().enumerate() {
+                acc += row[k] * wv;
+            }
+            *o = acc;
+        }
+    }
+
+    /// Input transform `X̂ = Dᵀ·x` in f32.
+    pub fn input_transform_f32(&self, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.alpha);
+        debug_assert_eq!(out.len(), self.alpha);
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.dt_f32[i * self.alpha..(i + 1) * self.alpha];
+            let mut acc = 0.0f32;
+            for (k, &xv) in x.iter().enumerate() {
+                acc += row[k] * xv;
+            }
+            *o = acc;
+        }
+    }
+
+    /// Output transform `y = Aᵀ·m` in f32.
+    pub fn output_transform_f32(&self, m: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(m.len(), self.alpha);
+        debug_assert_eq!(out.len(), self.n);
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.at_f32[i * self.alpha..(i + 1) * self.alpha];
+            let mut acc = 0.0f32;
+            for (k, &mv) in m.iter().enumerate() {
+                acc += row[k] * mv;
+            }
+            *o = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winrs_rational::rat;
+
+    fn rational_direct_correlation(x: &[Rational], w: &[Rational], n: usize) -> Vec<Rational> {
+        (0..n)
+            .map(|i| {
+                let mut acc = Rational::ZERO;
+                for (k, &wk) in w.iter().enumerate() {
+                    acc += wk * x[i + k];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn check_exact(n: usize, r: usize) {
+        let t = Transform::generate(n, r);
+        let alpha = n + r - 1;
+        // Deterministic "random" rationals exercising fractions.
+        let x: Vec<Rational> = (0..alpha)
+            .map(|i| rat(2 * i as i128 + 1, (i as i128 % 3) + 1))
+            .collect();
+        let w: Vec<Rational> = (0..r).map(|k| rat(k as i128 - 2, 2)).collect();
+        let got = t.convolve_exact(&x, &w);
+        let want = rational_direct_correlation(&x, &w, n);
+        assert_eq!(got, want, "F({n},{r}) mismatch");
+    }
+
+    #[test]
+    fn f23_is_exact() {
+        check_exact(2, 3);
+    }
+
+    #[test]
+    fn f32_is_exact() {
+        check_exact(3, 2);
+    }
+
+    #[test]
+    fn f36_is_exact() {
+        check_exact(3, 6);
+    }
+
+    #[test]
+    fn all_13_winrs_kernels_are_exact() {
+        for &(n, r) in &[
+            (1usize, 2usize),
+            (2, 3),
+            (3, 2),
+            (3, 6),
+            (4, 5),
+            (5, 4),
+            (6, 3),
+            (7, 2),
+            (5, 12),
+            (6, 11),
+            (7, 10),
+            (8, 9),
+            (9, 8),
+        ] {
+            check_exact(n, r);
+        }
+    }
+
+    #[test]
+    fn alpha_is_n_plus_r_minus_1() {
+        let t = Transform::generate(4, 5);
+        assert_eq!(t.alpha, 8);
+        assert_eq!(t.a.nrows(), 8);
+        assert_eq!(t.a.ncols(), 4);
+        assert_eq!(t.g.nrows(), 8);
+        assert_eq!(t.g.ncols(), 5);
+        assert_eq!(t.d.nrows(), 8);
+        assert_eq!(t.d.ncols(), 8);
+    }
+
+    #[test]
+    fn f23_matches_known_unscaled_structure() {
+        // F(2,3) at points {0, 1, −1, ∞}: the G matrix must evaluate the
+        // filter polynomial at those points.
+        let t = Transform::generate(2, 3);
+        assert_eq!(t.g.row(0), &[rat(1, 1), rat(0, 1), rat(0, 1)]); // at 0
+        assert_eq!(t.g.row(1), &[rat(1, 1), rat(1, 1), rat(1, 1)]); // at 1
+        assert_eq!(t.g.row(2), &[rat(1, 1), rat(-1, 1), rat(1, 1)]); // at −1
+        assert_eq!(t.g.row(3), &[rat(0, 1), rat(0, 1), rat(1, 1)]); // at ∞
+    }
+
+    #[test]
+    fn alpha4_d_entries_are_small(){
+        // Paper Challenge 1: "In D ∈ ℝ^{4×4}, non-zero elements are simply
+        // ±1". With points {0, 1, −1, ∞} our D has entries in {0, ±1, ±1/2}:
+        // magnitudes never exceed 1.
+        let t = Transform::generate(2, 3);
+        let (max, min) = t.d_dynamic_range();
+        assert!(max <= 1.0, "max |D| = {max}");
+        assert!(min >= 0.5, "min nonzero |D| = {min}");
+    }
+
+    #[test]
+    fn alpha16_d_has_huge_dynamic_range() {
+        // Paper §5.2: Ω₁₆ transform elements span ~10⁻⁸ to ~10⁵.
+        let t = Transform::generate(8, 9);
+        let (max, min) = t.d_dynamic_range();
+        assert!(max / min > 1e9, "range {min}..{max}");
+    }
+
+    #[test]
+    fn float_pipeline_close_to_exact() {
+        let t = Transform::generate(3, 6);
+        let real = t.to_real();
+        let x: Vec<f32> = (0..8).map(|i| (i as f32) * 0.25 - 0.8).collect();
+        let w: Vec<f32> = (0..6).map(|k| 0.1 * (k as f32 + 1.0)).collect();
+        let mut gw = vec![0.0f32; 8];
+        let mut dx = vec![0.0f32; 8];
+        real.filter_transform_f32(&w, &mut gw);
+        real.input_transform_f32(&x, &mut dx);
+        let m: Vec<f32> = gw.iter().zip(&dx).map(|(a, b)| a * b).collect();
+        let mut y = vec![0.0f32; 3];
+        real.output_transform_f32(&m, &mut y);
+        for i in 0..3 {
+            let direct: f32 = (0..6).map(|k| w[k] * x[i + k]).sum();
+            assert!(
+                (y[i] - direct).abs() < 1e-4,
+                "y[{i}] = {} vs direct {direct}",
+                y[i]
+            );
+        }
+    }
+
+    #[test]
+    fn f11_degenerates_to_scalar_product() {
+        // F(1,1): α = 1, trivial algorithm.
+        let t = Transform::generate(1, 1);
+        assert_eq!(t.alpha, 1);
+        let y = t.convolve_exact(&[rat(3, 1)], &[rat(5, 1)]);
+        assert_eq!(y, vec![rat(15, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n, r >= 1")]
+    fn zero_sizes_rejected() {
+        let _ = Transform::generate(0, 3);
+    }
+
+    #[test]
+    fn alpha_20_derivation_survives_i128() {
+        // Beyond the inventory: the exact pipeline must survive α = 20
+        // (19 finite points up to ±1/5) without i128 overflow, and stay
+        // exact.
+        check_exact(10, 11);
+        let t = Transform::generate(10, 11);
+        let (max, min) = t.d_dynamic_range();
+        assert!(max.is_finite() && min > 0.0);
+        assert!(max / min > 1e12, "α=20 dynamic range {min}..{max}");
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Winograd minimal-filtering substrate: exact Cook–Toom transform
+//! generation, the 13-kernel WinRS inventory, scaling matrices for FP16
+//! stability, even/odd symmetry analysis, and reference convolutions.
+//!
+//! A 1D Winograd convolution `F(n, r)` convolves an input tile
+//! `X ∈ ℝ^α` (α = n + r − 1) with a filter tile `W ∈ ℝ^r` to produce
+//! `Y ∈ ℝ^n` using only α multiplications instead of the n·r a direct
+//! computation needs (paper Eq. 1):
+//!
+//! ```text
+//! Y = Aᵀ [(G·W) ⊙ (Dᵀ·X)]
+//! ```
+//!
+//! The transform matrices `A ∈ ℝ^{α×n}`, `G ∈ ℝ^{α×r}`, `D ∈ ℝ^{α×α}` are
+//! derived here with the Cook–Toom construction over *exact rationals* (see
+//! [`cook_toom`]), using the paper's interpolation-point family
+//! `{0, ±1, ±2, ±½, ±3, ±⅓, ±4, ±¼, …}` plus the point at infinity. The
+//! derivation is validated by property tests asserting that the rational
+//! pipeline reproduces direct correlation *exactly*.
+
+pub mod cook_toom;
+pub mod error_analysis;
+pub mod kernels;
+pub mod points;
+pub mod reference;
+pub mod registry;
+pub mod scaling;
+pub mod symmetry;
+
+pub use cook_toom::{Transform, TransformReal};
+pub use kernels::{KernelId, WINRS_KERNELS};
+pub use scaling::ScaledTransform;

@@ -1,0 +1,96 @@
+//! Interpolation points for the Cook–Toom construction.
+//!
+//! The paper (§5.2, Figure 8) states its transform matrices are "calculated
+//! using interpolation points ∈ {0, ±1, ±2, ±½, ±3, ±⅓, …}". Points come in
+//! ± pairs so that the resulting matrices exhibit the even/odd row symmetry
+//! the kernels exploit to halve transform multiplications (see
+//! [`crate::symmetry`]). The last point is always the implicit point at
+//! infinity, handled structurally inside the Vandermonde matrices.
+
+use winrs_rational::{rat, Rational};
+
+/// The canonical point sequence: `0, +1, −1, +2, −2, +½, −½, +3, −3, +⅓,
+/// −⅓, +4, −4, +¼, −¼, …`.
+///
+/// `F(n, r)` consumes the first `α − 1 = n + r − 2` of these plus ∞. The
+/// sequence supports α up to 20; the WinRS inventory needs at most α = 16
+/// (15 finite points).
+pub fn finite_points(count: usize) -> Vec<Rational> {
+    let mut pts = Vec::with_capacity(count);
+    pts.push(rat(0, 1));
+    let mut k: i128 = 1;
+    while pts.len() < count {
+        // Integer pair ±k …
+        pts.push(rat(k, 1));
+        if pts.len() < count {
+            pts.push(rat(-k, 1));
+        }
+        // … then reciprocal pair ±1/k (skip k = 1: duplicates ±1).
+        if k > 1 {
+            if pts.len() < count {
+                pts.push(rat(1, k));
+            }
+            if pts.len() < count {
+                pts.push(rat(-1, k));
+            }
+        }
+        k += 1;
+    }
+    pts.truncate(count);
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_points_match_paper_family() {
+        let pts = finite_points(15);
+        let expected: Vec<Rational> = vec![
+            rat(0, 1),
+            rat(1, 1),
+            rat(-1, 1),
+            rat(2, 1),
+            rat(-2, 1),
+            rat(1, 2),
+            rat(-1, 2),
+            rat(3, 1),
+            rat(-3, 1),
+            rat(1, 3),
+            rat(-1, 3),
+            rat(4, 1),
+            rat(-4, 1),
+            rat(1, 4),
+            rat(-1, 4),
+        ];
+        assert_eq!(pts, expected);
+    }
+
+    #[test]
+    fn points_are_distinct() {
+        let pts = finite_points(19);
+        for i in 0..pts.len() {
+            for j in 0..i {
+                assert_ne!(pts[i], pts[j], "duplicate points at {i}, {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_is_zero() {
+        assert_eq!(finite_points(1), vec![rat(0, 1)]);
+    }
+
+    #[test]
+    fn nonzero_points_pair_up() {
+        // Every nonzero point's negation is also present (needed for the
+        // even/odd symmetry optimisation).
+        let pts = finite_points(15);
+        for p in &pts {
+            if !p.is_zero() {
+                assert!(pts.contains(&-*p), "unpaired point {p}");
+            }
+        }
+    }
+}

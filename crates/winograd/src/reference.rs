@@ -1,0 +1,330 @@
+//! Reference Winograd convolutions (paper Eqs. 1–2) and plain direct
+//! correlations.
+//!
+//! These are the readable, obviously-correct implementations the optimised
+//! engines (WinRS fused kernels, the WinNF baseline) are tested against.
+//! They compute in the scalar type's own precision, matrices rounded into
+//! that precision once — the same rounding model as a same-precision
+//! hardware kernel.
+
+use crate::cook_toom::TransformReal;
+use winrs_tensor::Scalar;
+
+/// Direct 1D "valid" correlation: `y_i = Σ_k w_k x_{i+k}`,
+/// `len(y) = len(x) − len(w) + 1`.
+pub fn direct_correlation_1d<T: Scalar>(x: &[T], w: &[T]) -> Vec<T> {
+    assert!(x.len() >= w.len(), "input shorter than filter");
+    let n = x.len() - w.len() + 1;
+    (0..n)
+        .map(|i| {
+            let mut acc = T::ZERO;
+            for (k, &wk) in w.iter().enumerate() {
+                acc += wk * x[i + k];
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Direct 2D "valid" correlation of an `xh × xw` input with an `rh × rw`
+/// filter (both row-major), producing `(xh−rh+1) × (xw−rw+1)`.
+pub fn direct_correlation_2d<T: Scalar>(
+    x: &[T],
+    xh: usize,
+    xw: usize,
+    w: &[T],
+    rh: usize,
+    rw: usize,
+) -> Vec<T> {
+    assert_eq!(x.len(), xh * xw);
+    assert_eq!(w.len(), rh * rw);
+    let oh = xh - rh + 1;
+    let ow = xw - rw + 1;
+    let mut y = vec![T::ZERO; oh * ow];
+    for i in 0..oh {
+        for j in 0..ow {
+            let mut acc = T::ZERO;
+            for a in 0..rh {
+                for b in 0..rw {
+                    acc += w[a * rw + b] * x[(i + a) * xw + (j + b)];
+                }
+            }
+            y[i * ow + j] = acc;
+        }
+    }
+    y
+}
+
+fn matvec<T: Scalar>(mat_f64: &[f64], rows: usize, cols: usize, v: &[T]) -> Vec<T> {
+    debug_assert_eq!(v.len(), cols);
+    debug_assert_eq!(mat_f64.len(), rows * cols);
+    (0..rows)
+        .map(|i| {
+            let mut acc = T::ZERO;
+            for (j, &vj) in v.iter().enumerate() {
+                acc += T::from_f64(mat_f64[i * cols + j]) * vj;
+            }
+            acc
+        })
+        .collect()
+}
+
+/// One `F(n, r)` tile: `y = Aᵀ[(G·w) ⊙ (Dᵀ·x)]` with `x ∈ T^α`, `w ∈ T^r`.
+pub fn winograd_tile_1d<T: Scalar>(t: &TransformReal, x: &[T], w: &[T]) -> Vec<T> {
+    assert_eq!(x.len(), t.alpha);
+    assert_eq!(w.len(), t.r);
+    let gw = matvec(&t.g_f64, t.alpha, t.r, w);
+    let dx = matvec(&t.dt_f64, t.alpha, t.alpha, x);
+    let ewm: Vec<T> = gw.iter().zip(&dx).map(|(&a, &b)| a * b).collect();
+    matvec(&t.at_f64, t.n, t.alpha, &ewm)
+}
+
+/// Full-signal 1D correlation via `F(n, r)` tiling. Output positions beyond
+/// the last full tile fall back to direct computation, so any signal length
+/// `≥ r` is accepted.
+pub fn winograd_correlation_1d<T: Scalar>(t: &TransformReal, x: &[T], w: &[T]) -> Vec<T> {
+    assert_eq!(w.len(), t.r, "filter length must equal r");
+    assert!(x.len() >= t.r);
+    let out_len = x.len() - t.r + 1;
+    let mut y = vec![T::ZERO; out_len];
+    let full_tiles = out_len / t.n;
+    for tile in 0..full_tiles {
+        let base = tile * t.n;
+        let res = winograd_tile_1d(t, &x[base..base + t.alpha], w);
+        y[base..base + t.n].copy_from_slice(&res);
+    }
+    // Residual outputs (out_len % n) computed directly.
+    for i in full_tiles * t.n..out_len {
+        let mut acc = T::ZERO;
+        for (k, &wk) in w.iter().enumerate() {
+            acc += wk * x[i + k];
+        }
+        y[i] = acc;
+    }
+    y
+}
+
+/// One nested 2D tile `F(n₀×n₁, r₀×r₁)` (paper Eq. 2):
+/// `Y = A₀ᵀ [(G₀·W·G₁ᵀ) ⊙ (D₀ᵀ·X·D₁)] A₁` with `X ∈ T^{α₀×α₁}`,
+/// `W ∈ T^{r₀×r₁}`, row-major.
+pub fn winograd_tile_2d<T: Scalar>(
+    t0: &TransformReal,
+    t1: &TransformReal,
+    x: &[T],
+    w: &[T],
+) -> Vec<T> {
+    assert_eq!(x.len(), t0.alpha * t1.alpha);
+    assert_eq!(w.len(), t0.r * t1.r);
+
+    // Ŵ = G₀ · W · G₁ᵀ — apply G₁ to rows, then G₀ to columns.
+    let mut w_rows = vec![T::ZERO; t0.r * t1.alpha];
+    for i in 0..t0.r {
+        let row = matvec(&t1.g_f64, t1.alpha, t1.r, &w[i * t1.r..(i + 1) * t1.r]);
+        w_rows[i * t1.alpha..(i + 1) * t1.alpha].copy_from_slice(&row);
+    }
+    let mut w_hat = vec![T::ZERO; t0.alpha * t1.alpha];
+    for j in 0..t1.alpha {
+        let col: Vec<T> = (0..t0.r).map(|i| w_rows[i * t1.alpha + j]).collect();
+        let out = matvec(&t0.g_f64, t0.alpha, t0.r, &col);
+        for (i, &v) in out.iter().enumerate() {
+            w_hat[i * t1.alpha + j] = v;
+        }
+    }
+
+    // X̂ = D₀ᵀ · X · D₁ — apply D₁ᵀ to rows, then D₀ᵀ to columns.
+    let mut x_rows = vec![T::ZERO; t0.alpha * t1.alpha];
+    for i in 0..t0.alpha {
+        let row = matvec(
+            &t1.dt_f64,
+            t1.alpha,
+            t1.alpha,
+            &x[i * t1.alpha..(i + 1) * t1.alpha],
+        );
+        x_rows[i * t1.alpha..(i + 1) * t1.alpha].copy_from_slice(&row);
+    }
+    let mut x_hat = vec![T::ZERO; t0.alpha * t1.alpha];
+    for j in 0..t1.alpha {
+        let col: Vec<T> = (0..t0.alpha).map(|i| x_rows[i * t1.alpha + j]).collect();
+        let out = matvec(&t0.dt_f64, t0.alpha, t0.alpha, &col);
+        for (i, &v) in out.iter().enumerate() {
+            x_hat[i * t1.alpha + j] = v;
+        }
+    }
+
+    // EWM.
+    let m: Vec<T> = w_hat.iter().zip(&x_hat).map(|(&a, &b)| a * b).collect();
+
+    // Y = A₀ᵀ · M · A₁ — rows with A₁ᵀ, columns with A₀ᵀ.
+    let mut m_rows = vec![T::ZERO; t0.alpha * t1.n];
+    for i in 0..t0.alpha {
+        let row = matvec(&t1.at_f64, t1.n, t1.alpha, &m[i * t1.alpha..(i + 1) * t1.alpha]);
+        m_rows[i * t1.n..(i + 1) * t1.n].copy_from_slice(&row);
+    }
+    let mut y = vec![T::ZERO; t0.n * t1.n];
+    for j in 0..t1.n {
+        let col: Vec<T> = (0..t0.alpha).map(|i| m_rows[i * t1.n + j]).collect();
+        let out = matvec(&t0.at_f64, t0.n, t0.alpha, &col);
+        for (i, &v) in out.iter().enumerate() {
+            y[i * t1.n + j] = v;
+        }
+    }
+    y
+}
+
+/// Full-map 2D correlation via nested `F(n₀×n₁, r₀×r₁)` tiling. Output
+/// positions beyond the last full tile in either axis fall back to direct
+/// computation.
+#[allow(clippy::too_many_arguments)]
+pub fn winograd_correlation_2d<T: Scalar>(
+    t0: &TransformReal,
+    t1: &TransformReal,
+    x: &[T],
+    xh: usize,
+    xw: usize,
+    w: &[T],
+    rh: usize,
+    rw: usize,
+) -> Vec<T> {
+    assert_eq!(rh, t0.r, "filter height must equal r0");
+    assert_eq!(rw, t1.r, "filter width must equal r1");
+    assert_eq!(x.len(), xh * xw);
+    assert_eq!(w.len(), rh * rw);
+    let oh = xh - rh + 1;
+    let ow = xw - rw + 1;
+    let mut y = vec![T::ZERO; oh * ow];
+    let (th, tw) = (oh / t0.n, ow / t1.n);
+
+    let mut patch = vec![T::ZERO; t0.alpha * t1.alpha];
+    for ti in 0..th {
+        for tj in 0..tw {
+            let (i0, j0) = (ti * t0.n, tj * t1.n);
+            for a in 0..t0.alpha {
+                for b in 0..t1.alpha {
+                    patch[a * t1.alpha + b] = x[(i0 + a) * xw + (j0 + b)];
+                }
+            }
+            let tile = winograd_tile_2d(t0, t1, &patch, w);
+            for a in 0..t0.n {
+                for b in 0..t1.n {
+                    y[(i0 + a) * ow + (j0 + b)] = tile[a * t1.n + b];
+                }
+            }
+        }
+    }
+    // Residual band (right edge and bottom edge): direct.
+    for i in 0..oh {
+        for j in 0..ow {
+            if i < th * t0.n && j < tw * t1.n {
+                continue;
+            }
+            let mut acc = T::ZERO;
+            for a in 0..rh {
+                for b in 0..rw {
+                    acc += w[a * rw + b] * x[(i + a) * xw + (j + b)];
+                }
+            }
+            y[i * ow + j] = acc;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cook_toom::Transform;
+
+    fn seq(n: usize, scale: f64, offset: f64) -> Vec<f64> {
+        (0..n).map(|i| scale * i as f64 + offset).collect()
+    }
+
+    #[test]
+    fn direct_1d_known_values() {
+        let y = direct_correlation_1d(&[1.0f64, 2.0, 3.0, 4.0], &[1.0, 1.0]);
+        assert_eq!(y, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn winograd_tile_matches_direct_for_all_kernels() {
+        for &(n, r) in &[(2usize, 3usize), (3, 2), (3, 6), (5, 4), (9, 8), (7, 10)] {
+            let t = Transform::generate(n, r).to_real();
+            let x = seq(t.alpha, 0.31, -0.9);
+            let w = seq(r, -0.21, 0.5);
+            let y = winograd_tile_1d(&t, &x, &w);
+            let want = direct_correlation_1d(&x, &w);
+            for i in 0..n {
+                assert!(
+                    (y[i] - want[i]).abs() < 1e-9,
+                    "F({n},{r}) y[{i}]={} want {}",
+                    y[i],
+                    want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_correlation_with_residual() {
+        // Output length 10 with n = 3: three full tiles + one residual.
+        let t = Transform::generate(3, 6).to_real();
+        let x = seq(15, 0.17, 0.0);
+        let w = seq(6, 0.4, -1.0);
+        let y = winograd_correlation_1d(&t, &x, &w);
+        let want = direct_correlation_1d(&x, &w);
+        assert_eq!(y.len(), 10);
+        for i in 0..10 {
+            assert!((y[i] - want[i]).abs() < 1e-9, "y[{i}]");
+        }
+    }
+
+    #[test]
+    fn nested_2d_matches_direct() {
+        let t0 = Transform::generate(2, 3).to_real();
+        let t1 = Transform::generate(3, 2).to_real();
+        let x = seq(t0.alpha * t1.alpha, 0.13, -0.4); // 4×4
+        let w = seq(t0.r * t1.r, 0.22, 0.1); // 3×2
+        let y = winograd_tile_2d(&t0, &t1, &x, &w);
+        let want = direct_correlation_2d(&x, t0.alpha, t1.alpha, &w, t0.r, t1.r);
+        assert_eq!(y.len(), t0.n * t1.n);
+        for i in 0..y.len() {
+            assert!((y[i] - want[i]).abs() < 1e-9, "y[{i}]={} want {}", y[i], want[i]);
+        }
+    }
+
+    #[test]
+    fn direct_2d_known_values() {
+        // 3×3 input, 2×2 ones filter.
+        let x: Vec<f64> = (1..=9).map(|v| v as f64).collect();
+        let y = direct_correlation_2d(&x, 3, 3, &[1.0; 4], 2, 2);
+        assert_eq!(y, vec![12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn full_map_2d_with_residuals_matches_direct() {
+        // 11×13 input, 3×2 filter with F(2,3)×F(3,2) tiling: both axes
+        // leave residual bands.
+        let t0 = Transform::generate(2, 3).to_real();
+        let t1 = Transform::generate(3, 2).to_real();
+        let (xh, xw) = (11usize, 13usize);
+        let x = seq(xh * xw, 0.07, -0.3);
+        let w = seq(3 * 2, 0.3, -0.5);
+        let got = winograd_correlation_2d(&t0, &t1, &x, xh, xw, &w, 3, 2);
+        let want = direct_correlation_2d(&x, xh, xw, &w, 3, 2);
+        assert_eq!(got.len(), want.len());
+        for i in 0..got.len() {
+            assert!((got[i] - want[i]).abs() < 1e-9, "i = {i}");
+        }
+    }
+
+    #[test]
+    fn f32_precision_reference_is_close() {
+        let t = Transform::generate(3, 6).to_real();
+        let x: Vec<f32> = seq(8, 0.3, -1.0).iter().map(|&v| v as f32).collect();
+        let w: Vec<f32> = seq(6, -0.2, 0.6).iter().map(|&v| v as f32).collect();
+        let y = winograd_tile_1d(&t, &x, &w);
+        let want = direct_correlation_1d(&x, &w);
+        for i in 0..3 {
+            assert!((y[i] - want[i]).abs() < 1e-4);
+        }
+    }
+}

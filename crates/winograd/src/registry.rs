@@ -1,0 +1,89 @@
+//! A process-wide cache of derived transforms.
+//!
+//! Deriving `F(n, r)` runs exact Gauss–Jordan over ℚ — microseconds, but
+//! wasted microseconds when every [`crate::Transform::generate`] caller
+//! re-derives the same 13 inventory kernels. The registry memoises the
+//! materialised ([`TransformReal`]) and row-scaled variants behind `Arc`s;
+//! plan construction and the N-D paths go through it.
+
+use crate::cook_toom::{Transform, TransformReal};
+use crate::scaling::ScaledTransform;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Cache = Mutex<HashMap<(usize, usize, bool), Arc<TransformReal>>>;
+
+fn cache() -> &'static Cache {
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Fetch (or derive and cache) the materialised transform for `F(n, r)`.
+pub fn transform(n: usize, r: usize) -> Arc<TransformReal> {
+    lookup(n, r, false)
+}
+
+/// Fetch (or derive and cache) the row-L1-scaled variant (§5.2 Eq. 7).
+pub fn scaled_transform(n: usize, r: usize) -> Arc<TransformReal> {
+    lookup(n, r, true)
+}
+
+fn lookup(n: usize, r: usize, scaled: bool) -> Arc<TransformReal> {
+    let key = (n, r, scaled);
+    // Fast path.
+    if let Some(hit) = cache().lock().unwrap().get(&key) {
+        return Arc::clone(hit);
+    }
+    // Derive outside the lock (generation is pure), then publish; a racing
+    // deriver's duplicate is simply dropped.
+    let t = Transform::generate(n, r);
+    let real = if scaled {
+        ScaledTransform::from_transform(&t).real
+    } else {
+        t.to_real()
+    };
+    let arc = Arc::new(real);
+    cache()
+        .lock()
+        .unwrap()
+        .entry(key)
+        .or_insert_with(|| Arc::clone(&arc));
+    Arc::clone(cache().lock().unwrap().get(&key).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_same_arc_on_repeat() {
+        let a = transform(3, 6);
+        let b = transform(3, 6);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.alpha, 8);
+    }
+
+    #[test]
+    fn scaled_and_plain_are_distinct_entries() {
+        let plain = transform(8, 9);
+        let scaled = scaled_transform(8, 9);
+        assert!(!Arc::ptr_eq(&plain, &scaled));
+        // Scaled G rows have unit L1 norm; plain does not.
+        let l1 = |g: &[f64], r: usize, row: usize| -> f64 {
+            g[row * r..(row + 1) * r].iter().map(|x| x.abs()).sum()
+        };
+        assert!((l1(&scaled.g_f64, 9, 3) - 1.0).abs() < 1e-12);
+        assert!(l1(&plain.g_f64, 9, 3) > 1.0);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| transform(5, 4)))
+            .collect();
+        let arcs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for pair in arcs.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0], &pair[1]));
+        }
+    }
+}

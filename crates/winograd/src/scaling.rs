@@ -1,0 +1,176 @@
+//! Scaling matrices for FP16 numerical stability (paper §5.2, Eq. 7).
+//!
+//! The Ω₁₆ transform matrices span magnitudes from ~10⁻⁸ to ~10⁵, far beyond
+//! binary16's dynamic range. The paper exploits row-wise magnitude
+//! coherence: diagonal matrices `G_s` and `D_s` normalise each row of `G`
+//! and `Dᵀ` to unit L1 norm (minimising the change to data magnitude), and a
+//! diagonal `A_s` applied in the FP32 output transform restores the correct
+//! scale:
+//!
+//! ```text
+//! Y = (A_s A)ᵀ [((G_s G)·W) ⊙ ((D_s D)ᵀ·X)]
+//! ```
+//!
+//! Since the EWM multiplies row `i` of `G_s G·W` with row `i` of
+//! `(D_s D)ᵀ·X`, the product of row scales must be undone per row:
+//! `A_s[i] = 1 / (G_s[i] · D_s[i])`.
+
+use crate::cook_toom::{Transform, TransformReal};
+use winrs_rational::{RatMatrix, Rational};
+
+/// A transform with row-scaled `G` and `Dᵀ` plus the compensating `A_s`.
+#[derive(Clone, Debug)]
+pub struct ScaledTransform {
+    /// The scaled transform, materialised for kernels. `at` rows are
+    /// *pre-multiplied* by `A_s`, so applying it is identical to the
+    /// unscaled call sequence.
+    pub real: TransformReal,
+    /// Row scales applied to `G` (unit L1 per row).
+    pub g_scale: Vec<f64>,
+    /// Row scales applied to `Dᵀ` (unit L1 per row).
+    pub d_scale: Vec<f64>,
+    /// Compensation `A_s[i] = 1/(G_s[i]·D_s[i])`, folded into `at`.
+    pub a_scale: Vec<f64>,
+}
+
+impl ScaledTransform {
+    /// Derive the scaled variant of `t` exactly, then materialise.
+    pub fn from_transform(t: &Transform) -> ScaledTransform {
+        let alpha = t.alpha;
+
+        // Exact row L1 norms; rows are never all-zero for a valid transform.
+        let mut g_s = Vec::with_capacity(alpha);
+        let mut d_s = Vec::with_capacity(alpha);
+        let dt = t.d.transpose();
+        for i in 0..alpha {
+            let gl1 = t.g.row_l1_norm(i);
+            let dl1 = dt.row_l1_norm(i);
+            assert!(!gl1.is_zero() && !dl1.is_zero(), "zero transform row");
+            g_s.push(gl1.recip());
+            d_s.push(dl1.recip());
+        }
+
+        // Scale G rows and Dᵀ rows; fold A_s into Aᵀ columns (Aᵀ[j][i] pairs
+        // with EWM element i).
+        let mut g = t.g.clone();
+        let mut dts = dt.clone();
+        let at = t.a.transpose();
+        let mut ats = RatMatrix::zeros(t.n, alpha);
+        for i in 0..alpha {
+            g.scale_row(i, g_s[i]);
+            dts.scale_row(i, d_s[i]);
+            let a_si = (g_s[i] * d_s[i]).recip();
+            for j in 0..t.n {
+                ats[(j, i)] = at[(j, i)] * a_si;
+            }
+        }
+
+        let real = TransformReal {
+            n: t.n,
+            r: t.r,
+            alpha,
+            at_f64: ats.to_f64(),
+            g_f64: g.to_f64(),
+            dt_f64: dts.to_f64(),
+            at_f32: ats.to_f32(),
+            g_f32: g.to_f32(),
+            dt_f32: dts.to_f32(),
+        };
+
+        ScaledTransform {
+            real,
+            g_scale: g_s.iter().map(Rational::to_f64).collect(),
+            d_scale: d_s.iter().map(Rational::to_f64).collect(),
+            a_scale: g_s
+                .iter()
+                .zip(&d_s)
+                .map(|(g, d)| (*g * *d).recip().to_f64())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cook_toom::Transform;
+
+    fn max_abs(xs: &[f64]) -> f64 {
+        xs.iter().fold(0.0f64, |m, x| m.max(x.abs()))
+    }
+
+    #[test]
+    fn scaled_rows_have_unit_l1() {
+        let t = Transform::generate(8, 9); // Ω16(8,9): the hard case
+        let s = ScaledTransform::from_transform(&t);
+        let alpha = t.alpha;
+        for i in 0..alpha {
+            let g_l1: f64 = s.real.g_f64[i * t.r..(i + 1) * t.r]
+                .iter()
+                .map(|x| x.abs())
+                .sum();
+            let d_l1: f64 = s.real.dt_f64[i * alpha..(i + 1) * alpha]
+                .iter()
+                .map(|x| x.abs())
+                .sum();
+            assert!((g_l1 - 1.0).abs() < 1e-12, "G row {i} L1 = {g_l1}");
+            assert!((d_l1 - 1.0).abs() < 1e-12, "Dᵀ row {i} L1 = {d_l1}");
+        }
+    }
+
+    #[test]
+    fn scaled_pipeline_is_still_exact_correlation() {
+        // Run the scaled pipeline in f64 and compare to direct correlation:
+        // the scaling must cancel exactly up to f64 roundoff.
+        let t = Transform::generate(3, 6);
+        let s = ScaledTransform::from_transform(&t).real;
+        let alpha = t.alpha;
+        let x: Vec<f64> = (0..alpha).map(|i| 0.3 * i as f64 - 0.7).collect();
+        let w: Vec<f64> = (0..t.r).map(|k| 0.2 * (k as f64) - 0.4).collect();
+        let mut gw = vec![0.0; alpha];
+        let mut dx = vec![0.0; alpha];
+        for i in 0..alpha {
+            gw[i] = (0..t.r).map(|k| s.g_f64[i * t.r + k] * w[k]).sum();
+            dx[i] = (0..alpha).map(|k| s.dt_f64[i * alpha + k] * x[k]).sum();
+        }
+        for i in 0..t.n {
+            let y: f64 = (0..alpha)
+                .map(|k| s.at_f64[i * alpha + k] * gw[k] * dx[k])
+                .sum();
+            let direct: f64 = (0..t.r).map(|k| w[k] * x[i + k]).sum();
+            assert!((y - direct).abs() < 1e-10, "y[{i}]={y} direct={direct}");
+        }
+    }
+
+    #[test]
+    fn scaling_tames_fp16_dynamic_range() {
+        // Unscaled Ω16 matrices break binary16: G entries overflow its max
+        // finite value (point ±4 raised to the 8th power is 65536 > 65504)
+        // and Dᵀ entries sink below its smallest normal (2⁻¹⁴ ≈ 6.1e-5).
+        // After row scaling every entry of both matrices fits in [−1, 1].
+        let t = Transform::generate(8, 9);
+        let real = t.to_real();
+        let unscaled_g_max = max_abs(&real.g_f64);
+        let unscaled_dt_min = real
+            .dt_f64
+            .iter()
+            .filter(|x| **x != 0.0)
+            .fold(f64::INFINITY, |m, x| m.min(x.abs()));
+        assert!(unscaled_g_max > 65504.0, "G max {unscaled_g_max}");
+        assert!(unscaled_dt_min < 6.1e-5, "Dᵀ min nonzero {unscaled_dt_min}");
+
+        let s = ScaledTransform::from_transform(&t);
+        assert!(max_abs(&s.real.g_f64) <= 1.0 + 1e-12);
+        assert!(max_abs(&s.real.dt_f64) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn a_scale_is_inverse_product() {
+        let t = Transform::generate(3, 2);
+        let s = ScaledTransform::from_transform(&t);
+        for i in 0..t.alpha {
+            let p = s.g_scale[i] * s.d_scale[i] * s.a_scale[i];
+            assert!((p - 1.0).abs() < 1e-12);
+        }
+    }
+}

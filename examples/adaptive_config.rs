@@ -1,0 +1,63 @@
+//! Explore WinRS's adaptive configuration: how the kernel pair, segment
+//! count and workspace react to the layer shape and the target GPU.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_config
+//! ```
+
+use winrs::conv::ConvShape;
+use winrs::core::{Precision, WinRsPlan};
+use winrs::gpu::{DeviceSpec, A5000, L40S, RTX_3090, RTX_4090};
+
+fn show(label: &str, shape: &ConvShape, device: &DeviceSpec) {
+    let plan = WinRsPlan::new(shape, device, Precision::Fp32);
+    let c = plan.segment_count_plan();
+    println!(
+        "{label:<28} {:<10} pair {:<22} b2 {:>5}  Z {:>3}  ws {:>8.2} MB  cut {:.2}x",
+        device.name,
+        format!(
+            "{}+{}",
+            plan.pair().bulk,
+            plan.pair()
+                .residual
+                .map_or("-".to_string(), |k| k.to_string())
+        ),
+        c.b2,
+        plan.z(),
+        plan.workspace_bytes() as f64 / 1e6,
+        plan.flop_reduction(),
+    );
+}
+
+fn main() {
+    println!("How WinRS adapts to the problem and the hardware\n");
+
+    println!("-- channel size sweep (224x224 -> 14x14 walk, 3x3 filters, RTX 4090) --");
+    for &(res, c) in &[(224usize, 64usize), (112, 128), (56, 256), (28, 512), (14, 1024)] {
+        let shape = ConvShape::square(32, res, c, c, 3);
+        show(&format!("{res}x{res} maps, {c} channels"), &shape, &RTX_4090);
+    }
+
+    println!("\n-- filter size sweep (56x56 maps, 128 channels, RTX 4090) --");
+    for f in [2usize, 3, 5, 7, 9] {
+        let shape = ConvShape::square(32, 56, 128, 128, f);
+        show(&format!("{f}x{f} filters"), &shape, &RTX_4090);
+    }
+
+    println!("\n-- device sweep (VGG16 conv2: more SMs need more segments) --");
+    let shape = ConvShape::vgg16_conv2(32);
+    for device in [&A5000, &RTX_3090, &RTX_4090, &L40S] {
+        show(
+            &format!("VGG16 conv2 ({} SMs)", device.n_sm),
+            &shape,
+            device,
+        );
+    }
+
+    println!(
+        "\nNote the two adaptive levers: the *kernel pair* tracks the filter\n\
+         width (bigger F_W -> bigger tiles) and the *segment count* tracks\n\
+         blocks-per-launch vs the SM count (fewer blocks or more SMs -> more\n\
+         segments, until channels provide parallelism for free)."
+    );
+}

@@ -1,0 +1,82 @@
+//! The FP16 Tensor-Core path: mixed-precision transforms, scaling matrices
+//! for α = 16, loss-scaling, and what each piece buys numerically.
+//!
+//! ```sh
+//! cargo run --release --example mixed_precision
+//! ```
+
+use winrs::conv::{direct, ConvShape};
+use winrs::core::{Precision, WinRsPlan};
+use winrs::fp16::f16;
+use winrs::gpu::RTX_4090;
+use winrs::tensor::{mare, Tensor4};
+use winrs::winograd::cook_toom::Transform;
+use winrs::winograd::scaling::ScaledTransform;
+
+fn main() {
+    // --- Part 1: why Ω16 needs scaling matrices ------------------------
+    println!("Part 1 — the Omega_16 dynamic-range problem (paper section 5.2, Eq. 7)\n");
+    let t = Transform::generate(8, 9);
+    let real = t.to_real();
+    let g_max = real.g_f64.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+    println!("F(8,9): largest |G| element = {g_max:.1} (binary16 max finite = 65504)");
+    let overflow: Vec<f64> = real
+        .g_f64
+        .iter()
+        .copied()
+        .filter(|x| x.abs() > 65504.0)
+        .collect();
+    println!("         elements that overflow binary16 outright: {}", overflow.len());
+
+    let s = ScaledTransform::from_transform(&t);
+    let sg_max = s.real.g_f64.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+    println!("After row-L1 scaling: largest |G_s G| element = {sg_max:.3}");
+    println!(
+        "A_s compensation spans {:.1e} .. {:.1e}, applied in FP32 during the OT.\n",
+        s.a_scale.iter().fold(f64::INFINITY, |m, &x| m.min(x.abs())),
+        s.a_scale.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    );
+
+    // --- Part 2: end-to-end FP16 accuracy ------------------------------
+    println!("Part 2 — FP16 BFC accuracy with the full pipeline\n");
+    let shape = ConvShape::square(2, 24, 8, 8, 3);
+    let x64 = Tensor4::<f64>::random_uniform([2, 24, 24, 8], 1, 1.0);
+    // Paper protocol: scale ∇Y by 1e-2 for FP16 to avoid overflow.
+    let dy64 = Tensor4::<f64>::random_uniform([2, 24, 24, 8], 2, 0.01);
+    let exact = direct::bfc_direct(&shape, &x64, &dy64);
+
+    let plan32 = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+    let plan16 = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp16);
+    let dw32 = plan32.execute_f32(&x64.cast(), &dy64.cast());
+    let dw16 = plan16.execute_f16(&x64.cast::<f16>(), &dy64.cast::<f16>());
+    println!("FP32 WinRS MARE: {:.3e}", mare(&dw32, &exact));
+    println!("FP16 WinRS MARE: {:.3e}", mare(&dw16, &exact));
+    println!(
+        "Input rounding alone costs ~2^-11 = {:.1e}; the FP16 pipeline stays\n\
+         within a small multiple of that thanks to FP32 transforms, FP32\n\
+         accumulation and the Kahan bucket reduction.\n",
+        2.0f64.powi(-11)
+    );
+
+    // --- Part 2b: the FP8 porting target --------------------------------
+    println!("Part 2b — FP8 (E4M3) tile quantisation, the conclusion's final target\n");
+    let dw8 = plan16.execute_fp8(&x64.cast(), &dy64.cast());
+    println!("FP8  WinRS MARE: {:.3e}", mare(&dw8, &exact));
+    println!(
+        "E4M3 keeps 3 mantissa bits (eps = 2^-3): an order of magnitude coarser\n\
+         than FP16, usable in the FP8-training recipe where master weights stay\n\
+         wide and gradients tolerate noise.\n"
+    );
+
+    // --- Part 3: modelled Tensor-Core speedup --------------------------
+    println!("Part 3 — modelled FP16 speedup (paper: 3.27x average)\n");
+    let big = ConvShape::square(32, 56, 256, 256, 3);
+    let t32 = WinRsPlan::new(&big, &RTX_4090, Precision::Fp32).estimated_time();
+    let t16 = WinRsPlan::new(&big, &RTX_4090, Precision::Fp16).estimated_time();
+    println!(
+        "RTX 4090, 56x56x256, 3x3: FP32 {:.3} ms -> FP16 {:.3} ms = {:.2}x",
+        t32 * 1e3,
+        t16 * 1e3,
+        t32 / t16
+    );
+}

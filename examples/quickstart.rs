@@ -1,0 +1,43 @@
+//! Quickstart: compute filter gradients with WinRS and verify them against
+//! direct convolution.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use winrs::conv::{direct, ConvShape};
+use winrs::core::{Precision, WinRsPlan};
+use winrs::gpu::RTX_4090;
+use winrs::tensor::{mare, Tensor4};
+
+fn main() {
+    // A conv layer: batch 4, 32×32 feature maps, 16→16 channels, 3×3
+    // filters, "same" padding.
+    let shape = ConvShape::square(4, 32, 16, 16, 3);
+    println!("BFC problem: {shape:?}");
+    println!(
+        "  output gradients (the 'filter'): {}x{}, filter gradients (the 'output'): {}x{}",
+        shape.oh(),
+        shape.ow(),
+        shape.fh,
+        shape.fw
+    );
+
+    // 1. Plan: kernel-pair selection + Algorithms 1 & 2 + partitioning.
+    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+    println!("\nWinRS configuration:");
+    println!("  kernel pair : {:?}", plan.pair());
+    println!("  segments Z  : {}", plan.z());
+    println!("  workspace   : {} bytes", plan.workspace_bytes());
+    println!("  FLOP cut    : {:.2}x over direct convolution", plan.flop_reduction());
+
+    // 2. Execute on real data.
+    let x = Tensor4::<f32>::random_uniform([shape.n, shape.ih, shape.iw, shape.ic], 1, 1.0);
+    let dy = Tensor4::<f32>::random_uniform([shape.n, shape.oh(), shape.ow(), shape.oc], 2, 1.0);
+    let dw = plan.execute_f32(&x, &dy);
+
+    // 3. Verify against the direct definition in f64.
+    let exact = direct::bfc_direct(&shape, &x.cast::<f64>(), &dy.cast::<f64>());
+    println!("\nMARE vs f64 direct convolution: {:.3e}", mare(&dw, &exact));
+    println!("dW[0,0,0,0] = {}", dw[(0, 0, 0, 0)]);
+}

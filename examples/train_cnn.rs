@@ -1,0 +1,46 @@
+//! Train a small CNN with WinRS computing the filter gradients — the
+//! Figure 13 experiment as a runnable example.
+//!
+//! ```sh
+//! cargo run --release --example train_cnn
+//! ```
+
+use winrs::nn::model::Backend;
+use winrs::nn::{train, TrainConfig};
+
+fn main() {
+    let cfg = TrainConfig {
+        res: 8,
+        channels: 1,
+        filters: 4,
+        classes: 4,
+        batch: 8,
+        steps: 80,
+        lr: 0.05,
+        noise: 0.1,
+        seed: 2024,
+        device: winrs::gpu::RTX_4090,
+    };
+    println!(
+        "Training a conv-relu-pool x2 + linear CNN on a {}-class synthetic task\n",
+        cfg.classes
+    );
+
+    for backend in [Backend::Direct, Backend::WinRsFp32, Backend::WinRsFp16] {
+        let report = train(&cfg, backend);
+        let first = report.losses[0];
+        let last10: f32 =
+            report.losses[report.losses.len() - 10..].iter().sum::<f32>() / 10.0;
+        println!(
+            "{:?}: loss {:.4} -> {:.4}, held-out accuracy {:.1}%",
+            backend,
+            first,
+            last10,
+            100.0 * report.final_accuracy
+        );
+    }
+    println!(
+        "\nAll three backends share data and initialisation; matching curves\n\
+         demonstrate WinRS gradients are drop-in for training (paper §6.3)."
+    );
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper plus the extension
+# experiments, writing outputs under bench_results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p bench_results
+
+BINS=(
+  fig01_shapes fig02_blocks fig03_workflow fig05_pairs fig06_kernels
+  fig08_matrices tab02_workspace fig09_workspace tab03_speedup
+  fig10_throughput_fp32 fig11_throughput_fp16 tab04_accuracy fig12_mare
+  fig13_training claim_flop_reduction ablations accuracy_analysis
+  model_sweep
+)
+
+cargo build --release -p winrs-bench --bins
+for bin in "${BINS[@]}"; do
+  echo "== $bin =="
+  ./target/release/"$bin" | tee "bench_results/$bin.txt"
+  echo
+done
+echo "All outputs in bench_results/"

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # WinRS
+//!
+//! A Rust reproduction of *"WinRS: Accelerate Winograd Backward-Filter
+//! Convolution with Tiny Workspace"* (ICPP 2025).
+//!
+//! This façade crate re-exports the full public API of the workspace:
+//!
+//! * [`core`] — the WinRS algorithm itself: adaptive configuration, ∇Y
+//!   segmentation, fused 1D-Winograd kernels and bucket reduction.
+//! * [`conv`] — direct/GEMM/FFT/non-fused-Winograd baseline BFC algorithms.
+//! * [`winograd`] — Cook–Toom transform generation and reference Winograd
+//!   convolutions.
+//! * [`tensor`], [`fp16`] — NHWC tensors and software half-precision floats.
+//! * [`fft`], [`gemm`] — FFT and GEMM substrates used by the baselines.
+//! * [`gpu`] — the analytic GPU performance model used to regenerate the
+//!   paper's throughput experiments.
+//! * [`nn`] — a minimal CNN training substrate for the convergence study.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory; each table and figure of the paper has a regeneration binary
+//! in the `winrs-bench` crate.
+
+pub use winrs_conv as conv;
+pub use winrs_core as core;
+pub use winrs_fft as fft;
+pub use winrs_fp16 as fp16;
+pub use winrs_gemm as gemm;
+pub use winrs_gpu_sim as gpu;
+pub use winrs_nn as nn;
+pub use winrs_rational as rational;
+pub use winrs_tensor as tensor;
+pub use winrs_winograd as winograd;
+
+/// Crate version of the façade, for examples that print provenance.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

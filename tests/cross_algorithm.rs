@@ -1,0 +1,109 @@
+//! Integration: every BFC algorithm in the workspace computes the same
+//! filter gradients (up to its precision) on shared random problems.
+
+use winrs::conv::{direct, ConvShape};
+use winrs::core::{Precision, WinRsPlan};
+use winrs::gpu::RTX_4090;
+use winrs::tensor::{mare, Tensor4};
+use winrs_bench::Algo;
+
+fn problem(shape: &ConvShape, seed: u64) -> (Tensor4<f64>, Tensor4<f64>, Tensor4<f64>) {
+    let x = Tensor4::<f64>::random_uniform([shape.n, shape.ih, shape.iw, shape.ic], seed, 1.0);
+    let dy = Tensor4::<f64>::random_uniform(
+        [shape.n, shape.oh(), shape.ow(), shape.oc],
+        seed + 1,
+        1.0,
+    );
+    let exact = direct::bfc_direct(shape, &x, &dy);
+    (x, dy, exact)
+}
+
+#[test]
+fn all_algorithms_agree_on_3x3() {
+    let shape = ConvShape::new(2, 12, 14, 3, 4, 3, 3, 1, 1);
+    let (x, dy, exact) = problem(&shape, 1000);
+    let (x32, dy32) = (x.cast::<f32>(), dy.cast::<f32>());
+    for algo in [
+        Algo::WinRs,
+        Algo::CuAlgo0,
+        Algo::CuAlgo1,
+        Algo::CuAlgo3,
+        Algo::CuFft,
+        Algo::CuWinNF,
+    ] {
+        let dw = algo.execute_f32(&shape, &RTX_4090, &x32, &dy32);
+        let m = mare(&dw, &exact);
+        assert!(m < 1e-5, "{}: MARE {m}", algo.name());
+    }
+}
+
+#[test]
+fn winrs_handles_every_filter_size_2_to_9() {
+    for f in 2..=9usize {
+        let shape = ConvShape::square(2, 20, 4, 4, f);
+        let (x, dy, exact) = problem(&shape, 2000 + f as u64);
+        let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+        let dw = plan.execute_f32(&x.cast(), &dy.cast());
+        let m = mare(&dw, &exact);
+        assert!(m < 1e-4, "f={f}: MARE {m}");
+    }
+}
+
+#[test]
+fn winrs_handles_rectangular_filters_and_maps() {
+    // Non-square everything: F_H ≠ F_W, I_H ≠ I_W, asymmetric padding.
+    for &(ih, iw, fh, fw, ph, pw) in &[
+        (14usize, 18usize, 3usize, 5usize, 1usize, 2usize),
+        (11, 16, 2, 3, 1, 1),
+        (20, 9, 5, 2, 2, 1),
+        (16, 16, 4, 6, 2, 3),
+    ] {
+        let shape = ConvShape::new(2, ih, iw, 3, 3, fh, fw, ph, pw);
+        let (x, dy, exact) = problem(&shape, 3000 + (ih * fw) as u64);
+        let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+        let dw = plan.execute_f32(&x.cast(), &dy.cast());
+        let m = mare(&dw, &exact);
+        assert!(m < 1e-4, "{shape:?}: MARE {m}");
+    }
+}
+
+#[test]
+fn winrs_fp16_agrees_with_fp32_loosely() {
+    let shape = ConvShape::square(2, 16, 8, 8, 3);
+    let x = Tensor4::<f64>::random_uniform([2, 16, 16, 8], 5000, 1.0);
+    let dy = Tensor4::<f64>::random_uniform([2, 16, 16, 8], 5001, 0.01);
+    let exact = direct::bfc_direct(&shape, &x, &dy);
+
+    let p16 = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp16);
+    let dw16 = p16.execute_f16(&x.cast(), &dy.cast());
+    let m = mare(&dw16, &exact);
+    assert!(m > 1e-6 && m < 5e-3, "fp16 MARE {m}");
+}
+
+#[test]
+fn batch_size_one_works() {
+    let shape = ConvShape::square(1, 16, 4, 4, 3);
+    let (x, dy, exact) = problem(&shape, 6000);
+    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+    let dw = plan.execute_f32(&x.cast(), &dy.cast());
+    assert!(mare(&dw, &exact) < 1e-5);
+}
+
+#[test]
+fn single_channel_works() {
+    let shape = ConvShape::new(2, 16, 16, 1, 1, 3, 3, 1, 1);
+    let (x, dy, exact) = problem(&shape, 7000);
+    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+    let dw = plan.execute_f32(&x.cast(), &dy.cast());
+    assert!(mare(&dw, &exact) < 1e-5);
+}
+
+#[test]
+fn zero_gradients_give_zero_dw() {
+    let shape = ConvShape::square(2, 12, 4, 4, 3);
+    let x = Tensor4::<f32>::random_uniform([2, 12, 12, 4], 1, 1.0);
+    let dy = Tensor4::<f32>::zeros([2, 12, 12, 4]);
+    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+    let dw = plan.execute_f32(&x, &dy);
+    assert!(dw.as_slice().iter().all(|&v| v == 0.0));
+}

@@ -1,0 +1,199 @@
+//! Property-based tests on the substrate crates, exercised through the
+//! façade: rational field behaviour, binary16 rounding laws, FFT analysis
+//! identities, and GEMM consistency.
+
+use proptest::prelude::*;
+use winrs::fft::{fft_arbitrary, Complex};
+use winrs::fp16::{bf16, f16};
+use winrs::gemm::{gemm_f32, gemm_generic};
+use winrs::rational::{rat, Rational};
+
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-200i128..200, 1i128..20).prop_map(|(n, d)| rat(n, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---- rational: field axioms -------------------------------------
+
+    #[test]
+    fn rational_addition_commutes_and_associates(
+        a in small_rational(), b in small_rational(), c in small_rational()
+    ) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn rational_distributivity(
+        a in small_rational(), b in small_rational(), c in small_rational()
+    ) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn rational_multiplicative_inverse(a in small_rational()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a * a.recip(), Rational::ONE);
+    }
+
+    #[test]
+    fn rational_to_f64_is_monotone(a in small_rational(), b in small_rational()) {
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64());
+        }
+    }
+
+    // ---- binary16: rounding laws ------------------------------------
+
+    #[test]
+    fn f16_roundtrip_is_idempotent(bits in 0u16..=0xFFFFu16) {
+        let h = f16::from_bits(bits);
+        if !h.is_nan() {
+            prop_assert_eq!(f16::from_f32(h.to_f32()).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn f16_rounding_is_nearest(x in -60000.0f32..60000.0) {
+        // |x − round(x)| must be within half a ulp of the result.
+        let h = f16::from_f32(x);
+        let back = h.to_f32();
+        // ulp at the result's magnitude.
+        let exp = back.abs().max(2.0f32.powi(-14)).log2().floor() as i32;
+        let ulp = 2.0f32.powf((exp - 10) as f32);
+        prop_assert!(
+            (x - back).abs() <= ulp / 2.0 + f32::EPSILON * x.abs(),
+            "x={x} -> {back}, ulp={ulp}"
+        );
+    }
+
+    #[test]
+    fn f16_ordering_preserved(a in -1000.0f32..1000.0, b in -1000.0f32..1000.0) {
+        let (ha, hb) = (f16::from_f32(a), f16::from_f32(b));
+        if ha < hb {
+            prop_assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn f16_negation_is_exact(x in -60000.0f32..60000.0) {
+        prop_assert_eq!((-f16::from_f32(x)).to_f32(), f16::from_f32(-x).to_f32());
+    }
+
+    #[test]
+    fn bf16_roundtrip_is_idempotent(bits in 0u16..=0xFFFFu16) {
+        let b = bf16::from_bits(bits);
+        if !b.is_nan() {
+            prop_assert_eq!(bf16::from_f32(b.to_f32()).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn bf16_error_bounded_by_relative_epsilon(x in -1.0e30f32..1.0e30) {
+        let b = bf16::from_f32(x);
+        prop_assert!((b.to_f32() - x).abs() <= x.abs() * 2.0f32.powi(-8));
+    }
+
+    // ---- FFT: analysis identities -----------------------------------
+
+    #[test]
+    fn fft_is_linear(
+        n in 2usize..40,
+        a in -2.0f64..2.0,
+        seed in 0u64..100,
+    ) {
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(((seed + i as u64) as f64).sin(), (i as f64).cos()))
+            .collect();
+        let y: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.7).cos(), ((seed + i as u64) as f64).sin()))
+            .collect();
+        let combo: Vec<Complex> = x.iter().zip(&y).map(|(&p, &q)| p.scale(a) + q).collect();
+        let f_combo = fft_arbitrary(&combo, false);
+        let fx = fft_arbitrary(&x, false);
+        let fy = fft_arbitrary(&y, false);
+        for k in 0..n {
+            let want = fx[k].scale(a) + fy[k];
+            prop_assert!((f_combo[k] - want).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn fft_parseval(n in 2usize..60, seed in 0u64..100) {
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(((seed * 3 + i as u64) as f64).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let fx = fft_arbitrary(&x, false);
+        let time_energy: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+        let freq_energy: f64 = fx.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((time_energy - freq_energy).abs() < 1e-7 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn fft_inverse_is_left_inverse(n in 1usize..50, seed in 0u64..50) {
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((seed as f64 + i as f64).sin(), 0.25 * i as f64))
+            .collect();
+        let back = fft_arbitrary(&fft_arbitrary(&x, false), true);
+        for k in 0..n {
+            prop_assert!((back[k] - x[k]).abs() < 1e-8);
+        }
+    }
+
+    // ---- TensorN: layout laws ----------------------------------------
+
+    #[test]
+    fn tensorn_offset_is_bijective(
+        d0 in 1usize..4, d1 in 1usize..5, d2 in 1usize..5, d3 in 1usize..4
+    ) {
+        use winrs::tensor::TensorN;
+        let t = TensorN::<f32>::zeros(&[d0, d1, d2, d3]);
+        let mut seen = std::collections::HashSet::new();
+        for i0 in 0..d0 {
+            for i1 in 0..d1 {
+                for i2 in 0..d2 {
+                    for i3 in 0..d3 {
+                        let off = t.offset(&[i0, i1, i2, i3]);
+                        prop_assert!(off < t.len());
+                        prop_assert!(seen.insert(off), "collision at {off}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fp8_e4m3_roundtrip_within_grid(bits in 0u8..=0xFFu8) {
+        use winrs::fp16::e4m3;
+        let v = e4m3::from_bits(bits);
+        if !v.is_nan() {
+            prop_assert_eq!(e4m3::from_f32(v.to_f32()).to_bits(), bits);
+        }
+    }
+
+    // ---- GEMM: blocked kernel vs reference --------------------------
+
+    #[test]
+    fn gemm_blocked_matches_reference(
+        m in 1usize..20,
+        n in 1usize..20,
+        k in 1usize..30,
+        seed in 0u64..100,
+    ) {
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| (((seed + i as u64) * 2654435761) % 1000) as f32 / 500.0 - 1.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| (((seed + 7 + i as u64) * 2246822519) % 1000) as f32 / 500.0 - 1.0)
+            .collect();
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        gemm_f32(m, n, k, 1.0, &a, &b, 0.0, &mut c1);
+        gemm_generic(m, n, k, 1.0f32, &a, &b, 0.0, &mut c2);
+        for i in 0..m * n {
+            prop_assert!((c1[i] - c2[i]).abs() < 1e-4 * (k as f32));
+        }
+    }
+}

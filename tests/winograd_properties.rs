@@ -1,0 +1,123 @@
+//! Property-based tests on the Winograd substrate and the WinRS pipeline:
+//! exactness over rationals, linearity, shift structure, and agreement
+//! with direct convolution over randomised shapes.
+
+use proptest::prelude::*;
+use winrs::conv::{direct, ConvShape};
+use winrs::core::{Precision, WinRsPlan};
+use winrs::gpu::RTX_4090;
+use winrs::rational::{rat, Rational};
+use winrs::tensor::{mare, Tensor4};
+use winrs::winograd::cook_toom::Transform;
+use winrs::winograd::reference;
+
+fn rational_vec(len: usize) -> impl Strategy<Value = Vec<Rational>> {
+    prop::collection::vec((-50i128..50, 1i128..6), len)
+        .prop_map(|v| v.into_iter().map(|(n, d)| rat(n, d)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cook–Toom transforms compute correlation *exactly* over ℚ, for any
+    /// (n, r) in the inventory range and any rational inputs.
+    #[test]
+    fn cook_toom_is_exact_over_rationals(
+        n in 1usize..6,
+        r in 1usize..7,
+        seed_x in rational_vec(12),
+        seed_w in rational_vec(12),
+    ) {
+        let t = Transform::generate(n, r);
+        let x = &seed_x[..t.alpha.min(12)];
+        prop_assume!(x.len() == t.alpha);
+        let w = &seed_w[..r];
+        let got = t.convolve_exact(x, w);
+        for (i, g) in got.iter().enumerate() {
+            let mut want = Rational::ZERO;
+            for (k, &wk) in w.iter().enumerate() {
+                want += wk * x[i + k];
+            }
+            prop_assert_eq!(*g, want);
+        }
+    }
+
+    /// The f64 Winograd tile is linear in the filter: F(x, a·w1 + b·w2) =
+    /// a·F(x, w1) + b·F(x, w2).
+    #[test]
+    fn winograd_tile_linear_in_filter(
+        a in -2.0f64..2.0,
+        b in -2.0f64..2.0,
+        xs in prop::collection::vec(-1.0f64..1.0, 8),
+        w1 in prop::collection::vec(-1.0f64..1.0, 6),
+        w2 in prop::collection::vec(-1.0f64..1.0, 6),
+    ) {
+        let t = Transform::generate(3, 6).to_real();
+        let combo: Vec<f64> = w1.iter().zip(&w2).map(|(p, q)| a * p + b * q).collect();
+        let y_combo = reference::winograd_tile_1d(&t, &xs, &combo);
+        let y1 = reference::winograd_tile_1d(&t, &xs, &w1);
+        let y2 = reference::winograd_tile_1d(&t, &xs, &w2);
+        for i in 0..3 {
+            let want = a * y1[i] + b * y2[i];
+            prop_assert!((y_combo[i] - want).abs() < 1e-9,
+                "i={} got {} want {}", i, y_combo[i], want);
+        }
+    }
+
+    /// WinRS matches direct convolution over randomised shapes.
+    #[test]
+    fn winrs_matches_direct_random_shapes(
+        n in 1usize..3,
+        res in 8usize..20,
+        c in 1usize..5,
+        f in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(res > f);
+        let shape = ConvShape::square(n, res, c, c, f);
+        let x = Tensor4::<f64>::random_uniform([n, res, res, c], seed, 1.0);
+        let dy = Tensor4::<f64>::random_uniform(
+            [n, shape.oh(), shape.ow(), c], seed + 1, 1.0);
+        let exact = direct::bfc_direct(&shape, &x, &dy);
+        let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+        let dw = plan.execute_f32(&x.cast(), &dy.cast());
+        let m = mare(&dw, &exact);
+        prop_assert!(m < 1e-4, "{:?}: MARE {}", shape, m);
+    }
+
+    /// The workspace invariant: exactly (Z − 1) · |∇W| · elem bytes.
+    #[test]
+    fn workspace_invariant(
+        res in 8usize..64,
+        c in 1usize..8,
+        f in 2usize..6,
+    ) {
+        prop_assume!(res > f);
+        let shape = ConvShape::square(2, res, 8 * c, 8 * c, f);
+        let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+        prop_assert_eq!(
+            plan.workspace_bytes(),
+            (plan.z() - 1) * shape.dw_elems() * 4
+        );
+    }
+
+    /// Partition invariant: segments tile ∇Y exactly (plus phantom pad).
+    #[test]
+    fn partition_tiles_exactly(
+        res in 6usize..48,
+        f in 2usize..8,
+        z in 1usize..40,
+    ) {
+        prop_assume!(res > f);
+        let shape = ConvShape::square(2, res, 8, 8, f);
+        let pair = winrs::core::config::pair::select_pair(
+            shape.fw, shape.ow(), Precision::Fp32);
+        let seg = winrs::core::config::segment_shape::calculate(
+            z, shape.oh(), shape.ow(), pair.bulk.r, shape.ph);
+        let part = winrs::core::Partition::build(&shape, &pair, seg);
+        prop_assert!(
+            part.covers_exactly(shape.oh(), shape.ow() + pair.padded_cols),
+            "shape {:?} z {} seg {:?}", shape, z, seg
+        );
+    }
+}
