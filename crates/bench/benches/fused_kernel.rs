@@ -12,19 +12,19 @@ fn bench_fused_execute(c: &mut Criterion) {
     let shape = ConvShape::square(2, 32, 16, 16, 3);
     let x = Tensor4::<f32>::random_uniform([2, 32, 32, 16], 1, 1.0);
     let dy = Tensor4::<f32>::random_uniform([2, 32, 32, 16], 2, 1.0);
-    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).expect("benchmark shape is inside the WinRS envelope");
 
     let mut g = c.benchmark_group("fused_execute");
     g.throughput(Throughput::Elements(shape.bfc_flops()));
     g.bench_function("fp32", |b| {
-        b.iter(|| black_box(plan.execute_f32(black_box(&x), black_box(&dy))))
+        b.iter(|| black_box(plan.execute_f32(black_box(&x), black_box(&dy)).expect("valid args")))
     });
 
-    let plan16 = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp16);
+    let plan16 = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp16).expect("benchmark shape is inside the WinRS envelope");
     let x16 = x.cast::<winrs_tensor::f16>();
     let dy16 = dy.scale(0.01).cast::<winrs_tensor::f16>();
     g.bench_function("fp16_mixed", |b| {
-        b.iter(|| black_box(plan16.execute_f16(black_box(&x16), black_box(&dy16))))
+        b.iter(|| black_box(plan16.execute_f16(black_box(&x16), black_box(&dy16)).expect("valid args")))
     });
     g.finish();
 }
@@ -39,9 +39,9 @@ fn bench_segmentation_scaling(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("segmentation_scaling");
     for z in [1usize, 4, 16] {
-        let plan = WinRsPlan::with_z_hat(&shape, &RTX_4090, Precision::Fp32, z);
+        let plan = WinRsPlan::with_z_hat(&shape, &RTX_4090, Precision::Fp32, z).expect("benchmark shape is inside the WinRS envelope");
         g.bench_function(format!("z_{}", plan.z()), |b| {
-            b.iter(|| black_box(plan.execute_f32(black_box(&x), black_box(&dy))))
+            b.iter(|| black_box(plan.execute_f32(black_box(&x), black_box(&dy)).expect("valid args")))
         });
     }
     g.finish();

@@ -87,7 +87,9 @@ impl Algo {
     /// Workspace in bytes (real buffer sizes from the planners).
     pub fn workspace_bytes(&self, shape: &ConvShape, device: &DeviceSpec) -> usize {
         match self {
-            Algo::WinRs => WinRsPlan::new(shape, device, Precision::Fp32).workspace_bytes(),
+            Algo::WinRs => WinRsPlan::new(shape, device, Precision::Fp32)
+                .expect("benchmark shape is inside the WinRS envelope")
+                .workspace_bytes(),
             Algo::CuAlgo0 => 0,
             Algo::CuAlgo1 => gemm_bfc::workspace_bytes(gemm_bfc::GemmAlgo::Algo1, shape),
             Algo::CuAlgo3 => gemm_bfc::workspace_bytes(gemm_bfc::GemmAlgo::Algo3, shape),
@@ -116,7 +118,9 @@ impl Algo {
         let f_total = shape.fh * shape.fw * shape.ic;
 
         match self {
-            Algo::WinRs => WinRsPlan::new(shape, device, precision).kernel_profiles(),
+            Algo::WinRs => WinRsPlan::new(shape, device, precision)
+                .expect("benchmark shape is inside the WinRS envelope")
+                .kernel_profiles(),
             Algo::CuAlgo0 => vec![KernelProfile {
                 flops: shape.bfc_flops(),
                 io_bytes: io,
@@ -202,7 +206,10 @@ impl Algo {
         dy: &Tensor4<f32>,
     ) -> Tensor4<f32> {
         match self {
-            Algo::WinRs => WinRsPlan::new(shape, device, Precision::Fp32).execute_f32(x, dy),
+            Algo::WinRs => WinRsPlan::new(shape, device, Precision::Fp32)
+                .expect("benchmark shape is inside the WinRS envelope")
+                .execute_f32(x, dy)
+                .expect("FP32 plan accepts FP32 tensors"),
             Algo::CuAlgo0 => direct::bfc_direct(shape, x, dy),
             Algo::CuAlgo1 => gemm_bfc::bfc_gemm_f32(gemm_bfc::GemmAlgo::Algo1, shape, x, dy),
             Algo::CuAlgo3 => gemm_bfc::bfc_gemm_f32(gemm_bfc::GemmAlgo::Algo3, shape, x, dy),
@@ -220,7 +227,10 @@ impl Algo {
         dy: &Tensor4<f16>,
     ) -> Tensor4<f16> {
         match self {
-            Algo::WinRs => WinRsPlan::new(shape, device, Precision::Fp16).execute_f16(x, dy),
+            Algo::WinRs => WinRsPlan::new(shape, device, Precision::Fp16)
+                .expect("benchmark shape is inside the WinRS envelope")
+                .execute_f16(x, dy)
+                .expect("FP16 plan accepts FP16 tensors"),
             Algo::CuAlgo1 => gemm_bfc::bfc_gemm_f16(shape, x, dy),
             Algo::CuWinNF => winnf::bfc_winnf(shape, x, dy),
             other => panic!("{} has no FP16 path", other.name()),

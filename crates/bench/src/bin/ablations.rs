@@ -56,11 +56,11 @@ fn ablation_pair_split() {
 fn ablation_z_sweep() {
     println!("== Ablation 2: segment-count sweep (VGG16 conv2, RTX 4090) ==\n");
     let shape = ConvShape::vgg16_conv2(32);
-    let auto = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+    let auto = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).expect("benchmark shape is inside the WinRS envelope");
     let mut t = Table::new(&["requested Z", "actual Z", "modelled time (ms)", "workspace (MB)"]);
     let mut best = (0usize, f64::INFINITY);
     for z in [1usize, 2, 4, 8, 16, 32, 48, 64, 128, 256] {
-        let plan = WinRsPlan::with_z_hat(&shape, &RTX_4090, Precision::Fp32, z);
+        let plan = WinRsPlan::with_z_hat(&shape, &RTX_4090, Precision::Fp32, z).expect("benchmark shape is inside the WinRS envelope");
         let time = plan.estimated_time();
         if time < best.1 {
             best = (plan.z(), time);
@@ -111,11 +111,15 @@ fn ablation_kahan() {
     let exact = direct::bfc_direct(&shape, &x64, &dy64);
     // Force a well-segmented plan (the tiny test workload would otherwise
     // auto-configure to Z = 1).
-    let plan = WinRsPlan::with_z_hat(&shape, &RTX_4090, Precision::Fp16, 16);
-    let dw_kahan = plan.execute_f16(&x64.cast(), &dy64.cast());
+    let plan = WinRsPlan::with_z_hat(&shape, &RTX_4090, Precision::Fp16, 16).expect("benchmark shape is inside the WinRS envelope");
+    let dw_kahan = plan
+        .execute_f16(&x64.cast(), &dy64.cast())
+        .expect("FP16 plan accepts FP16 tensors");
 
-    let single = WinRsPlan::with_z_hat(&shape, &RTX_4090, Precision::Fp16, 1);
-    let dw_single = single.execute_f16(&x64.cast(), &dy64.cast());
+    let single = WinRsPlan::with_z_hat(&shape, &RTX_4090, Precision::Fp16, 1).expect("benchmark shape is inside the WinRS envelope");
+    let dw_single = single
+        .execute_f16(&x64.cast(), &dy64.cast())
+        .expect("FP16 plan accepts FP16 tensors");
 
     let m_kahan = mare(&dw_kahan, &exact);
     let m_single = mare(&dw_single, &exact);

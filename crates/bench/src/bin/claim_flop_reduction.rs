@@ -17,7 +17,7 @@ fn main() {
     let mut per_f: std::collections::BTreeMap<usize, Vec<f64>> = Default::default();
 
     for w in &sweep {
-        let plan = WinRsPlan::new(&w.shape, &RTX_4090, Precision::Fp32);
+        let plan = WinRsPlan::new(&w.shape, &RTX_4090, Precision::Fp32).expect("benchmark shape is inside the WinRS envelope");
         let red = plan.flop_reduction();
         reductions.push(red);
         per_f.entry(w.shape.fh).or_default().push(red);

@@ -11,7 +11,7 @@ use winrs_tensor::{mare, Tensor4};
 fn main() {
     // 16×16 feature maps, 3×3 filters, padding 1 — O_H = O_W = 16.
     let shape = ConvShape::new(2, 16, 16, 8, 8, 3, 3, 1, 1);
-    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).expect("benchmark shape is inside the WinRS envelope");
 
     println!("Figure 3 — WinRS workflow on F_W = 3, O_W = {}\n", shape.ow());
     let pair = plan.pair();
@@ -48,7 +48,7 @@ fn main() {
     // The paper's figure shows the Ẑ = 9 partition (its example assumes a
     // workload large enough to want 9 block groups); force it to show the
     // same 3-band × (bulk + residual) layout.
-    let plan9 = WinRsPlan::with_z_hat(&shape, &RTX_4090, Precision::Fp16, 9);
+    let plan9 = WinRsPlan::with_z_hat(&shape, &RTX_4090, Precision::Fp16, 9).expect("benchmark shape is inside the WinRS envelope");
     println!(
         "\nForced Ẑ = 9 (the figure's setting): Z = {} buckets over {} segments:\n",
         plan9.z(),
@@ -73,7 +73,9 @@ fn main() {
     let x = Tensor4::<f64>::random_uniform([shape.n, shape.ih, shape.iw, shape.ic], 1, 1.0);
     let dy = Tensor4::<f64>::random_uniform([shape.n, shape.oh(), shape.ow(), shape.oc], 2, 1.0);
     let exact = direct::bfc_direct(&shape, &x, &dy);
-    let dw = plan.execute_f32(&x.cast(), &dy.cast());
+    let dw = plan
+        .execute_f32(&x.cast(), &dy.cast())
+        .expect("FP32 plan accepts FP32 tensors");
     println!(
         "\nFigure 4 check — fused execution vs direct convolution: MARE = {:.3e}",
         mare(&dw, &exact)

@@ -34,7 +34,7 @@ fn main() {
     ];
     for (n, res, c) in series {
         let shape = ConvShape::square(n, res, c, c, 3);
-        let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+        let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).expect("benchmark shape is inside the WinRS envelope");
         t.row(vec![
             format!("{}:{}:{}:{}", n, shape.oh(), shape.ow(), c),
             plan.z().to_string(),

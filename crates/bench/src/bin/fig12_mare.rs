@@ -17,9 +17,11 @@ fn run_point(shape: &ConvShape) -> (f64, f64, Option<f64>) {
         Tensor4::<f64>::random_uniform([shape.n, shape.oh(), shape.ow(), shape.oc], 8, 0.01);
     let exact = direct::bfc_direct(shape, &x64, &dy64);
 
-    let plan = WinRsPlan::new(shape, &RTX_4090, Precision::Fp16);
+    let plan = WinRsPlan::new(shape, &RTX_4090, Precision::Fp16).expect("benchmark shape is inside the WinRS envelope");
     let winrs = mare(
-        &plan.execute_f16(&x64.cast(), &dy64.cast()),
+        &plan
+            .execute_f16(&x64.cast(), &dy64.cast())
+            .expect("FP16 plan accepts FP16 tensors"),
         &exact,
     );
     let algo1 = mare(
@@ -51,7 +53,7 @@ fn main() {
         (8, 32, 8),
     ] {
         let shape = ConvShape::square(n, res, c, c, 3);
-        let z = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp16).z();
+        let z = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp16).expect("benchmark shape is inside the WinRS envelope").z();
         let (w, a, nf) = run_point(&shape);
         t.row(vec![
             format!("{}:{}:{}:{}", n, res, res, c),

@@ -19,7 +19,7 @@ fn sweep(model: &str, layers: &[Layer], device: &DeviceSpec, detail: bool) {
     let mut total_gemm = 0.0;
     let mut total_ws: usize = 0;
     for layer in layers {
-        let plan = WinRsPlan::new(&layer.shape, device, Precision::Fp32);
+        let plan = WinRsPlan::new(&layer.shape, device, Precision::Fp32).expect("benchmark shape is inside the WinRS envelope");
         let w = Algo::WinRs.costs(&layer.shape, device, Precision::Fp32);
         let g = cu_gemm_best(&layer.shape, device, Precision::Fp32);
         total_winrs += w.time;

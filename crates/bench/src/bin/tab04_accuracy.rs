@@ -29,18 +29,22 @@ fn main() {
         let exact16 = direct::bfc_direct(s, &x64, &dy64_16);
 
         // WinRS rows are keyed by the selected kernel's α.
-        let plan32 = WinRsPlan::new(s, &RTX_4090, Precision::Fp32);
+        let plan32 = WinRsPlan::new(s, &RTX_4090, Precision::Fp32).expect("benchmark shape is inside the WinRS envelope");
         let alpha = plan32.pair().bulk.alpha();
         let winrs_key = format!("WinRS Omega_{alpha}(n,r)");
         let m32 = mare(
-            &plan32.execute_f32(&x64.cast(), &dy64.cast()),
+            &plan32
+                .execute_f32(&x64.cast(), &dy64.cast())
+                .expect("FP32 plan accepts FP32 tensors"),
             &exact,
         );
         rows.entry(winrs_key.clone()).or_default().0.push(m32);
 
-        let plan16 = WinRsPlan::new(s, &RTX_4090, Precision::Fp16);
+        let plan16 = WinRsPlan::new(s, &RTX_4090, Precision::Fp16).expect("benchmark shape is inside the WinRS envelope");
         let m16 = mare(
-            &plan16.execute_f16(&x64.cast(), &dy64_16.cast()),
+            &plan16
+                .execute_f16(&x64.cast(), &dy64_16.cast())
+                .expect("FP16 plan accepts FP16 tensors"),
             &exact16,
         );
         rows.entry(winrs_key).or_default().1.push(m16);

@@ -4,6 +4,7 @@
 use crate::args::Flags;
 use std::fmt::Write as _;
 use winrs_conv::{direct, ConvShape};
+use winrs_core::fallback::{run_bfc, FallbackPolicy, NumericGuard};
 use winrs_core::{Precision, WinRsPlan};
 use winrs_gpu_sim::{DeviceSpec, A5000, L40S, RTX_3090, RTX_4090};
 use winrs_tensor::{mare, Tensor4};
@@ -16,8 +17,10 @@ usage: winrs <command> [flags]
 commands:
   plan     print the adaptive configuration for a layer
            --n N --res R --ic C --oc C --f F [--pad P] [--device NAME] [--fp16|--bf16]
-  verify   execute WinRS on random tensors, report MARE vs f64 direct conv
+  verify   execute BFC on random tensors, report MARE vs f64 direct conv
            --n N --res R --ic C --oc C --f F [--pad P] [--fp16|--bf16] [--seed S]
+           [--fallback-policy strict|auto|force-gemm|force-direct]
+           [--numeric-guard ignore|warn|promote-retry]
   cost     modelled time / throughput / workspace on a device
            --n N --res R --ic C --oc C --f F [--pad P] [--device NAME] [--fp16]
   kernels  list the 13-kernel inventory
@@ -62,7 +65,23 @@ fn shape_from(flags: &Flags) -> Result<ConvShape, String> {
     if res <= f {
         return Err(format!("--res {res} must exceed --f {f}"));
     }
-    Ok(ConvShape::new(n, res, res, ic, oc, f, f, pad, pad))
+    // `try_new` reports *every* violated invariant at once (zero dims,
+    // filter outside the padded input, …) instead of panicking on the first.
+    ConvShape::try_new(n, res, res, ic, oc, f, f, pad, pad).map_err(|e| e.to_string())
+}
+
+fn fallback_policy_from(flags: &Flags) -> Result<FallbackPolicy, String> {
+    match flags.opt_str("fallback-policy") {
+        None => Ok(FallbackPolicy::default()),
+        Some(raw) => raw.parse(),
+    }
+}
+
+fn numeric_guard_from(flags: &Flags) -> Result<NumericGuard, String> {
+    match flags.opt_str("numeric-guard") {
+        None => Ok(NumericGuard::default()),
+        Some(raw) => raw.parse(),
+    }
 }
 
 fn precision_from(flags: &Flags) -> Precision {
@@ -79,7 +98,7 @@ fn cmd_plan(flags: &Flags) -> Result<String, String> {
     let shape = shape_from(flags)?;
     let device = device_by_name(flags.opt_str("device"))?;
     let precision = precision_from(flags);
-    let plan = WinRsPlan::new(&shape, &device, precision);
+    let plan = WinRsPlan::new(&shape, &device, precision).map_err(|e| e.to_string())?;
     let c = plan.segment_count_plan();
 
     let mut out = String::new();
@@ -113,6 +132,8 @@ fn cmd_verify(flags: &Flags) -> Result<String, String> {
     let seed = flags.opt_usize("seed", 42)? as u64;
     let precision = precision_from(flags);
     let device = device_by_name(flags.opt_str("device"))?;
+    let policy = fallback_policy_from(flags)?;
+    let guard = numeric_guard_from(flags)?;
     if shape.x_elems() > 4_000_000 {
         return Err("verify executes on the CPU: keep N*res^2*C under 4e6 elements".into());
     }
@@ -126,20 +147,28 @@ fn cmd_verify(flags: &Flags) -> Result<String, String> {
     );
     let exact = direct::bfc_direct(&shape, &x, &dy);
 
-    let plan = WinRsPlan::new(&shape, &device, precision);
-    let m = match precision {
-        Precision::Fp32 => mare(&plan.execute_f32(&x.cast(), &dy.cast()), &exact),
-        Precision::Fp16 => mare(&plan.execute_f16(&x.cast(), &dy.cast()), &exact),
-        Precision::Bf16 => mare(&plan.execute_bf16(&x.cast(), &dy.cast()), &exact),
-    };
+    // Dispatch through the fail-safe path: out-of-envelope problems degrade
+    // to GEMM-BFC (per --fallback-policy) instead of failing, and the
+    // numeric guard accounts for reduced-precision overflow.
+    let (dw, report) = run_bfc(
+        &shape,
+        &device,
+        precision,
+        &x.cast(),
+        &dy.cast(),
+        policy,
+        guard,
+    )
+    .map_err(|e| e.to_string())?;
+    let m = mare(&dw, &exact);
     let verdict = match precision {
         Precision::Fp32 => m < 1e-4,
         Precision::Fp16 => m < 1e-1,
         Precision::Bf16 => m < 2e-1,
-    };
+    } && !report.tainted();
     let mut out = String::new();
     let _ = writeln!(out, "shape     : {shape:?}");
-    let _ = writeln!(out, "precision : {precision:?}, Z = {}", plan.z());
+    let _ = writeln!(out, "report    : {}", report.summary_line());
     let _ = writeln!(out, "MARE      : {m:.3e} vs f64 direct convolution");
     let _ = writeln!(out, "verdict   : {}", if verdict { "OK" } else { "SUSPECT" });
     if verdict {
@@ -153,7 +182,7 @@ fn cmd_cost(flags: &Flags) -> Result<String, String> {
     let shape = shape_from(flags)?;
     let device = device_by_name(flags.opt_str("device"))?;
     let precision = precision_from(flags);
-    let plan = WinRsPlan::new(&shape, &device, precision);
+    let plan = WinRsPlan::new(&shape, &device, precision).map_err(|e| e.to_string())?;
     let t = plan.estimated_time();
     let mut out = String::new();
     let _ = writeln!(out, "shape      : {shape:?}");
@@ -296,5 +325,85 @@ mod tests {
         ])
         .unwrap_err();
         assert!(e.contains("must exceed"));
+    }
+
+    #[test]
+    fn zero_dims_rejected_with_every_violation() {
+        // n = 0 and ic = 0 are both ill-formed; the error must name both
+        // rather than stopping at the first.
+        let e = run(&[
+            "verify", "--n", "0", "--res", "12", "--ic", "0", "--oc", "2", "--f", "3",
+        ])
+        .unwrap_err();
+        assert!(e.contains("(2)"), "{e}");
+        assert!(e.contains('n') && e.contains("ic"), "{e}");
+    }
+
+    #[test]
+    fn verify_falls_back_for_unported_fp16_width() {
+        // F_W = 4 has no FP16-ported kernel; the default auto policy must
+        // deliver via GEMM-BFC and say so in the report line.
+        let out = run(&[
+            "verify", "--n", "1", "--res", "12", "--ic", "2", "--oc", "2", "--f", "4", "--fp16",
+        ])
+        .unwrap();
+        assert!(out.contains("algorithm=gemm-bfc"), "{out}");
+        assert!(out.contains("fallback="), "{out}");
+        assert!(out.contains("verdict   : OK"), "{out}");
+    }
+
+    #[test]
+    fn verify_strict_policy_reports_rejection() {
+        let e = run(&[
+            "verify", "--n", "1", "--res", "12", "--ic", "2", "--oc", "2", "--f", "4", "--fp16",
+            "--fallback-policy", "strict",
+        ])
+        .unwrap_err();
+        assert!(e.contains("filter width 4"), "{e}");
+    }
+
+    #[test]
+    fn verify_force_gemm_skips_winrs() {
+        let out = run(&[
+            "verify", "--n", "1", "--res", "12", "--ic", "2", "--oc", "2", "--f", "3",
+            "--fallback-policy", "force-gemm",
+        ])
+        .unwrap();
+        assert!(out.contains("algorithm=gemm-bfc"), "{out}");
+    }
+
+    #[test]
+    fn verify_accepts_numeric_guard_flag() {
+        let out = run(&[
+            "verify", "--n", "1", "--res", "12", "--ic", "2", "--oc", "2", "--f", "3", "--fp16",
+            "--numeric-guard", "promote-retry",
+        ])
+        .unwrap();
+        assert!(out.contains("guard=promote-retry"), "{out}");
+    }
+
+    #[test]
+    fn bad_policy_and_guard_values_error() {
+        let e = run(&[
+            "verify", "--n", "1", "--res", "12", "--ic", "2", "--oc", "2", "--f", "3",
+            "--fallback-policy", "yolo",
+        ])
+        .unwrap_err();
+        assert!(e.contains("unknown fallback policy"), "{e}");
+        let e = run(&[
+            "verify", "--n", "1", "--res", "12", "--ic", "2", "--oc", "2", "--f", "3",
+            "--numeric-guard", "yolo",
+        ])
+        .unwrap_err();
+        assert!(e.contains("unknown numeric guard"), "{e}");
+    }
+
+    #[test]
+    fn plan_reports_rejection_for_unported_fp16_width() {
+        let e = run(&[
+            "plan", "--n", "1", "--res", "16", "--ic", "2", "--oc", "2", "--f", "4", "--fp16",
+        ])
+        .unwrap_err();
+        assert!(e.contains("filter width 4"), "{e}");
     }
 }

@@ -1,3 +1,5 @@
+// Unit tests assert on known-good values; unwrap is fine there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! `winrs` — command-line interface to the WinRS library.
 //!
 //! ```text

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+// Unit tests assert on known-good values; unwrap is fine there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! Convolution algorithms: direct references and the cuDNN-analogue BFC
 //! baselines the paper benchmarks against.
 //!
@@ -18,6 +20,7 @@
 //! zero padding `(p_H, p_W)`, correlation (no filter flip).
 
 pub mod direct;
+pub mod error;
 pub mod fft_bfc;
 pub mod gemm_bfc;
 pub mod int8;
@@ -26,4 +29,5 @@ pub mod shapes;
 pub mod strided;
 pub mod winnf;
 
+pub use error::{ShapeError, ShapeViolation};
 pub use shapes::ConvShape;

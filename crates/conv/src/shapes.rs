@@ -1,5 +1,7 @@
 //! Convolutional-layer shape arithmetic (paper Table 1).
 
+use crate::error::{ShapeError, ShapeViolation};
+
 /// Shape of one convolutional layer, stride 1.
 ///
 /// All three gradient computations (FC, BDC, BFC) of the layer share these
@@ -57,6 +59,76 @@ impl ConvShape {
         );
         assert!(n > 0 && ic > 0 && oc > 0 && fh > 0 && fw > 0);
         s
+    }
+
+    /// Construct with full validation, reporting *every* violated
+    /// invariant. This is the entry point for externally supplied problem
+    /// descriptions (CLI flags, config files); [`ConvShape::new`] keeps
+    /// the panicking contract for shapes known-good by construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_new(
+        n: usize,
+        ih: usize,
+        iw: usize,
+        ic: usize,
+        oc: usize,
+        fh: usize,
+        fw: usize,
+        ph: usize,
+        pw: usize,
+    ) -> Result<ConvShape, ShapeError> {
+        let s = ConvShape {
+            n,
+            ih,
+            iw,
+            ic,
+            oc,
+            fh,
+            fw,
+            ph,
+            pw,
+        };
+        match s.violations() {
+            v if v.is_empty() => Ok(s),
+            violations => Err(ShapeError { violations }),
+        }
+    }
+
+    /// Collect every violated shape invariant (empty when valid).
+    pub fn violations(&self) -> Vec<ShapeViolation> {
+        let mut v = Vec::new();
+        for (name, value) in [
+            ("n", self.n),
+            ("ih", self.ih),
+            ("iw", self.iw),
+            ("ic", self.ic),
+            ("oc", self.oc),
+            ("fh", self.fh),
+            ("fw", self.fw),
+        ] {
+            if value == 0 {
+                v.push(ShapeViolation::ZeroDim { name });
+            }
+        }
+        // Only meaningful when the participating dims are non-zero; with
+        // fh = 0 the subtraction in oh() is ill-defined anyway.
+        if self.fh > 0 && self.ih + 2 * self.ph < self.fh {
+            v.push(ShapeViolation::FilterExceedsPaddedInput {
+                axis: "height",
+                filter: self.fh,
+                input: self.ih,
+                pad: self.ph,
+            });
+        }
+        if self.fw > 0 && self.iw + 2 * self.pw < self.fw {
+            v.push(ShapeViolation::FilterExceedsPaddedInput {
+                axis: "width",
+                filter: self.fw,
+                input: self.iw,
+                pad: self.pw,
+            });
+        }
+        v
     }
 
     /// "Same"-style shape: square feature map `res×res`, square filter
@@ -169,6 +241,51 @@ mod tests {
     #[should_panic(expected = "filter larger")]
     fn oversized_filter_rejected() {
         let _ = ConvShape::new(1, 2, 2, 1, 1, 5, 5, 0, 0);
+    }
+
+    #[test]
+    fn try_new_accepts_valid_shape() {
+        let s = ConvShape::try_new(2, 16, 16, 4, 4, 3, 3, 1, 1).unwrap();
+        assert_eq!(s, ConvShape::square(2, 16, 4, 4, 3));
+    }
+
+    #[test]
+    fn try_new_reports_every_violation_at_once() {
+        // Zero batch, zero channels, AND an oversized filter: all four
+        // problems must be reported together, not just the first.
+        let err = ConvShape::try_new(0, 2, 2, 0, 1, 5, 5, 0, 0).unwrap_err();
+        assert_eq!(err.violations.len(), 4, "{err}");
+        assert!(err
+            .violations
+            .contains(&ShapeViolation::ZeroDim { name: "n" }));
+        assert!(err
+            .violations
+            .contains(&ShapeViolation::ZeroDim { name: "ic" }));
+        assert!(err.violations.iter().any(|v| matches!(
+            v,
+            ShapeViolation::FilterExceedsPaddedInput { axis: "height", .. }
+        )));
+        assert!(err.violations.iter().any(|v| matches!(
+            v,
+            ShapeViolation::FilterExceedsPaddedInput { axis: "width", .. }
+        )));
+        let msg = err.to_string();
+        assert!(msg.contains("`n`") && msg.contains("height"), "{msg}");
+    }
+
+    #[test]
+    fn try_new_rejects_filter_taller_than_padded_input() {
+        let err = ConvShape::try_new(1, 4, 16, 1, 1, 7, 3, 1, 1).unwrap_err();
+        assert_eq!(err.violations.len(), 1);
+        assert!(matches!(
+            err.violations[0],
+            ShapeViolation::FilterExceedsPaddedInput {
+                axis: "height",
+                filter: 7,
+                input: 4,
+                pad: 1,
+            }
+        ));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! any long-running caller should go through it.
 
 use crate::config::Precision;
+use crate::error::WinrsError;
 use crate::plan::WinRsPlan;
 use std::collections::HashMap;
 use winrs_conv::ConvShape;
@@ -51,22 +52,25 @@ impl PlanCache {
         PlanCache::default()
     }
 
-    /// Fetch or build the plan for a problem.
+    /// Fetch or build the plan for a problem. Failed builds are *not*
+    /// cached — the caller usually reroutes a rejected problem to a
+    /// fallback algorithm, and rebuilding the error is cheap and keeps the
+    /// cache free of dead entries.
     pub fn get(
         &mut self,
         shape: &ConvShape,
         device: &DeviceSpec,
         precision: Precision,
-    ) -> &WinRsPlan {
+    ) -> Result<&WinRsPlan, WinrsError> {
         let k = key(shape, device, precision);
         if self.plans.contains_key(&k) {
             self.hits += 1;
         } else {
             self.misses += 1;
-            self.plans
-                .insert(k.clone(), WinRsPlan::new(shape, device, precision));
+            let plan = WinRsPlan::new(shape, device, precision)?;
+            self.plans.insert(k.clone(), plan);
         }
-        &self.plans[&k]
+        Ok(&self.plans[&k])
     }
 
     /// `(hits, misses)` counters.
@@ -101,11 +105,11 @@ mod tests {
         let a = ConvShape::square(2, 16, 4, 4, 3);
         let b = ConvShape::square(2, 16, 4, 4, 5);
 
-        cache.get(&a, &RTX_4090, Precision::Fp32);
-        cache.get(&a, &RTX_4090, Precision::Fp32); // hit
-        cache.get(&b, &RTX_4090, Precision::Fp32); // miss: different shape
-        cache.get(&a, &RTX_3090, Precision::Fp32); // miss: different device
-        cache.get(&a, &RTX_4090, Precision::Fp16); // miss: different precision
+        cache.get(&a, &RTX_4090, Precision::Fp32).unwrap();
+        cache.get(&a, &RTX_4090, Precision::Fp32).unwrap(); // hit
+        cache.get(&b, &RTX_4090, Precision::Fp32).unwrap(); // miss: different shape
+        cache.get(&a, &RTX_3090, Precision::Fp32).unwrap(); // miss: different device
+        cache.get(&a, &RTX_4090, Precision::Fp16).unwrap(); // miss: different precision
         assert_eq!(cache.stats(), (1, 4));
         assert_eq!(cache.len(), 4);
     }
@@ -116,16 +120,38 @@ mod tests {
         let shape = ConvShape::square(1, 12, 2, 2, 3);
         let x = winrs_tensor::Tensor4::<f32>::random_uniform([1, 12, 12, 2], 1, 1.0);
         let dy = winrs_tensor::Tensor4::<f32>::random_uniform([1, 12, 12, 2], 2, 1.0);
-        let first = cache.get(&shape, &RTX_4090, Precision::Fp32).execute_f32(&x, &dy);
-        let second = cache.get(&shape, &RTX_4090, Precision::Fp32).execute_f32(&x, &dy);
+        let first = cache
+            .get(&shape, &RTX_4090, Precision::Fp32)
+            .unwrap()
+            .execute_f32(&x, &dy)
+            .unwrap();
+        let second = cache
+            .get(&shape, &RTX_4090, Precision::Fp32)
+            .unwrap()
+            .execute_f32(&x, &dy)
+            .unwrap();
         assert_eq!(first.as_slice(), second.as_slice());
         assert_eq!(cache.stats(), (1, 1));
     }
 
     #[test]
+    fn rejected_plans_are_not_cached() {
+        // F_W = 4 has no FP16-ported kernel: every lookup is a fresh miss
+        // that reports the rejection again, and nothing is stored.
+        let mut cache = PlanCache::new();
+        let shape = ConvShape::square(1, 16, 2, 2, 4);
+        assert!(cache.get(&shape, &RTX_4090, Precision::Fp16).is_err());
+        assert!(cache.get(&shape, &RTX_4090, Precision::Fp16).is_err());
+        assert_eq!(cache.stats(), (0, 2));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
     fn clear_empties() {
         let mut cache = PlanCache::new();
-        cache.get(&ConvShape::square(1, 8, 1, 1, 2), &RTX_4090, Precision::Fp32);
+        cache
+            .get(&ConvShape::square(1, 8, 1, 1, 2), &RTX_4090, Precision::Fp32)
+            .unwrap();
         assert!(!cache.is_empty());
         cache.clear();
         assert!(cache.is_empty());

@@ -18,6 +18,7 @@
 //! case in its sweep; we keep the fallback so every shape executes.
 
 use super::Precision;
+use crate::error::{Violation, WinrsError};
 use winrs_winograd::kernels::{kernels_for_fw, KernelId};
 
 /// The selected pair and its row decomposition `k₀·r₀ + k₁·r₁ = O_W(+pad)`.
@@ -82,21 +83,46 @@ fn decompose(ow: usize, r0: usize, r1: usize) -> Option<(usize, usize)> {
     }
 }
 
-/// Select the fastest kernel pair for `(F_W, O_W)` under `precision`.
+/// Select the fastest kernel pair for `(F_W, O_W)` under `precision`,
+/// with the historical lenient contract: if no kernel is ported to the
+/// requested reduced precision, silently fall back to the FP32 candidate
+/// set (mixed-precision execution of the unported kernel).
 ///
-/// Panics only if the candidate set is empty, which cannot happen: Ω₂(1,2)
-/// accepts every `F_W` and both precisions would have to exclude it —
-/// Ω₂(1,2) is FP32-only, so FP16 requests fall back to Ω₄(3,2)-style
-/// candidates; if none exists (e.g. `F_W` coprime to every ported `n`),
-/// selection falls back to the FP32 candidate set (mixed-precision
-/// execution of the unported kernel).
+/// New code should prefer [`try_select_pair`], which reports that
+/// situation as a typed [`WinrsError`] so the fail-safe dispatcher can
+/// route the problem to a genuinely reduced-precision fallback algorithm
+/// instead of silently widening.
 pub fn select_pair(fw: usize, ow: usize, precision: Precision) -> KernelPair {
     let mut cands = candidates(fw, precision);
     if cands.is_empty() {
         cands = candidates(fw, Precision::Fp32);
     }
     assert!(!cands.is_empty(), "no kernel candidates for F_W = {fw}");
+    best_pair(&cands, ow)
+}
 
+/// Select the fastest kernel pair for `(F_W, O_W)` under `precision`,
+/// rejecting (rather than silently widening) problems whose filter width
+/// has no kernel ported to the requested reduced precision.
+pub fn try_select_pair(
+    fw: usize,
+    ow: usize,
+    precision: Precision,
+) -> Result<KernelPair, WinrsError> {
+    let cands = candidates(fw, precision);
+    if cands.is_empty() {
+        // Ω₂(1,2) divides every width, so only reduced precisions can get
+        // here (the six FP16-ported kernels cover output lengths 3/5/7/9).
+        return Err(WinrsError::PlanRejected(vec![
+            Violation::NoReducedPrecisionKernel { fw, precision },
+        ]));
+    }
+    Ok(best_pair(&cands, ow))
+}
+
+/// Exhaustive pair search over a non-empty candidate set: exact
+/// decompositions first, phantom-padded fallback otherwise.
+fn best_pair(cands: &[KernelId], ow: usize) -> KernelPair {
     let mut best: Option<KernelPair> = None;
     let mut consider = |p: KernelPair| {
         if best.as_ref().is_none_or(|b| p.score() > b.score()) {
@@ -105,7 +131,7 @@ pub fn select_pair(fw: usize, ow: usize, precision: Precision) -> KernelPair {
     };
 
     // Single-kernel decompositions.
-    for &k in &cands {
+    for &k in cands {
         if ow.is_multiple_of(k.r) {
             consider(KernelPair {
                 bulk: k,
@@ -117,8 +143,8 @@ pub fn select_pair(fw: usize, ow: usize, precision: Precision) -> KernelPair {
         }
     }
     // Exact pairs (bulk must contribute at least one unit).
-    for &k0 in &cands {
-        for &k1 in &cands {
+    for &k0 in cands {
+        for &k1 in cands {
             if k0 == k1 {
                 continue;
             }
@@ -143,8 +169,8 @@ pub fn select_pair(fw: usize, ow: usize, precision: Precision) -> KernelPair {
     // Fallback: pad the row. Choose the kernel with the best coefficient
     // and the smallest residual padding.
     let mut padded_best: Option<KernelPair> = None;
-    for &k0 in &cands {
-        for &k1 in &cands {
+    for &k0 in cands {
+        for &k1 in cands {
             for pad in 1..k1.r.max(2) {
                 if let Some((a, b)) = decompose(ow + pad, k0.r, k1.r) {
                     let p = KernelPair {
@@ -216,6 +242,38 @@ mod tests {
         assert!(p.bulk.fp16_supported());
         if let Some(r) = p.residual {
             assert!(r.fp16_supported());
+        }
+    }
+
+    #[test]
+    fn try_select_rejects_unported_reduced_precision_widths() {
+        // F_W ∈ {1, 2, 4}: every divisor lacks an FP16 Tensor-Core port.
+        for fw in [1usize, 2, 4] {
+            let err = try_select_pair(fw, 16, Precision::Fp16).unwrap_err();
+            assert!(err.recoverable_by_fallback(), "fw={fw}");
+            assert!(matches!(
+                err.violations()[0],
+                Violation::NoReducedPrecisionKernel { fw: got, .. } if got == fw
+            ));
+            // The lenient legacy API still silently widens to FP32 kernels.
+            let lenient = select_pair(fw, 16, Precision::Fp16);
+            assert!(!lenient.bulk.fp16_supported());
+        }
+        // Ported widths succeed and agree with the lenient selection.
+        let strict = try_select_pair(3, 224, Precision::Fp16).unwrap();
+        assert_eq!(strict, select_pair(3, 224, Precision::Fp16));
+    }
+
+    #[test]
+    fn try_select_matches_select_for_fp32() {
+        for fw in 1..=9 {
+            for ow in [7usize, 16, 33, 224] {
+                assert_eq!(
+                    try_select_pair(fw, ow, Precision::Fp32).unwrap(),
+                    select_pair(fw, ow, Precision::Fp32),
+                    "fw={fw} ow={ow}"
+                );
+            }
         }
     }
 

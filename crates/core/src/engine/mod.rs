@@ -24,13 +24,26 @@
 //!   store before `ldmatrix`), multiplied into FP32 accumulators
 //!   (Tensor-Core `mma` semantics) and written back in binary16 after the
 //!   FP32 output transform.
+//!
+//! # Numeric health
+//!
+//! The re-rounding step is where reduced precision can *overflow*: binary16
+//! tops out at 65504 and E4M3 at 448, so a transformed tile value that
+//! exceeds the format's range becomes Inf (f16/bf16) or NaN (E4M3) and
+//! poisons every `∇W` element its segment touches. The engine counts these
+//! events — saturations at the rounding step, non-finite values at the
+//! output transform — per segment in a [`HealthSink`], so the fallback
+//! dispatcher can re-execute only the poisoned buckets at FP32 (see
+//! [`crate::fallback`]).
 
 mod clip;
 
 pub use clip::{clip_rows, clip_savings_fraction, clipped_rows_total};
 
+use crate::error::{Violation, WinrsError};
 use crate::partition::{Partition, Segment};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use winrs_conv::ConvShape;
 use winrs_fp16::{bf16, e4m3, f16};
 use winrs_tensor::{Scalar, Tensor4};
@@ -60,14 +73,93 @@ pub enum TileMode {
     Fp8,
 }
 
+/// Per-segment numeric-health counters, filled in by the engine while it
+/// runs. Index 0 counts *saturations* (a finite FP32 value that became
+/// non-finite when re-rounded to the reduced format); index 1 counts
+/// *non-finite outputs* (NaN/Inf reaching the output transform).
+#[derive(Debug)]
+pub struct HealthSink {
+    counters: Vec<[AtomicU64; 2]>,
+}
+
+impl HealthSink {
+    /// A sink with one counter pair per segment of the partition.
+    pub fn new(num_segments: usize) -> HealthSink {
+        HealthSink {
+            counters: (0..num_segments)
+                .map(|_| [AtomicU64::new(0), AtomicU64::new(0)])
+                .collect(),
+        }
+    }
+
+    /// Add a block column's local counts to segment `seg`'s totals.
+    pub fn record(&self, seg: usize, saturated: u64, non_finite: u64) {
+        if saturated > 0 {
+            self.counters[seg][0].fetch_add(saturated, Ordering::Relaxed);
+        }
+        if non_finite > 0 {
+            self.counters[seg][1].fetch_add(non_finite, Ordering::Relaxed);
+        }
+    }
+
+    /// Saturation count for one segment.
+    pub fn saturated(&self, seg: usize) -> u64 {
+        self.counters[seg][0].load(Ordering::Relaxed)
+    }
+
+    /// Non-finite-output count for one segment.
+    pub fn non_finite(&self, seg: usize) -> u64 {
+        self.counters[seg][1].load(Ordering::Relaxed)
+    }
+
+    /// Totals over all segments: `(saturated, non_finite)`.
+    pub fn totals(&self) -> (u64, u64) {
+        self.counters.iter().fold((0, 0), |(s, n), c| {
+            (
+                s + c[0].load(Ordering::Relaxed),
+                n + c[1].load(Ordering::Relaxed),
+            )
+        })
+    }
+
+    /// Indices of segments whose results cannot be trusted (any saturation
+    /// or non-finite output).
+    pub fn poisoned_segments(&self) -> Vec<usize> {
+        (0..self.counters.len())
+            .filter(|&s| self.saturated(s) > 0 || self.non_finite(s) > 0)
+            .collect()
+    }
+
+    /// True when no segment recorded any event.
+    pub fn is_clean(&self) -> bool {
+        self.totals() == (0, 0)
+    }
+}
+
+/// Optional behaviours of [`execute_segments_with`].
+#[derive(Clone, Copy, Default)]
+pub struct ExecOptions<'a> {
+    /// When set (length `partition.z()`), only buckets with a `true` entry
+    /// are zeroed and executed — used by the numeric guard to re-run just
+    /// the poisoned buckets at FP32.
+    pub bucket_filter: Option<&'a [bool]>,
+    /// When set, the engine flushes per-segment saturation / non-finite
+    /// counts into the sink (sized `partition.segments.len()`).
+    pub health: Option<&'a HealthSink>,
+}
+
 /// Execute all segments, accumulating each segment's result into its
 /// bucket.
 ///
-/// `buckets` must hold `partition.z() · dw_elems` zero-initialised
-/// elements; bucket `z` occupies `buckets[z·dw .. (z+1)·dw]` in
-/// `(O_C, F_H, F_W, I_C)` layout. Execution runs in two sequential passes
+/// `buckets` must hold `partition.z() · dw_elems` elements; bucket `z`
+/// occupies `buckets[z·dw .. (z+1)·dw]` in `(O_C, F_H, F_W, I_C)` layout
+/// and is zeroed before execution. Execution runs in two sequential passes
 /// (bulk kernel launch, then residual kernel launch); within a pass every
 /// segment owns a distinct bucket, so segments parallelise freely.
+///
+/// Returns a typed [`WinrsError::ExecutionRejected`] listing *every*
+/// argument inconsistency (bucket length, `x` dims, `dy` dims) instead of
+/// panicking.
 pub fn execute_segments<T: Scalar, S: TransformSource>(
     conv: &ConvShape,
     partition: &Partition,
@@ -76,25 +168,87 @@ pub fn execute_segments<T: Scalar, S: TransformSource>(
     dy: &Tensor4<T>,
     mode: TileMode,
     buckets: &mut [T],
-) {
+) -> Result<(), WinrsError> {
+    execute_segments_with(
+        conv,
+        partition,
+        transforms,
+        x,
+        dy,
+        mode,
+        buckets,
+        ExecOptions::default(),
+    )
+}
+
+/// [`execute_segments`] with explicit [`ExecOptions`] (bucket filtering
+/// for partial re-execution, numeric-health accounting).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_segments_with<T: Scalar, S: TransformSource>(
+    conv: &ConvShape,
+    partition: &Partition,
+    transforms: &S,
+    x: &Tensor4<T>,
+    dy: &Tensor4<T>,
+    mode: TileMode,
+    buckets: &mut [T],
+    opts: ExecOptions<'_>,
+) -> Result<(), WinrsError> {
     let dw_elems = conv.dw_elems();
-    assert_eq!(buckets.len(), partition.z() * dw_elems, "bucket size");
-    assert_eq!(x.dims(), [conv.n, conv.ih, conv.iw, conv.ic]);
-    assert_eq!(dy.dims(), [conv.n, conv.oh(), conv.ow(), conv.oc]);
-    buckets.iter_mut().for_each(|b| *b = T::ZERO);
+    let mut violations = Vec::new();
+    if buckets.len() != partition.z() * dw_elems {
+        violations.push(Violation::BucketSizeMismatch {
+            expected: partition.z() * dw_elems,
+            got: buckets.len(),
+        });
+    }
+    let want_x = [conv.n, conv.ih, conv.iw, conv.ic];
+    if x.dims() != want_x {
+        violations.push(Violation::TensorDimsMismatch {
+            tensor: "x",
+            expected: want_x,
+            got: x.dims(),
+        });
+    }
+    let want_dy = [conv.n, conv.oh(), conv.ow(), conv.oc];
+    if dy.dims() != want_dy {
+        violations.push(Violation::TensorDimsMismatch {
+            tensor: "dy",
+            expected: want_dy,
+            got: dy.dims(),
+        });
+    }
+    if !violations.is_empty() {
+        return Err(WinrsError::ExecutionRejected(violations));
+    }
+    let enabled = |bucket: usize| opts.bucket_filter.is_none_or(|f| f[bucket]);
+    for (z, chunk) in buckets.chunks_mut(dw_elems).enumerate() {
+        if enabled(z) {
+            chunk.iter_mut().for_each(|b| *b = T::ZERO);
+        }
+    }
 
     for pass in 0..=1u8 {
-        // Map bucket index -> the (unique) segment of this pass using it.
-        let mut by_bucket: Vec<Option<&Segment>> = vec![None; partition.z()];
-        for seg in partition.segments.iter().filter(|s| s.pass == pass) {
+        // Map bucket index -> the (unique) segment of this pass using it,
+        // carrying the segment's index for health accounting.
+        let mut by_bucket: Vec<Option<(usize, &Segment)>> = vec![None; partition.z()];
+        for (idx, seg) in partition
+            .segments
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.pass == pass)
+        {
             debug_assert!(by_bucket[seg.bucket].is_none(), "bucket collision");
-            by_bucket[seg.bucket] = Some(seg);
+            by_bucket[seg.bucket] = Some((idx, seg));
         }
         buckets
             .par_chunks_mut(dw_elems)
             .zip(by_bucket.into_par_iter())
             .for_each(|(bucket, segment)| {
-                let Some(segment) = segment else { return };
+                let Some((seg_idx, segment)) = segment else { return };
+                if !enabled(segment.bucket) {
+                    return;
+                }
                 let (bn, bm) = match mode {
                     TileMode::Fp32 => fp32_cache_block(segment.kernel.alpha()),
                     TileMode::Fp16 | TileMode::Bf16 | TileMode::Fp8 => {
@@ -112,20 +266,57 @@ pub fn execute_segments<T: Scalar, S: TransformSource>(
                         let oc0 = tile_idx * bn;
                         let bn_cur = bn.min(conv.oc - oc0);
                         run_block_column(
-                            conv, segment, t, x, dy, mode, oc0, bn_cur, bm, slice,
+                            conv, segment, seg_idx, t, x, dy, mode, oc0, bn_cur, bm, slice,
+                            opts.health,
                         );
                     });
             });
     }
+    Ok(())
+}
+
+/// Re-round a transformed FP32 tile to the reduced format's grid, counting
+/// values that were finite before rounding but not after (format
+/// overflow). `Fp32` is the identity and never saturates.
+#[inline]
+fn round_tile(buf: &mut [f32], mode: TileMode) -> u64 {
+    let mut saturated = 0u64;
+    match mode {
+        TileMode::Fp32 => {}
+        TileMode::Fp16 => {
+            for v in buf.iter_mut() {
+                let r = f16::from_f32(*v).to_f32();
+                saturated += u64::from(v.is_finite() && !r.is_finite());
+                *v = r;
+            }
+        }
+        TileMode::Bf16 => {
+            for v in buf.iter_mut() {
+                let r = bf16::from_f32(*v).to_f32();
+                saturated += u64::from(v.is_finite() && !r.is_finite());
+                *v = r;
+            }
+        }
+        TileMode::Fp8 => {
+            for v in buf.iter_mut() {
+                let r = e4m3::from_f32(*v).to_f32();
+                saturated += u64::from(v.is_finite() && !r.is_finite());
+                *v = r;
+            }
+        }
+    }
+    saturated
 }
 
 /// Process every `(ic-tile, filter-tile)` block of one `oc` tile of one
 /// segment. `slice` is the bucket region for channels `oc0..oc0+bn_cur`,
-/// laid out `(bn_cur, F_H, F_W, I_C)`.
+/// laid out `(bn_cur, F_H, F_W, I_C)`. Health counts accumulate in locals
+/// and flush into the sink once at the end.
 #[allow(clippy::too_many_arguments)]
 fn run_block_column<T: Scalar>(
     conv: &ConvShape,
     seg: &Segment,
+    seg_idx: usize,
     t: &TransformReal,
     x: &Tensor4<T>,
     dy: &Tensor4<T>,
@@ -134,11 +325,14 @@ fn run_block_column<T: Scalar>(
     bn_cur: usize,
     bm: usize,
     slice: &mut [T],
+    health: Option<&HealthSink>,
 ) {
     let alpha = t.alpha;
     let (n_out, r) = (t.n, t.r);
     debug_assert_eq!(seg.kernel.r, r);
     let fw_tiles = conv.fw / n_out;
+    let mut saturated = 0u64;
+    let mut non_finite = 0u64;
 
     // Hoisted scratch buffers (the "SMEM" of a block).
     let mut ghat = vec![0.0f32; alpha * bn_cur];
@@ -161,13 +355,13 @@ fn run_block_column<T: Scalar>(
                         let x_col0 = (fw0 + col0) as isize - conv.pw as isize;
                         for b in 0..conv.n {
                             // Filter transform: ghat[β][oc] = Σ_t G[β][t]·∇Y.
-                            load_filter_tile(
-                                dy, t, b, i, col0, oc0, bn_cur, mode, &mut ghat,
-                            );
+                            load_filter_tile(dy, t, b, i, col0, oc0, bn_cur, &mut ghat);
+                            #[cfg(feature = "faults")]
+                            crate::faults::maybe_inject(seg_idx, mode, &mut ghat);
+                            saturated += round_tile(&mut ghat[..alpha * bn_cur], mode);
                             // Input transform: dhat[β][ic] = Σ_s Dᵀ[β][s]·X.
-                            load_input_tile(
-                                x, t, b, x_row, x_col0, ic0, bm_cur, mode, &mut dhat,
-                            );
+                            load_input_tile(x, t, b, x_row, x_col0, ic0, bm_cur, &mut dhat);
+                            saturated += round_tile(&mut dhat[..alpha * bm_cur], mode);
                             // α-batched outer-product accumulation.
                             for beta in 0..alpha {
                                 let g_row = &ghat[beta * bn_cur..(beta + 1) * bn_cur];
@@ -195,6 +389,7 @@ fn run_block_column<T: Scalar>(
                                 y += t.at_f32[d * alpha + beta]
                                     * acc[(beta * bn_cur + oi) * bm_cur + ii];
                             }
+                            non_finite += u64::from(!y.is_finite());
                             let fw = fw0 + d;
                             let dst =
                                 ((oi * conv.fh + fh) * conv.fw + fw) * conv.ic + ic0 + ii;
@@ -206,11 +401,18 @@ fn run_block_column<T: Scalar>(
         }
         ic0 += bm_cur;
     }
+    #[cfg(not(feature = "faults"))]
+    let _ = seg_idx;
+    if let Some(sink) = health {
+        sink.record(seg_idx, saturated, non_finite);
+    }
 }
 
 /// Load one filter tile (`r` ∇Y columns × `bn_cur` output channels) and
-/// apply `G`. Phantom columns (width padding from the pair fallback) read
-/// zero through the padded accessor.
+/// apply `G` in FP32. Phantom columns (width padding from the pair
+/// fallback) read zero through the padded accessor. Reduced-precision
+/// re-rounding happens separately in [`round_tile`] so the engine can
+/// count saturations (and the fault injector can perturb the tile).
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn load_filter_tile<T: Scalar>(
@@ -221,7 +423,6 @@ fn load_filter_tile<T: Scalar>(
     col0: usize,
     oc0: usize,
     bn_cur: usize,
-    mode: TileMode,
     ghat: &mut [f32],
 ) {
     let (alpha, r) = (t.alpha, t.r);
@@ -238,29 +439,11 @@ fn load_filter_tile<T: Scalar>(
             }
         }
     }
-    match mode {
-        TileMode::Fp16 => {
-            for g in ghat[..alpha * bn_cur].iter_mut() {
-                *g = f16::from_f32(*g).to_f32();
-            }
-        }
-        TileMode::Bf16 => {
-            for g in ghat[..alpha * bn_cur].iter_mut() {
-                *g = bf16::from_f32(*g).to_f32();
-            }
-        }
-        TileMode::Fp8 => {
-            for g in ghat[..alpha * bn_cur].iter_mut() {
-                *g = e4m3::from_f32(*g).to_f32();
-            }
-        }
-        TileMode::Fp32 => {}
-    }
 }
 
 /// Load one input tile (`α` X columns × `bm_cur` input channels) and apply
-/// `Dᵀ`. Out-of-range rows/columns read zero (width padding, Figure 7's
-/// clipping already removed out-of-range rows).
+/// `Dᵀ` in FP32. Out-of-range rows/columns read zero (width padding,
+/// Figure 7's clipping already removed out-of-range rows).
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn load_input_tile<T: Scalar>(
@@ -271,7 +454,6 @@ fn load_input_tile<T: Scalar>(
     x_col0: isize,
     ic0: usize,
     bm_cur: usize,
-    mode: TileMode,
     dhat: &mut [f32],
 ) {
     let alpha = t.alpha;
@@ -286,24 +468,6 @@ fn load_input_tile<T: Scalar>(
                 }
             }
         }
-    }
-    match mode {
-        TileMode::Fp16 => {
-            for d in dhat[..alpha * bm_cur].iter_mut() {
-                *d = f16::from_f32(*d).to_f32();
-            }
-        }
-        TileMode::Bf16 => {
-            for d in dhat[..alpha * bm_cur].iter_mut() {
-                *d = bf16::from_f32(*d).to_f32();
-            }
-        }
-        TileMode::Fp8 => {
-            for d in dhat[..alpha * bm_cur].iter_mut() {
-                *d = e4m3::from_f32(*d).to_f32();
-            }
-        }
-        TileMode::Fp32 => {}
     }
 }
 
@@ -326,16 +490,20 @@ mod tests {
         }
     }
 
-    fn run_f32(conv: &ConvShape, z_hat: usize) -> f64 {
+    fn setup(conv: &ConvShape, z_hat: usize) -> (Partition, Plain) {
         let pair = select_pair(conv.fw, conv.ow(), Precision::Fp32);
         let seg_shape = calculate(z_hat, conv.oh(), conv.ow(), pair.bulk.r, conv.ph);
-        let partition = Partition::build(conv, &pair, seg_shape);
+        let partition = Partition::build(conv, &pair, seg_shape).expect("valid partition");
         let mut map = HashMap::new();
         for k in [Some(pair.bulk), pair.residual].into_iter().flatten() {
             map.entry((k.n, k.r))
                 .or_insert_with(|| Transform::generate(k.n, k.r).to_real());
         }
-        let src = Plain(map);
+        (partition, Plain(map))
+    }
+
+    fn run_f32(conv: &ConvShape, z_hat: usize) -> f64 {
+        let (partition, src) = setup(conv, z_hat);
 
         let x64 = Tensor4::<f64>::random_uniform([conv.n, conv.ih, conv.iw, conv.ic], 71, 1.0);
         let dy64 =
@@ -345,7 +513,8 @@ mod tests {
         let dy = dy64.cast::<f32>();
 
         let mut buckets = vec![0.0f32; partition.z() * conv.dw_elems()];
-        execute_segments(conv, &partition, &src, &x, &dy, TileMode::Fp32, &mut buckets);
+        execute_segments(conv, &partition, &src, &x, &dy, TileMode::Fp32, &mut buckets)
+            .expect("valid arguments");
         let mut dw = Tensor4::<f32>::zeros([conv.oc, conv.fh, conv.fw, conv.ic]);
         reduce_buckets(&buckets, partition.z(), &mut dw);
         mare(&dw, &exact)
@@ -401,5 +570,125 @@ mod tests {
         let conv = ConvShape::new(2, 13, 17, 3, 2, 2, 2, 0, 0);
         let m = run_f32(&conv, 3);
         assert!(m < 1e-5, "MARE {m}");
+    }
+
+    #[test]
+    fn bad_arguments_are_rejected_with_all_violations() {
+        let conv = ConvShape::new(1, 12, 12, 3, 3, 3, 3, 1, 1);
+        let (partition, src) = setup(&conv, 2);
+        // Wrong bucket length AND wrong x dims AND wrong dy dims, at once.
+        let x = Tensor4::<f32>::zeros([1, 12, 12, 2]); // ic 2, plan wants 3
+        let dy = Tensor4::<f32>::zeros([1, 11, 12, 3]); // oh 11, plan wants 12
+        let mut buckets = vec![0.0f32; 7];
+        let err = execute_segments(
+            &conv,
+            &partition,
+            &src,
+            &x,
+            &dy,
+            TileMode::Fp32,
+            &mut buckets,
+        )
+        .unwrap_err();
+        assert!(matches!(err, WinrsError::ExecutionRejected(_)));
+        assert_eq!(err.violations().len(), 3, "{err}");
+        assert!(!err.recoverable_by_fallback());
+    }
+
+    #[test]
+    fn health_sink_is_clean_on_benign_data() {
+        let conv = ConvShape::new(1, 12, 12, 2, 2, 3, 3, 1, 1);
+        let (partition, src) = setup(&conv, 2);
+        let x = Tensor4::<f32>::random_uniform([1, 12, 12, 2], 5, 1.0);
+        let dy = Tensor4::<f32>::random_uniform([1, 12, 12, 2], 6, 1.0);
+        let mut buckets = vec![0.0f32; partition.z() * conv.dw_elems()];
+        let sink = HealthSink::new(partition.segments.len());
+        execute_segments_with(
+            &conv,
+            &partition,
+            &src,
+            &x,
+            &dy,
+            TileMode::Fp16,
+            &mut buckets,
+            ExecOptions {
+                health: Some(&sink),
+                ..Default::default()
+            },
+        )
+        .expect("valid arguments");
+        assert!(sink.is_clean(), "{:?}", sink.totals());
+        assert!(sink.poisoned_segments().is_empty());
+    }
+
+    #[test]
+    fn health_sink_counts_fp16_overflow() {
+        // ∇Y values of 6e4 exceed binary16's 65504 as soon as any G row
+        // sums two of them, so the re-rounding step must saturate and the
+        // resulting Inf must reach the output transform as non-finite.
+        let conv = ConvShape::new(1, 12, 12, 2, 2, 3, 3, 1, 1);
+        let (partition, src) = setup(&conv, 2);
+        let x = Tensor4::<f32>::from_fn([1, 12, 12, 2], |_, _, _, _| 1.0);
+        let dy = Tensor4::<f32>::from_fn([1, 12, 12, 2], |_, _, _, _| 6.0e4);
+        let mut buckets = vec![0.0f32; partition.z() * conv.dw_elems()];
+        let sink = HealthSink::new(partition.segments.len());
+        execute_segments_with(
+            &conv,
+            &partition,
+            &src,
+            &x,
+            &dy,
+            TileMode::Fp16,
+            &mut buckets,
+            ExecOptions {
+                health: Some(&sink),
+                ..Default::default()
+            },
+        )
+        .expect("valid arguments");
+        let (sat, nonfin) = sink.totals();
+        assert!(sat > 0, "expected saturations, got {sat}");
+        assert!(nonfin > 0, "expected non-finite outputs, got {nonfin}");
+        assert!(!sink.poisoned_segments().is_empty());
+    }
+
+    #[test]
+    fn bucket_filter_executes_only_selected_buckets() {
+        let conv = ConvShape::new(1, 16, 16, 2, 2, 3, 3, 1, 1);
+        let (partition, src) = setup(&conv, 4);
+        assert!(partition.z() >= 2, "test needs multiple buckets");
+        let x = Tensor4::<f32>::random_uniform([1, 16, 16, 2], 9, 1.0);
+        let dy = Tensor4::<f32>::random_uniform([1, 16, 16, 2], 10, 1.0);
+        let dw = conv.dw_elems();
+
+        // Full run for reference.
+        let mut full = vec![0.0f32; partition.z() * dw];
+        execute_segments(&conv, &partition, &src, &x, &dy, TileMode::Fp32, &mut full)
+            .expect("valid arguments");
+
+        // Filtered run: poison all buckets with sentinels, enable only
+        // bucket 0; it must be recomputed, the rest must keep sentinels.
+        let mut filtered = vec![7.25f32; partition.z() * dw];
+        let mut filter = vec![false; partition.z()];
+        filter[0] = true;
+        execute_segments_with(
+            &conv,
+            &partition,
+            &src,
+            &x,
+            &dy,
+            TileMode::Fp32,
+            &mut filtered,
+            ExecOptions {
+                bucket_filter: Some(&filter),
+                ..Default::default()
+            },
+        )
+        .expect("valid arguments");
+        assert_eq!(filtered[..dw], full[..dw], "enabled bucket recomputed");
+        assert!(
+            filtered[dw..].iter().all(|&v| v == 7.25),
+            "disabled buckets untouched"
+        );
     }
 }

@@ -1,0 +1,253 @@
+//! Workspace-wide typed errors for fail-safe BFC execution.
+//!
+//! WinRS used to enforce its invariants with `assert!`/`panic!`, which is
+//! fine for a research prototype but wrong for a library: a training loop
+//! that feeds one odd layer shape should get a recoverable, descriptive
+//! error (and ideally a fallback algorithm — see [`crate::fallback`]), not
+//! a process abort. This module defines the error type every fallible
+//! WinRS entry point returns.
+//!
+//! Two design rules:
+//!
+//! * **Exhaustive reporting** — validation passes collect *every* violated
+//!   invariant before returning, so a caller fixing their input fixes it
+//!   once, not once per run.
+//! * **Typed violations** — each violation is a structured enum variant,
+//!   not a string, so dispatchers (e.g. the fallback policy) can branch on
+//!   the *reason* a plan was rejected.
+
+use crate::config::Precision;
+use std::fmt;
+use winrs_conv::{ShapeError, ShapeViolation};
+
+/// One violated invariant, anywhere in the plan-build-execute pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// The convolution shape itself is ill-formed (empty output, zero
+    /// dims). No algorithm can run such a problem.
+    Shape(ShapeViolation),
+    /// The problem has stride ≠ 1 along some axis; the WinRS engine (like
+    /// the paper) is stride-1 only.
+    UnsupportedStride {
+        /// Stride along height.
+        sh: usize,
+        /// Stride along width.
+        sw: usize,
+    },
+    /// The problem has dilation ≠ 1 along some axis.
+    UnsupportedDilation {
+        /// Dilation along height.
+        dh: usize,
+        /// Dilation along width.
+        dw: usize,
+    },
+    /// No kernel in the inventory supports this filter width at the
+    /// requested reduced precision (the paper ports six of the thirteen
+    /// kernels to Tensor-Core FP16; widths whose divisors all lack ports —
+    /// e.g. 1, 2, 4 — cannot run the reduced-precision WinRS path).
+    NoReducedPrecisionKernel {
+        /// Filter-gradient width `F_W`.
+        fw: usize,
+        /// The requested precision.
+        precision: Precision,
+    },
+    /// The built partition does not tile `O_H × (O_W + pad)` exactly
+    /// (internal invariant — indicates a configuration bug, never user
+    /// input).
+    PartitionCoverage {
+        /// Output-gradient height.
+        oh: usize,
+        /// Output-gradient width including phantom pad columns.
+        padded_ow: usize,
+    },
+    /// Two segments of the same launch pass share a bucket (internal
+    /// invariant).
+    BucketCollision {
+        /// The contested bucket index.
+        bucket: usize,
+        /// The launch pass in which the collision occurs.
+        pass: u8,
+    },
+    /// The caller-provided bucket buffer has the wrong length.
+    BucketSizeMismatch {
+        /// Required length `Z · |∇W|`.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// An input tensor's dimensions disagree with the plan's shape.
+    TensorDimsMismatch {
+        /// `"x"` or `"dy"`.
+        tensor: &'static str,
+        /// Dimensions the plan requires.
+        expected: [usize; 4],
+        /// Dimensions actually provided.
+        got: [usize; 4],
+    },
+    /// An `execute_*` entry point was called on a plan built for a
+    /// different precision.
+    PrecisionMismatch {
+        /// Precision the plan was built for.
+        plan: Precision,
+        /// The entry point that was called (`"execute_f32"`, …).
+        entry: &'static str,
+        /// Precision that entry point requires.
+        required: Precision,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Shape(v) => write!(f, "{v}"),
+            Violation::UnsupportedStride { sh, sw } => write!(
+                f,
+                "stride ({sh}, {sw}) unsupported: the WinRS engine requires stride 1"
+            ),
+            Violation::UnsupportedDilation { dh, dw } => write!(
+                f,
+                "dilation ({dh}, {dw}) unsupported: the WinRS engine requires dilation 1"
+            ),
+            Violation::NoReducedPrecisionKernel { fw, precision } => write!(
+                f,
+                "no {precision:?}-ported kernel supports filter width {fw} \
+                 (ported output lengths are 3, 5, 7, 9)"
+            ),
+            Violation::PartitionCoverage { oh, padded_ow } => write!(
+                f,
+                "partition does not tile the {oh}x{padded_ow} output-gradient exactly"
+            ),
+            Violation::BucketCollision { bucket, pass } => {
+                write!(f, "bucket {bucket} claimed twice in pass {pass}")
+            }
+            Violation::BucketSizeMismatch { expected, got } => {
+                write!(f, "bucket buffer holds {got} elements, plan needs {expected}")
+            }
+            Violation::TensorDimsMismatch {
+                tensor,
+                expected,
+                got,
+            } => write!(
+                f,
+                "tensor `{tensor}` has dims {got:?}, plan requires {expected:?}"
+            ),
+            Violation::PrecisionMismatch {
+                plan,
+                entry,
+                required,
+            } => write!(
+                f,
+                "`{entry}` requires a {required:?} plan, but this plan was \
+                 built for {plan:?}"
+            ),
+        }
+    }
+}
+
+/// The workspace-wide WinRS error: which stage rejected the request, and
+/// the complete list of violations it found.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WinrsError {
+    /// The problem description itself is invalid — no algorithm (WinRS or
+    /// fallback) can execute it.
+    InvalidShape(Vec<Violation>),
+    /// The shape is valid but outside the WinRS engine's envelope; a
+    /// fallback algorithm can still run it (see [`crate::fallback`]).
+    PlanRejected(Vec<Violation>),
+    /// Plan execution was called with arguments inconsistent with the
+    /// plan (wrong tensor dims, wrong precision, wrong buffer size).
+    ExecutionRejected(Vec<Violation>),
+}
+
+impl WinrsError {
+    /// The complete violation list, regardless of stage.
+    pub fn violations(&self) -> &[Violation] {
+        match self {
+            WinrsError::InvalidShape(v)
+            | WinrsError::PlanRejected(v)
+            | WinrsError::ExecutionRejected(v) => v,
+        }
+    }
+
+    /// Short stage label for reports and logs.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            WinrsError::InvalidShape(_) => "invalid-shape",
+            WinrsError::PlanRejected(_) => "plan-rejected",
+            WinrsError::ExecutionRejected(_) => "execution-rejected",
+        }
+    }
+
+    /// True when a fallback algorithm could still run the problem: the
+    /// shape itself is fine, only the WinRS envelope was exceeded.
+    pub fn recoverable_by_fallback(&self) -> bool {
+        matches!(self, WinrsError::PlanRejected(_))
+    }
+}
+
+impl fmt::Display for WinrsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self {
+            WinrsError::InvalidShape(_) => "invalid problem shape",
+            WinrsError::PlanRejected(_) => "problem outside the WinRS envelope",
+            WinrsError::ExecutionRejected(_) => "execution arguments rejected",
+        };
+        let v = self.violations();
+        write!(f, "{what} ({} violation{}): ", v.len(), if v.len() == 1 { "" } else { "s" })?;
+        for (i, violation) in v.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{violation}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for WinrsError {}
+
+impl From<ShapeError> for WinrsError {
+    fn from(e: ShapeError) -> Self {
+        WinrsError::InvalidShape(e.violations.into_iter().map(Violation::Shape).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_every_violation() {
+        let err = WinrsError::ExecutionRejected(vec![
+            Violation::BucketSizeMismatch {
+                expected: 128,
+                got: 64,
+            },
+            Violation::TensorDimsMismatch {
+                tensor: "x",
+                expected: [1, 8, 8, 2],
+                got: [1, 8, 8, 3],
+            },
+        ]);
+        let msg = err.to_string();
+        assert!(msg.contains("2 violations"), "{msg}");
+        assert!(msg.contains("bucket buffer holds 64"), "{msg}");
+        assert!(msg.contains("`x`"), "{msg}");
+    }
+
+    #[test]
+    fn shape_error_converts_to_invalid_shape() {
+        let e = winrs_conv::ConvShape::try_new(0, 8, 8, 1, 1, 3, 3, 1, 1).unwrap_err();
+        let w: WinrsError = e.into();
+        assert!(matches!(&w, WinrsError::InvalidShape(v) if v.len() == 1));
+        assert!(!w.recoverable_by_fallback());
+        assert_eq!(w.stage(), "invalid-shape");
+    }
+
+    #[test]
+    fn plan_rejection_is_recoverable() {
+        let err = WinrsError::PlanRejected(vec![Violation::UnsupportedStride { sh: 2, sw: 2 }]);
+        assert!(err.recoverable_by_fallback());
+        assert!(err.to_string().contains("stride (2, 2)"));
+    }
+}

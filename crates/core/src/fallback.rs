@@ -1,0 +1,613 @@
+//! Fail-safe BFC dispatch: algorithm fallback and numeric-health guards.
+//!
+//! A training loop should never die because one layer's shape sits outside
+//! the WinRS envelope, and should never silently return NaN gradients
+//! because an FP16 tile overflowed. This module wraps plan construction
+//! and execution in a dispatcher with two degradation axes:
+//!
+//! * **Algorithm fallback** ([`FallbackPolicy`]): when WinRS rejects a
+//!   plan with a recoverable [`WinrsError::PlanRejected`] (no ported
+//!   kernel for the filter width at the requested precision, partition
+//!   invariant failure), the dispatcher transparently reruns the problem
+//!   through GEMM-BFC (cuDNN `Algo1`'s analogue) — or direct convolution
+//!   on request — and records which algorithm actually produced `∇W`.
+//!   Strided/dilated problems route straight to the strided reference
+//!   kernel the same way.
+//! * **Numeric guard** ([`NumericGuard`]): reduced-precision execution
+//!   runs with the engine's per-segment health counters; on overflow the
+//!   guard can warn, or re-execute *only the poisoned buckets* at FP32
+//!   (`PromoteAndRetry`) — the residual segments of a band share their
+//!   first bulk segment's bucket, so promotion is bucket-granular and the
+//!   healthy buckets keep their cheap reduced-precision results.
+//!
+//! Every dispatch returns an [`ExecutionReport`] describing what happened;
+//! [`ExecutionReport::summary_line`] is the one-line structured form the
+//! CLI prints.
+
+use crate::config::Precision;
+use crate::engine::{ExecOptions, HealthSink, TileMode};
+use crate::error::{Violation, WinrsError};
+use crate::plan::WinRsPlan;
+use std::str::FromStr;
+use winrs_conv::gemm_bfc::{bfc_gemm_f32, GemmAlgo};
+use winrs_conv::strided::{bfc_strided, StridedShape};
+use winrs_conv::{direct, ConvShape};
+use winrs_gpu_sim::DeviceSpec;
+use winrs_tensor::Tensor4;
+
+/// Which algorithm produced the result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The WinRS segmented Winograd engine.
+    WinRs,
+    /// GEMM-based BFC (cuDNN `Algo1` analogue) — the standard fallback.
+    GemmBfc,
+    /// Direct convolution — the last-resort reference.
+    Direct,
+    /// Strided/dilated direct BFC (stride or dilation ≠ 1).
+    StridedDirect,
+}
+
+impl Algorithm {
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::WinRs => "winrs",
+            Algorithm::GemmBfc => "gemm-bfc",
+            Algorithm::Direct => "direct",
+            Algorithm::StridedDirect => "strided-direct",
+        }
+    }
+}
+
+/// What to do when WinRS rejects a plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FallbackPolicy {
+    /// Propagate the rejection as an error; never substitute algorithms.
+    Strict,
+    /// Fall back to GEMM-BFC on any recoverable rejection (default).
+    #[default]
+    Auto,
+    /// Skip WinRS entirely and run the named algorithm (debugging /
+    /// baseline measurement).
+    Force(Algorithm),
+}
+
+impl FromStr for FallbackPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<FallbackPolicy, String> {
+        match s {
+            "strict" => Ok(FallbackPolicy::Strict),
+            "auto" => Ok(FallbackPolicy::Auto),
+            "force-gemm" => Ok(FallbackPolicy::Force(Algorithm::GemmBfc)),
+            "force-direct" => Ok(FallbackPolicy::Force(Algorithm::Direct)),
+            other => Err(format!(
+                "unknown fallback policy `{other}` (expected strict | auto | \
+                 force-gemm | force-direct)"
+            )),
+        }
+    }
+}
+
+/// What to do about reduced-precision overflow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum NumericGuard {
+    /// No health accounting at all (fastest; counters report zero).
+    Ignore,
+    /// Count saturations / non-finite outputs and report them (default).
+    #[default]
+    Warn,
+    /// Count, then re-execute the poisoned buckets at FP32 so the returned
+    /// `∇W` is finite everywhere.
+    PromoteAndRetry,
+}
+
+impl NumericGuard {
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NumericGuard::Ignore => "ignore",
+            NumericGuard::Warn => "warn",
+            NumericGuard::PromoteAndRetry => "promote-retry",
+        }
+    }
+}
+
+impl FromStr for NumericGuard {
+    type Err = String;
+    fn from_str(s: &str) -> Result<NumericGuard, String> {
+        match s {
+            "ignore" => Ok(NumericGuard::Ignore),
+            "warn" => Ok(NumericGuard::Warn),
+            "promote-retry" | "promote" => Ok(NumericGuard::PromoteAndRetry),
+            other => Err(format!(
+                "unknown numeric guard `{other}` (expected ignore | warn | \
+                 promote-retry)"
+            )),
+        }
+    }
+}
+
+/// What actually happened during one dispatched BFC execution.
+#[derive(Clone, Debug)]
+pub struct ExecutionReport {
+    /// The algorithm that produced the returned `∇W`.
+    pub algorithm: Algorithm,
+    /// The precision the caller asked for.
+    pub requested_precision: Precision,
+    /// The numeric guard that was in force.
+    pub guard: NumericGuard,
+    /// Why WinRS did not run (populated when `algorithm` ≠ `WinRs`).
+    pub fallback_reason: Option<WinrsError>,
+    /// WinRS segment count `Z` (when WinRS ran).
+    pub z: Option<usize>,
+    /// WinRS workspace in bytes (when WinRS ran).
+    pub workspace_bytes: Option<usize>,
+    /// Reduced-precision saturation events counted by the engine.
+    pub saturated: u64,
+    /// Non-finite values counted at the output transform.
+    pub non_finite: u64,
+    /// Segment indices re-executed at FP32 by `PromoteAndRetry` (the
+    /// poisoned segments plus their bucket-mates).
+    pub promoted_segments: Vec<usize>,
+    /// Buckets re-executed at FP32.
+    pub promoted_buckets: usize,
+}
+
+impl ExecutionReport {
+    fn new(algorithm: Algorithm, precision: Precision, guard: NumericGuard) -> ExecutionReport {
+        ExecutionReport {
+            algorithm,
+            requested_precision: precision,
+            guard,
+            fallback_reason: None,
+            z: None,
+            workspace_bytes: None,
+            saturated: 0,
+            non_finite: 0,
+            promoted_segments: Vec::new(),
+            promoted_buckets: 0,
+        }
+    }
+
+    /// True when the numeric guard saw trouble that was *not* repaired.
+    pub fn tainted(&self) -> bool {
+        (self.saturated > 0 || self.non_finite > 0) && self.promoted_buckets == 0
+    }
+
+    /// The structured one-line form the CLI prints after each run:
+    /// `algorithm=… precision=… guard=… [z=… workspace=…B] saturated=…
+    /// non-finite=… [promoted=…/… buckets] [fallback="…"]`.
+    pub fn summary_line(&self) -> String {
+        let mut s = format!(
+            "algorithm={} precision={:?} guard={}",
+            self.algorithm.name(),
+            self.requested_precision,
+            self.guard.name(),
+        );
+        if let Some(z) = self.z {
+            s.push_str(&format!(" z={z}"));
+        }
+        if let Some(ws) = self.workspace_bytes {
+            s.push_str(&format!(" workspace={ws}B"));
+        }
+        s.push_str(&format!(
+            " saturated={} non-finite={}",
+            self.saturated, self.non_finite
+        ));
+        if self.promoted_buckets > 0 {
+            s.push_str(&format!(
+                " promoted={}/{} buckets",
+                self.promoted_buckets,
+                self.z.unwrap_or(0)
+            ));
+        }
+        if let Some(reason) = &self.fallback_reason {
+            s.push_str(&format!(" fallback=\"{reason}\""));
+        }
+        s
+    }
+}
+
+/// Dispatch one BFC problem: try WinRS, degrade per `policy`, guard the
+/// numerics per `guard`. I/O is FP32 (the master-copy convention of
+/// mixed-precision training); `precision` selects the engine's tile mode,
+/// exactly like [`WinRsPlan::execute_fp8`] does for FP8.
+///
+/// Errors only when no algorithm can run the problem
+/// ([`WinrsError::InvalidShape`]) or when `policy` is `Strict` and WinRS
+/// rejected it.
+pub fn run_bfc(
+    conv: &ConvShape,
+    device: &DeviceSpec,
+    precision: Precision,
+    x: &Tensor4<f32>,
+    dy: &Tensor4<f32>,
+    policy: FallbackPolicy,
+    guard: NumericGuard,
+) -> Result<(Tensor4<f32>, ExecutionReport), WinrsError> {
+    // Ill-formed shapes are fatal for every algorithm: report all
+    // violations at once, before touching any tensor.
+    let shape_violations: Vec<Violation> = conv
+        .violations()
+        .into_iter()
+        .map(Violation::Shape)
+        .collect();
+    if !shape_violations.is_empty() {
+        return Err(WinrsError::InvalidShape(shape_violations));
+    }
+
+    if let FallbackPolicy::Force(alg) = policy {
+        // Forced by the caller — not a fallback, so no reason recorded.
+        let report = ExecutionReport::new(alg, precision, guard);
+        let dw = run_substitute(alg, conv, x, dy);
+        return Ok((dw, report));
+    }
+
+    match WinRsPlan::new(conv, device, precision) {
+        Ok(plan) => {
+            let (dw, report) = run_planned(&plan, x, dy, guard)?;
+            Ok((dw, report))
+        }
+        Err(err) if err.recoverable_by_fallback() && policy == FallbackPolicy::Auto => {
+            let mut report = ExecutionReport::new(Algorithm::GemmBfc, precision, guard);
+            report.fallback_reason = Some(err);
+            let dw = run_substitute(Algorithm::GemmBfc, conv, x, dy);
+            Ok((dw, report))
+        }
+        Err(err) => Err(err),
+    }
+}
+
+/// Dispatch a strided/dilated problem. Stride = dilation = 1 delegates to
+/// [`run_bfc`]; anything else runs the strided reference kernel with a
+/// report naming the envelope violation that kept WinRS out.
+pub fn run_bfc_strided(
+    shape: &StridedShape,
+    device: &DeviceSpec,
+    precision: Precision,
+    x: &Tensor4<f32>,
+    dy: &Tensor4<f32>,
+    policy: FallbackPolicy,
+    guard: NumericGuard,
+) -> Result<(Tensor4<f32>, ExecutionReport), WinrsError> {
+    let mut violations = Vec::new();
+    if shape.sh != 1 || shape.sw != 1 {
+        violations.push(Violation::UnsupportedStride {
+            sh: shape.sh,
+            sw: shape.sw,
+        });
+    }
+    if shape.dh != 1 || shape.dw != 1 {
+        violations.push(Violation::UnsupportedDilation {
+            dh: shape.dh,
+            dw: shape.dw,
+        });
+    }
+    if violations.is_empty() {
+        return run_bfc(&shape.base, device, precision, x, dy, policy, guard);
+    }
+    let err = WinrsError::PlanRejected(violations);
+    if policy == FallbackPolicy::Strict {
+        return Err(err);
+    }
+    let mut report = ExecutionReport::new(Algorithm::StridedDirect, precision, guard);
+    report.fallback_reason = Some(err);
+    Ok((bfc_strided(shape, x, dy), report))
+}
+
+fn run_substitute(
+    alg: Algorithm,
+    conv: &ConvShape,
+    x: &Tensor4<f32>,
+    dy: &Tensor4<f32>,
+) -> Tensor4<f32> {
+    match alg {
+        Algorithm::GemmBfc => bfc_gemm_f32(GemmAlgo::Algo1, conv, x, dy),
+        _ => direct::bfc_direct(conv, x, dy),
+    }
+}
+
+/// Execute an already-built plan with health accounting and (optionally)
+/// bucket-granular FP32 promotion. This is the guarded path [`run_bfc`]
+/// takes after planning succeeds; callers that cache plans (training
+/// loops, [`crate::cache::PlanCache`] users) can invoke it directly to
+/// keep the numeric guard without re-planning every step.
+pub fn run_planned(
+    plan: &WinRsPlan,
+    x: &Tensor4<f32>,
+    dy: &Tensor4<f32>,
+    guard: NumericGuard,
+) -> Result<(Tensor4<f32>, ExecutionReport), WinrsError> {
+    let mode = plan.tile_mode();
+    let mut report = ExecutionReport::new(Algorithm::WinRs, plan.precision(), guard);
+    report.z = Some(plan.z());
+    report.workspace_bytes = Some(plan.workspace_bytes());
+
+    let mut buckets = vec![0.0f32; plan.bucket_elems()];
+    if guard == NumericGuard::Ignore || mode == TileMode::Fp32 {
+        plan.execute_into_buckets(x, dy, mode, &mut buckets, ExecOptions::default())?;
+        return Ok((plan.reduce(&buckets), report));
+    }
+
+    let segments = &plan.partition().segments;
+    let sink = HealthSink::new(segments.len());
+    plan.execute_into_buckets(
+        x,
+        dy,
+        mode,
+        &mut buckets,
+        ExecOptions {
+            health: Some(&sink),
+            ..Default::default()
+        },
+    )?;
+    let (saturated, non_finite) = sink.totals();
+    report.saturated = saturated;
+    report.non_finite = non_finite;
+
+    let poisoned = sink.poisoned_segments();
+    if guard == NumericGuard::PromoteAndRetry && !poisoned.is_empty() {
+        // Promotion is bucket-granular: a band's residual segment shares
+        // its first bulk segment's bucket, so both must re-run together
+        // for the bucket's FP32 contents to be complete.
+        let mut filter = vec![false; plan.z()];
+        for &s in &poisoned {
+            filter[segments[s].bucket] = true;
+        }
+        plan.execute_into_buckets(
+            x,
+            dy,
+            TileMode::Fp32,
+            &mut buckets,
+            ExecOptions {
+                bucket_filter: Some(&filter),
+                ..Default::default()
+            },
+        )?;
+        report.promoted_buckets = filter.iter().filter(|&&f| f).count();
+        report.promoted_segments = segments
+            .iter()
+            .enumerate()
+            .filter(|(_, seg)| filter[seg.bucket])
+            .map(|(i, _)| i)
+            .collect();
+    }
+    Ok((plan.reduce(&buckets), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winrs_gpu_sim::RTX_4090;
+    use winrs_tensor::mare;
+
+    fn tensors(conv: &ConvShape, scale: f64) -> (Tensor4<f32>, Tensor4<f32>, Tensor4<f64>) {
+        let x64 = Tensor4::<f64>::random_uniform([conv.n, conv.ih, conv.iw, conv.ic], 31, 1.0);
+        let dy64 =
+            Tensor4::<f64>::random_uniform([conv.n, conv.oh(), conv.ow(), conv.oc], 32, scale);
+        let exact = direct::bfc_direct(conv, &x64, &dy64);
+        (x64.cast(), dy64.cast(), exact)
+    }
+
+    #[test]
+    fn in_envelope_fp32_runs_winrs() {
+        let conv = ConvShape::square(2, 16, 4, 4, 3);
+        let (x, dy, exact) = tensors(&conv, 1.0);
+        let (dw, report) = run_bfc(
+            &conv,
+            &RTX_4090,
+            Precision::Fp32,
+            &x,
+            &dy,
+            FallbackPolicy::Auto,
+            NumericGuard::Warn,
+        )
+        .unwrap();
+        assert_eq!(report.algorithm, Algorithm::WinRs);
+        assert!(report.fallback_reason.is_none());
+        assert!(report.z.unwrap() >= 1);
+        assert!(mare(&dw, &exact) < 1e-5);
+        let line = report.summary_line();
+        assert!(line.contains("algorithm=winrs"), "{line}");
+    }
+
+    #[test]
+    fn unported_fp16_width_falls_back_to_gemm() {
+        // F_W = 4 has no FP16-ported kernel: WinRS must reject the plan
+        // and the dispatcher must deliver via GEMM-BFC with the reason.
+        let conv = ConvShape::square(1, 16, 3, 3, 4);
+        let (x, dy, exact) = tensors(&conv, 1.0);
+        let (dw, report) = run_bfc(
+            &conv,
+            &RTX_4090,
+            Precision::Fp16,
+            &x,
+            &dy,
+            FallbackPolicy::Auto,
+            NumericGuard::Warn,
+        )
+        .unwrap();
+        assert_eq!(report.algorithm, Algorithm::GemmBfc);
+        let reason = report.fallback_reason.as_ref().unwrap();
+        assert!(matches!(
+            reason.violations()[0],
+            Violation::NoReducedPrecisionKernel { fw: 4, .. }
+        ));
+        assert!(mare(&dw, &exact) < 1e-5);
+        let line = report.summary_line();
+        assert!(line.contains("algorithm=gemm-bfc"), "{line}");
+        assert!(line.contains("filter width 4"), "{line}");
+    }
+
+    #[test]
+    fn strict_policy_propagates_rejection() {
+        let conv = ConvShape::square(1, 16, 3, 3, 4);
+        let (x, dy, _) = tensors(&conv, 1.0);
+        let err = run_bfc(
+            &conv,
+            &RTX_4090,
+            Precision::Fp16,
+            &x,
+            &dy,
+            FallbackPolicy::Strict,
+            NumericGuard::Warn,
+        )
+        .unwrap_err();
+        assert!(err.recoverable_by_fallback());
+    }
+
+    #[test]
+    fn strided_problem_runs_reference_kernel() {
+        let base = ConvShape::new(1, 12, 12, 2, 2, 3, 3, 1, 1);
+        let s = StridedShape::new(base, 2, 2, 1, 1);
+        let x = Tensor4::<f32>::random_uniform([1, 12, 12, 2], 41, 1.0);
+        let dy = Tensor4::<f32>::random_uniform([1, s.oh(), s.ow(), 2], 42, 1.0);
+        let (dw, report) = run_bfc_strided(
+            &s,
+            &RTX_4090,
+            Precision::Fp32,
+            &x,
+            &dy,
+            FallbackPolicy::Auto,
+            NumericGuard::Warn,
+        )
+        .unwrap();
+        assert_eq!(report.algorithm, Algorithm::StridedDirect);
+        assert!(matches!(
+            report.fallback_reason.as_ref().unwrap().violations()[0],
+            Violation::UnsupportedStride { sh: 2, sw: 2 }
+        ));
+        assert_eq!(dw, bfc_strided(&s, &x, &dy));
+        // Stride 1 delegates to the normal dispatcher.
+        let s1 = StridedShape::new(base, 1, 1, 1, 1);
+        let dy1 = Tensor4::<f32>::random_uniform([1, 12, 12, 2], 43, 1.0);
+        let (_, r1) = run_bfc_strided(
+            &s1,
+            &RTX_4090,
+            Precision::Fp32,
+            &x,
+            &dy1,
+            FallbackPolicy::Auto,
+            NumericGuard::Warn,
+        )
+        .unwrap();
+        assert_eq!(r1.algorithm, Algorithm::WinRs);
+    }
+
+    #[test]
+    fn invalid_shape_is_fatal_even_with_auto_fallback() {
+        let conv = ConvShape {
+            n: 0,
+            ih: 8,
+            iw: 8,
+            ic: 0,
+            oc: 2,
+            fh: 3,
+            fw: 3,
+            ph: 1,
+            pw: 1,
+        };
+        let x = Tensor4::<f32>::zeros([1, 8, 8, 1]);
+        let dy = Tensor4::<f32>::zeros([1, 8, 8, 2]);
+        let err = run_bfc(
+            &conv,
+            &RTX_4090,
+            Precision::Fp32,
+            &x,
+            &dy,
+            FallbackPolicy::Auto,
+            NumericGuard::Warn,
+        )
+        .unwrap_err();
+        assert!(matches!(&err, WinrsError::InvalidShape(v) if v.len() == 2));
+        assert!(!err.recoverable_by_fallback());
+    }
+
+    #[test]
+    fn force_direct_skips_winrs() {
+        let conv = ConvShape::square(1, 12, 2, 2, 3);
+        let (x, dy, exact) = tensors(&conv, 1.0);
+        let (dw, report) = run_bfc(
+            &conv,
+            &RTX_4090,
+            Precision::Fp32,
+            &x,
+            &dy,
+            FallbackPolicy::Force(Algorithm::Direct),
+            NumericGuard::Warn,
+        )
+        .unwrap();
+        assert_eq!(report.algorithm, Algorithm::Direct);
+        assert!(mare(&dw, &exact) < 1e-5);
+    }
+
+    #[test]
+    fn warn_guard_counts_natural_fp16_overflow() {
+        // ∇Y magnitudes near binary16's max overflow in the filter
+        // transform; Warn must count them and leave the result tainted.
+        let conv = ConvShape::square(1, 12, 2, 2, 3);
+        let x = Tensor4::<f32>::from_fn([1, 12, 12, 2], |_, _, _, _| 1.0);
+        let dy = Tensor4::<f32>::from_fn([1, 12, 12, 2], |_, _, _, _| 6.0e4);
+        let (dw, report) = run_bfc(
+            &conv,
+            &RTX_4090,
+            Precision::Fp16,
+            &x,
+            &dy,
+            FallbackPolicy::Auto,
+            NumericGuard::Warn,
+        )
+        .unwrap();
+        assert!(report.saturated > 0);
+        assert!(report.non_finite > 0);
+        assert!(report.tainted());
+        assert!(dw.as_slice().iter().any(|v| !v.is_finite()));
+    }
+
+    #[test]
+    fn promote_and_retry_repairs_natural_fp16_overflow() {
+        let conv = ConvShape::square(1, 12, 2, 2, 3);
+        let x64 = Tensor4::<f64>::random_uniform([1, 12, 12, 2], 51, 1.0);
+        let dy64 = Tensor4::<f64>::random_uniform([1, 12, 12, 2], 52, 6.0e4);
+        let exact = direct::bfc_direct(&conv, &x64, &dy64);
+        let (dw, report) = run_bfc(
+            &conv,
+            &RTX_4090,
+            Precision::Fp16,
+            &x64.cast(),
+            &dy64.cast(),
+            FallbackPolicy::Auto,
+            NumericGuard::PromoteAndRetry,
+        )
+        .unwrap();
+        assert!(report.saturated > 0, "test needs real overflow");
+        assert!(report.promoted_buckets > 0);
+        assert!(!report.tainted());
+        assert!(dw.as_slice().iter().all(|v| v.is_finite()));
+        // Promoted buckets ran at FP32 on FP32 inputs; any bucket left at
+        // FP16 stays inside the Table 4 FP16 accuracy band.
+        let m = mare(&dw, &exact);
+        assert!(m < 5e-3, "MARE {m}");
+        let line = report.summary_line();
+        assert!(line.contains("promoted="), "{line}");
+    }
+
+    #[test]
+    fn policy_and_guard_parse_from_cli_strings() {
+        assert_eq!(
+            "auto".parse::<FallbackPolicy>().unwrap(),
+            FallbackPolicy::Auto
+        );
+        assert_eq!(
+            "force-gemm".parse::<FallbackPolicy>().unwrap(),
+            FallbackPolicy::Force(Algorithm::GemmBfc)
+        );
+        assert!("gibberish".parse::<FallbackPolicy>().is_err());
+        assert_eq!(
+            "promote-retry".parse::<NumericGuard>().unwrap(),
+            NumericGuard::PromoteAndRetry
+        );
+        assert!("gibberish".parse::<NumericGuard>().is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Deterministic fault injection for the engine (feature `faults`).
+//!
+//! Robustness claims need reproducible faults: "an FP16 overflow in
+//! segment 3" must mean the *same* overflow every run, on every machine.
+//! This module gives tests a process-global injector that the engine polls
+//! once per filter-tile load (between the FP32 transform and the
+//! reduced-precision re-rounding — exactly where a real overflow is born):
+//! arm it with a set of segment indices, and the *first* tile each armed
+//! segment loads gets one element replaced by `10³⁰`, which saturates the
+//! binary16/E4M3 grid to Inf/NaN and poisons that segment's bucket.
+//!
+//! The injector is one-shot per segment (a fault, not a bias: the rest of
+//! the segment's arithmetic is untouched) and a no-op in `Fp32` mode —
+//! FP32 re-rounding is the identity, so there is no rounding step to
+//! corrupt and the FP32 retry of a poisoned bucket must come out clean.
+//!
+//! The state is process-global, so tests that use it must serialise on
+//! [`serial_guard`]. Nothing in this module exists unless the `faults`
+//! feature is enabled; release builds carry zero overhead.
+
+use crate::engine::TileMode;
+use std::collections::BTreeSet;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+#[derive(Default)]
+struct State {
+    /// Segment indices still awaiting their fault.
+    armed: BTreeSet<usize>,
+    /// Segment indices whose fault has fired.
+    fired: BTreeSet<usize>,
+}
+
+fn state() -> &'static Mutex<State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(State::default()))
+}
+
+fn lock() -> MutexGuard<'static, State> {
+    state().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arm the injector for the given segment indices, clearing any previous
+/// state. Each armed segment receives exactly one fault.
+pub fn arm<I: IntoIterator<Item = usize>>(segments: I) {
+    let mut st = lock();
+    st.armed = segments.into_iter().collect();
+    st.fired.clear();
+}
+
+/// Disarm the injector, returning the segments whose fault actually fired.
+pub fn disarm() -> Vec<usize> {
+    let mut st = lock();
+    st.armed.clear();
+    st.fired.iter().copied().collect()
+}
+
+/// Segments whose fault has fired so far.
+pub fn fired() -> Vec<usize> {
+    lock().fired.iter().copied().collect()
+}
+
+/// Engine hook: corrupt `tile[0]` once if `seg` is armed and the mode has
+/// a reduced-precision rounding step to saturate.
+pub fn maybe_inject(seg: usize, mode: TileMode, tile: &mut [f32]) {
+    if mode == TileMode::Fp32 || tile.is_empty() {
+        return;
+    }
+    let mut st = lock();
+    if st.armed.remove(&seg) {
+        st.fired.insert(seg);
+        drop(st);
+        tile[0] = 1.0e30;
+    }
+}
+
+/// Global lock serialising tests that arm the injector (the test harness
+/// runs tests on parallel threads; injector state is process-wide).
+pub fn serial_guard() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_fires_once_per_armed_segment() {
+        let _g = serial_guard();
+        arm([0, 2]);
+        let mut tile = vec![1.0f32; 4];
+        maybe_inject(0, TileMode::Fp16, &mut tile);
+        assert_eq!(tile[0], 1.0e30);
+        tile[0] = 1.0;
+        // Second poll of the same segment: no further fault.
+        maybe_inject(0, TileMode::Fp16, &mut tile);
+        assert_eq!(tile[0], 1.0);
+        // Unarmed segment: untouched.
+        maybe_inject(1, TileMode::Fp16, &mut tile);
+        assert_eq!(tile[0], 1.0);
+        assert_eq!(fired(), vec![0]);
+        assert_eq!(disarm(), vec![0]);
+    }
+
+    #[test]
+    fn injector_skips_fp32() {
+        let _g = serial_guard();
+        arm([0]);
+        let mut tile = vec![1.0f32; 4];
+        maybe_inject(0, TileMode::Fp32, &mut tile);
+        assert_eq!(tile[0], 1.0, "FP32 has no rounding step to corrupt");
+        assert!(fired().is_empty());
+        disarm();
+    }
+}

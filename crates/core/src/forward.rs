@@ -34,8 +34,7 @@ fn forward_kernel(fw: usize) -> TransformReal {
         .filter(|k| k.r == fw)
         .max_by(|a, b| {
             a.throughput_coefficient()
-                .partial_cmp(&b.throughput_coefficient())
-                .unwrap()
+                .total_cmp(&b.throughput_coefficient())
         });
     match best {
         Some(k) => Transform::generate(k.n, k.r).to_real(),

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+// Unit tests assert on known-good values; unwrap is fine there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! WinRS: fast, memory-efficient, flexible Winograd backward-filter
 //! convolution — the primary contribution of the reproduced paper.
 //!
@@ -37,16 +39,25 @@
 //! use winrs_tensor::Tensor4;
 //!
 //! let shape = ConvShape::square(2, 16, 8, 8, 3);
-//! let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+//! let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).unwrap();
 //! let x = Tensor4::<f32>::random_uniform([2, 16, 16, 8], 1, 1.0);
 //! let dy = Tensor4::<f32>::random_uniform([2, 16, 16, 8], 2, 1.0);
-//! let dw = plan.execute_f32(&x, &dy);
+//! let dw = plan.execute_f32(&x, &dy).unwrap();
 //! assert_eq!(dw.dims(), [8, 3, 3, 8]);
 //! ```
+//!
+//! Every fallible entry point returns a typed [`WinrsError`] listing the
+//! complete set of violated invariants; the [`fallback`] module wraps plan
+//! construction and execution in a dispatcher that degrades to GEMM-BFC or
+//! direct convolution when the WinRS envelope is exceeded.
 
 pub mod cache;
 pub mod config;
 pub mod engine;
+pub mod error;
+pub mod fallback;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod forward;
 pub mod ndim;
 pub mod partition;
@@ -55,6 +66,8 @@ pub mod reduce;
 
 pub use config::pair::KernelPair;
 pub use config::Precision;
+pub use error::{Violation, WinrsError};
+pub use fallback::{Algorithm, ExecutionReport, FallbackPolicy, NumericGuard};
 pub use partition::{Partition, Segment};
 pub use cache::PlanCache;
 pub use plan::WinRsPlan;

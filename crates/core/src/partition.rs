@@ -9,6 +9,7 @@
 
 use crate::config::pair::KernelPair;
 use crate::config::segment_shape::SegmentShape;
+use crate::error::{Violation, WinrsError};
 use winrs_conv::ConvShape;
 use winrs_winograd::kernels::KernelId;
 
@@ -67,9 +68,21 @@ impl Partition {
         self.num_buckets
     }
 
-    /// Build the partition for a shape, kernel pair and expected segment
-    /// geometry.
-    pub fn build(conv: &ConvShape, pair: &KernelPair, seg_shape: SegmentShape) -> Partition {
+    /// Build and validate the partition for a shape, kernel pair and
+    /// expected segment geometry.
+    ///
+    /// The returned partition is guaranteed to satisfy the invariants the
+    /// engine relies on: the segments tile `O_H × (O_W + pad)` exactly,
+    /// and within each launch pass every segment owns a distinct bucket.
+    /// A violation means the configuration pipeline itself is buggy (user
+    /// input cannot reach this state), and is reported as a typed
+    /// [`WinrsError`] listing every broken invariant rather than a panic —
+    /// the fallback dispatcher treats it like any other plan rejection.
+    pub fn build(
+        conv: &ConvShape,
+        pair: &KernelPair,
+        seg_shape: SegmentShape,
+    ) -> Result<Partition, WinrsError> {
         let (oh, _ow) = (conv.oh(), conv.ow());
         let r0 = pair.bulk.r;
         let sh = seg_shape.sh.clamp(1, oh);
@@ -115,11 +128,44 @@ impl Partition {
                 });
             }
         }
-        Partition {
+        let partition = Partition {
             segments,
             num_buckets: bucket.max(1),
             shape: seg_shape,
+        };
+        let violations = partition.validate(conv, pair);
+        if violations.is_empty() {
+            Ok(partition)
+        } else {
+            Err(WinrsError::PlanRejected(violations))
         }
+    }
+
+    /// Check every engine-facing invariant, returning the complete list of
+    /// violations (empty when the partition is sound).
+    pub fn validate(&self, conv: &ConvShape, pair: &KernelPair) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let padded_ow = conv.ow() + pair.padded_cols;
+        if !self.covers_exactly(conv.oh(), padded_ow) {
+            violations.push(Violation::PartitionCoverage {
+                oh: conv.oh(),
+                padded_ow,
+            });
+        }
+        for pass in 0..=1u8 {
+            let mut owner = vec![false; self.num_buckets];
+            for seg in self.segments.iter().filter(|s| s.pass == pass) {
+                if seg.bucket >= self.num_buckets || owner[seg.bucket] {
+                    violations.push(Violation::BucketCollision {
+                        bucket: seg.bucket,
+                        pass,
+                    });
+                } else {
+                    owner[seg.bucket] = true;
+                }
+            }
+        }
+        violations
     }
 
     /// Verify the segments tile `O_H × (O_W + pad)` exactly: used by tests
@@ -150,7 +196,8 @@ mod tests {
     fn build_for(conv: &ConvShape, z_hat: usize) -> (Partition, KernelPair) {
         let pair = select_pair(conv.fw, conv.ow(), Precision::Fp32);
         let shape = calculate(z_hat, conv.oh(), conv.ow(), pair.bulk.r, conv.ph);
-        (Partition::build(conv, &pair, shape), pair)
+        let partition = Partition::build(conv, &pair, shape).expect("valid partition");
+        (partition, pair)
     }
 
     #[test]
@@ -201,6 +248,28 @@ mod tests {
             assert_eq!(s.width() % s.kernel.r, 0);
             assert!(s.height() >= 1);
         }
+    }
+
+    #[test]
+    fn validate_reports_all_corruptions() {
+        let conv = ConvShape::square(1, 16, 4, 4, 3);
+        let pair = select_pair(conv.fw, conv.ow(), Precision::Fp32);
+        let shape = calculate(4, conv.oh(), conv.ow(), pair.bulk.r, conv.ph);
+        let mut p = Partition::build(&conv, &pair, shape).expect("valid partition");
+        assert!(p.validate(&conv, &pair).is_empty());
+
+        // Corrupt it twice: alias two pass-0 buckets AND break coverage by
+        // shrinking a segment. Both violations must surface together.
+        let donor = p.segments[1].bucket;
+        p.segments[0].bucket = donor;
+        p.segments[0].units -= 1;
+        let violations = p.validate(&conv, &pair);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::PartitionCoverage { .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::BucketCollision { bucket, pass: 0 } if *bucket == donor)));
     }
 
     #[test]

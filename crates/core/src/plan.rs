@@ -1,10 +1,13 @@
 //! The public WinRS API: plan construction, execution, and cost reporting.
 
-use crate::config::pair::{select_pair, KernelPair};
+use crate::config::pair::{candidates, try_select_pair, KernelPair};
 use crate::config::segment_count::{estimate, SegmentCountPlan};
 use crate::config::segment_shape::calculate;
 use crate::config::Precision;
-use crate::engine::{clip_rows, execute_segments, TileMode, TransformSource};
+use crate::engine::{
+    clip_rows, execute_segments, execute_segments_with, ExecOptions, TileMode, TransformSource,
+};
+use crate::error::{Violation, WinrsError};
 use crate::partition::Partition;
 use crate::reduce::reduce_buckets;
 use std::collections::HashMap;
@@ -48,8 +51,38 @@ pub struct WinRsPlan {
 }
 
 impl WinRsPlan {
+    /// Collect *every* violation that would make plan construction fail
+    /// for this `(conv, precision)` request, without building anything:
+    /// shape invariants first, then the WinRS envelope (reduced-precision
+    /// kernel availability). An empty list means [`WinRsPlan::new`] will
+    /// succeed.
+    pub fn validate(conv: &ConvShape, precision: Precision) -> Vec<Violation> {
+        let mut violations: Vec<Violation> = conv
+            .violations()
+            .into_iter()
+            .map(Violation::Shape)
+            .collect();
+        if conv.fw > 0 && candidates(conv.fw, precision).is_empty() {
+            violations.push(Violation::NoReducedPrecisionKernel {
+                fw: conv.fw,
+                precision,
+            });
+        }
+        violations
+    }
+
     /// Configure WinRS for `conv` on `device` at `precision`.
-    pub fn new(conv: &ConvShape, device: &DeviceSpec, precision: Precision) -> WinRsPlan {
+    ///
+    /// Fails with [`WinrsError::InvalidShape`] when the shape itself is
+    /// ill-formed (every violation listed), or
+    /// [`WinrsError::PlanRejected`] when the shape is fine but outside the
+    /// WinRS envelope — the latter is recoverable via
+    /// [`crate::fallback`].
+    pub fn new(
+        conv: &ConvShape,
+        device: &DeviceSpec,
+        precision: Precision,
+    ) -> Result<WinRsPlan, WinrsError> {
         Self::build(conv, device, precision, None)
     }
 
@@ -60,7 +93,7 @@ impl WinRsPlan {
         device: &DeviceSpec,
         precision: Precision,
         z_hat: usize,
-    ) -> WinRsPlan {
+    ) -> Result<WinRsPlan, WinrsError> {
         Self::build(conv, device, precision, Some(z_hat))
     }
 
@@ -68,24 +101,25 @@ impl WinRsPlan {
     /// `get_workspace_size` contract inverted): runs the normal adaptive
     /// configuration, then shrinks the segment count until
     /// `(Z − 1) · |∇W|` fits `max_workspace_bytes`. `Z = 1` always fits
-    /// (zero workspace), so this never fails.
+    /// (zero workspace), so a valid in-envelope shape never fails on the
+    /// budget itself.
     pub fn with_workspace_limit(
         conv: &ConvShape,
         device: &DeviceSpec,
         precision: Precision,
         max_workspace_bytes: usize,
-    ) -> WinRsPlan {
-        let plan = Self::build(conv, device, precision, None);
+    ) -> Result<WinRsPlan, WinrsError> {
+        let plan = Self::build(conv, device, precision, None)?;
         if plan.workspace_bytes() <= max_workspace_bytes {
-            return plan;
+            return Ok(plan);
         }
         let elem = plan.elem_bytes();
         let max_z = 1 + max_workspace_bytes / (conv.dw_elems() * elem);
         let mut z = max_z;
         loop {
-            let cand = Self::build(conv, device, precision, Some(z));
+            let cand = Self::build(conv, device, precision, Some(z))?;
             if cand.workspace_bytes() <= max_workspace_bytes {
-                return cand;
+                return Ok(cand);
             }
             // The partition may round Ẑ up (bands × strips); back off.
             z = z.saturating_sub(1).max(1);
@@ -102,19 +136,23 @@ impl WinRsPlan {
     /// construct (one cost evaluation per candidate — still microseconds)
     /// but never worse than `new` under the model; useful when a layer
     /// shape sits far from the calibration sweep.
-    pub fn autotuned(conv: &ConvShape, device: &DeviceSpec, precision: Precision) -> WinRsPlan {
-        let auto = Self::build(conv, device, precision, None);
+    pub fn autotuned(
+        conv: &ConvShape,
+        device: &DeviceSpec,
+        precision: Precision,
+    ) -> Result<WinRsPlan, WinrsError> {
+        let auto = Self::build(conv, device, precision, None)?;
         let z_max = auto.count.z_max;
         let mut best = auto;
         let mut z = 1usize;
         while z <= z_max {
-            let cand = Self::build(conv, device, precision, Some(z));
+            let cand = Self::build(conv, device, precision, Some(z))?;
             if cand.estimated_time() < best.estimated_time() {
                 best = cand;
             }
             z *= 2;
         }
-        best
+        Ok(best)
     }
 
     fn build(
@@ -122,14 +160,22 @@ impl WinRsPlan {
         device: &DeviceSpec,
         precision: Precision,
         force_z: Option<usize>,
-    ) -> WinRsPlan {
-        let pair = select_pair(conv.fw, conv.ow(), precision);
+    ) -> Result<WinRsPlan, WinrsError> {
+        let shape_violations: Vec<Violation> = conv
+            .violations()
+            .into_iter()
+            .map(Violation::Shape)
+            .collect();
+        if !shape_violations.is_empty() {
+            return Err(WinrsError::InvalidShape(shape_violations));
+        }
+        let pair = try_select_pair(conv.fw, conv.ow(), precision)?;
         let mut count = estimate(conv, &pair, device, precision);
         if let Some(z) = force_z {
             count.z_hat = z.max(1);
         }
         let seg_shape = calculate(count.z_hat, conv.oh(), conv.ow(), pair.bulk.r, conv.ph);
-        let partition = Partition::build(conv, &pair, seg_shape);
+        let partition = Partition::build(conv, &pair, seg_shape)?;
 
         let mut map = HashMap::new();
         for k in [Some(pair.bulk), pair.residual].into_iter().flatten() {
@@ -145,7 +191,7 @@ impl WinRsPlan {
             });
         }
 
-        WinRsPlan {
+        Ok(WinRsPlan {
             conv: *conv,
             precision,
             device: *device,
@@ -153,7 +199,7 @@ impl WinRsPlan {
             count,
             partition,
             transforms: TransformSet { map },
-        }
+        })
     }
 
     /// The problem shape this plan was built for.
@@ -195,10 +241,52 @@ impl WinRsPlan {
         (self.z() - 1) * self.conv.dw_elems() * self.elem_bytes()
     }
 
+    /// The precision this plan was built for.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The engine tile mode matching the plan's precision.
+    pub fn tile_mode(&self) -> TileMode {
+        match self.precision {
+            Precision::Fp32 => TileMode::Fp32,
+            Precision::Fp16 => TileMode::Fp16,
+            Precision::Bf16 => TileMode::Bf16,
+        }
+    }
+
+    /// Bucket-buffer length (`Z · |∇W|` elements) for caller-allocated
+    /// buffers used with [`WinRsPlan::execute_into_buckets`].
+    pub fn bucket_elems(&self) -> usize {
+        self.z() * self.conv.dw_elems()
+    }
+
+    fn reject_precision(
+        &self,
+        entry: &'static str,
+        required: Precision,
+    ) -> Result<(), WinrsError> {
+        if self.precision == required {
+            Ok(())
+        } else {
+            Err(WinrsError::ExecutionRejected(vec![
+                Violation::PrecisionMismatch {
+                    plan: self.precision,
+                    entry,
+                    required,
+                },
+            ]))
+        }
+    }
+
     /// Execute in FP32.
-    pub fn execute_f32(&self, x: &Tensor4<f32>, dy: &Tensor4<f32>) -> Tensor4<f32> {
-        assert_eq!(self.precision, Precision::Fp32, "plan built for FP16");
-        let mut buckets = vec![0.0f32; self.z() * self.conv.dw_elems()];
+    pub fn execute_f32(
+        &self,
+        x: &Tensor4<f32>,
+        dy: &Tensor4<f32>,
+    ) -> Result<Tensor4<f32>, WinrsError> {
+        self.reject_precision("execute_f32", Precision::Fp32)?;
+        let mut buckets = vec![0.0f32; self.bucket_elems()];
         execute_segments(
             &self.conv,
             &self.partition,
@@ -207,18 +295,19 @@ impl WinRsPlan {
             dy,
             TileMode::Fp32,
             &mut buckets,
-        );
-        let mut dw =
-            Tensor4::<f32>::zeros([self.conv.oc, self.conv.fh, self.conv.fw, self.conv.ic]);
-        reduce_buckets(&buckets, self.z(), &mut dw);
-        dw
+        )?;
+        Ok(self.reduce(&buckets))
     }
 
     /// Execute in FP16 (mixed-precision transforms, FP32 accumulation,
     /// FP32 Kahan reduction).
-    pub fn execute_f16(&self, x: &Tensor4<f16>, dy: &Tensor4<f16>) -> Tensor4<f16> {
-        assert_eq!(self.precision, Precision::Fp16, "plan built for FP32");
-        let mut buckets = vec![f16::ZERO; self.z() * self.conv.dw_elems()];
+    pub fn execute_f16(
+        &self,
+        x: &Tensor4<f16>,
+        dy: &Tensor4<f16>,
+    ) -> Result<Tensor4<f16>, WinrsError> {
+        self.reject_precision("execute_f16", Precision::Fp16)?;
+        let mut buckets = vec![f16::ZERO; self.bucket_elems()];
         execute_segments(
             &self.conv,
             &self.partition,
@@ -227,11 +316,11 @@ impl WinRsPlan {
             dy,
             TileMode::Fp16,
             &mut buckets,
-        );
+        )?;
         let mut dw =
             Tensor4::<f16>::zeros([self.conv.oc, self.conv.fh, self.conv.fw, self.conv.ic]);
         reduce_buckets(&buckets, self.z(), &mut dw);
-        dw
+        Ok(dw)
     }
 
     /// Execute in BF16 (the conclusion's porting target): bfloat16 tiles,
@@ -241,10 +330,9 @@ impl WinRsPlan {
         &self,
         x: &Tensor4<winrs_fp16::bf16>,
         dy: &Tensor4<winrs_fp16::bf16>,
-    ) -> Tensor4<winrs_fp16::bf16> {
-        assert_eq!(self.precision, Precision::Bf16, "plan not built for BF16");
-        let mut buckets =
-            vec![winrs_fp16::bf16::ZERO; self.z() * self.conv.dw_elems()];
+    ) -> Result<Tensor4<winrs_fp16::bf16>, WinrsError> {
+        self.reject_precision("execute_bf16", Precision::Bf16)?;
+        let mut buckets = vec![winrs_fp16::bf16::ZERO; self.bucket_elems()];
         execute_segments(
             &self.conv,
             &self.partition,
@@ -253,7 +341,7 @@ impl WinRsPlan {
             dy,
             TileMode::Bf16,
             &mut buckets,
-        );
+        )?;
         let mut dw = Tensor4::<winrs_fp16::bf16>::zeros([
             self.conv.oc,
             self.conv.fh,
@@ -261,7 +349,7 @@ impl WinRsPlan {
             self.conv.ic,
         ]);
         reduce_buckets(&buckets, self.z(), &mut dw);
-        dw
+        Ok(dw)
     }
 
     /// Execute with FP8 (E4M3) tile quantisation — the conclusion's final
@@ -271,13 +359,13 @@ impl WinRsPlan {
     /// The plan must be FP16-class (it reuses the ported kernel set and,
     /// for α = 16, the scaling matrices that keep tiles inside E4M3's
     /// ±448 range).
-    pub fn execute_fp8(&self, x: &Tensor4<f32>, dy: &Tensor4<f32>) -> Tensor4<f32> {
-        assert_eq!(
-            self.precision,
-            Precision::Fp16,
-            "build the plan with Precision::Fp16 for the FP8 path"
-        );
-        let mut buckets = vec![0.0f32; self.z() * self.conv.dw_elems()];
+    pub fn execute_fp8(
+        &self,
+        x: &Tensor4<f32>,
+        dy: &Tensor4<f32>,
+    ) -> Result<Tensor4<f32>, WinrsError> {
+        self.reject_precision("execute_fp8", Precision::Fp16)?;
+        let mut buckets = vec![0.0f32; self.bucket_elems()];
         execute_segments(
             &self.conv,
             &self.partition,
@@ -286,10 +374,42 @@ impl WinRsPlan {
             dy,
             TileMode::Fp8,
             &mut buckets,
-        );
+        )?;
+        Ok(self.reduce(&buckets))
+    }
+
+    /// Low-level execution into caller-provided buckets: FP32 I/O at an
+    /// explicit engine tile mode, honouring [`ExecOptions`] (health
+    /// accounting, partial bucket re-execution). This is the building
+    /// block the fallback dispatcher's numeric guard uses to re-run only
+    /// the poisoned buckets at FP32; most callers want `execute_f32` /
+    /// `execute_f16` instead.
+    pub fn execute_into_buckets(
+        &self,
+        x: &Tensor4<f32>,
+        dy: &Tensor4<f32>,
+        mode: TileMode,
+        buckets: &mut [f32],
+        opts: ExecOptions<'_>,
+    ) -> Result<(), WinrsError> {
+        execute_segments_with(
+            &self.conv,
+            &self.partition,
+            &self.transforms,
+            x,
+            dy,
+            mode,
+            buckets,
+            opts,
+        )
+    }
+
+    /// Kahan-reduce FP32 buckets (from
+    /// [`WinRsPlan::execute_into_buckets`]) into `∇W`.
+    pub fn reduce(&self, buckets: &[f32]) -> Tensor4<f32> {
         let mut dw =
             Tensor4::<f32>::zeros([self.conv.oc, self.conv.fh, self.conv.fw, self.conv.ic]);
-        reduce_buckets(&buckets, self.z(), &mut dw);
+        reduce_buckets(buckets, self.z(), &mut dw);
         dw
     }
 
@@ -470,8 +590,8 @@ mod tests {
         for &(res, f) in &[(16usize, 3usize), (14, 2), (20, 4), (18, 5), (24, 6)] {
             let conv = ConvShape::square(2, res, 4, 4, f);
             let (x, dy, exact) = tensors(&conv, 1.0);
-            let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
-            let dw = plan.execute_f32(&x.cast(), &dy.cast());
+            let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32).unwrap();
+            let dw = plan.execute_f32(&x.cast(), &dy.cast()).unwrap();
             let m = mare(&dw, &exact);
             assert!(m < 1e-5, "res={res} f={f}: MARE {m}");
         }
@@ -481,8 +601,8 @@ mod tests {
     fn fp16_plan_matches_direct_loosely() {
         let conv = ConvShape::square(2, 16, 4, 4, 3);
         let (x, dy, exact) = tensors(&conv, 0.01);
-        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp16);
-        let dw = plan.execute_f16(&x.cast(), &dy.cast());
+        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp16).unwrap();
+        let dw = plan.execute_f16(&x.cast(), &dy.cast()).unwrap();
         let m = mare(&dw, &exact);
         // Table 4: FP16 Ω₈ MARE 3.35e-4 … 2.69e-3.
         assert!(m < 5e-3, "MARE {m}");
@@ -491,10 +611,10 @@ mod tests {
     #[test]
     fn workspace_limit_is_respected() {
         let conv = ConvShape::vgg16_conv2(32);
-        let unlimited = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
+        let unlimited = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32).unwrap();
         assert!(unlimited.workspace_bytes() > 1 << 20);
         for &budget in &[0usize, 147_456, 1 << 20, 8 << 20] {
-            let plan = WinRsPlan::with_workspace_limit(&conv, &RTX_4090, Precision::Fp32, budget);
+            let plan = WinRsPlan::with_workspace_limit(&conv, &RTX_4090, Precision::Fp32, budget).unwrap();
             assert!(
                 plan.workspace_bytes() <= budget,
                 "budget {budget}: got {}",
@@ -502,7 +622,7 @@ mod tests {
             );
         }
         // Zero budget still executes correctly (Z = 1).
-        let zero = WinRsPlan::with_workspace_limit(&conv, &RTX_4090, Precision::Fp32, 0);
+        let zero = WinRsPlan::with_workspace_limit(&conv, &RTX_4090, Precision::Fp32, 0).unwrap();
         assert_eq!(zero.z(), 1);
     }
 
@@ -510,8 +630,8 @@ mod tests {
     fn workspace_limited_execution_is_exact() {
         let conv = ConvShape::square(2, 16, 4, 4, 3);
         let (x, dy, exact) = tensors(&conv, 1.0);
-        let plan = WinRsPlan::with_workspace_limit(&conv, &RTX_4090, Precision::Fp32, 600);
-        let dw = plan.execute_f32(&x.cast(), &dy.cast());
+        let plan = WinRsPlan::with_workspace_limit(&conv, &RTX_4090, Precision::Fp32, 600).unwrap();
+        let dw = plan.execute_f32(&x.cast(), &dy.cast()).unwrap();
         assert!(mare(&dw, &exact) < 1e-5);
     }
 
@@ -522,10 +642,10 @@ mod tests {
         // and far coarser than FP16's.
         let conv = ConvShape::square(2, 16, 4, 4, 3);
         let (x, dy, exact) = tensors(&conv, 0.01);
-        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp16);
-        let dw8 = plan.execute_fp8(&x.cast(), &dy.cast());
+        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp16).unwrap();
+        let dw8 = plan.execute_fp8(&x.cast(), &dy.cast()).unwrap();
         let m8 = mare(&dw8, &exact);
-        let dw16 = plan.execute_f16(&x.cast(), &dy.cast());
+        let dw16 = plan.execute_f16(&x.cast(), &dy.cast()).unwrap();
         let m16 = mare(&dw16, &exact);
         assert!(m8 < 0.2, "fp8 MARE {m8}");
         assert!(m8 > 5.0 * m16, "fp8 {m8} should be coarser than fp16 {m16}");
@@ -541,8 +661,8 @@ mod tests {
             (17, 96, 2),
         ] {
             let conv = ConvShape::square(32, res, c, c, f);
-            let auto = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
-            let tuned = WinRsPlan::autotuned(&conv, &RTX_4090, Precision::Fp32);
+            let auto = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32).unwrap();
+            let tuned = WinRsPlan::autotuned(&conv, &RTX_4090, Precision::Fp32).unwrap();
             assert!(
                 tuned.estimated_time() <= auto.estimated_time() * (1.0 + 1e-12),
                 "res={res} c={c} f={f}: tuned {} vs auto {}",
@@ -556,8 +676,8 @@ mod tests {
     fn autotuned_executes_correctly() {
         let conv = ConvShape::square(2, 16, 4, 4, 3);
         let (x, dy, exact) = tensors(&conv, 1.0);
-        let plan = WinRsPlan::autotuned(&conv, &RTX_4090, Precision::Fp32);
-        let dw = plan.execute_f32(&x.cast(), &dy.cast());
+        let plan = WinRsPlan::autotuned(&conv, &RTX_4090, Precision::Fp32).unwrap();
+        let dw = plan.execute_f32(&x.cast(), &dy.cast()).unwrap();
         assert!(mare(&dw, &exact) < 1e-5);
     }
 
@@ -568,8 +688,8 @@ mod tests {
         // needed and nothing overflows.
         let conv = ConvShape::square(2, 16, 4, 4, 3);
         let (x, dy, exact) = tensors(&conv, 0.01);
-        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Bf16);
-        let dw = plan.execute_bf16(&x.cast(), &dy.cast());
+        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Bf16).unwrap();
+        let dw = plan.execute_bf16(&x.cast(), &dy.cast()).unwrap();
         let m = mare(&dw, &exact);
         assert!(m > 1e-5 && m < 5e-2, "MARE {m}");
     }
@@ -580,9 +700,9 @@ mod tests {
         // f32 exponent range handles them unscaled.
         let conv = ConvShape::square(1, 20, 2, 2, 9); // selects α = 16
         let (x, dy, exact) = tensors(&conv, 1.0);
-        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Bf16);
+        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Bf16).unwrap();
         assert_eq!(plan.pair().bulk.alpha(), 16);
-        let dw = plan.execute_bf16(&x.cast(), &dy.cast());
+        let dw = plan.execute_bf16(&x.cast(), &dy.cast()).unwrap();
         let m = mare(&dw, &exact);
         assert!(m < 0.1, "MARE {m}");
         assert!(dw.as_slice().iter().all(|v| v.is_finite()));
@@ -591,7 +711,7 @@ mod tests {
     #[test]
     fn workspace_is_z_minus_1_buckets() {
         let conv = ConvShape::vgg16_conv2(8);
-        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
+        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32).unwrap();
         assert!(plan.z() > 1);
         assert_eq!(
             plan.workspace_bytes(),
@@ -602,7 +722,7 @@ mod tests {
     #[test]
     fn single_segment_means_zero_workspace() {
         let conv = ConvShape::square(32, 28, 1024, 1024, 3);
-        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
+        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32).unwrap();
         assert_eq!(plan.z(), 1);
         assert_eq!(plan.workspace_bytes(), 0);
     }
@@ -612,7 +732,7 @@ mod tests {
         // §1: WinRS reduces time complexity by 1.5×–4.5×.
         for &f in &[3usize, 4, 5, 6, 7, 8, 9] {
             let conv = ConvShape::square(4, 56, 32, 32, f);
-            let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
+            let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32).unwrap();
             let red = plan.flop_reduction();
             // Kernel inventory gives 1.5–4.5×; height clipping (Figure 7)
             // can push the effective reduction slightly above 4.5.
@@ -629,7 +749,7 @@ mod tests {
         // The whole point of segmentation: the fused launches must fill the
         // SMs where the unsegmented launch could not.
         let conv = ConvShape::vgg16_conv2(32);
-        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
+        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32).unwrap();
         let blocks: usize = plan
             .kernel_profiles()
             .iter()
@@ -649,7 +769,7 @@ mod tests {
         // launch with identical FLOPs: segmentation must win on this
         // small-channel shape.
         let conv = ConvShape::vgg16_conv2(32);
-        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
+        let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32).unwrap();
         let profiles = plan.kernel_profiles();
         let fused_flops: u64 = profiles
             .iter()
@@ -675,8 +795,8 @@ mod tests {
     #[test]
     fn fp16_plan_faster_than_fp32_in_model() {
         let conv = ConvShape::square(32, 56, 128, 128, 3);
-        let p32 = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32);
-        let p16 = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp16);
+        let p32 = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32).unwrap();
+        let p16 = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp16).unwrap();
         let speedup = p32.estimated_time() / p16.estimated_time();
         // Paper: FP16 Tensor-Core WinRS averages 3.27× its FP32 version.
         assert!(speedup > 2.0 && speedup < 5.0, "speedup {speedup}");

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+// Unit tests assert on known-good values; unwrap is fine there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! FFT substrate: complex arithmetic, radix-2 Cooley–Tukey, Bluestein
 //! (chirp-z) for arbitrary lengths, 2D transforms and FFT-based correlation.
 //!

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+// Unit tests assert on known-good values; unwrap is fine there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! Software half-precision floating point: IEEE-754 `binary16` ([`f16`]) and
 //! Google `bfloat16` ([`bf16`]).
 //!

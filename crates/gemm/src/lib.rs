@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+// Unit tests assert on known-good values; unwrap is fine there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! Blocked, cache-aware, rayon-parallel GEMM.
 //!
 //! Substrate for the `Cu-GEMM` baseline family (`winrs-conv::gemm_bfc`) and

@@ -50,8 +50,8 @@ pub fn simulate_launch(durations: &[f64], device: &DeviceSpec) -> LaunchTrace {
         let (idx, _) = free_at
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap();
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("slots > 0 is asserted above");
         free_at[idx] += d;
     }
     let makespan = free_at.iter().copied().fold(0.0, f64::max);

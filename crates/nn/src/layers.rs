@@ -2,7 +2,8 @@
 //! max-pool, and a fully connected head.
 
 use winrs_conv::{direct, ConvShape};
-use winrs_core::{Precision, WinRsPlan};
+use winrs_core::fallback::{run_bfc, ExecutionReport, FallbackPolicy, NumericGuard};
+use winrs_core::Precision;
 use winrs_gpu_sim::DeviceSpec;
 use winrs_tensor::Tensor4;
 
@@ -28,6 +29,12 @@ pub enum GradEngine {
 }
 
 /// A stride-1 "same" convolution layer, NHWC, with bias-free filters.
+///
+/// The WinRS engines dispatch through [`winrs_core::fallback::run_bfc`]:
+/// if the layer's shape ever falls outside the WinRS envelope the backward
+/// pass degrades to GEMM-BFC instead of panicking, and reduced-precision
+/// overflow is counted (and optionally repaired) per [`Conv2d::numeric_guard`].
+/// [`Conv2d::last_report`] records what actually happened.
 pub struct Conv2d {
     shape_template: ConvShape,
     /// Filters `(O_C, F, F, I_C)`.
@@ -36,7 +43,13 @@ pub struct Conv2d {
     pub grad_weights: Tensor4<f32>,
     engine: GradEngine,
     cached_input: Option<Tensor4<f32>>,
-    cached_plan: Option<(usize, WinRsPlan)>,
+    /// What to do if WinRS rejects the plan (default: fall back to GEMM).
+    pub fallback_policy: FallbackPolicy,
+    /// What to do about reduced-precision overflow (default: count it).
+    pub numeric_guard: NumericGuard,
+    /// Execution report from the most recent WinRS-engined backward pass
+    /// (`None` before the first backward, or for [`GradEngine::Direct`]).
+    pub last_report: Option<ExecutionReport>,
 }
 
 impl Conv2d {
@@ -53,7 +66,9 @@ impl Conv2d {
             weights,
             engine,
             cached_input: None,
-            cached_plan: None,
+            fallback_policy: FallbackPolicy::default(),
+            numeric_guard: NumericGuard::default(),
+            last_report: None,
         }
     }
 
@@ -79,53 +94,49 @@ impl Conv2d {
             .dims()[0];
         let shape = self.shape_for_batch(n);
 
-        // Decide precision/scale first (DeviceSpec is Copy) so the plan can
-        // be built with a clean mutable borrow.
+        // DeviceSpec is Copy, so decide precision/scale up front and keep
+        // the borrows on disjoint fields.
         let (precision, scale, device) = match &self.engine {
-            GradEngine::Direct => (None, 0.0, None),
-            GradEngine::WinRsFp32 { device } => (Some(Precision::Fp32), 0.0, Some(*device)),
+            GradEngine::Direct => (None, 1.0, None),
+            GradEngine::WinRsFp32 { device } => (Some(Precision::Fp32), 1.0, Some(*device)),
             GradEngine::WinRsFp16 { device, scale } => {
                 (Some(Precision::Fp16), *scale, Some(*device))
             }
         };
-        if let (Some(p), Some(d)) = (precision, device) {
-            self.ensure_plan(n, &d, p);
-        }
 
-        let x = self.cached_input.as_ref().unwrap();
-        self.grad_weights = match precision {
-            None => direct::bfc_direct(&shape, x, dy),
-            Some(Precision::Fp32) => {
-                let plan = &self.cached_plan.as_ref().unwrap().1;
-                plan.execute_f32(x, dy)
-            }
-            Some(Precision::Fp16) => {
-                let plan = &self.cached_plan.as_ref().unwrap().1;
-                let x16 = x.cast::<winrs_tensor::f16>();
-                let dy16 = dy.scale(scale as f64).cast::<winrs_tensor::f16>();
-                let dw16 = plan.execute_f16(&x16, &dy16);
-                let inv = 1.0 / scale;
-                Tensor4::from_vec(
-                    dw16.dims(),
-                    dw16.as_slice().iter().map(|v| v.to_f32() * inv).collect(),
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        self.grad_weights = match (precision, device) {
+            (Some(p), Some(d)) => {
+                // Loss scaling (§6.3): FP16 convolves S·∇Y and unscales in
+                // FP32. I/O stays FP32 (master-copy convention); `p` picks
+                // the engine's tile mode.
+                let dy_scaled;
+                let dy_eff = if p == Precision::Fp16 {
+                    dy_scaled = dy.scale(scale as f64);
+                    &dy_scaled
+                } else {
+                    dy
+                };
+                let (dw, report) = run_bfc(
+                    &shape,
+                    &d,
+                    p,
+                    x,
+                    dy_eff,
+                    self.fallback_policy,
+                    self.numeric_guard,
                 )
+                .unwrap_or_else(|err| panic!("Conv2d backward-filter dispatch failed: {err}"));
+                self.last_report = Some(report);
+                if p == Precision::Fp16 {
+                    dw.scale(1.0 / scale as f64)
+                } else {
+                    dw
+                }
             }
-            // BF16 training is not wired into the NN stack (the paper's
-            // Figure 13 covers FP32 and FP16 + loss scaling only).
-            Some(Precision::Bf16) => unreachable!("BF16 GradEngine not constructed"),
+            _ => direct::bfc_direct(&shape, x, dy),
         };
         direct::bdc_direct(&shape, dy, &self.weights)
-    }
-
-    fn ensure_plan(&mut self, n: usize, device: &DeviceSpec, precision: Precision) {
-        let needs_rebuild = self
-            .cached_plan
-            .as_ref()
-            .is_none_or(|(cached_n, _)| *cached_n != n);
-        if needs_rebuild {
-            let shape = self.shape_for_batch(n);
-            self.cached_plan = Some((n, WinRsPlan::new(&shape, device, precision)));
-        }
     }
 
     /// SGD step.
@@ -346,6 +357,10 @@ mod tests {
         assert_eq!(dxa, dxb); // BDC identical (direct both)
         let m = winrs_tensor::mare(&b.grad_weights, &a.grad_weights);
         assert!(m < 1e-5, "MARE {m}");
+        let report = b.last_report.as_ref().expect("WinRS engine records a report");
+        assert_eq!(report.algorithm.name(), "winrs");
+        assert!(report.fallback_reason.is_none());
+        assert!(a.last_report.is_none(), "Direct engine records no report");
     }
 
     #[test]

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+// Unit tests assert on known-good values; unwrap is fine there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! Minimal CNN training substrate for the end-to-end convergence
 //! experiment (paper §6.3, Figure 13).
 //!

@@ -104,9 +104,9 @@ impl SmallCnn {
             let pred = row
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
-                .unwrap();
+                .unwrap_or(0);
             if pred == label {
                 correct += 1;
             }

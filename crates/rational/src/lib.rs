@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+// Unit tests assert on known-good values; unwrap is fine there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! Exact rational arithmetic and small dense rational matrices.
 //!
 //! This crate is the numerical foundation for deriving Winograd transform

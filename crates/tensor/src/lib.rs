@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+// Unit tests assert on known-good values; unwrap is fine there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! NHWC tensor substrate shared by every algorithm crate in the WinRS
 //! workspace.
 //!

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+// Unit tests assert on known-good values; unwrap is fine there.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! Winograd minimal-filtering substrate: exact Cook–Toom transform
 //! generation, the 13-kernel WinRS inventory, scaling matrices for FP16
 //! stability, even/odd symmetry analysis, and reference convolutions.

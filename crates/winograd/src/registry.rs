@@ -9,13 +9,19 @@
 use crate::cook_toom::{Transform, TransformReal};
 use crate::scaling::ScaledTransform;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
-type Cache = Mutex<HashMap<(usize, usize, bool), Arc<TransformReal>>>;
+type CacheMap = HashMap<(usize, usize, bool), Arc<TransformReal>>;
+type Cache = Mutex<CacheMap>;
 
-fn cache() -> &'static Cache {
+fn cache() -> MutexGuard<'static, CacheMap> {
     static CACHE: OnceLock<Cache> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+    CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        // Derivation is pure and cannot leave the map half-updated: a
+        // poisoned lock still holds a usable cache.
+        .unwrap_or_else(|e| e.into_inner())
 }
 
 /// Fetch (or derive and cache) the materialised transform for `F(n, r)`.
@@ -31,11 +37,12 @@ pub fn scaled_transform(n: usize, r: usize) -> Arc<TransformReal> {
 fn lookup(n: usize, r: usize, scaled: bool) -> Arc<TransformReal> {
     let key = (n, r, scaled);
     // Fast path.
-    if let Some(hit) = cache().lock().unwrap().get(&key) {
+    if let Some(hit) = cache().get(&key) {
         return Arc::clone(hit);
     }
     // Derive outside the lock (generation is pure), then publish; a racing
-    // deriver's duplicate is simply dropped.
+    // deriver's duplicate is simply dropped in favour of whichever entry
+    // landed first.
     let t = Transform::generate(n, r);
     let real = if scaled {
         ScaledTransform::from_transform(&t).real
@@ -43,12 +50,7 @@ fn lookup(n: usize, r: usize, scaled: bool) -> Arc<TransformReal> {
         t.to_real()
     };
     let arc = Arc::new(real);
-    cache()
-        .lock()
-        .unwrap()
-        .entry(key)
-        .or_insert_with(|| Arc::clone(&arc));
-    Arc::clone(cache().lock().unwrap().get(&key).unwrap())
+    Arc::clone(cache().entry(key).or_insert(arc))
 }
 
 #[cfg(test)]

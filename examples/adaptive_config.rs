@@ -10,7 +10,8 @@ use winrs::core::{Precision, WinRsPlan};
 use winrs::gpu::{DeviceSpec, A5000, L40S, RTX_3090, RTX_4090};
 
 fn show(label: &str, shape: &ConvShape, device: &DeviceSpec) {
-    let plan = WinRsPlan::new(shape, device, Precision::Fp32);
+    let plan = WinRsPlan::new(shape, device, Precision::Fp32)
+        .expect("sweep shapes are inside the WinRS envelope");
     let c = plan.segment_count_plan();
     println!(
         "{label:<28} {:<10} pair {:<22} b2 {:>5}  Z {:>3}  ws {:>8.2} MB  cut {:.2}x",

@@ -22,13 +22,15 @@ fn main() {
     for f in 2..=9usize {
         // Model-scale shape for costs…
         let model_shape = ConvShape::square(32, 56, 128, 128, f);
-        let plan = WinRsPlan::new(&model_shape, &RTX_4090, Precision::Fp32);
+        let plan = WinRsPlan::new(&model_shape, &RTX_4090, Precision::Fp32)
+            .expect("model shape is inside the WinRS envelope");
         let gemm = cu_gemm_best(&model_shape, &RTX_4090, Precision::Fp32);
         let speedup = gemm.time / plan.estimated_time();
 
         // …and an executable shape for numerics.
         let exec_shape = ConvShape::square(2, 24, 8, 8, f);
-        let exec_plan = WinRsPlan::new(&exec_shape, &RTX_4090, Precision::Fp32);
+        let exec_plan = WinRsPlan::new(&exec_shape, &RTX_4090, Precision::Fp32)
+            .expect("exec shape is inside the WinRS envelope");
         let x = Tensor4::<f64>::random_uniform(
             [exec_shape.n, exec_shape.ih, exec_shape.iw, exec_shape.ic],
             10 + f as u64,
@@ -39,7 +41,9 @@ fn main() {
             20 + f as u64,
             1.0,
         );
-        let dw = exec_plan.execute_f32(&x.cast(), &dy.cast());
+        let dw = exec_plan
+            .execute_f32(&x.cast(), &dy.cast())
+            .expect("FP32 plan accepts FP32 tensors");
         let exact = direct::bfc_direct(&exec_shape, &x, &dy);
 
         println!(

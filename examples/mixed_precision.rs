@@ -45,10 +45,16 @@ fn main() {
     let dy64 = Tensor4::<f64>::random_uniform([2, 24, 24, 8], 2, 0.01);
     let exact = direct::bfc_direct(&shape, &x64, &dy64);
 
-    let plan32 = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
-    let plan16 = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp16);
-    let dw32 = plan32.execute_f32(&x64.cast(), &dy64.cast());
-    let dw16 = plan16.execute_f16(&x64.cast::<f16>(), &dy64.cast::<f16>());
+    let plan32 =
+        WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).expect("3x3 FP32 is in-envelope");
+    let plan16 =
+        WinRsPlan::new(&shape, &RTX_4090, Precision::Fp16).expect("3x3 FP16 is in-envelope");
+    let dw32 = plan32
+        .execute_f32(&x64.cast(), &dy64.cast())
+        .expect("FP32 plan accepts FP32 tensors");
+    let dw16 = plan16
+        .execute_f16(&x64.cast::<f16>(), &dy64.cast::<f16>())
+        .expect("FP16 plan accepts FP16 tensors");
     println!("FP32 WinRS MARE: {:.3e}", mare(&dw32, &exact));
     println!("FP16 WinRS MARE: {:.3e}", mare(&dw16, &exact));
     println!(
@@ -60,7 +66,9 @@ fn main() {
 
     // --- Part 2b: the FP8 porting target --------------------------------
     println!("Part 2b — FP8 (E4M3) tile quantisation, the conclusion's final target\n");
-    let dw8 = plan16.execute_fp8(&x64.cast(), &dy64.cast());
+    let dw8 = plan16
+        .execute_fp8(&x64.cast(), &dy64.cast())
+        .expect("FP8 rides the FP16 plan");
     println!("FP8  WinRS MARE: {:.3e}", mare(&dw8, &exact));
     println!(
         "E4M3 keeps 3 mantissa bits (eps = 2^-3): an order of magnitude coarser\n\
@@ -71,8 +79,12 @@ fn main() {
     // --- Part 3: modelled Tensor-Core speedup --------------------------
     println!("Part 3 — modelled FP16 speedup (paper: 3.27x average)\n");
     let big = ConvShape::square(32, 56, 256, 256, 3);
-    let t32 = WinRsPlan::new(&big, &RTX_4090, Precision::Fp32).estimated_time();
-    let t16 = WinRsPlan::new(&big, &RTX_4090, Precision::Fp16).estimated_time();
+    let t32 = WinRsPlan::new(&big, &RTX_4090, Precision::Fp32)
+        .expect("in-envelope")
+        .estimated_time();
+    let t16 = WinRsPlan::new(&big, &RTX_4090, Precision::Fp16)
+        .expect("in-envelope")
+        .estimated_time();
     println!(
         "RTX 4090, 56x56x256, 3x3: FP32 {:.3} ms -> FP16 {:.3} ms = {:.2}x",
         t32 * 1e3,

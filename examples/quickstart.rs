@@ -6,11 +6,11 @@
 //! ```
 
 use winrs::conv::{direct, ConvShape};
-use winrs::core::{Precision, WinRsPlan};
+use winrs::core::{Precision, WinRsPlan, WinrsError};
 use winrs::gpu::RTX_4090;
 use winrs::tensor::{mare, Tensor4};
 
-fn main() {
+fn main() -> Result<(), WinrsError> {
     // A conv layer: batch 4, 32×32 feature maps, 16→16 channels, 3×3
     // filters, "same" padding.
     let shape = ConvShape::square(4, 32, 16, 16, 3);
@@ -24,7 +24,9 @@ fn main() {
     );
 
     // 1. Plan: kernel-pair selection + Algorithms 1 & 2 + partitioning.
-    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+    // Plan construction validates the problem and reports *every* violated
+    // invariant at once if the shape is outside the WinRS envelope.
+    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32)?;
     println!("\nWinRS configuration:");
     println!("  kernel pair : {:?}", plan.pair());
     println!("  segments Z  : {}", plan.z());
@@ -34,10 +36,11 @@ fn main() {
     // 2. Execute on real data.
     let x = Tensor4::<f32>::random_uniform([shape.n, shape.ih, shape.iw, shape.ic], 1, 1.0);
     let dy = Tensor4::<f32>::random_uniform([shape.n, shape.oh(), shape.ow(), shape.oc], 2, 1.0);
-    let dw = plan.execute_f32(&x, &dy);
+    let dw = plan.execute_f32(&x, &dy)?;
 
     // 3. Verify against the direct definition in f64.
     let exact = direct::bfc_direct(&shape, &x.cast::<f64>(), &dy.cast::<f64>());
     println!("\nMARE vs f64 direct convolution: {:.3e}", mare(&dw, &exact));
     println!("dW[0,0,0,0] = {}", dw[(0, 0, 0, 0)]);
+    Ok(())
 }

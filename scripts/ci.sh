@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Workspace CI gate. Offline-safe: every external dependency is vendored as a
+# path dependency (see [workspace.dependencies] in Cargo.toml), so no step
+# touches the network or a registry.
+#
+#   1. release build of every workspace target
+#   2. full test suite (unit + integration + property + doc tests)
+#   3. clippy with warnings promoted to errors — including the
+#      `unwrap_used = "deny"` fail-safe lint on library crates
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy (all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

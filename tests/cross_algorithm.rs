@@ -42,8 +42,8 @@ fn winrs_handles_every_filter_size_2_to_9() {
     for f in 2..=9usize {
         let shape = ConvShape::square(2, 20, 4, 4, f);
         let (x, dy, exact) = problem(&shape, 2000 + f as u64);
-        let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
-        let dw = plan.execute_f32(&x.cast(), &dy.cast());
+        let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).unwrap();
+        let dw = plan.execute_f32(&x.cast(), &dy.cast()).unwrap();
         let m = mare(&dw, &exact);
         assert!(m < 1e-4, "f={f}: MARE {m}");
     }
@@ -60,8 +60,8 @@ fn winrs_handles_rectangular_filters_and_maps() {
     ] {
         let shape = ConvShape::new(2, ih, iw, 3, 3, fh, fw, ph, pw);
         let (x, dy, exact) = problem(&shape, 3000 + (ih * fw) as u64);
-        let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
-        let dw = plan.execute_f32(&x.cast(), &dy.cast());
+        let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).unwrap();
+        let dw = plan.execute_f32(&x.cast(), &dy.cast()).unwrap();
         let m = mare(&dw, &exact);
         assert!(m < 1e-4, "{shape:?}: MARE {m}");
     }
@@ -74,8 +74,8 @@ fn winrs_fp16_agrees_with_fp32_loosely() {
     let dy = Tensor4::<f64>::random_uniform([2, 16, 16, 8], 5001, 0.01);
     let exact = direct::bfc_direct(&shape, &x, &dy);
 
-    let p16 = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp16);
-    let dw16 = p16.execute_f16(&x.cast(), &dy.cast());
+    let p16 = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp16).unwrap();
+    let dw16 = p16.execute_f16(&x.cast(), &dy.cast()).unwrap();
     let m = mare(&dw16, &exact);
     assert!(m > 1e-6 && m < 5e-3, "fp16 MARE {m}");
 }
@@ -84,8 +84,8 @@ fn winrs_fp16_agrees_with_fp32_loosely() {
 fn batch_size_one_works() {
     let shape = ConvShape::square(1, 16, 4, 4, 3);
     let (x, dy, exact) = problem(&shape, 6000);
-    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
-    let dw = plan.execute_f32(&x.cast(), &dy.cast());
+    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).unwrap();
+    let dw = plan.execute_f32(&x.cast(), &dy.cast()).unwrap();
     assert!(mare(&dw, &exact) < 1e-5);
 }
 
@@ -93,8 +93,8 @@ fn batch_size_one_works() {
 fn single_channel_works() {
     let shape = ConvShape::new(2, 16, 16, 1, 1, 3, 3, 1, 1);
     let (x, dy, exact) = problem(&shape, 7000);
-    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
-    let dw = plan.execute_f32(&x.cast(), &dy.cast());
+    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).unwrap();
+    let dw = plan.execute_f32(&x.cast(), &dy.cast()).unwrap();
     assert!(mare(&dw, &exact) < 1e-5);
 }
 
@@ -103,7 +103,7 @@ fn zero_gradients_give_zero_dw() {
     let shape = ConvShape::square(2, 12, 4, 4, 3);
     let x = Tensor4::<f32>::random_uniform([2, 12, 12, 4], 1, 1.0);
     let dy = Tensor4::<f32>::zeros([2, 12, 12, 4]);
-    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
-    let dw = plan.execute_f32(&x, &dy);
+    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).unwrap();
+    let dw = plan.execute_f32(&x, &dy).unwrap();
     assert!(dw.as_slice().iter().all(|&v| v == 0.0));
 }

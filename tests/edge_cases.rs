@@ -1,9 +1,10 @@
 //! Edge cases and failure injection across the public API: degenerate
-//! shapes, extreme padding, forced mis-use (which must panic loudly, not
-//! corrupt results).
+//! shapes, extreme padding, forced mis-use (which must return a typed
+//! error naming every violated invariant — never panic, never corrupt
+//! results).
 
 use winrs::conv::{direct, ConvShape};
-use winrs::core::{Precision, WinRsPlan};
+use winrs::core::{Precision, Violation, WinRsPlan, WinrsError};
 use winrs::gpu::RTX_4090;
 use winrs::tensor::{mare, Tensor4};
 
@@ -15,8 +16,8 @@ fn verify(shape: ConvShape, seed: u64, tol: f64) {
         1.0,
     );
     let exact = direct::bfc_direct(&shape, &x, &dy);
-    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
-    let dw = plan.execute_f32(&x.cast(), &dy.cast());
+    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).unwrap();
+    let dw = plan.execute_f32(&x.cast(), &dy.cast()).unwrap();
     let m = mare(&dw, &exact);
     assert!(m < tol, "{shape:?}: MARE {m}");
 }
@@ -65,44 +66,66 @@ fn channels_prime_and_mismatched() {
 #[test]
 fn forced_huge_z_is_clamped_and_correct() {
     let shape = ConvShape::square(2, 16, 4, 4, 3);
-    let plan = WinRsPlan::with_z_hat(&shape, &RTX_4090, Precision::Fp32, 1_000_000);
+    let plan = WinRsPlan::with_z_hat(&shape, &RTX_4090, Precision::Fp32, 1_000_000).unwrap();
     // Segment count is bounded by the geometry (H_max·W_max), not the ask.
     assert!(plan.z() <= 16 * 6);
     let x = Tensor4::<f64>::random_uniform([2, 16, 16, 4], 80, 1.0);
     let dy = Tensor4::<f64>::random_uniform([2, 16, 16, 4], 81, 1.0);
     let exact = direct::bfc_direct(&shape, &x, &dy);
-    let dw = plan.execute_f32(&x.cast(), &dy.cast());
+    let dw = plan.execute_f32(&x.cast(), &dy.cast()).unwrap();
     assert!(mare(&dw, &exact) < 1e-5);
 }
 
 #[test]
-#[should_panic(expected = "plan built for")]
-fn fp16_execute_on_fp32_plan_panics() {
+fn fp16_execute_on_fp32_plan_is_a_typed_error() {
     let shape = ConvShape::square(1, 8, 2, 2, 3);
-    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).unwrap();
     let x = Tensor4::<winrs::fp16::f16>::zeros([1, 8, 8, 2]);
     let dy = Tensor4::<winrs::fp16::f16>::zeros([1, 8, 8, 2]);
-    let _ = plan.execute_f16(&x, &dy);
+    let err = plan.execute_f16(&x, &dy).unwrap_err();
+    assert!(matches!(err, WinrsError::ExecutionRejected(_)));
+    assert!(matches!(
+        err.violations()[0],
+        Violation::PrecisionMismatch { plan: Precision::Fp32, .. }
+    ));
 }
 
 #[test]
-#[should_panic]
-fn wrong_input_shape_panics() {
+fn wrong_input_shape_is_a_typed_error() {
     let shape = ConvShape::square(1, 8, 2, 2, 3);
-    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).unwrap();
     let x = Tensor4::<f32>::zeros([1, 9, 8, 2]); // wrong height
     let dy = Tensor4::<f32>::zeros([1, 8, 8, 2]);
-    let _ = plan.execute_f32(&x, &dy);
+    let err = plan.execute_f32(&x, &dy).unwrap_err();
+    assert!(matches!(
+        err.violations()[0],
+        Violation::TensorDimsMismatch { tensor: "x", .. }
+    ));
 }
 
 #[test]
-#[should_panic]
-fn wrong_gradient_shape_panics() {
+fn wrong_gradient_shape_is_a_typed_error() {
     let shape = ConvShape::square(1, 8, 2, 2, 3);
-    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).unwrap();
     let x = Tensor4::<f32>::zeros([1, 8, 8, 2]);
     let dy = Tensor4::<f32>::zeros([2, 8, 8, 2]); // wrong batch
-    let _ = plan.execute_f32(&x, &dy);
+    let err = plan.execute_f32(&x, &dy).unwrap_err();
+    assert!(matches!(
+        err.violations()[0],
+        Violation::TensorDimsMismatch { tensor: "dy", .. }
+    ));
+}
+
+#[test]
+fn every_violation_reported_at_once() {
+    // Both tensors wrong at the same time: the single error must name both
+    // problems so the caller can fix everything in one round trip.
+    let shape = ConvShape::square(1, 8, 2, 2, 3);
+    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).unwrap();
+    let x = Tensor4::<f32>::zeros([1, 9, 8, 2]);
+    let dy = Tensor4::<f32>::zeros([2, 8, 8, 2]);
+    let err = plan.execute_f32(&x, &dy).unwrap_err();
+    assert_eq!(err.violations().len(), 2, "{err}");
 }
 
 #[test]
@@ -110,23 +133,23 @@ fn plan_reuse_is_deterministic() {
     // Two executions of the same plan on the same data must agree bit-for-
     // bit (rayon order does not affect per-element summation order).
     let shape = ConvShape::square(2, 16, 4, 4, 3);
-    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+    let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).unwrap();
     let x = Tensor4::<f32>::random_uniform([2, 16, 16, 4], 90, 1.0);
     let dy = Tensor4::<f32>::random_uniform([2, 16, 16, 4], 91, 1.0);
-    let a = plan.execute_f32(&x, &dy);
-    let b = plan.execute_f32(&x, &dy);
+    let a = plan.execute_f32(&x, &dy).unwrap();
+    let b = plan.execute_f32(&x, &dy).unwrap();
     assert_eq!(a.as_slice(), b.as_slice());
 }
 
 #[test]
 fn two_plans_same_shape_agree() {
     let shape = ConvShape::square(2, 16, 4, 4, 3);
-    let p1 = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
-    let p2 = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+    let p1 = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).unwrap();
+    let p2 = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).unwrap();
     let x = Tensor4::<f32>::random_uniform([2, 16, 16, 4], 92, 1.0);
     let dy = Tensor4::<f32>::random_uniform([2, 16, 16, 4], 93, 1.0);
     assert_eq!(
-        p1.execute_f32(&x, &dy).as_slice(),
-        p2.execute_f32(&x, &dy).as_slice()
+        p1.execute_f32(&x, &dy).unwrap().as_slice(),
+        p2.execute_f32(&x, &dy).unwrap().as_slice()
     );
 }

@@ -48,7 +48,7 @@ fn abstract_claim_speedup_over_gemm_with_comparable_workspace() {
 fn intro_claim_flop_reduction_band() {
     // "reducing time complexity by 1.5× to 4.5×" (clipping adds a little).
     for w in paper_sweep() {
-        let plan = WinRsPlan::new(&w.shape, &RTX_4090, Precision::Fp32);
+        let plan = WinRsPlan::new(&w.shape, &RTX_4090, Precision::Fp32).unwrap();
         let red = plan.flop_reduction();
         assert!(
             (1.4..=5.5).contains(&red),
@@ -103,7 +103,7 @@ fn average_workspace_fraction_is_small() {
     let avg: f64 = sweep
         .iter()
         .map(|w| {
-            let plan = WinRsPlan::new(&w.shape, &RTX_4090, Precision::Fp32);
+            let plan = WinRsPlan::new(&w.shape, &RTX_4090, Precision::Fp32).unwrap();
             plan.workspace_bytes() as f64 / w.shape.data_bytes(4) as f64
         })
         .sum::<f64>()

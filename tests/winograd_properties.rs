@@ -79,8 +79,8 @@ proptest! {
         let dy = Tensor4::<f64>::random_uniform(
             [n, shape.oh(), shape.ow(), c], seed + 1, 1.0);
         let exact = direct::bfc_direct(&shape, &x, &dy);
-        let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
-        let dw = plan.execute_f32(&x.cast(), &dy.cast());
+        let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).unwrap();
+        let dw = plan.execute_f32(&x.cast(), &dy.cast()).unwrap();
         let m = mare(&dw, &exact);
         prop_assert!(m < 1e-4, "{:?}: MARE {}", shape, m);
     }
@@ -94,7 +94,7 @@ proptest! {
     ) {
         prop_assume!(res > f);
         let shape = ConvShape::square(2, res, 8 * c, 8 * c, f);
-        let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32);
+        let plan = WinRsPlan::new(&shape, &RTX_4090, Precision::Fp32).unwrap();
         prop_assert_eq!(
             plan.workspace_bytes(),
             (plan.z() - 1) * shape.dw_elems() * 4
@@ -114,10 +114,117 @@ proptest! {
             shape.fw, shape.ow(), Precision::Fp32);
         let seg = winrs::core::config::segment_shape::calculate(
             z, shape.oh(), shape.ow(), pair.bulk.r, shape.ph);
-        let part = winrs::core::Partition::build(&shape, &pair, seg);
+        let part = winrs::core::Partition::build(&shape, &pair, seg).unwrap();
         prop_assert!(
             part.covers_exactly(shape.oh(), shape.ow() + pair.padded_cols),
             "shape {:?} z {} seg {:?}", shape, z, seg
         );
+    }
+
+    /// Full partition invariant suite over randomised shapes: every
+    /// `(row, column)` cell of the padded ∇Y is owned by exactly one
+    /// segment, within each launch pass bucket indices are disjoint, and
+    /// `z()` equals the number of distinct buckets the segments touch.
+    #[test]
+    fn partition_invariants_hold(
+        res in 6usize..48,
+        f in 2usize..8,
+        z in 1usize..40,
+    ) {
+        prop_assume!(res > f);
+        let shape = ConvShape::square(2, res, 8, 8, f);
+        let pair = winrs::core::config::pair::select_pair(
+            shape.fw, shape.ow(), Precision::Fp32);
+        let seg = winrs::core::config::segment_shape::calculate(
+            z, shape.oh(), shape.ow(), pair.bulk.r, shape.ph);
+        // `build` validates internally: a returned partition is sound.
+        let part = winrs::core::Partition::build(&shape, &pair, seg).unwrap();
+
+        // Exactly-once coverage, counted cell by cell.
+        let padded_ow = shape.ow() + pair.padded_cols;
+        let mut owners = vec![0u32; shape.oh() * padded_ow];
+        for s in &part.segments {
+            for row in s.h0..s.h1 {
+                for col in s.w0..s.w0 + s.width() {
+                    owners[row * padded_ow + col] += 1;
+                }
+            }
+        }
+        prop_assert!(
+            owners.iter().all(|&n| n == 1),
+            "shape {:?} z {}: some cell covered != once", shape, z
+        );
+
+        // Buckets are disjoint within each launch pass and in range.
+        for pass in 0..=1u8 {
+            let mut seen = std::collections::HashSet::new();
+            for s in part.segments.iter().filter(|s| s.pass == pass) {
+                prop_assert!(s.bucket < part.z());
+                prop_assert!(
+                    seen.insert(s.bucket),
+                    "bucket {} reused within pass {}", s.bucket, pass
+                );
+            }
+        }
+
+        // Z counts exactly the distinct buckets in use.
+        let distinct: std::collections::HashSet<usize> =
+            part.segments.iter().map(|s| s.bucket).collect();
+        prop_assert_eq!(part.z(), distinct.len());
+
+        // And validate() agrees that nothing is broken.
+        prop_assert!(part.validate(&shape, &pair).is_empty());
+    }
+}
+
+mod clip_edge_cases {
+    use winrs::core::engine::{clip_rows, clipped_rows_total};
+
+    /// With `p_H = 0` no ∇Y row falls in padding: clipping must be a
+    /// no-op for every filter row.
+    #[test]
+    fn zero_padding_never_clips() {
+        let (ih, fh_total) = (16usize, 5usize);
+        let oh = ih - fh_total + 1;
+        for fh in 0..fh_total {
+            assert_eq!(clip_rows(0, oh, fh, 0, ih), (0, oh));
+        }
+        assert_eq!(clipped_rows_total(fh_total, oh, 0, ih), fh_total * oh);
+    }
+
+    /// A filter taller than the input (valid only through padding, e.g.
+    /// 9×9 filters on 4-row maps) must clip to an in-range, possibly
+    /// empty row window — never panic or escape the segment.
+    #[test]
+    fn filter_taller_than_input_clips_to_empty_or_valid() {
+        let (ih, fh_total, ph) = (4usize, 9usize, 4usize);
+        let oh = ih + 2 * ph - fh_total + 1; // = 4
+        let mut kept = 0;
+        for fh in 0..fh_total {
+            let (lo, hi) = clip_rows(0, oh, fh, ph, ih);
+            assert!(lo <= hi, "fh={fh}: inverted range {lo}..{hi}");
+            assert!(hi <= oh, "fh={fh}: range escapes the segment");
+            // Every surviving row must address a real X row.
+            for i in lo..hi {
+                let xrow = fh + i - ph;
+                assert!((fh + i) >= ph && xrow < ih, "fh={fh} i={i}");
+            }
+            kept += hi - lo;
+        }
+        assert_eq!(kept, clipped_rows_total(fh_total, oh, ph, ih));
+        // The extreme filter rows read only padding: real work survives
+        // for just a fraction of the loop iterations.
+        assert!(kept < fh_total * oh);
+        assert!(kept > 0);
+    }
+
+    /// Segment sub-ranges stay inside `[h0, h1)` even when the whole
+    /// segment sits in the padding region.
+    #[test]
+    fn fully_padded_segment_yields_empty_range() {
+        let (lo, hi) = clip_rows(0, 2, 0, 8, 4);
+        assert!(lo >= hi, "expected empty range, got {lo}..{hi}");
+        let (lo, hi) = clip_rows(3, 7, 2, 3, 64);
+        assert!(lo >= 3 && hi <= 7);
     }
 }

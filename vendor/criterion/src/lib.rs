@@ -1,0 +1,259 @@
+#![warn(missing_docs)]
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the benchmarking surface the workspace's `benches/` targets
+//! use — `Criterion`, `BenchmarkGroup`, `Bencher`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros —
+//! backed by plain `std::time::Instant` wall-clock timing.
+//!
+//! There is no statistical analysis, HTML report, or outlier detection:
+//! each benchmark warms up briefly, picks an iteration count that fits a
+//! small time budget, and prints one `group/id  time/iter [throughput]`
+//! line. That keeps `cargo bench` functional (and `cargo test` able to
+//! build the bench targets) without any network access.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark measurement budget. Kept deliberately small: these
+/// numbers guide relative comparisons, not publication-grade statistics.
+const BUDGET: Duration = Duration::from_millis(200);
+
+/// Measurement context handed to the closure of `bench_function` /
+/// `bench_with_input`.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration, filled in by [`Bencher::iter`].
+    elapsed_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, choosing an iteration count that fits the budget.
+    /// The routine's return value is passed through `black_box` so the
+    /// optimiser cannot delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed call to warm caches, then a calibration pass.
+        std::hint::black_box(routine());
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (BUDGET.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_per_iter = t1.elapsed().as_secs_f64() / iters as f64;
+    }
+}
+
+/// Units for reporting throughput alongside time per iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of abstract elements (e.g. FLOPs) processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group: a function name plus an
+/// optional parameter, rendered as `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with both a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named set of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput used to derive rate figures for subsequent
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run one benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed_per_iter: 0.0,
+        };
+        f(&mut b);
+        self.report(&id.into(), b.elapsed_per_iter);
+        self
+    }
+
+    /// Run one benchmark that receives `input` by reference.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            elapsed_per_iter: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id, b.elapsed_per_iter);
+        self
+    }
+
+    fn report(&mut self, id: &BenchmarkId, secs_per_iter: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.3} Gelem/s", n as f64 / secs_per_iter / 1e9)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:.3} GiB/s", n as f64 / secs_per_iter / (1u64 << 30) as f64)
+            }
+            None => String::new(),
+        };
+        let line = format!(
+            "{}/{}  {}{}",
+            self.name,
+            id.id,
+            format_time(secs_per_iter),
+            rate
+        );
+        println!("{line}");
+        self.criterion.lines.push(line);
+    }
+
+    /// Finish the group (upstream flushes reports here; ours are
+    /// line-buffered, so this only marks intent).
+    pub fn finish(self) {}
+}
+
+/// Render seconds/iteration with a unit matched to its magnitude.
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns/iter", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs/iter", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms/iter", secs * 1e3)
+    } else {
+        format!("{secs:.3} s/iter")
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    lines: Vec<String>,
+}
+
+impl Criterion {
+    /// Criterion configured from CLI arguments. The cargo bench harness
+    /// passes flags like `--bench`; this offline subset accepts and
+    /// ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// Number of benchmark results recorded so far.
+    pub fn results_recorded(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+/// Declare a group function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `fn main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export matching upstream's `criterion::black_box` path.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("format", |b| b.iter(|| format!("{}", 42)));
+        g.finish();
+        assert_eq!(c.results_recorded(), 2);
+    }
+
+    #[test]
+    fn benchmark_id_renders_both_forms() {
+        assert_eq!(BenchmarkId::new("kahan", 8).id, "kahan/8");
+        assert_eq!(BenchmarkId::from_parameter("F(4,3)").id, "F(4,3)");
+    }
+}

@@ -1,0 +1,134 @@
+#![warn(missing_docs)]
+//! Offline drop-in subset of the `rand` crate API.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides exactly the surface the workspace uses — `rngs::StdRng`,
+//! [`SeedableRng::seed_from_u64`] and [`RngExt::random`] — backed by a
+//! SplitMix64 generator. The stream differs from upstream `rand`'s
+//! ChaCha-based `StdRng`, which is fine for this workspace: every consumer
+//! seeds explicitly and only relies on determinism and a roughly uniform
+//! distribution, never on a specific stream.
+
+/// Seedable generators (API-compatible subset).
+pub mod rngs {
+    /// Deterministic pseudo-random generator (SplitMix64).
+    ///
+    /// SplitMix64 passes BigCrush, has a full 2⁶⁴ period and needs no
+    /// warm-up, which makes it a sound stand-in for test-data generation.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        /// Advance the state and return the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Scramble the raw seed once so that nearby seeds (0, 1, 2, …)
+        // start from well-separated states.
+        let mut rng = rngs::StdRng { state: seed };
+        let _ = rng.next_u64();
+        rngs::StdRng {
+            state: seed ^ rng.next_u64(),
+        }
+    }
+}
+
+/// Types samplable uniformly from a generator.
+pub trait Random: Sized {
+    /// Draw one uniformly distributed value.
+    fn random_from(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Random for u64 {
+    fn random_from(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random_from(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for usize {
+    fn random_from(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)`: the top 53 bits scaled by 2⁻⁵³.
+    fn random_from(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    /// Uniform in `[0, 1)`: the top 24 bits scaled by 2⁻²⁴.
+    fn random_from(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Convenience sampling methods on generators (the `rand` 0.10 `Rng`
+/// extension-trait shape).
+pub trait RngExt {
+    /// Draw one uniformly distributed value of type `T`.
+    fn random<T: Random>(&mut self) -> T;
+}
+
+impl RngExt for rngs::StdRng {
+    fn random<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn floats_land_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+            let s = rng.random::<f32>();
+            assert!((0.0..1.0).contains(&s));
+        }
+        // Mean of U[0,1) over 10k draws: within 2% of 0.5.
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.01, "mean {}", sum / 10_000.0);
+    }
+}

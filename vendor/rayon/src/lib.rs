@@ -1,0 +1,238 @@
+#![warn(missing_docs)]
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! reimplements the small parallel-iterator surface the workspace uses on
+//! top of `std::thread::scope`. The model is simpler than rayon's
+//! work-stealing pool: an iterator's items are collected up front, split
+//! into one contiguous chunk per available core, and each chunk runs on its
+//! own scoped thread. That preserves rayon's two properties the callers
+//! rely on — closures run concurrently on distinct items, and `collect`
+//! preserves input order — at the cost of less adaptive load balancing.
+//!
+//! Supported surface: `par_chunks_mut`, `into_par_iter` (any
+//! `IntoIterator`), `enumerate`, `zip`, lazy `map`, `for_each`, ordered
+//! `collect`.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to fan out to.
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Split `items` into at most `n` contiguous, nearly equal chunks.
+fn split<T>(mut items: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    let n = n.clamp(1, items.len().max(1));
+    let per = items.len().div_ceil(n);
+    let mut chunks = Vec::with_capacity(n);
+    while !items.is_empty() {
+        let rest = items.split_off(per.min(items.len()));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    chunks
+}
+
+/// An eagerly materialised "parallel" iterator: holds its items and fans
+/// work out on the consuming call.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A lazily mapped parallel iterator: the closure runs on the worker
+/// threads at `for_each`/`collect` time, not at `map` time.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair every item with its index (order-preserving, cheap).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Zip with another parallel iterator (truncates to the shorter side,
+    /// like `Iterator::zip`).
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self
+                .items
+                .into_iter()
+                .zip(other.items)
+                .collect(),
+        }
+    }
+
+    /// Lazily map items; the closure executes on worker threads when the
+    /// pipeline is consumed.
+    pub fn map<V, F: Fn(T) -> V>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item, fanning chunks out to scoped threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let chunks = split(self.items, threads());
+        if chunks.len() <= 1 {
+            for chunk in chunks {
+                chunk.into_iter().for_each(&f);
+            }
+            return;
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for chunk in chunks {
+                s.spawn(move || chunk.into_iter().for_each(f));
+            }
+        });
+    }
+}
+
+impl<T: Send, V: Send, F: Fn(T) -> V + Sync> ParMap<T, F> {
+    /// Evaluate the map in parallel, preserving input order.
+    pub fn collect<C: FromIterator<V>>(self) -> C {
+        let chunks = split(self.items, threads());
+        let f = &self.f;
+        if chunks.len() <= 1 {
+            return chunks
+                .into_iter()
+                .flatten()
+                .map(f)
+                .collect();
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<V>>()))
+                .collect();
+            // Joining in spawn order keeps the output ordered; a scoped
+            // thread's panic propagates here, matching rayon.
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect()
+        })
+    }
+
+    /// Run the mapped closure for its side effects.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(V) + Sync,
+    {
+        let f = self.f;
+        let g = &g;
+        let f = &f;
+        let chunks = split(self.items, threads());
+        if chunks.len() <= 1 {
+            for chunk in chunks {
+                chunk.into_iter().for_each(|t| g(f(t)));
+            }
+            return;
+        }
+        std::thread::scope(|s| {
+            for chunk in chunks {
+                s.spawn(move || chunk.into_iter().for_each(|t| g(f(t))));
+            }
+        });
+    }
+}
+
+/// Conversion into a parallel iterator (blanket over `IntoIterator`, which
+/// covers ranges and vectors — the two shapes the workspace uses).
+pub trait IntoParallelIterator {
+    /// Item type produced by the iterator.
+    type Item: Send;
+    /// Materialise the parallel pipeline.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split the slice into non-overlapping mutable chunks of `size`
+    /// elements (the last may be shorter) for parallel processing.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// The import surface callers use: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunked_for_each_touches_every_element() {
+        let mut data = vec![0u64; 10_000];
+        data.par_chunks_mut(97).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u64 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..5_000usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 5_000);
+        for (i, &s) in squares.iter().enumerate() {
+            assert_eq!(s, i * i);
+        }
+    }
+
+    #[test]
+    fn zip_pairs_elementwise() {
+        let mut out = vec![0usize; 100];
+        let tags: Vec<usize> = (0..100).map(|i| 2 * i).collect();
+        out.par_chunks_mut(1)
+            .zip(tags.into_par_iter())
+            .for_each(|(chunk, tag)| chunk[0] = tag);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, 2 * i);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u32> = Vec::new();
+        v.into_par_iter().for_each(|_| panic!("no items"));
+        let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}
