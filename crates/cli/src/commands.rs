@@ -23,6 +23,9 @@ commands:
            [--numeric-guard ignore|warn|promote-retry]
   cost     modelled time / throughput / workspace on a device
            --n N --res R --ic C --oc C --f F [--pad P] [--device NAME] [--fp16]
+  workspace  print the execution arena layout next to the paper's
+             (Z-1)*|gradW| workspace formula
+             --n N --res R --ic C --oc C --f F [--pad P] [--device NAME] [--fp16|--bf16]
   kernels  list the 13-kernel inventory
   devices  list the modelled GPUs
 
@@ -38,6 +41,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "plan" => cmd_plan(&flags),
         "verify" => cmd_verify(&flags),
         "cost" => cmd_cost(&flags),
+        "workspace" => cmd_workspace(&flags),
         "kernels" => Ok(cmd_kernels()),
         "devices" => Ok(cmd_devices()),
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
@@ -123,7 +127,11 @@ fn cmd_plan(flags: &Flags) -> Result<String, String> {
         plan.workspace_bytes(),
         plan.workspace_bytes() as f64 / shape.data_bytes(plan.elem_bytes()) as f64
     );
-    let _ = writeln!(out, "FLOP cut     : {:.2}x over direct", plan.flop_reduction());
+    let _ = writeln!(
+        out,
+        "FLOP cut     : {:.2}x over direct",
+        plan.flop_reduction()
+    );
     Ok(out)
 }
 
@@ -139,7 +147,11 @@ fn cmd_verify(flags: &Flags) -> Result<String, String> {
     }
 
     let x = Tensor4::<f64>::random_uniform([shape.n, shape.ih, shape.iw, shape.ic], seed, 1.0);
-    let dy_scale = if precision == Precision::Fp32 { 1.0 } else { 0.01 };
+    let dy_scale = if precision == Precision::Fp32 {
+        1.0
+    } else {
+        0.01
+    };
     let dy = Tensor4::<f64>::random_uniform(
         [shape.n, shape.oh(), shape.ow(), shape.oc],
         seed + 1,
@@ -170,7 +182,11 @@ fn cmd_verify(flags: &Flags) -> Result<String, String> {
     let _ = writeln!(out, "shape     : {shape:?}");
     let _ = writeln!(out, "report    : {}", report.summary_line());
     let _ = writeln!(out, "MARE      : {m:.3e} vs f64 direct convolution");
-    let _ = writeln!(out, "verdict   : {}", if verdict { "OK" } else { "SUSPECT" });
+    let _ = writeln!(
+        out,
+        "verdict   : {}",
+        if verdict { "OK" } else { "SUSPECT" }
+    );
     if verdict {
         Ok(out)
     } else {
@@ -188,8 +204,69 @@ fn cmd_cost(flags: &Flags) -> Result<String, String> {
     let _ = writeln!(out, "shape      : {shape:?}");
     let _ = writeln!(out, "device     : {}", device.name);
     let _ = writeln!(out, "time       : {:.4} ms (modelled)", t * 1e3);
-    let _ = writeln!(out, "throughput : {:.1} TFLOPS effective", plan.estimated_tflops());
-    let _ = writeln!(out, "workspace  : {:.2} MB", plan.workspace_bytes() as f64 / 1e6);
+    let _ = writeln!(
+        out,
+        "throughput : {:.1} TFLOPS effective",
+        plan.estimated_tflops()
+    );
+    let _ = writeln!(
+        out,
+        "workspace  : {:.2} MB",
+        plan.workspace_bytes() as f64 / 1e6
+    );
+    Ok(out)
+}
+
+fn cmd_workspace(flags: &Flags) -> Result<String, String> {
+    let shape = shape_from(flags)?;
+    let device = device_by_name(flags.opt_str("device"))?;
+    let precision = precision_from(flags);
+    let plan = WinRsPlan::new(&shape, &device, precision).map_err(|e| e.to_string())?;
+    let layout = plan.workspace_layout();
+    let z = plan.z();
+    let dw_bytes = shape.dw_elems() * 4;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "shape          : {shape:?}");
+    let _ = writeln!(
+        out,
+        "precision      : {precision:?} (buckets staged in f32)"
+    );
+    let _ = writeln!(out, "segments       : Z = {z}");
+    let _ = writeln!(out, "region              kind        elems       bytes");
+    for r in layout.regions() {
+        let _ = writeln!(
+            out,
+            "{:<19} {:<10} {:>9} {:>11}",
+            r.name,
+            r.kind.name(),
+            r.elems,
+            r.bytes
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total arena    : {} bytes ({} f32 elems + guard counters)",
+        layout.total_bytes(),
+        layout.arena_elems()
+    );
+    let _ = writeln!(
+        out,
+        "paper formula  : (Z-1)*|gradW| = {} * {} B = {} B",
+        z - 1,
+        dw_bytes,
+        (z - 1) * dw_bytes
+    );
+    let _ = writeln!(
+        out,
+        "overflow check : {} ({} B accounted as 'workspace')",
+        if layout.workspace_bytes() == (z - 1) * dw_bytes {
+            "matches"
+        } else {
+            "MISMATCH"
+        },
+        layout.workspace_bytes()
+    );
     Ok(out)
 }
 
@@ -210,8 +287,7 @@ fn cmd_kernels() -> String {
 }
 
 fn cmd_devices() -> String {
-    let mut out =
-        String::from("device      SMs  FP32 TFLOPS  FP16 TFLOPS  bandwidth GB/s\n");
+    let mut out = String::from("device      SMs  FP32 TFLOPS  FP16 TFLOPS  bandwidth GB/s\n");
     for d in [RTX_4090, RTX_3090, L40S, A5000] {
         let _ = writeln!(
             out,
@@ -274,12 +350,44 @@ mod tests {
     #[test]
     fn cost_command_reports_model() {
         let out = run(&[
-            "cost", "--n", "32", "--res", "56", "--ic", "64", "--oc", "64", "--f", "3",
-            "--device", "3090",
+            "cost", "--n", "32", "--res", "56", "--ic", "64", "--oc", "64", "--f", "3", "--device",
+            "3090",
         ])
         .unwrap();
         assert!(out.contains("RTX 3090"));
         assert!(out.contains("TFLOPS"));
+    }
+
+    #[test]
+    fn workspace_command_matches_paper_formula() {
+        let out = run(&[
+            "workspace",
+            "--n",
+            "1",
+            "--res",
+            "32",
+            "--ic",
+            "4",
+            "--oc",
+            "4",
+            "--f",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("overflow-buckets"), "{out}");
+        assert!(out.contains("thread-scratch"), "{out}");
+        assert!(out.contains("paper formula"), "{out}");
+        assert!(out.contains("overflow check : matches"), "{out}");
+    }
+
+    #[test]
+    fn verify_reports_workspace_accounting() {
+        let out = run(&[
+            "verify", "--n", "1", "--res", "12", "--ic", "2", "--oc", "2", "--f", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("hot_loop_allocs=0"), "{out}");
+        assert!(out.contains("workspace="), "{out}");
     }
 
     #[test]
@@ -355,8 +463,20 @@ mod tests {
     #[test]
     fn verify_strict_policy_reports_rejection() {
         let e = run(&[
-            "verify", "--n", "1", "--res", "12", "--ic", "2", "--oc", "2", "--f", "4", "--fp16",
-            "--fallback-policy", "strict",
+            "verify",
+            "--n",
+            "1",
+            "--res",
+            "12",
+            "--ic",
+            "2",
+            "--oc",
+            "2",
+            "--f",
+            "4",
+            "--fp16",
+            "--fallback-policy",
+            "strict",
         ])
         .unwrap_err();
         assert!(e.contains("filter width 4"), "{e}");
@@ -365,8 +485,19 @@ mod tests {
     #[test]
     fn verify_force_gemm_skips_winrs() {
         let out = run(&[
-            "verify", "--n", "1", "--res", "12", "--ic", "2", "--oc", "2", "--f", "3",
-            "--fallback-policy", "force-gemm",
+            "verify",
+            "--n",
+            "1",
+            "--res",
+            "12",
+            "--ic",
+            "2",
+            "--oc",
+            "2",
+            "--f",
+            "3",
+            "--fallback-policy",
+            "force-gemm",
         ])
         .unwrap();
         assert!(out.contains("algorithm=gemm-bfc"), "{out}");
@@ -375,8 +506,20 @@ mod tests {
     #[test]
     fn verify_accepts_numeric_guard_flag() {
         let out = run(&[
-            "verify", "--n", "1", "--res", "12", "--ic", "2", "--oc", "2", "--f", "3", "--fp16",
-            "--numeric-guard", "promote-retry",
+            "verify",
+            "--n",
+            "1",
+            "--res",
+            "12",
+            "--ic",
+            "2",
+            "--oc",
+            "2",
+            "--f",
+            "3",
+            "--fp16",
+            "--numeric-guard",
+            "promote-retry",
         ])
         .unwrap();
         assert!(out.contains("guard=promote-retry"), "{out}");
@@ -385,14 +528,36 @@ mod tests {
     #[test]
     fn bad_policy_and_guard_values_error() {
         let e = run(&[
-            "verify", "--n", "1", "--res", "12", "--ic", "2", "--oc", "2", "--f", "3",
-            "--fallback-policy", "yolo",
+            "verify",
+            "--n",
+            "1",
+            "--res",
+            "12",
+            "--ic",
+            "2",
+            "--oc",
+            "2",
+            "--f",
+            "3",
+            "--fallback-policy",
+            "yolo",
         ])
         .unwrap_err();
         assert!(e.contains("unknown fallback policy"), "{e}");
         let e = run(&[
-            "verify", "--n", "1", "--res", "12", "--ic", "2", "--oc", "2", "--f", "3",
-            "--numeric-guard", "yolo",
+            "verify",
+            "--n",
+            "1",
+            "--res",
+            "12",
+            "--ic",
+            "2",
+            "--oc",
+            "2",
+            "--f",
+            "3",
+            "--numeric-guard",
+            "yolo",
         ])
         .unwrap_err();
         assert!(e.contains("unknown numeric guard"), "{e}");

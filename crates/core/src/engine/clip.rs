@@ -58,8 +58,12 @@ mod tests {
 
     #[test]
     fn closed_form_matches_counting() {
-        for &(ih, ph, fh_total) in &[(32usize, 1usize, 3usize), (56, 2, 5), (24, 4, 9), (16, 3, 7)]
-        {
+        for &(ih, ph, fh_total) in &[
+            (32usize, 1usize, 3usize),
+            (56, 2, 5),
+            (24, 4, 9),
+            (16, 3, 7),
+        ] {
             let oh = ih + 2 * ph + 1 - fh_total;
             let kept = clipped_rows_total(fh_total, oh, ph, ih);
             let measured = 1.0 - kept as f64 / (fh_total * oh) as f64;

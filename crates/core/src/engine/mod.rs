@@ -42,6 +42,7 @@ pub use clip::{clip_rows, clip_savings_fraction, clipped_rows_total};
 
 use crate::error::{Violation, WinrsError};
 use crate::partition::{Partition, Segment};
+use crate::workspace::ScratchPool;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use winrs_conv::ConvShape;
@@ -134,11 +135,36 @@ impl HealthSink {
     pub fn is_clean(&self) -> bool {
         self.totals() == (0, 0)
     }
+
+    /// Number of segments this sink covers.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when the sink covers no segments.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Zero every counter, so one sink can be reused across runs (the
+    /// [`crate::Workspace`] reuse contract).
+    pub fn reset(&self) {
+        for c in &self.counters {
+            c[0].store(0, Ordering::Relaxed);
+            c[1].store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for HealthSink {
+    fn default() -> HealthSink {
+        HealthSink::new(0)
+    }
 }
 
 /// Optional behaviours of [`execute_segments_with`].
 #[derive(Clone, Copy, Default)]
-pub struct ExecOptions<'a> {
+pub struct ExecOptions<'a, 'p> {
     /// When set (length `partition.z()`), only buckets with a `true` entry
     /// are zeroed and executed — used by the numeric guard to re-run just
     /// the poisoned buckets at FP32.
@@ -146,6 +172,60 @@ pub struct ExecOptions<'a> {
     /// When set, the engine flushes per-segment saturation / non-finite
     /// counts into the sink (sized `partition.segments.len()`).
     pub health: Option<&'a HealthSink>,
+    /// When set, block columns draw their FT/IT/accumulator tiles from
+    /// this pool (carved from a [`crate::Workspace`] arena) instead of
+    /// allocating; when `None` the engine provisions a transient pool of
+    /// its own, so the block loop never `vec!`s per block either way.
+    pub scratch: Option<&'a ScratchPool<'p>>,
+}
+
+/// The engine's cache-block geometry `(B_N, B_M)` for `mode` at transform
+/// size `alpha`.
+pub fn cache_block(mode: TileMode, alpha: usize) -> (usize, usize) {
+    match mode {
+        TileMode::Fp32 => fp32_cache_block(alpha),
+        TileMode::Fp16 | TileMode::Bf16 | TileMode::Fp8 => fp16_cache_block(alpha),
+    }
+}
+
+/// Scratch f32 elements one block column of `kernel` needs: the `ĝ`
+/// (α·B_N), `d̂` (α·B_M) and accumulator (α·B_N·B_M) tiles, with the block
+/// dims clamped to the problem's channel counts.
+pub fn scratch_slot_elems(conv: &ConvShape, kernel: KernelId, mode: TileMode) -> usize {
+    let alpha = kernel.alpha();
+    let (bn, bm) = cache_block(mode, alpha);
+    let bn_c = bn.min(conv.oc);
+    let bm_c = bm.min(conv.ic);
+    alpha * (bn_c + bm_c + bn_c * bm_c)
+}
+
+/// Largest block-column scratch requirement over every segment of
+/// `partition` — the slot size a [`crate::WorkspaceLayout`] must provision
+/// so no block ever overflows its slot.
+pub fn scratch_slot_elems_for(conv: &ConvShape, partition: &Partition, mode: TileMode) -> usize {
+    partition
+        .segments
+        .iter()
+        .map(|s| scratch_slot_elems(conv, s.kernel, mode))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Scratch slots worth provisioning: one per hardware thread, capped at
+/// the largest number of block columns any launch pass can run at once.
+pub fn scratch_slots_for(conv: &ConvShape, partition: &Partition, mode: TileMode) -> usize {
+    let tasks_in_pass = |pass: u8| -> usize {
+        partition
+            .segments
+            .iter()
+            .filter(|s| s.pass == pass)
+            .map(|s| conv.oc.div_ceil(cache_block(mode, s.kernel.alpha()).0))
+            .sum()
+    };
+    let max_tasks = tasks_in_pass(0).max(tasks_in_pass(1));
+    crate::workspace::default_scratch_slots()
+        .min(max_tasks)
+        .max(1)
 }
 
 /// Execute all segments, accumulating each segment's result into its
@@ -192,7 +272,7 @@ pub fn execute_segments_with<T: Scalar, S: TransformSource>(
     dy: &Tensor4<T>,
     mode: TileMode,
     buckets: &mut [T],
-    opts: ExecOptions<'_>,
+    opts: ExecOptions<'_, '_>,
 ) -> Result<(), WinrsError> {
     let dw_elems = conv.dw_elems();
     let mut violations = Vec::new();
@@ -228,33 +308,56 @@ pub fn execute_segments_with<T: Scalar, S: TransformSource>(
         }
     }
 
-    for pass in 0..=1u8 {
-        // Map bucket index -> the (unique) segment of this pass using it,
-        // carrying the segment's index for health accounting.
-        let mut by_bucket: Vec<Option<(usize, &Segment)>> = vec![None; partition.z()];
-        for (idx, seg) in partition
-            .segments
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.pass == pass)
-        {
-            debug_assert!(by_bucket[seg.bucket].is_none(), "bucket collision");
-            by_bucket[seg.bucket] = Some((idx, seg));
+    // ScratchPool is invariant in its region lifetime, so a caller pool
+    // and a locally-built one cannot share a binding — both branches call
+    // into the pass loop directly instead.
+    match opts.scratch {
+        Some(pool) => run_passes(
+            conv, partition, transforms, x, dy, mode, buckets, opts, pool,
+        ),
+        None => {
+            let slot_elems = scratch_slot_elems_for(conv, partition, mode);
+            let slots = scratch_slots_for(conv, partition, mode);
+            let mut arena = vec![0.0f32; slot_elems * slots];
+            let pool = ScratchPool::new(&mut arena, slot_elems);
+            run_passes(
+                conv, partition, transforms, x, dy, mode, buckets, opts, &pool,
+            );
         }
+    }
+    Ok(())
+}
+
+/// The two sequential launch passes over an argument-validated, zeroed
+/// bucket buffer, drawing all block scratch from `scratch`.
+#[allow(clippy::too_many_arguments)]
+fn run_passes<T: Scalar, S: TransformSource>(
+    conv: &ConvShape,
+    partition: &Partition,
+    transforms: &S,
+    x: &Tensor4<T>,
+    dy: &Tensor4<T>,
+    mode: TileMode,
+    buckets: &mut [T],
+    opts: ExecOptions<'_, '_>,
+    scratch: &ScratchPool<'_>,
+) {
+    let dw_elems = conv.dw_elems();
+    let enabled = |bucket: usize| opts.bucket_filter.is_none_or(|f| f[bucket]);
+    for pass in 0..=1u8 {
+        // Bucket -> owning segment for this pass, precomputed at partition
+        // build so the steady-state loop allocates nothing of its own.
+        let owners = partition.bucket_owners(pass);
         buckets
             .par_chunks_mut(dw_elems)
-            .zip(by_bucket.into_par_iter())
-            .for_each(|(bucket, segment)| {
-                let Some((seg_idx, segment)) = segment else { return };
+            .zip(owners.iter().copied().into_par_iter())
+            .for_each(|(bucket, owner)| {
+                let Some(seg_idx) = owner else { return };
+                let segment: &Segment = &partition.segments[seg_idx];
                 if !enabled(segment.bucket) {
                     return;
                 }
-                let (bn, bm) = match mode {
-                    TileMode::Fp32 => fp32_cache_block(segment.kernel.alpha()),
-                    TileMode::Fp16 | TileMode::Bf16 | TileMode::Fp8 => {
-                        fp16_cache_block(segment.kernel.alpha())
-                    }
-                };
+                let (bn, bm) = cache_block(mode, segment.kernel.alpha());
                 let t = transforms.transform(segment.kernel);
                 // Parallelise over output-channel tiles inside the segment:
                 // each tile owns a contiguous bucket slice.
@@ -266,13 +369,23 @@ pub fn execute_segments_with<T: Scalar, S: TransformSource>(
                         let oc0 = tile_idx * bn;
                         let bn_cur = bn.min(conv.oc - oc0);
                         run_block_column(
-                            conv, segment, seg_idx, t, x, dy, mode, oc0, bn_cur, bm, slice,
+                            conv,
+                            segment,
+                            seg_idx,
+                            t,
+                            x,
+                            dy,
+                            mode,
+                            oc0,
+                            bn_cur,
+                            bm,
+                            slice,
                             opts.health,
+                            scratch,
                         );
                     });
             });
     }
-    Ok(())
 }
 
 /// Re-round a transformed FP32 tile to the reduced format's grid, counting
@@ -326,6 +439,7 @@ fn run_block_column<T: Scalar>(
     bm: usize,
     slice: &mut [T],
     health: Option<&HealthSink>,
+    scratch: &ScratchPool<'_>,
 ) {
     let alpha = t.alpha;
     let (n_out, r) = (t.n, t.r);
@@ -333,74 +447,78 @@ fn run_block_column<T: Scalar>(
     let fw_tiles = conv.fw / n_out;
     let mut saturated = 0u64;
     let mut non_finite = 0u64;
+    let bm_c = bm.min(conv.ic);
 
-    // Hoisted scratch buffers (the "SMEM" of a block).
-    let mut ghat = vec![0.0f32; alpha * bn_cur];
-    let mut dhat = vec![0.0f32; alpha * bm];
-    let mut acc = vec![0.0f32; alpha * bn_cur * bm];
+    // The block's "SMEM": ĝ, d̂ and accumulator tiles carved from one
+    // pooled slot. Slots arrive dirty — ĝ/d̂ are fully overwritten by the
+    // tile loaders and the accumulator region in use is zero-filled per
+    // filter tile below, so nothing stale is ever read.
+    scratch.with_slot(alpha * (bn_cur + bm_c + bn_cur * bm_c), |buf| {
+        let (ghat, rest) = buf.split_at_mut(alpha * bn_cur);
+        let (dhat, acc) = rest.split_at_mut(alpha * bm_c);
 
-    let mut ic0 = 0;
-    while ic0 < conv.ic {
-        let bm_cur = bm.min(conv.ic - ic0);
-        for fh in 0..conv.fh {
-            let (i_lo, i_hi) = clip_rows(seg.h0, seg.h1, fh, conv.ph, conv.ih);
-            for ftw in 0..fw_tiles {
-                let fw0 = ftw * n_out;
-                acc[..alpha * bn_cur * bm_cur].fill(0.0);
+        let mut ic0 = 0;
+        while ic0 < conv.ic {
+            let bm_cur = bm.min(conv.ic - ic0);
+            for fh in 0..conv.fh {
+                let (i_lo, i_hi) = clip_rows(seg.h0, seg.h1, fh, conv.ph, conv.ih);
+                for ftw in 0..fw_tiles {
+                    let fw0 = ftw * n_out;
+                    acc[..alpha * bn_cur * bm_cur].fill(0.0);
 
-                for i in i_lo..i_hi {
-                    let x_row = (fh + i) as isize - conv.ph as isize;
-                    for u in 0..seg.units {
-                        let col0 = seg.w0 + u * r;
-                        let x_col0 = (fw0 + col0) as isize - conv.pw as isize;
-                        for b in 0..conv.n {
-                            // Filter transform: ghat[β][oc] = Σ_t G[β][t]·∇Y.
-                            load_filter_tile(dy, t, b, i, col0, oc0, bn_cur, &mut ghat);
-                            #[cfg(feature = "faults")]
-                            crate::faults::maybe_inject(seg_idx, mode, &mut ghat);
-                            saturated += round_tile(&mut ghat[..alpha * bn_cur], mode);
-                            // Input transform: dhat[β][ic] = Σ_s Dᵀ[β][s]·X.
-                            load_input_tile(x, t, b, x_row, x_col0, ic0, bm_cur, &mut dhat);
-                            saturated += round_tile(&mut dhat[..alpha * bm_cur], mode);
-                            // α-batched outer-product accumulation.
-                            for beta in 0..alpha {
-                                let g_row = &ghat[beta * bn_cur..(beta + 1) * bn_cur];
-                                let d_row = &dhat[beta * bm_cur..(beta + 1) * bm_cur];
-                                let a_row =
-                                    &mut acc[beta * bn_cur * bm_cur..(beta + 1) * bn_cur * bm_cur];
-                                for (oi, &gv) in g_row.iter().enumerate() {
-                                    let dst = &mut a_row[oi * bm_cur..(oi + 1) * bm_cur];
-                                    for (ii, &dv) in d_row.iter().enumerate() {
-                                        dst[ii] += gv * dv;
+                    for i in i_lo..i_hi {
+                        let x_row = (fh + i) as isize - conv.ph as isize;
+                        for u in 0..seg.units {
+                            let col0 = seg.w0 + u * r;
+                            let x_col0 = (fw0 + col0) as isize - conv.pw as isize;
+                            for b in 0..conv.n {
+                                // Filter transform: ghat[β][oc] = Σ_t G[β][t]·∇Y.
+                                load_filter_tile(dy, t, b, i, col0, oc0, bn_cur, ghat);
+                                #[cfg(feature = "faults")]
+                                crate::faults::maybe_inject(seg_idx, mode, ghat);
+                                saturated += round_tile(&mut ghat[..alpha * bn_cur], mode);
+                                // Input transform: dhat[β][ic] = Σ_s Dᵀ[β][s]·X.
+                                load_input_tile(x, t, b, x_row, x_col0, ic0, bm_cur, dhat);
+                                saturated += round_tile(&mut dhat[..alpha * bm_cur], mode);
+                                // α-batched outer-product accumulation.
+                                for beta in 0..alpha {
+                                    let g_row = &ghat[beta * bn_cur..(beta + 1) * bn_cur];
+                                    let d_row = &dhat[beta * bm_cur..(beta + 1) * bm_cur];
+                                    let a_row = &mut acc
+                                        [beta * bn_cur * bm_cur..(beta + 1) * bn_cur * bm_cur];
+                                    for (oi, &gv) in g_row.iter().enumerate() {
+                                        let dst = &mut a_row[oi * bm_cur..(oi + 1) * bm_cur];
+                                        for (ii, &dv) in d_row.iter().enumerate() {
+                                            dst[ii] += gv * dv;
+                                        }
                                     }
                                 }
                             }
                         }
                     }
-                }
 
-                // Output transform Aᵀ and bucket accumulation (the
-                // residual pass adds onto the bulk pass's bucket).
-                for oi in 0..bn_cur {
-                    for ii in 0..bm_cur {
-                        for d in 0..n_out {
-                            let mut y = 0.0f32;
-                            for beta in 0..alpha {
-                                y += t.at_f32[d * alpha + beta]
-                                    * acc[(beta * bn_cur + oi) * bm_cur + ii];
+                    // Output transform Aᵀ and bucket accumulation (the
+                    // residual pass adds onto the bulk pass's bucket).
+                    for oi in 0..bn_cur {
+                        for ii in 0..bm_cur {
+                            for d in 0..n_out {
+                                let mut y = 0.0f32;
+                                for beta in 0..alpha {
+                                    y += t.at_f32[d * alpha + beta]
+                                        * acc[(beta * bn_cur + oi) * bm_cur + ii];
+                                }
+                                non_finite += u64::from(!y.is_finite());
+                                let fw = fw0 + d;
+                                let dst = ((oi * conv.fh + fh) * conv.fw + fw) * conv.ic + ic0 + ii;
+                                slice[dst] += T::from_f32(y);
                             }
-                            non_finite += u64::from(!y.is_finite());
-                            let fw = fw0 + d;
-                            let dst =
-                                ((oi * conv.fh + fh) * conv.fw + fw) * conv.ic + ic0 + ii;
-                            slice[dst] += T::from_f32(y);
                         }
                     }
                 }
             }
+            ic0 += bm_cur;
         }
-        ic0 += bm_cur;
-    }
+    });
     #[cfg(not(feature = "faults"))]
     let _ = seg_idx;
     if let Some(sink) = health {
@@ -506,15 +624,22 @@ mod tests {
         let (partition, src) = setup(conv, z_hat);
 
         let x64 = Tensor4::<f64>::random_uniform([conv.n, conv.ih, conv.iw, conv.ic], 71, 1.0);
-        let dy64 =
-            Tensor4::<f64>::random_uniform([conv.n, conv.oh(), conv.ow(), conv.oc], 72, 1.0);
+        let dy64 = Tensor4::<f64>::random_uniform([conv.n, conv.oh(), conv.ow(), conv.oc], 72, 1.0);
         let exact = bfc_direct(conv, &x64, &dy64);
         let x = x64.cast::<f32>();
         let dy = dy64.cast::<f32>();
 
         let mut buckets = vec![0.0f32; partition.z() * conv.dw_elems()];
-        execute_segments(conv, &partition, &src, &x, &dy, TileMode::Fp32, &mut buckets)
-            .expect("valid arguments");
+        execute_segments(
+            conv,
+            &partition,
+            &src,
+            &x,
+            &dy,
+            TileMode::Fp32,
+            &mut buckets,
+        )
+        .expect("valid arguments");
         let mut dw = Tensor4::<f32>::zeros([conv.oc, conv.fh, conv.fw, conv.ic]);
         reduce_buckets(&buckets, partition.z(), &mut dw);
         mare(&dw, &exact)
@@ -579,7 +704,7 @@ mod tests {
         // Wrong bucket length AND wrong x dims AND wrong dy dims, at once.
         let x = Tensor4::<f32>::zeros([1, 12, 12, 2]); // ic 2, plan wants 3
         let dy = Tensor4::<f32>::zeros([1, 11, 12, 3]); // oh 11, plan wants 12
-        let mut buckets = vec![0.0f32; 7];
+        let mut buckets = vec![0.0f32; crate::NUMERIC_HEALTH_BUCKETS];
         let err = execute_segments(
             &conv,
             &partition,

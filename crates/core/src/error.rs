@@ -84,6 +84,15 @@ pub enum Violation {
         /// Dimensions actually provided.
         got: [usize; 4],
     },
+    /// A caller-managed [`crate::Workspace`] is smaller than the plan's
+    /// [`crate::WorkspaceLayout`] requires (the caller skipped
+    /// `Workspace::ensure`).
+    WorkspaceTooSmall {
+        /// Arena elements the layout requires.
+        needed_elems: usize,
+        /// Arena elements the workspace holds.
+        got_elems: usize,
+    },
     /// An `execute_*` entry point was called on a plan built for a
     /// different precision.
     PrecisionMismatch {
@@ -130,6 +139,14 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "tensor `{tensor}` has dims {got:?}, plan requires {expected:?}"
+            ),
+            Violation::WorkspaceTooSmall {
+                needed_elems,
+                got_elems,
+            } => write!(
+                f,
+                "workspace arena holds {got_elems} elements, layout needs \
+                 {needed_elems} (call Workspace::ensure with the plan's layout)"
             ),
             Violation::PrecisionMismatch {
                 plan,

@@ -25,15 +25,16 @@
 //! CLI prints.
 
 use crate::config::Precision;
-use crate::engine::{ExecOptions, HealthSink, TileMode};
+use crate::engine::{ExecOptions, TileMode};
 use crate::error::{Violation, WinrsError};
 use crate::plan::WinRsPlan;
+use crate::workspace::{ExecCtx, Workspace, WorkspaceLayout};
 use std::str::FromStr;
 use winrs_conv::gemm_bfc::{bfc_gemm_f32, GemmAlgo};
 use winrs_conv::strided::{bfc_strided, StridedShape};
 use winrs_conv::{direct, ConvShape};
 use winrs_gpu_sim::DeviceSpec;
-use winrs_tensor::Tensor4;
+use winrs_tensor::{MemoryFootprint, Tensor4};
 
 /// Which algorithm produced the result.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -141,8 +142,10 @@ pub struct ExecutionReport {
     pub fallback_reason: Option<WinrsError>,
     /// WinRS segment count `Z` (when WinRS ran).
     pub z: Option<usize>,
-    /// WinRS workspace in bytes (when WinRS ran).
-    pub workspace_bytes: Option<usize>,
+    /// Memory accounting: planned workspace (WinRS: the layout's
+    /// `(Z−1)·|∇W|` f32-staging figure; fallbacks: their own internal
+    /// buffers), the measured peak, and hot-loop allocation escapes.
+    pub mem: MemoryFootprint,
     /// Reduced-precision saturation events counted by the engine.
     pub saturated: u64,
     /// Non-finite values counted at the output transform.
@@ -162,7 +165,7 @@ impl ExecutionReport {
             guard,
             fallback_reason: None,
             z: None,
-            workspace_bytes: None,
+            mem: MemoryFootprint::default(),
             saturated: 0,
             non_finite: 0,
             promoted_segments: Vec::new(),
@@ -176,8 +179,9 @@ impl ExecutionReport {
     }
 
     /// The structured one-line form the CLI prints after each run:
-    /// `algorithm=… precision=… guard=… [z=… workspace=…B] saturated=…
-    /// non-finite=… [promoted=…/… buckets] [fallback="…"]`.
+    /// `algorithm=… precision=… guard=… [z=…] workspace=…B peak=…B
+    /// hot_loop_allocs=… saturated=… non-finite=… [promoted=…/… buckets]
+    /// [fallback="…"]`.
     pub fn summary_line(&self) -> String {
         let mut s = format!(
             "algorithm={} precision={:?} guard={}",
@@ -188,9 +192,7 @@ impl ExecutionReport {
         if let Some(z) = self.z {
             s.push_str(&format!(" z={z}"));
         }
-        if let Some(ws) = self.workspace_bytes {
-            s.push_str(&format!(" workspace={ws}B"));
-        }
+        s.push_str(&format!(" {}", self.mem));
         s.push_str(&format!(
             " saturated={} non-finite={}",
             self.saturated, self.non_finite
@@ -226,6 +228,24 @@ pub fn run_bfc(
     policy: FallbackPolicy,
     guard: NumericGuard,
 ) -> Result<(Tensor4<f32>, ExecutionReport), WinrsError> {
+    let mut ws = Workspace::new();
+    run_bfc_with(conv, device, precision, x, dy, policy, guard, &mut ws)
+}
+
+/// [`run_bfc`] with a caller-owned [`Workspace`]: the arena is `ensure`d
+/// against whichever layout the dispatched algorithm needs and reused
+/// across calls, so a training loop pays the workspace allocation once.
+#[allow(clippy::too_many_arguments)]
+pub fn run_bfc_with(
+    conv: &ConvShape,
+    device: &DeviceSpec,
+    precision: Precision,
+    x: &Tensor4<f32>,
+    dy: &Tensor4<f32>,
+    policy: FallbackPolicy,
+    guard: NumericGuard,
+    ws: &mut Workspace,
+) -> Result<(Tensor4<f32>, ExecutionReport), WinrsError> {
     // Ill-formed shapes are fatal for every algorithm: report all
     // violations at once, before touching any tensor.
     let shape_violations: Vec<Violation> = conv
@@ -239,19 +259,21 @@ pub fn run_bfc(
 
     if let FallbackPolicy::Force(alg) = policy {
         // Forced by the caller — not a fallback, so no reason recorded.
-        let report = ExecutionReport::new(alg, precision, guard);
+        let mut report = ExecutionReport::new(alg, precision, guard);
+        report.mem = substitute_footprint(alg, conv);
         let dw = run_substitute(alg, conv, x, dy);
         return Ok((dw, report));
     }
 
     match WinRsPlan::new(conv, device, precision) {
         Ok(plan) => {
-            let (dw, report) = run_planned(&plan, x, dy, guard)?;
+            let (dw, report) = run_planned_with(&plan, x, dy, guard, ws)?;
             Ok((dw, report))
         }
         Err(err) if err.recoverable_by_fallback() && policy == FallbackPolicy::Auto => {
             let mut report = ExecutionReport::new(Algorithm::GemmBfc, precision, guard);
             report.fallback_reason = Some(err);
+            report.mem = substitute_footprint(Algorithm::GemmBfc, conv);
             let dw = run_substitute(Algorithm::GemmBfc, conv, x, dy);
             Ok((dw, report))
         }
@@ -293,6 +315,7 @@ pub fn run_bfc_strided(
     }
     let mut report = ExecutionReport::new(Algorithm::StridedDirect, precision, guard);
     report.fallback_reason = Some(err);
+    report.mem = substitute_footprint(Algorithm::StridedDirect, &shape.base);
     Ok((bfc_strided(shape, x, dy), report))
 }
 
@@ -308,72 +331,175 @@ fn run_substitute(
     }
 }
 
+/// Workspace layout a substitute algorithm would declare — fallbacks own
+/// their buffers internally, but their footprint is accounted through the
+/// same machinery as WinRS workspace.
+pub fn substitute_layout(alg: Algorithm, conv: &ConvShape) -> WorkspaceLayout {
+    match alg {
+        Algorithm::WinRs => WorkspaceLayout::accounting("winrs", 0),
+        Algorithm::GemmBfc => WorkspaceLayout::accounting(
+            "gemm-lowering",
+            winrs_conv::gemm_bfc::workspace_bytes(GemmAlgo::Algo1, conv),
+        ),
+        // The direct kernels stream straight from X/∇Y into ∇W.
+        Algorithm::Direct => WorkspaceLayout::accounting("direct", 0),
+        Algorithm::StridedDirect => WorkspaceLayout::accounting("strided-direct", 0),
+    }
+}
+
+/// [`MemoryFootprint`] for a substitute run: the internal buffers are
+/// allocated once per call, outside any block loop, so planned = peak and
+/// `hot_loop_allocs` is zero by construction.
+fn substitute_footprint(alg: Algorithm, conv: &ConvShape) -> MemoryFootprint {
+    let bytes = substitute_layout(alg, conv).workspace_bytes();
+    MemoryFootprint {
+        workspace_bytes_planned: bytes,
+        workspace_bytes_peak: bytes,
+        hot_loop_allocs: 0,
+    }
+}
+
 /// Execute an already-built plan with health accounting and (optionally)
 /// bucket-granular FP32 promotion. This is the guarded path [`run_bfc`]
 /// takes after planning succeeds; callers that cache plans (training
 /// loops, [`crate::cache::PlanCache`] users) can invoke it directly to
-/// keep the numeric guard without re-planning every step.
+/// keep the numeric guard without re-planning every step. Allocates a
+/// transient [`Workspace`]; pass your own via [`run_planned_with`] to
+/// amortise it.
 pub fn run_planned(
     plan: &WinRsPlan,
     x: &Tensor4<f32>,
     dy: &Tensor4<f32>,
     guard: NumericGuard,
 ) -> Result<(Tensor4<f32>, ExecutionReport), WinrsError> {
+    let mut ws = Workspace::new();
+    run_planned_with(plan, x, dy, guard, &mut ws)
+}
+
+/// [`run_planned`] with a caller-owned [`Workspace`]: once `ws` is warm
+/// (grown to the plan's [`WinRsPlan::workspace_layout`] by the first
+/// call), the block loop of every subsequent call performs zero heap
+/// allocations — buckets, FT/IT/accumulator tiles and guard counters all
+/// live in the reused arena. Still allocates the returned `∇W`; use
+/// [`run_planned_into`] to reuse that too.
+pub fn run_planned_with(
+    plan: &WinRsPlan,
+    x: &Tensor4<f32>,
+    dy: &Tensor4<f32>,
+    guard: NumericGuard,
+    ws: &mut Workspace,
+) -> Result<(Tensor4<f32>, ExecutionReport), WinrsError> {
+    let conv = plan.shape();
+    let mut dw = Tensor4::<f32>::zeros([conv.oc, conv.fh, conv.fw, conv.ic]);
+    let report = run_planned_into(plan, x, dy, guard, ws, &mut dw)?;
+    Ok((dw, report))
+}
+
+/// The fully caller-buffered guarded execution: `∇W` is written into `dw`
+/// and every scratch byte comes from `ws` (grown to the plan's layout on
+/// first use). This is the steady-state training-step entry point — after
+/// the first call with a given `(plan, ws)` pair, no heap allocation
+/// happens inside the block loop, and the report's
+/// [`MemoryFootprint::hot_loop_allocs`] proves it.
+pub fn run_planned_into(
+    plan: &WinRsPlan,
+    x: &Tensor4<f32>,
+    dy: &Tensor4<f32>,
+    guard: NumericGuard,
+    ws: &mut Workspace,
+    dw: &mut Tensor4<f32>,
+) -> Result<ExecutionReport, WinrsError> {
+    let conv = plan.shape();
+    let want_dw = [conv.oc, conv.fh, conv.fw, conv.ic];
+    if dw.dims() != want_dw {
+        return Err(WinrsError::ExecutionRejected(vec![
+            Violation::TensorDimsMismatch {
+                tensor: "dw",
+                expected: want_dw,
+                got: dw.dims(),
+            },
+        ]));
+    }
     let mode = plan.tile_mode();
     let mut report = ExecutionReport::new(Algorithm::WinRs, plan.precision(), guard);
     report.z = Some(plan.z());
-    report.workspace_bytes = Some(plan.workspace_bytes());
 
-    let mut buckets = vec![0.0f32; plan.bucket_elems()];
-    if guard == NumericGuard::Ignore || mode == TileMode::Fp32 {
-        plan.execute_into_buckets(x, dy, mode, &mut buckets, ExecOptions::default())?;
-        return Ok((plan.reduce(&buckets), report));
-    }
-
-    let segments = &plan.partition().segments;
-    let sink = HealthSink::new(segments.len());
-    plan.execute_into_buckets(
-        x,
-        dy,
-        mode,
-        &mut buckets,
-        ExecOptions {
-            health: Some(&sink),
+    let layout = plan.workspace_layout();
+    ws.ensure(layout);
+    let planned = layout.workspace_bytes();
+    let hot_loop_allocs;
+    {
+        let ExecCtx {
+            buckets,
+            scratch,
+            health,
+        } = ws.ctx(layout)?;
+        let opts = ExecOptions {
+            scratch: Some(&scratch),
+            // FP32 can't saturate and `Ignore` asked for no accounting, so
+            // skip the counter traffic on those paths.
+            health: (guard != NumericGuard::Ignore && mode != TileMode::Fp32).then_some(health),
             ..Default::default()
-        },
-    )?;
-    let (saturated, non_finite) = sink.totals();
-    report.saturated = saturated;
-    report.non_finite = non_finite;
-
-    let poisoned = sink.poisoned_segments();
-    if guard == NumericGuard::PromoteAndRetry && !poisoned.is_empty() {
-        // Promotion is bucket-granular: a band's residual segment shares
-        // its first bulk segment's bucket, so both must re-run together
-        // for the bucket's FP32 contents to be complete.
-        let mut filter = vec![false; plan.z()];
-        for &s in &poisoned {
-            filter[segments[s].bucket] = true;
+        };
+        plan.execute_into_buckets(x, dy, mode, buckets, opts)?;
+        if opts.health.is_some() {
+            let (saturated, non_finite) = health.totals();
+            report.saturated = saturated;
+            report.non_finite = non_finite;
+            let poisoned = health.poisoned_segments();
+            if guard == NumericGuard::PromoteAndRetry && !poisoned.is_empty() {
+                // Promotion is bucket-granular: a band's residual segment
+                // shares its first bulk segment's bucket, so both must
+                // re-run together for the bucket's FP32 contents to be
+                // complete. (The filter Vecs are per-promotion, outside
+                // the block loop.)
+                let segments = &plan.partition().segments;
+                let mut filter = vec![false; plan.z()];
+                for &s in &poisoned {
+                    filter[segments[s].bucket] = true;
+                }
+                plan.execute_into_buckets(
+                    x,
+                    dy,
+                    TileMode::Fp32,
+                    buckets,
+                    ExecOptions {
+                        bucket_filter: Some(&filter),
+                        scratch: Some(&scratch),
+                        ..Default::default()
+                    },
+                )?;
+                report.promoted_buckets = filter.iter().filter(|&&f| f).count();
+                report.promoted_segments = segments
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, seg)| filter[seg.bucket])
+                    .map(|(i, _)| i)
+                    .collect();
+            }
         }
-        plan.execute_into_buckets(
-            x,
-            dy,
-            TileMode::Fp32,
-            &mut buckets,
-            ExecOptions {
-                bucket_filter: Some(&filter),
-                ..Default::default()
-            },
-        )?;
-        report.promoted_buckets = filter.iter().filter(|&&f| f).count();
-        report.promoted_segments = segments
-            .iter()
-            .enumerate()
-            .filter(|(_, seg)| filter[seg.bucket])
-            .map(|(i, _)| i)
-            .collect();
+        plan.reduce_into(buckets, dw);
+        hot_loop_allocs = scratch.hot_loop_allocs();
     }
-    Ok((plan.reduce(&buckets), report))
+    // Measured high-water mark: every overflow bucket with an owner is
+    // zeroed and written by the first full pass (the promote subset never
+    // touches more), so the peak is the owned overflow region — which the
+    // partition builder makes exactly the planned `(Z−1)·|∇W|`.
+    let dw_bytes = conv.dw_elems() * 4;
+    let peak = (1..plan.z())
+        .filter(|&b| {
+            plan.partition().bucket_owners(0)[b].is_some()
+                || plan.partition().bucket_owners(1)[b].is_some()
+        })
+        .count()
+        * dw_bytes;
+    ws.note_run(peak, hot_loop_allocs);
+    report.mem = MemoryFootprint {
+        workspace_bytes_planned: planned,
+        workspace_bytes_peak: peak,
+        hot_loop_allocs,
+    };
+    Ok(report)
 }
 
 #[cfg(test)]

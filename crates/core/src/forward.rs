@@ -18,6 +18,7 @@
 //! BDC is expressed as an FC with the 180°-rotated, channel-transposed
 //! filter and complementary padding — the standard adjoint identity.
 
+use crate::workspace::{default_scratch_slots, ScratchPool, WorkspaceLayout};
 use rayon::prelude::*;
 use winrs_conv::ConvShape;
 use winrs_tensor::Tensor4;
@@ -42,8 +43,42 @@ fn forward_kernel(fw: usize) -> TransformReal {
     }
 }
 
+/// Scratch layout for [`fc_winograd_with`] on `shape`: one slot per worker
+/// thread holding the per-row IT tile (`α`) and output accumulator
+/// (`O_C · α`).
+pub fn fc_scratch_layout(shape: &ConvShape) -> WorkspaceLayout {
+    let t = forward_kernel(shape.fw);
+    WorkspaceLayout::scratch_only(t.alpha * (1 + shape.oc), default_scratch_slots())
+}
+
+/// Scratch layout for [`bdc_winograd_with`] on `shape`: the adjoint FC has
+/// `I_C` output channels, so its accumulator is `I_C · α`.
+pub fn bdc_scratch_layout(shape: &ConvShape) -> WorkspaceLayout {
+    let t = forward_kernel(shape.fw);
+    WorkspaceLayout::scratch_only(t.alpha * (1 + shape.ic), default_scratch_slots())
+}
+
 /// Forward convolution `Y = X ⊛ W` with fused 1D Winograd along rows.
+///
+/// Allocates a transient scratch arena sized by [`fc_scratch_layout`];
+/// callers that run many forward passes should carve one arena themselves
+/// and call [`fc_winograd_with`].
 pub fn fc_winograd(shape: &ConvShape, x: &Tensor4<f32>, w: &Tensor4<f32>) -> Tensor4<f32> {
+    let layout = fc_scratch_layout(shape);
+    let mut arena = vec![0.0f32; layout.arena_elems()];
+    let pool = ScratchPool::new(&mut arena, layout.slot_elems());
+    fc_winograd_with(shape, x, w, &pool)
+}
+
+/// [`fc_winograd`] with caller-provided scratch: the per-row IT tile and
+/// accumulator come from `scratch` slots (layout via [`fc_scratch_layout`])
+/// instead of per-row heap allocations.
+pub fn fc_winograd_with(
+    shape: &ConvShape,
+    x: &Tensor4<f32>,
+    w: &Tensor4<f32>,
+    scratch: &ScratchPool<'_>,
+) -> Tensor4<f32> {
     assert_eq!(x.dims(), [shape.n, shape.ih, shape.iw, shape.ic]);
     assert_eq!(w.dims(), [shape.oc, shape.fh, shape.fw, shape.ic]);
     let (oh, ow) = (shape.oh(), shape.ow());
@@ -77,66 +112,68 @@ pub fn fc_winograd(shape: &ConvShape, x: &Tensor4<f32>, w: &Tensor4<f32>) -> Ten
         .enumerate()
         .for_each(|(row_idx, yrow)| {
             let (b, i) = (row_idx / oh, row_idx % oh);
-            let mut dhat = vec![0.0f32; alpha];
-            let mut acc = vec![0.0f32; shape.oc * alpha];
-            let full_tiles = ow / n_t;
-            for tile in 0..full_tiles {
-                let j0 = tile * n_t;
-                acc.fill(0.0);
-                for a in 0..shape.fh {
-                    let xi = (i + a) as isize - shape.ph as isize;
-                    for ic in 0..shape.ic {
-                        // IT on the fly.
-                        for (beta, d) in dhat.iter_mut().enumerate() {
-                            let mut s = 0.0f32;
-                            for k in 0..alpha {
-                                let xj = (j0 + k) as isize - shape.pw as isize;
-                                let v = x.get_padded(b, xi, xj, ic);
-                                if v != 0.0 {
-                                    s += t.dt_f32[beta * alpha + k] * v;
-                                }
-                            }
-                            *d = s;
-                        }
-                        // EWM accumulate over (f_h, ic) per output channel.
-                        for oc in 0..shape.oc {
-                            let g = &ghat[((oc * shape.fh + a) * shape.ic + ic) * alpha..][..alpha];
-                            let dst = &mut acc[oc * alpha..(oc + 1) * alpha];
-                            for beta in 0..alpha {
-                                dst[beta] += g[beta] * dhat[beta];
-                            }
-                        }
-                    }
-                }
-                // OT per (tile, oc).
-                for oc in 0..shape.oc {
-                    let src = &acc[oc * alpha..(oc + 1) * alpha];
-                    for d in 0..n_t {
-                        let s: f32 = t.at_f32[d * alpha..(d + 1) * alpha]
-                            .iter()
-                            .zip(src)
-                            .map(|(a, v)| a * v)
-                            .sum();
-                        yrow[(j0 + d) * shape.oc + oc] = s;
-                    }
-                }
-            }
-            // Residual output columns: direct.
-            for j in full_tiles * n_t..ow {
-                for oc in 0..shape.oc {
-                    let mut s = 0.0f32;
+            scratch.with_slot(alpha * (1 + shape.oc), |buf| {
+                let (dhat, acc) = buf.split_at_mut(alpha);
+                let full_tiles = ow / n_t;
+                for tile in 0..full_tiles {
+                    let j0 = tile * n_t;
+                    acc.fill(0.0);
                     for a in 0..shape.fh {
                         let xi = (i + a) as isize - shape.ph as isize;
-                        for bb in 0..shape.fw {
-                            let xj = (j + bb) as isize - shape.pw as isize;
-                            for ic in 0..shape.ic {
-                                s += x.get_padded(b, xi, xj, ic) * w[(oc, a, bb, ic)];
+                        for ic in 0..shape.ic {
+                            // IT on the fly.
+                            for (beta, d) in dhat.iter_mut().enumerate() {
+                                let mut s = 0.0f32;
+                                for k in 0..alpha {
+                                    let xj = (j0 + k) as isize - shape.pw as isize;
+                                    let v = x.get_padded(b, xi, xj, ic);
+                                    if v != 0.0 {
+                                        s += t.dt_f32[beta * alpha + k] * v;
+                                    }
+                                }
+                                *d = s;
+                            }
+                            // EWM accumulate over (f_h, ic) per output channel.
+                            for oc in 0..shape.oc {
+                                let g =
+                                    &ghat[((oc * shape.fh + a) * shape.ic + ic) * alpha..][..alpha];
+                                let dst = &mut acc[oc * alpha..(oc + 1) * alpha];
+                                for beta in 0..alpha {
+                                    dst[beta] += g[beta] * dhat[beta];
+                                }
                             }
                         }
                     }
-                    yrow[j * shape.oc + oc] = s;
+                    // OT per (tile, oc).
+                    for oc in 0..shape.oc {
+                        let src = &acc[oc * alpha..(oc + 1) * alpha];
+                        for d in 0..n_t {
+                            let s: f32 = t.at_f32[d * alpha..(d + 1) * alpha]
+                                .iter()
+                                .zip(src)
+                                .map(|(a, v)| a * v)
+                                .sum();
+                            yrow[(j0 + d) * shape.oc + oc] = s;
+                        }
+                    }
                 }
-            }
+                // Residual output columns: direct.
+                for j in full_tiles * n_t..ow {
+                    for oc in 0..shape.oc {
+                        let mut s = 0.0f32;
+                        for a in 0..shape.fh {
+                            let xi = (i + a) as isize - shape.ph as isize;
+                            for bb in 0..shape.fw {
+                                let xj = (j + bb) as isize - shape.pw as isize;
+                                for ic in 0..shape.ic {
+                                    s += x.get_padded(b, xi, xj, ic) * w[(oc, a, bb, ic)];
+                                }
+                            }
+                        }
+                        yrow[j * shape.oc + oc] = s;
+                    }
+                }
+            });
         });
     y
 }
@@ -145,14 +182,29 @@ pub fn fc_winograd(shape: &ConvShape, x: &Tensor4<f32>, w: &Tensor4<f32>) -> Ten
 /// with the rotated, channel-transposed filter under complementary
 /// padding `(F−1−p)`.
 pub fn bdc_winograd(shape: &ConvShape, dy: &Tensor4<f32>, w: &Tensor4<f32>) -> Tensor4<f32> {
+    let layout = bdc_scratch_layout(shape);
+    let mut arena = vec![0.0f32; layout.arena_elems()];
+    let pool = ScratchPool::new(&mut arena, layout.slot_elems());
+    bdc_winograd_with(shape, dy, w, &pool)
+}
+
+/// [`bdc_winograd`] with caller-provided scratch (layout via
+/// [`bdc_scratch_layout`]).
+pub fn bdc_winograd_with(
+    shape: &ConvShape,
+    dy: &Tensor4<f32>,
+    w: &Tensor4<f32>,
+    scratch: &ScratchPool<'_>,
+) -> Tensor4<f32> {
     let (oh, ow) = (shape.oh(), shape.ow());
     assert_eq!(dy.dims(), [shape.n, oh, ow, shape.oc]);
     assert_eq!(w.dims(), [shape.oc, shape.fh, shape.fw, shape.ic]);
 
     // W'[ic, a, b, oc] = W[oc, F_H−1−a, F_W−1−b, ic].
-    let wrot = Tensor4::<f32>::from_fn([shape.ic, shape.fh, shape.fw, shape.oc], |ic, a, bb, oc| {
-        w[(oc, shape.fh - 1 - a, shape.fw - 1 - bb, ic)]
-    });
+    let wrot =
+        Tensor4::<f32>::from_fn([shape.ic, shape.fh, shape.fw, shape.oc], |ic, a, bb, oc| {
+            w[(oc, shape.fh - 1 - a, shape.fw - 1 - bb, ic)]
+        });
     let adj = ConvShape::new(
         shape.n,
         oh,
@@ -166,7 +218,7 @@ pub fn bdc_winograd(shape: &ConvShape, dy: &Tensor4<f32>, w: &Tensor4<f32>) -> T
     );
     debug_assert_eq!(adj.oh(), shape.ih);
     debug_assert_eq!(adj.ow(), shape.iw);
-    fc_winograd(&adj, dy, &wrot)
+    fc_winograd_with(&adj, dy, &wrot, scratch)
 }
 
 #[cfg(test)]
@@ -232,6 +284,21 @@ mod tests {
         let got = bdc_winograd(&shape, &dy.cast(), &w.cast());
         let want = direct::bdc_direct(&shape, &dy, &w);
         assert!(mare(&got, &want) < 1e-4);
+    }
+
+    #[test]
+    fn fc_with_reused_scratch_matches_and_stays_in_pool() {
+        let shape = ConvShape::square(2, 12, 3, 4, 3);
+        let (x, w, _) = setup(&shape);
+        let layout = fc_scratch_layout(&shape);
+        let mut arena = vec![0.0f32; layout.arena_elems()];
+        let pool = ScratchPool::new(&mut arena, layout.slot_elems());
+        let baseline = fc_winograd(&shape, &x.cast(), &w.cast());
+        for _ in 0..3 {
+            let got = fc_winograd_with(&shape, &x.cast(), &w.cast(), &pool);
+            assert_eq!(got.as_slice(), baseline.as_slice());
+        }
+        assert_eq!(pool.hot_loop_allocs(), 0);
     }
 
     #[test]

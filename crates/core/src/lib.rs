@@ -63,6 +63,7 @@ pub mod ndim;
 pub mod partition;
 pub mod plan;
 pub mod reduce;
+pub mod workspace;
 
 pub use config::pair::KernelPair;
 pub use config::Precision;
@@ -71,3 +72,11 @@ pub use fallback::{Algorithm, ExecutionReport, FallbackPolicy, NumericGuard};
 pub use partition::{Partition, Segment};
 pub use cache::PlanCache;
 pub use plan::WinRsPlan;
+pub use workspace::{ExecCtx, Region, RegionKind, ScratchPool, Workspace, WorkspaceLayout};
+
+/// Deliberately-undersized bucket-buffer length shared by the numeric
+/// health / argument-rejection tests in [`engine`] and [`reduce`]: 7 is
+/// prime and smaller than any real `Z·|∇W|`, so it can never accidentally
+/// match a plan's bucket size.
+#[cfg(test)]
+pub(crate) const NUMERIC_HEALTH_BUCKETS: usize = 7;

@@ -16,17 +16,50 @@
 use crate::config::pair::{select_pair, KernelPair};
 use crate::config::Precision;
 use crate::engine::clip_rows;
+use crate::workspace::{default_scratch_slots, ScratchPool, WorkspaceLayout};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use winrs_conv::ndim::Conv3dShape;
 use winrs_tensor::TensorN;
 use winrs_winograd::cook_toom::{Transform, TransformReal};
 
+/// Scratch layout for [`bfc3d_winrs_with`] on `shape`: one slot per worker
+/// holding the FT/IT/accumulator triple at the widest kernel's `α`.
+pub fn bfc3d_scratch_layout(shape: &Conv3dShape) -> WorkspaceLayout {
+    let pair = select_pair(shape.fw, shape.ow(), Precision::Fp32);
+    let max_alpha = [Some(pair.bulk), pair.residual]
+        .into_iter()
+        .flatten()
+        .map(|k| k.alpha())
+        .max()
+        .unwrap_or(0);
+    WorkspaceLayout::scratch_only(3 * max_alpha, default_scratch_slots())
+}
+
 /// 3D WinRS BFC in FP32. Segmentation is left at Z = 1 (the extension
 /// demonstrates dimension reduction + filter split; 3D workloads have
 /// `O_D·O_H` rows of parallelism, which this implementation exploits over
 /// output channels and filter tiles instead of buckets).
+///
+/// Allocates a transient scratch arena sized by [`bfc3d_scratch_layout`];
+/// callers running many steps should carve one and use
+/// [`bfc3d_winrs_with`].
 pub fn bfc3d_winrs(shape: &Conv3dShape, x: &TensorN<f32>, dy: &TensorN<f32>) -> TensorN<f32> {
+    let layout = bfc3d_scratch_layout(shape);
+    let mut arena = vec![0.0f32; layout.arena_elems()];
+    let pool = ScratchPool::new(&mut arena, layout.slot_elems());
+    bfc3d_winrs_with(shape, x, dy, &pool)
+}
+
+/// [`bfc3d_winrs`] with caller-provided scratch: per-slice FT/IT/
+/// accumulator tiles come from `scratch` slots instead of heap
+/// allocations inside the output-channel loop.
+pub fn bfc3d_winrs_with(
+    shape: &Conv3dShape,
+    x: &TensorN<f32>,
+    dy: &TensorN<f32>,
+    scratch: &ScratchPool<'_>,
+) -> TensorN<f32> {
     assert_eq!(x.dims(), &shape.x_dims()[..]);
     assert_eq!(dy.dims(), &shape.dy_dims()[..]);
     let (od, oh, ow) = (shape.od(), shape.oh(), shape.ow());
@@ -37,6 +70,22 @@ pub fn bfc3d_winrs(shape: &Conv3dShape, x: &TensorN<f32>, dy: &TensorN<f32>) -> 
         .flatten()
         .map(|k| ((k.n, k.r), Transform::generate(k.n, k.r).to_real()))
         .collect();
+    // Hoisted out of the parallel loop: the unit decomposition of a ∇Y
+    // row, grouped per kernel, and the widest α (sizes the scratch slot).
+    let units = row_units(&pair);
+    let kernel_units: Vec<((usize, usize), Vec<usize>)> = transforms
+        .keys()
+        .map(|&(kn, kr)| {
+            let mine: Vec<usize> = units
+                .iter()
+                .filter(|(_, r, n)| *r == kr && *n == kn)
+                .map(|(w0, _, _)| *w0)
+                .collect();
+            ((kn, kr), mine)
+        })
+        .filter(|(_, mine)| !mine.is_empty())
+        .collect();
+    let max_alpha = transforms.values().map(|t| t.alpha).max().unwrap_or(0);
 
     let mut dw = TensorN::<f32>::zeros(&shape.dw_dims());
     let per_oc = shape.fd * shape.fh * shape.fw * shape.ic;
@@ -44,7 +93,21 @@ pub fn bfc3d_winrs(shape: &Conv3dShape, x: &TensorN<f32>, dy: &TensorN<f32>) -> 
         .par_chunks_mut(per_oc)
         .enumerate()
         .for_each(|(c_out, dwo)| {
-            compute_oc_slice(shape, x, dy, &pair, &transforms, c_out, od, oh, dwo);
+            scratch.with_slot(3 * max_alpha, |buf| {
+                compute_oc_slice(
+                    shape,
+                    x,
+                    dy,
+                    &transforms,
+                    &kernel_units,
+                    c_out,
+                    od,
+                    oh,
+                    dwo,
+                    buf,
+                    max_alpha,
+                );
+            });
         });
     dw
 }
@@ -71,31 +134,27 @@ fn compute_oc_slice(
     shape: &Conv3dShape,
     x: &TensorN<f32>,
     dy: &TensorN<f32>,
-    pair: &KernelPair,
     transforms: &HashMap<(usize, usize), TransformReal>,
+    kernel_units: &[((usize, usize), Vec<usize>)],
     c_out: usize,
     od: usize,
     oh: usize,
     dwo: &mut [f32],
+    buf: &mut [f32],
+    max_alpha: usize,
 ) {
-    let units = row_units(pair);
+    let (ghat_buf, rest) = buf.split_at_mut(max_alpha);
+    let (dhat_buf, acc_buf) = rest.split_at_mut(max_alpha);
 
     // Process per (kernel, filter tile along F_W).
-    for (kn, kr) in transforms.keys().copied().collect::<Vec<_>>() {
-        let t = &transforms[&(kn, kr)];
+    for ((kn, kr), my_units) in kernel_units {
+        let t = &transforms[&(*kn, *kr)];
         let (alpha, n_out) = (t.alpha, t.n);
+        let kr = *kr;
         let fw_tiles = shape.fw / n_out;
-        let my_units: Vec<usize> = units
-            .iter()
-            .filter(|(_, r, n)| *r == kr && *n == kn)
-            .map(|(w0, _, _)| *w0)
-            .collect();
-        if my_units.is_empty() {
-            continue;
-        }
 
-        let mut ghat = vec![0.0f32; alpha];
-        let mut dhat = vec![0.0f32; alpha];
+        let ghat = &mut ghat_buf[..alpha];
+        let dhat = &mut dhat_buf[..alpha];
         for fd in 0..shape.fd {
             // Depth clipping: the Figure 7 argument along O_D.
             let (d_lo, d_hi) = clip_rows(0, od, fd, shape.pd, shape.id);
@@ -104,13 +163,14 @@ fn compute_oc_slice(
                 for ftw in 0..fw_tiles {
                     let fw0 = ftw * n_out;
                     for c_in in 0..shape.ic {
-                        let mut acc = vec![0.0f32; alpha];
+                        let acc = &mut acc_buf[..alpha];
+                        acc.fill(0.0);
                         for b in 0..shape.n {
                             for zd in d_lo..d_hi {
                                 let xd = (fd + zd) as isize - shape.pd as isize;
                                 for i in h_lo..h_hi {
                                     let xh = (fh + i) as isize - shape.ph as isize;
-                                    for &col0 in &my_units {
+                                    for &col0 in my_units {
                                         // FT: the ∇Y unit as a 1D filter.
                                         for (beta, g) in ghat.iter_mut().enumerate() {
                                             let mut s = 0.0f32;
@@ -129,8 +189,7 @@ fn compute_oc_slice(
                                             *g = s;
                                         }
                                         // IT: the matching X span.
-                                        let x_col0 =
-                                            (fw0 + col0) as isize - shape.pw as isize;
+                                        let x_col0 = (fw0 + col0) as isize - shape.pw as isize;
                                         for (beta, d) in dhat.iter_mut().enumerate() {
                                             let mut s = 0.0f32;
                                             for k in 0..alpha {
@@ -157,11 +216,10 @@ fn compute_oc_slice(
                         for d in 0..n_out {
                             let s: f32 = t.at_f32[d * alpha..(d + 1) * alpha]
                                 .iter()
-                                .zip(&acc)
+                                .zip(acc.iter())
                                 .map(|(a, v)| a * v)
                                 .sum();
-                            let idx = ((fd * shape.fh + fh) * shape.fw + fw0 + d) * shape.ic
-                                + c_in;
+                            let idx = ((fd * shape.fh + fh) * shape.fw + fw0 + d) * shape.ic + c_in;
                             dwo[idx] += s;
                         }
                     }

@@ -60,12 +60,24 @@ pub struct Partition {
     pub num_buckets: usize,
     /// The expected shape Algorithm 2 produced.
     pub shape: SegmentShape,
+    /// Per-pass bucket → segment-index ownership, precomputed at build so
+    /// the engine's pass loop allocates nothing. Mutating `segments` after
+    /// build (only the corruption tests do) leaves this stale; `validate`
+    /// is the authority on consistency.
+    owners: [Vec<Option<usize>>; 2],
 }
 
 impl Partition {
     /// Final bucket count `Z` (sizes the workspace and the reduction).
     pub fn z(&self) -> usize {
         self.num_buckets
+    }
+
+    /// For launch pass `pass` (0 = bulk, 1 = residual): which segment, by
+    /// index into [`Partition::segments`], owns each bucket. `None` means
+    /// the bucket is idle in that pass.
+    pub fn bucket_owners(&self, pass: u8) -> &[Option<usize>] {
+        &self.owners[usize::from(pass.min(1))]
     }
 
     /// Build and validate the partition for a shape, kernel pair and
@@ -95,7 +107,11 @@ impl Partition {
         let mut bucket = 0;
         for band in 0..bands {
             let h0 = band * sh;
-            let h1 = if band + 1 == bands { oh } else { (band + 1) * sh };
+            let h1 = if band + 1 == bands {
+                oh
+            } else {
+                (band + 1) * sh
+            };
             let band_first_bucket = bucket;
 
             // Bulk region: k₀ units of width r₀, grouped Ŝ_W/r₀ at a time.
@@ -128,10 +144,20 @@ impl Partition {
                 });
             }
         }
+        let num_buckets = bucket.max(1);
+        let mut owners = [vec![None; num_buckets], vec![None; num_buckets]];
+        for (idx, seg) in segments.iter().enumerate() {
+            if seg.bucket < num_buckets
+                && owners[usize::from(seg.pass.min(1))][seg.bucket].is_none()
+            {
+                owners[usize::from(seg.pass.min(1))][seg.bucket] = Some(idx);
+            }
+        }
         let partition = Partition {
             segments,
-            num_buckets: bucket.max(1),
+            num_buckets,
             shape: seg_shape,
+            owners,
         };
         let violations = partition.validate(conv, pair);
         if violations.is_empty() {
@@ -267,9 +293,9 @@ mod tests {
         assert!(violations
             .iter()
             .any(|v| matches!(v, Violation::PartitionCoverage { .. })));
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, Violation::BucketCollision { bucket, pass: 0 } if *bucket == donor)));
+        assert!(violations.iter().any(
+            |v| matches!(v, Violation::BucketCollision { bucket, pass: 0 } if *bucket == donor)
+        ));
     }
 
     #[test]

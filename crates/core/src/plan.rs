@@ -10,12 +10,12 @@ use crate::engine::{
 use crate::error::{Violation, WinrsError};
 use crate::partition::Partition;
 use crate::reduce::reduce_buckets;
+use crate::workspace::WorkspaceLayout;
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use winrs_conv::ConvShape;
 use winrs_fp16::f16;
-use winrs_gpu_sim::{
-    estimate_pipeline_time, DeviceSpec, KernelProfile, Precision as SimPrecision,
-};
+use winrs_gpu_sim::{estimate_pipeline_time, DeviceSpec, KernelProfile, Precision as SimPrecision};
 use winrs_tensor::Tensor4;
 use winrs_winograd::cook_toom::TransformReal;
 use winrs_winograd::kernels::KernelId;
@@ -48,6 +48,7 @@ pub struct WinRsPlan {
     count: SegmentCountPlan,
     partition: Partition,
     transforms: TransformSet,
+    layout: OnceLock<WorkspaceLayout>,
 }
 
 impl WinRsPlan {
@@ -110,15 +111,21 @@ impl WinRsPlan {
         max_workspace_bytes: usize,
     ) -> Result<WinRsPlan, WinrsError> {
         let plan = Self::build(conv, device, precision, None)?;
-        if plan.workspace_bytes() <= max_workspace_bytes {
+        // Constrain the f32 staging workspace the dispatcher actually
+        // writes (the layout's figure), which dominates the
+        // storage-precision figure `workspace_bytes()` reports — so both
+        // the paper formula and the measured peak respect the budget.
+        if plan.workspace_layout().workspace_bytes() <= max_workspace_bytes {
             return Ok(plan);
         }
-        let elem = plan.elem_bytes();
-        let max_z = 1 + max_workspace_bytes / (conv.dw_elems() * elem);
+        // Derive the largest candidate Z from the layout's per-bucket cost
+        // instead of hardcoding the element size.
+        let per_bucket = plan.workspace_layout().workspace_bytes() / (plan.z() - 1);
+        let max_z = 1 + max_workspace_bytes / per_bucket;
         let mut z = max_z;
         loop {
             let cand = Self::build(conv, device, precision, Some(z))?;
-            if cand.workspace_bytes() <= max_workspace_bytes {
+            if cand.workspace_layout().workspace_bytes() <= max_workspace_bytes {
                 return Ok(cand);
             }
             // The partition may round Ẑ up (bands × strips); back off.
@@ -199,6 +206,7 @@ impl WinRsPlan {
             count,
             partition,
             transforms: TransformSet { map },
+            layout: OnceLock::new(),
         })
     }
 
@@ -261,11 +269,44 @@ impl WinRsPlan {
         self.z() * self.conv.dw_elems()
     }
 
-    fn reject_precision(
-        &self,
-        entry: &'static str,
-        required: Precision,
-    ) -> Result<(), WinrsError> {
+    /// The complete scratch-region description for executing this plan
+    /// through the FP32-staged dispatcher path ([`crate::fallback`]): the
+    /// `∇W`-aliasing bucket 0, the `(Z−1)·|∇W|` overflow buckets (the
+    /// paper's workspace), per-thread FT/IT/accumulator tiles sized for
+    /// the largest block column, and the per-segment numeric-guard
+    /// counters. Computed once and cached; a caller-owned
+    /// [`crate::Workspace`] `ensure`d against this layout makes every
+    /// subsequent `run_planned` call allocation-free in the block loop.
+    ///
+    /// Staging is always f32 (the guard's promote path needs full
+    /// precision), so the layout's byte counts use 4-byte elements even
+    /// for reduced-precision plans; [`WinRsPlan::workspace_bytes`] keeps
+    /// reporting the storage-precision figure the paper quotes.
+    pub fn workspace_layout(&self) -> &WorkspaceLayout {
+        self.layout.get_or_init(|| {
+            use crate::engine::{scratch_slot_elems_for, scratch_slots_for};
+            // The numeric guard's promote path re-runs poisoned buckets at
+            // FP32, whose cache blocks differ from the reduced-precision
+            // ones — provision slots large enough for either mode so the
+            // retry never overflows its slot.
+            let mode = self.tile_mode();
+            let slot_elems = scratch_slot_elems_for(&self.conv, &self.partition, mode).max(
+                scratch_slot_elems_for(&self.conv, &self.partition, TileMode::Fp32),
+            );
+            let slots = scratch_slots_for(&self.conv, &self.partition, mode).max(
+                scratch_slots_for(&self.conv, &self.partition, TileMode::Fp32),
+            );
+            WorkspaceLayout::winrs(
+                self.conv.dw_elems(),
+                self.z(),
+                slot_elems,
+                slots,
+                self.partition.segments.len(),
+            )
+        })
+    }
+
+    fn reject_precision(&self, entry: &'static str, required: Precision) -> Result<(), WinrsError> {
         if self.precision == required {
             Ok(())
         } else {
@@ -390,7 +431,7 @@ impl WinRsPlan {
         dy: &Tensor4<f32>,
         mode: TileMode,
         buckets: &mut [f32],
-        opts: ExecOptions<'_>,
+        opts: ExecOptions<'_, '_>,
     ) -> Result<(), WinrsError> {
         execute_segments_with(
             &self.conv,
@@ -411,6 +452,13 @@ impl WinRsPlan {
             Tensor4::<f32>::zeros([self.conv.oc, self.conv.fh, self.conv.fw, self.conv.ic]);
         reduce_buckets(buckets, self.z(), &mut dw);
         dw
+    }
+
+    /// Allocation-free counterpart of [`WinRsPlan::reduce`]: Kahan-reduce
+    /// FP32 buckets into a caller-owned `∇W` tensor of the plan's filter
+    /// dims.
+    pub fn reduce_into(&self, buckets: &[f32], dw: &mut Tensor4<f32>) {
+        reduce_buckets(buckets, self.z(), dw);
     }
 
     /// EWM multiply–accumulate count actually executed (after Winograd
@@ -457,8 +505,7 @@ impl WinRsPlan {
             transform += positions * (alpha * r * self.conv.oc as u64)
                 + positions * (alpha * alpha * self.conv.ic as u64);
         }
-        let ot = (self.conv.dw_elems() * self.z()) as u64
-            * (self.pair.bulk.alpha() as u64);
+        let ot = (self.conv.dw_elems() * self.z()) as u64 * (self.pair.bulk.alpha() as u64);
         let reduction = (self.conv.dw_elems() * self.z()) as u64;
         2 * self.ewm_macs() + 2 * transform + 2 * ot + reduction
     }
@@ -576,11 +623,8 @@ mod tests {
 
     fn tensors(conv: &ConvShape, dy_scale: f64) -> (Tensor4<f64>, Tensor4<f64>, Tensor4<f64>) {
         let x = Tensor4::<f64>::random_uniform([conv.n, conv.ih, conv.iw, conv.ic], 81, 1.0);
-        let dy = Tensor4::<f64>::random_uniform(
-            [conv.n, conv.oh(), conv.ow(), conv.oc],
-            82,
-            dy_scale,
-        );
+        let dy =
+            Tensor4::<f64>::random_uniform([conv.n, conv.oh(), conv.ow(), conv.oc], 82, dy_scale);
         let exact = bfc_direct(conv, &x, &dy);
         (x, dy, exact)
     }
@@ -614,7 +658,8 @@ mod tests {
         let unlimited = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32).unwrap();
         assert!(unlimited.workspace_bytes() > 1 << 20);
         for &budget in &[0usize, 147_456, 1 << 20, 8 << 20] {
-            let plan = WinRsPlan::with_workspace_limit(&conv, &RTX_4090, Precision::Fp32, budget).unwrap();
+            let plan =
+                WinRsPlan::with_workspace_limit(&conv, &RTX_4090, Precision::Fp32, budget).unwrap();
             assert!(
                 plan.workspace_bytes() <= budget,
                 "budget {budget}: got {}",
@@ -713,10 +758,7 @@ mod tests {
         let conv = ConvShape::vgg16_conv2(8);
         let plan = WinRsPlan::new(&conv, &RTX_4090, Precision::Fp32).unwrap();
         assert!(plan.z() > 1);
-        assert_eq!(
-            plan.workspace_bytes(),
-            (plan.z() - 1) * conv.dw_elems() * 4
-        );
+        assert_eq!(plan.workspace_bytes(), (plan.z() - 1) * conv.dw_elems() * 4);
     }
 
     #[test]
@@ -800,5 +842,54 @@ mod tests {
         let speedup = p32.estimated_time() / p16.estimated_time();
         // Paper: FP16 Tensor-Core WinRS averages 3.27× its FP32 version.
         assert!(speedup > 2.0 && speedup < 5.0, "speedup {speedup}");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(16))]
+
+        /// Satellite property: a plan built under `with_workspace_limit`
+        /// never *measures* a peak above the budget either — the layout it
+        /// derives `max_z` from is the same one the dispatcher carves, so
+        /// the budget binds the arena, not just the formula.
+        #[test]
+        fn workspace_limit_bounds_measured_peak(
+            res in 10usize..=16,
+            ch in 1usize..=4,
+            f in 2usize..=4,
+            budget_kb in 0usize..=8,
+        ) {
+            let conv = ConvShape::square(1, res, ch, ch, f);
+            let budget = budget_kb * 1024;
+            let plan = match WinRsPlan::with_workspace_limit(
+                &conv, &RTX_4090, Precision::Fp32, budget,
+            ) {
+                Ok(p) => p,
+                // Out-of-envelope shapes are a planning concern, not a
+                // budget one.
+                Err(_) => return Ok(()),
+            };
+            proptest::prop_assert!(
+                plan.workspace_layout().workspace_bytes() <= budget,
+                "layout {} over budget {budget}",
+                plan.workspace_layout().workspace_bytes()
+            );
+            let x = Tensor4::<f32>::random_uniform(
+                [conv.n, conv.ih, conv.iw, conv.ic], 17, 1.0);
+            let dy = Tensor4::<f32>::random_uniform(
+                [conv.n, conv.oh(), conv.ow(), conv.oc], 18, 1.0);
+            let mut ws = crate::workspace::Workspace::new();
+            let (_, report) = crate::fallback::run_planned_with(
+                &plan, &x, &dy, crate::fallback::NumericGuard::Ignore, &mut ws,
+            ).map_err(|e| proptest::test_runner::TestCaseError::Fail(e.to_string()))?;
+            proptest::prop_assert!(
+                report.mem.workspace_bytes_peak <= budget,
+                "measured peak {} over budget {budget}",
+                report.mem.workspace_bytes_peak
+            );
+            proptest::prop_assert_eq!(
+                report.mem.workspace_bytes_peak,
+                report.mem.workspace_bytes_planned
+            );
+        }
     }
 }

@@ -78,7 +78,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "bucket count mismatch")]
     fn size_mismatch_panics() {
-        let buckets = vec![0.0f32; 7];
+        let buckets = vec![0.0f32; crate::NUMERIC_HEALTH_BUCKETS];
         let mut out = Tensor4::<f32>::zeros([1, 1, 1, 4]);
         reduce_buckets(&buckets, 2, &mut out);
     }

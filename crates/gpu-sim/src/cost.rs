@@ -164,7 +164,7 @@ mod tests {
             "fused generation speedup {speedup_fused}"
         );
 
-        let mut nonfused = fused_k.clone();
+        let mut nonfused = fused_k;
         nonfused.intermediate_bytes = 64 << 30; // bandwidth-dominated
         let speedup_nf = estimate_time(&nonfused, &RTX_3090) / estimate_time(&nonfused, &RTX_4090);
         assert!(

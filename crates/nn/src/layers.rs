@@ -2,8 +2,8 @@
 //! max-pool, and a fully connected head.
 
 use winrs_conv::{direct, ConvShape};
-use winrs_core::fallback::{run_bfc, ExecutionReport, FallbackPolicy, NumericGuard};
-use winrs_core::Precision;
+use winrs_core::fallback::{run_bfc_with, ExecutionReport, FallbackPolicy, NumericGuard};
+use winrs_core::{Precision, Workspace};
 use winrs_gpu_sim::DeviceSpec;
 use winrs_tensor::Tensor4;
 
@@ -50,6 +50,10 @@ pub struct Conv2d {
     /// Execution report from the most recent WinRS-engined backward pass
     /// (`None` before the first backward, or for [`GradEngine::Direct`]).
     pub last_report: Option<ExecutionReport>,
+    /// Reusable execution arena: sized on the first backward pass and
+    /// reused across training steps, so steady-state backward passes do no
+    /// workspace allocation.
+    pub workspace: Workspace,
 }
 
 impl Conv2d {
@@ -58,8 +62,8 @@ impl Conv2d {
         let shape = ConvShape::square(1, res, ic, oc, f);
         let fan_in = (f * f * ic) as f64;
         let std = (2.0 / fan_in).sqrt();
-        let weights =
-            Tensor4::<f32>::random_uniform([oc, f, f, ic], seed, 2.0 * std).map(|w| w - (std as f32));
+        let weights = Tensor4::<f32>::random_uniform([oc, f, f, ic], seed, 2.0 * std)
+            .map(|w| w - (std as f32));
         Conv2d {
             shape_template: shape,
             grad_weights: Tensor4::zeros([oc, f, f, ic]),
@@ -69,6 +73,7 @@ impl Conv2d {
             fallback_policy: FallbackPolicy::default(),
             numeric_guard: NumericGuard::default(),
             last_report: None,
+            workspace: Workspace::new(),
         }
     }
 
@@ -117,7 +122,7 @@ impl Conv2d {
                 } else {
                     dy
                 };
-                let (dw, report) = run_bfc(
+                let (dw, report) = run_bfc_with(
                     &shape,
                     &d,
                     p,
@@ -125,6 +130,7 @@ impl Conv2d {
                     dy_eff,
                     self.fallback_policy,
                     self.numeric_guard,
+                    &mut self.workspace,
                 )
                 .unwrap_or_else(|err| panic!("Conv2d backward-filter dispatch failed: {err}"));
                 self.last_report = Some(report);
@@ -251,7 +257,11 @@ impl Linear {
         let t = Tensor4::<f32>::random_uniform([1, 1, out_features, in_features], seed, 1.0);
         let scale = (1.0 / in_features as f32).sqrt();
         Linear {
-            weights: t.as_slice().iter().map(|v| (v - 0.5) * 2.0 * scale).collect(),
+            weights: t
+                .as_slice()
+                .iter()
+                .map(|v| (v - 0.5) * 2.0 * scale)
+                .collect(),
             bias: vec![0.0; out_features],
             cached: Vec::new(),
             in_features,
@@ -357,10 +367,39 @@ mod tests {
         assert_eq!(dxa, dxb); // BDC identical (direct both)
         let m = winrs_tensor::mare(&b.grad_weights, &a.grad_weights);
         assert!(m < 1e-5, "MARE {m}");
-        let report = b.last_report.as_ref().expect("WinRS engine records a report");
+        let report = b
+            .last_report
+            .as_ref()
+            .expect("WinRS engine records a report");
         assert_eq!(report.algorithm.name(), "winrs");
         assert!(report.fallback_reason.is_none());
         assert!(a.last_report.is_none(), "Direct engine records no report");
+    }
+
+    #[test]
+    fn conv_backward_reuses_workspace_across_steps() {
+        let mut c = Conv2d::new(16, 2, 3, 3, GradEngine::WinRsFp32 { device: RTX_4090 }, 2);
+        let x = Tensor4::<f32>::random_uniform([1, 16, 16, 2], 7, 1.0);
+        let y = c.forward(&x);
+        let dy = Tensor4::<f32>::random_uniform(y.dims(), 8, 1.0);
+        c.backward(&dy);
+        let sized = c.workspace.arena_bytes();
+        assert!(sized > 0, "first backward sizes the arena");
+        for _ in 0..2 {
+            c.forward(&x);
+            c.backward(&dy);
+            assert_eq!(
+                c.workspace.arena_bytes(),
+                sized,
+                "arena is reused, not regrown"
+            );
+        }
+        let report = c.last_report.as_ref().expect("report");
+        assert_eq!(report.mem.hot_loop_allocs, 0);
+        assert_eq!(
+            report.mem.workspace_bytes_peak,
+            report.mem.workspace_bytes_planned
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ mod tensor4;
 mod tensorn;
 
 pub use kahan::Kahan;
-pub use metrics::{mare, max_abs_error, max_rel_error, rmse};
+pub use metrics::{mare, max_abs_error, max_rel_error, rmse, MemoryFootprint};
 pub use scalar::Scalar;
 pub use tensor4::Tensor4;
 pub use tensorn::{mare_n, TensorN};

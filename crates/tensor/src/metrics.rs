@@ -5,6 +5,35 @@
 //! regardless of the precision under test.
 
 use crate::{Scalar, Tensor4};
+use std::fmt;
+
+/// Memory accounting for one executed convolution: how much workspace the
+/// plan negotiated up front, the measured high-water mark, and how many
+/// heap allocations escaped the pre-sized arena inside the hot block loop
+/// (the cuDNN `get_workspace_size` contract, made measurable).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Workspace bytes the plan's layout reserves up front — for WinRS,
+    /// the `(Z−1)·|∇W|` overflow-bucket region.
+    pub workspace_bytes_planned: usize,
+    /// Measured workspace high-water mark of the run (bytes actually
+    /// written). Never exceeds `workspace_bytes_planned`.
+    pub workspace_bytes_peak: usize,
+    /// Heap allocations performed inside the block loop because a scratch
+    /// request overflowed its arena slot. Zero on every warm in-envelope
+    /// run.
+    pub hot_loop_allocs: u64,
+}
+
+impl fmt::Display for MemoryFootprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "workspace={}B peak={}B hot_loop_allocs={}",
+            self.workspace_bytes_planned, self.workspace_bytes_peak, self.hot_loop_allocs
+        )
+    }
+}
 
 /// Mean Absolute Relative Error of `approx` against `exact`:
 /// `mean(|a_i - e_i| / |e_i|)` over elements with `e_i != 0`.

@@ -53,7 +53,7 @@ impl ScaledTransform {
         // Scale G rows and Dᵀ rows; fold A_s into Aᵀ columns (Aᵀ[j][i] pairs
         // with EWM element i).
         let mut g = t.g.clone();
-        let mut dts = dt.clone();
+        let mut dts = dt;
         let at = t.a.transpose();
         let mut ats = RatMatrix::zeros(t.n, alpha);
         for i in 0..alpha {

@@ -7,16 +7,27 @@
 #   2. full test suite (unit + integration + property + doc tests)
 #   3. clippy with warnings promoted to errors — including the
 #      `unwrap_used = "deny"` fail-safe lint on library crates
+#   4. workspace-accounting smoke test: the CLI's layout breakdown must
+#      match the paper formula and a guarded execution must report a
+#      zero-allocation hot loop
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo build --release"
-cargo build --release
+cargo build --release --workspace
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
 echo "==> cargo clippy (all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> workspace accounting smoke (reference shape 32x56x56, 16->16, f=3)"
+WINRS=target/release/winrs
+REF_SHAPE=(--n 32 --res 56 --ic 16 --oc 16 --f 3)
+"$WINRS" workspace "${REF_SHAPE[@]}" | tee /dev/stderr \
+  | grep -q "overflow check : matches"
+"$WINRS" verify "${REF_SHAPE[@]}" | tee /dev/stderr \
+  | grep -q "hot_loop_allocs=0"
 
 echo "CI OK"

@@ -112,6 +112,35 @@ fn average_workspace_fraction_is_small() {
 }
 
 #[test]
+fn measured_workspace_peak_is_exactly_z_minus_1_gradw() {
+    // §4: "the workspace of WinRS is (Z−1)·|∇W|". Not just the planned
+    // figure — the *measured* peak of a real execution must land on the
+    // formula exactly, and on the layout the plan publishes.
+    use winrs::core::fallback::{run_planned, NumericGuard};
+    use winrs::tensor::Tensor4;
+    for &(res, f, z_hat) in &[(16usize, 3usize, 4usize), (20, 2, 3), (18, 5, 2)] {
+        let conv = ConvShape::square(1, res, 2, 2, f);
+        let plan = WinRsPlan::with_z_hat(&conv, &RTX_4090, Precision::Fp32, z_hat)
+            .expect("in-envelope shape");
+        assert!(plan.z() > 1, "res={res} f={f}: want a segmented plan");
+        let x = Tensor4::<f32>::random_uniform([conv.n, conv.ih, conv.iw, conv.ic], 51, 1.0);
+        let dy = Tensor4::<f32>::random_uniform([conv.n, conv.oh(), conv.ow(), conv.oc], 52, 1.0);
+        let (_, report) = run_planned(&plan, &x, &dy, NumericGuard::Ignore).unwrap();
+        let dw_bytes = conv.dw_elems() * 4;
+        assert_eq!(
+            report.mem.workspace_bytes_peak,
+            (plan.z() - 1) * dw_bytes,
+            "res={res} f={f} z={}",
+            plan.z()
+        );
+        assert_eq!(
+            report.mem.workspace_bytes_peak,
+            plan.workspace_layout().workspace_bytes()
+        );
+    }
+}
+
+#[test]
 fn winnf_only_supports_3x3_and_5x5_like_cudnn() {
     for f in 2..=9usize {
         let shape = ConvShape::square(2, 32, 8, 8, f);
