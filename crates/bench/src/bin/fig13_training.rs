@@ -21,9 +21,9 @@ fn main() {
         cfg.classes, cfg.res, cfg.res, cfg.channels, cfg.batch, cfg.lr, cfg.steps
     );
 
-    let direct = train(&cfg, Backend::Direct);
-    let winrs32 = train(&cfg, Backend::WinRsFp32);
-    let winrs16 = train(&cfg, Backend::WinRsFp16);
+    let direct = train(&cfg, Backend::Direct).expect("direct training failed");
+    let winrs32 = train(&cfg, Backend::WinRsFp32).expect("WinRS-FP32 training failed");
+    let winrs16 = train(&cfg, Backend::WinRsFp16).expect("WinRS-FP16 training failed");
 
     println!("step   direct    WinRS-FP32  WinRS-FP16+LS");
     for i in (0..cfg.steps).step_by(10) {

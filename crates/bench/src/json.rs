@@ -1,0 +1,142 @@
+//! Minimal hand-rolled JSON emitter.
+//!
+//! This build is offline and dependency-free, so instead of `serde` the
+//! bench harness renders its machine-readable baselines through this tiny
+//! value tree. Emitted documents carry a `schema` tag (see [`SCHEMA`]) so
+//! downstream tooling (`scripts/ci.sh`, regression diffing) can reject
+//! files it does not understand.
+
+use std::fmt::Write as _;
+
+/// Schema tag stamped into every baseline document this harness writes.
+pub const SCHEMA: &str = "winrs-bench-v1";
+
+/// A JSON value. Construct with the enum variants or the helper ctors,
+/// then [`Json::render`] it.
+pub enum Json {
+    /// `null` — also the rendering of non-finite numbers.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept separate from `Num` so counters render without a
+    /// fractional part).
+    Int(i64),
+    /// A finite float; NaN/∞ render as `null` (JSON has no spelling for
+    /// them).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// String value.
+    pub fn str(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+
+    /// Render into `out` as compact JSON (no whitespace).
+    pub fn render(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Render to a fresh string with a trailing newline (file convention).
+    pub fn to_document(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out);
+        out.push('\n');
+        out
+    }
+}
+
+/// Append `s` as a quoted, escaped JSON string.
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_special_characters() {
+        let mut out = String::new();
+        escape_into("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn renders_nested_document() {
+        let doc = Json::obj(vec![
+            ("schema", Json::str(SCHEMA)),
+            ("ok", Json::Bool(true)),
+            ("count", Json::Int(3)),
+            ("ratio", Json::Num(0.5)),
+            ("nan", Json::Num(f64::NAN)),
+            ("items", Json::Arr(vec![Json::Int(1), Json::Null])),
+        ]);
+        assert_eq!(
+            doc.to_document(),
+            "{\"schema\":\"winrs-bench-v1\",\"ok\":true,\"count\":3,\
+             \"ratio\":0.5,\"nan\":null,\"items\":[1,null]}\n"
+        );
+    }
+}

@@ -4,8 +4,8 @@
 use crate::args::Flags;
 use std::fmt::Write as _;
 use winrs_conv::{direct, ConvShape};
-use winrs_core::fallback::{run_bfc, FallbackPolicy, NumericGuard};
-use winrs_core::{Precision, WinRsPlan};
+use winrs_core::fallback::{run_bfc, run_bfc_cached, FallbackPolicy, NumericGuard};
+use winrs_core::{PlanCache, Precision, WinRsPlan, Workspace};
 use winrs_gpu_sim::{DeviceSpec, A5000, L40S, RTX_3090, RTX_4090};
 use winrs_tensor::{mare, Tensor4};
 use winrs_winograd::kernels::WINRS_KERNELS;
@@ -23,6 +23,12 @@ commands:
            [--numeric-guard ignore|warn|promote-retry]
   cost     modelled time / throughput / workspace on a device
            --n N --res R --ic C --oc C --f F [--pad P] [--device NAME] [--fp16]
+  profile  execute BFC and print the measured per-phase cost breakdown
+           (Figure 6 style: FT / IT / EWMM / OT plus plan and reduce)
+           --n N --res R --ic C --oc C --f F [--pad P] [--device NAME]
+           [--fp16|--bf16] [--trips T] [--seed S]
+           [--fallback-policy strict|auto|force-gemm|force-direct]
+           [--numeric-guard ignore|warn|promote-retry]
   workspace  print the execution arena layout next to the paper's
              (Z-1)*|gradW| workspace formula
              --n N --res R --ic C --oc C --f F [--pad P] [--device NAME] [--fp16|--bf16]
@@ -41,6 +47,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "plan" => cmd_plan(&flags),
         "verify" => cmd_verify(&flags),
         "cost" => cmd_cost(&flags),
+        "profile" => cmd_profile(&flags),
         "workspace" => cmd_workspace(&flags),
         "kernels" => Ok(cmd_kernels()),
         "devices" => Ok(cmd_devices()),
@@ -213,6 +220,147 @@ fn cmd_cost(flags: &Flags) -> Result<String, String> {
         out,
         "workspace  : {:.2} MB",
         plan.workspace_bytes() as f64 / 1e6
+    );
+    Ok(out)
+}
+
+fn cmd_profile(flags: &Flags) -> Result<String, String> {
+    let shape = shape_from(flags)?;
+    let device = device_by_name(flags.opt_str("device"))?;
+    let precision = precision_from(flags);
+    let policy = fallback_policy_from(flags)?;
+    let guard = numeric_guard_from(flags)?;
+    let trips = flags.opt_usize("trips", 3)?;
+    let seed = flags.opt_usize("seed", 42)? as u64;
+    if trips == 0 {
+        return Err("--trips must be at least 1".into());
+    }
+    if shape.x_elems() > 4_000_000 {
+        return Err("profile executes on the CPU: keep N*res^2*C under 4e6 elements".into());
+    }
+
+    let x = Tensor4::<f32>::random_uniform([shape.n, shape.ih, shape.iw, shape.ic], seed, 1.0);
+    let dy_scale = if precision == Precision::Fp32 { 1.0 } else { 0.01 };
+    let dy = Tensor4::<f32>::random_uniform(
+        [shape.n, shape.oh(), shape.ow(), shape.oc],
+        seed + 1,
+        dy_scale,
+    );
+
+    // Dispatch through the cached path, the same one `winrs-nn` training
+    // uses: trip 1 plans (cache miss), later trips are cache hits, so the
+    // last trip shows the warm steady-state cost.
+    let mut cache = PlanCache::new();
+    let mut ws = Workspace::new();
+    let mut totals_ms = Vec::with_capacity(trips);
+    let mut last = None;
+    for _ in 0..trips {
+        let (_dw, report) = run_bfc_cached(
+            &shape, &device, precision, &x, &dy, policy, guard, &mut cache, &mut ws,
+        )
+        .map_err(|e| e.to_string())?;
+        totals_ms.push(report.timing.total_s * 1e3);
+        last = Some(report);
+    }
+    let Some(report) = last else {
+        return Err("no trips executed".into());
+    };
+    let t = &report.timing;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "shape        : {shape:?}");
+    let _ = writeln!(out, "device       : {}", device.name);
+    let _ = writeln!(out, "precision    : {precision:?}");
+    let _ = writeln!(out, "algorithm    : {}", report.algorithm.name());
+    if let Some(reason) = &report.fallback_reason {
+        let _ = writeln!(out, "fallback     : {reason}");
+    }
+    let _ = writeln!(
+        out,
+        "trips        : {trips} ({}) — last trip broken down below",
+        totals_ms
+            .iter()
+            .map(|ms| format!("{ms:.3} ms"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "plan-cache   : {} hits / {} misses",
+        report.cache_hits, report.cache_misses
+    );
+
+    let _ = writeln!(out, "\nwall-clock phases (last trip)");
+    let _ = writeln!(out, "  phase         time ms   % of total");
+    let total = t.total_s.max(1e-12);
+    let mut wall_row = |name: &str, secs: f64| {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>9.3} {:>11.1}%",
+            name,
+            secs * 1e3,
+            100.0 * secs / total
+        );
+    };
+    wall_row("plan", t.plan_s);
+    wall_row("block-loop", t.block_loop_s);
+    wall_row("promote", t.promote_s);
+    wall_row("reduce", t.reduce_s);
+    wall_row("other", t.other_s());
+    wall_row("total", t.total_s);
+
+    if t.blocks > 0 {
+        let _ = writeln!(out, "\nbusy time by kernel phase (Figure 6 decomposition)");
+        let _ = writeln!(out, "  phase         time ms   % of busy");
+        let busy = t.busy_s.max(1e-12);
+        let named = t.ft_s + t.it_s + t.ewmm_s + t.ot_s;
+        for (name, secs) in [
+            ("FT", t.ft_s),
+            ("IT", t.it_s),
+            ("EWMM", t.ewmm_s),
+            ("OT", t.ot_s),
+            ("overhead", (t.busy_s - named).max(0.0)),
+            ("busy", t.busy_s),
+        ] {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>9.3} {:>11.1}%",
+                name,
+                secs * 1e3,
+                100.0 * secs / busy
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {} block columns on {} workers, utilisation {:.0}%",
+            t.blocks,
+            t.workers,
+            100.0 * t.utilisation
+        );
+        let _ = writeln!(
+            out,
+            "  per-block wall min/mean/max: {:.1} / {:.1} / {:.1} us",
+            t.block_min_s * 1e6,
+            t.block_mean_s * 1e6,
+            t.block_max_s * 1e6
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "\nno per-block phase data (substitute algorithm, or the `metrics` \
+             feature is compiled out); whole runtime charged to block-loop"
+        );
+    }
+
+    // Effective throughput against *direct-convolution* work — the paper's
+    // convention, so speedups are comparable across algorithms.
+    let direct_flops =
+        2.0 * (shape.n * shape.oh() * shape.ow() * shape.oc * shape.fh * shape.fw * shape.ic)
+            as f64;
+    let _ = writeln!(
+        out,
+        "\nthroughput   : {:.2} GFLOP/s effective (direct-conv FLOPs / total)",
+        direct_flops / total / 1e9
     );
     Ok(out)
 }
@@ -561,6 +709,76 @@ mod tests {
         ])
         .unwrap_err();
         assert!(e.contains("unknown numeric guard"), "{e}");
+    }
+
+    /// Parse `  <name> <ms> <pct>%` rows from the profile tables. Skips
+    /// lines where the token after `name` is not a number (e.g. the
+    /// `plan-cache   :` header vs the `plan` row).
+    fn phase_ms(out: &str, name: &str) -> f64 {
+        for line in out.lines() {
+            let mut toks = line.split_whitespace();
+            if toks.next() == Some(name) {
+                if let Some(Ok(ms)) = toks.next().map(|v| v.parse::<f64>()) {
+                    return ms;
+                }
+            }
+        }
+        panic!("phase row '{name}' not found in:\n{out}");
+    }
+
+    #[test]
+    fn profile_phase_times_sum_to_total() {
+        let out = run(&[
+            "profile", "--n", "1", "--res", "16", "--ic", "2", "--oc", "4", "--f", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("wall-clock phases"), "{out}");
+        assert!(out.contains("plan-cache   : 2 hits / 1 misses"), "{out}");
+        let total = phase_ms(&out, "total");
+        assert!(total > 0.0, "{out}");
+        let sum = phase_ms(&out, "plan")
+            + phase_ms(&out, "block-loop")
+            + phase_ms(&out, "promote")
+            + phase_ms(&out, "reduce")
+            + phase_ms(&out, "other");
+        // Acceptance criterion: named phases account for the total within
+        // 10% (by construction `other` closes the gap exactly; the slack
+        // only absorbs the 3-decimal rounding of the printed values).
+        assert!(
+            (sum - total).abs() <= 0.1 * total + 0.01,
+            "phases {sum} ms vs total {total} ms\n{out}"
+        );
+        if cfg!(feature = "metrics") {
+            assert!(out.contains("Figure 6 decomposition"), "{out}");
+            assert!(phase_ms(&out, "EWMM") >= 0.0);
+            assert!(out.contains("block columns"), "{out}");
+        }
+    }
+
+    #[test]
+    fn profile_covers_fallback_path_too() {
+        // FP16 F_W = 4 degrades to GEMM-BFC: timing must still be populated
+        // (whole runtime charged to block-loop) and the table printed.
+        let out = run(&[
+            "profile", "--n", "1", "--res", "12", "--ic", "2", "--oc", "2", "--f", "4", "--fp16",
+            "--trips", "1",
+        ])
+        .unwrap();
+        assert!(out.contains("algorithm    : gemm-bfc"), "{out}");
+        assert!(out.contains("fallback     :"), "{out}");
+        let total = phase_ms(&out, "total");
+        assert!(total > 0.0, "{out}");
+        assert!(phase_ms(&out, "block-loop") > 0.0, "{out}");
+    }
+
+    #[test]
+    fn profile_rejects_zero_trips() {
+        let e = run(&[
+            "profile", "--n", "1", "--res", "16", "--ic", "2", "--oc", "2", "--f", "3", "--trips",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(e.contains("--trips"), "{e}");
     }
 
     #[test]

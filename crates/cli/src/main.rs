@@ -6,14 +6,17 @@
 //! winrs plan    --n 32 --res 56 --ic 128 --oc 128 --f 3 [--device 4090] [--fp16]
 //! winrs verify  --n 2  --res 24 --ic 8   --oc 8   --f 5
 //! winrs cost    --n 32 --res 56 --ic 128 --oc 128 --f 3 [--device l40s]
+//! winrs profile --n 2  --res 24 --ic 8   --oc 8   --f 3 [--trips 3]
 //! winrs kernels
 //! winrs devices
 //! ```
 //!
 //! `plan` prints the adaptive configuration for a layer, `verify` executes
 //! WinRS on random tensors and reports the MARE against f64 direct
-//! convolution, `cost` prints the modelled time/throughput/workspace, and
-//! `kernels`/`devices` list the inventory and the modelled GPUs.
+//! convolution, `cost` prints the modelled time/throughput/workspace,
+//! `profile` executes BFC and prints the *measured* per-phase cost
+//! breakdown (Figure 6 style), and `kernels`/`devices` list the inventory
+//! and the modelled GPUs.
 
 mod args;
 mod commands;

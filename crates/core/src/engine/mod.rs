@@ -41,10 +41,12 @@ mod clip;
 pub use clip::{clip_rows, clip_savings_fraction, clipped_rows_total};
 
 use crate::error::{Violation, WinrsError};
+use crate::metrics::TimingSink;
 use crate::partition::{Partition, Segment};
 use crate::workspace::ScratchPool;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 use winrs_conv::ConvShape;
 use winrs_fp16::{bf16, e4m3, f16};
 use winrs_tensor::{Scalar, Tensor4};
@@ -177,6 +179,10 @@ pub struct ExecOptions<'a, 'p> {
     /// allocating; when `None` the engine provisions a transient pool of
     /// its own, so the block loop never `vec!`s per block either way.
     pub scratch: Option<&'a ScratchPool<'p>>,
+    /// When set (and the `metrics` feature is compiled in), block columns
+    /// time their FT/IT/EWMM/OT phases with local counters and flush them
+    /// into the sink once per column — same discipline as `health`.
+    pub timing: Option<&'a TimingSink>,
 }
 
 /// The engine's cache-block geometry `(B_N, B_M)` for `mode` at transform
@@ -381,6 +387,7 @@ fn run_passes<T: Scalar, S: TransformSource>(
                             bm,
                             slice,
                             opts.health,
+                            opts.timing,
                             scratch,
                         );
                     });
@@ -421,10 +428,32 @@ fn round_tile(buf: &mut [f32], mode: TileMode) -> u64 {
     saturated
 }
 
+/// A lap timer for phase attribution inside the block loop: each `lap`
+/// charges the time since the previous mark to one phase counter and
+/// re-marks. Disabled (`None` inside) it compiles to nothing — the
+/// `metrics`-off path constructs it with `on = false` everywhere.
+struct Lap(Option<Instant>);
+
+impl Lap {
+    #[inline]
+    fn start(on: bool) -> Lap {
+        Lap(on.then(Instant::now))
+    }
+
+    #[inline]
+    fn lap(&mut self, acc: &mut u64) {
+        if let Some(prev) = self.0 {
+            let now = Instant::now();
+            *acc += now.duration_since(prev).as_nanos() as u64;
+            self.0 = Some(now);
+        }
+    }
+}
+
 /// Process every `(ic-tile, filter-tile)` block of one `oc` tile of one
 /// segment. `slice` is the bucket region for channels `oc0..oc0+bn_cur`,
-/// laid out `(bn_cur, F_H, F_W, I_C)`. Health counts accumulate in locals
-/// and flush into the sink once at the end.
+/// laid out `(bn_cur, F_H, F_W, I_C)`. Health counts and phase timings
+/// accumulate in locals and flush into their sinks once at the end.
 #[allow(clippy::too_many_arguments)]
 fn run_block_column<T: Scalar>(
     conv: &ConvShape,
@@ -439,6 +468,7 @@ fn run_block_column<T: Scalar>(
     bm: usize,
     slice: &mut [T],
     health: Option<&HealthSink>,
+    timing: Option<&TimingSink>,
     scratch: &ScratchPool<'_>,
 ) {
     let alpha = t.alpha;
@@ -448,6 +478,15 @@ fn run_block_column<T: Scalar>(
     let mut saturated = 0u64;
     let mut non_finite = 0u64;
     let bm_c = bm.min(conv.ic);
+    // `cfg!` folds this to `None` when the feature is off, so every timing
+    // branch below is dead code the optimiser removes.
+    let timing = if cfg!(feature = "metrics") {
+        timing
+    } else {
+        None
+    };
+    let block_start = timing.map(|_| Instant::now());
+    let (mut ft_ns, mut it_ns, mut ewmm_ns, mut ot_ns) = (0u64, 0u64, 0u64, 0u64);
 
     // The block's "SMEM": ĝ, d̂ and accumulator tiles carved from one
     // pooled slot. Slots arrive dirty — ĝ/d̂ are fully overwritten by the
@@ -472,14 +511,17 @@ fn run_block_column<T: Scalar>(
                             let col0 = seg.w0 + u * r;
                             let x_col0 = (fw0 + col0) as isize - conv.pw as isize;
                             for b in 0..conv.n {
+                                let mut lap = Lap::start(timing.is_some());
                                 // Filter transform: ghat[β][oc] = Σ_t G[β][t]·∇Y.
                                 load_filter_tile(dy, t, b, i, col0, oc0, bn_cur, ghat);
                                 #[cfg(feature = "faults")]
                                 crate::faults::maybe_inject(seg_idx, mode, ghat);
                                 saturated += round_tile(&mut ghat[..alpha * bn_cur], mode);
+                                lap.lap(&mut ft_ns);
                                 // Input transform: dhat[β][ic] = Σ_s Dᵀ[β][s]·X.
                                 load_input_tile(x, t, b, x_row, x_col0, ic0, bm_cur, dhat);
                                 saturated += round_tile(&mut dhat[..alpha * bm_cur], mode);
+                                lap.lap(&mut it_ns);
                                 // α-batched outer-product accumulation.
                                 for beta in 0..alpha {
                                     let g_row = &ghat[beta * bn_cur..(beta + 1) * bn_cur];
@@ -493,12 +535,14 @@ fn run_block_column<T: Scalar>(
                                         }
                                     }
                                 }
+                                lap.lap(&mut ewmm_ns);
                             }
                         }
                     }
 
                     // Output transform Aᵀ and bucket accumulation (the
                     // residual pass adds onto the bulk pass's bucket).
+                    let mut lap = Lap::start(timing.is_some());
                     for oi in 0..bn_cur {
                         for ii in 0..bm_cur {
                             for d in 0..n_out {
@@ -514,6 +558,7 @@ fn run_block_column<T: Scalar>(
                             }
                         }
                     }
+                    lap.lap(&mut ot_ns);
                 }
             }
             ic0 += bm_cur;
@@ -523,6 +568,10 @@ fn run_block_column<T: Scalar>(
     let _ = seg_idx;
     if let Some(sink) = health {
         sink.record(seg_idx, saturated, non_finite);
+    }
+    if let (Some(sink), Some(start)) = (timing, block_start) {
+        let total_ns = start.elapsed().as_nanos() as u64;
+        sink.record_block(ft_ns, it_ns, ewmm_ns, ot_ns, total_ns);
     }
 }
 
@@ -775,6 +824,49 @@ mod tests {
         assert!(sat > 0, "expected saturations, got {sat}");
         assert!(nonfin > 0, "expected non-finite outputs, got {nonfin}");
         assert!(!sink.poisoned_segments().is_empty());
+    }
+
+    #[test]
+    fn timing_sink_counts_every_block_column() {
+        let conv = ConvShape::new(2, 16, 16, 4, 6, 3, 3, 1, 1);
+        let (partition, src) = setup(&conv, 4);
+        let x = Tensor4::<f32>::random_uniform([2, 16, 16, 4], 11, 1.0);
+        let dy = Tensor4::<f32>::random_uniform([2, 16, 16, 6], 12, 1.0);
+        let mut buckets = vec![0.0f32; partition.z() * conv.dw_elems()];
+        let sink = crate::metrics::TimingSink::new();
+        execute_segments_with(
+            &conv,
+            &partition,
+            &src,
+            &x,
+            &dy,
+            TileMode::Fp32,
+            &mut buckets,
+            ExecOptions {
+                timing: Some(&sink),
+                ..Default::default()
+            },
+        )
+        .expect("valid arguments");
+        if cfg!(feature = "metrics") {
+            let expected: usize = partition
+                .segments
+                .iter()
+                .map(|s| conv.oc.div_ceil(cache_block(TileMode::Fp32, s.kernel.alpha()).0))
+                .sum();
+            assert_eq!(sink.blocks() as usize, expected);
+            assert!(sink.ft_ns() > 0, "FT untimed");
+            assert!(sink.it_ns() > 0, "IT untimed");
+            assert!(sink.ewmm_ns() > 0, "EWMM untimed");
+            assert!(sink.ot_ns() > 0, "OT untimed");
+            assert!(sink.max_ns() >= sink.min_ns());
+            // Each column's wall time covers its four phases, so the busy
+            // total must dominate the phase sum.
+            let phases = sink.ft_ns() + sink.it_ns() + sink.ewmm_ns() + sink.ot_ns();
+            assert!(sink.busy_ns() >= phases, "{} < {phases}", sink.busy_ns());
+        } else {
+            assert_eq!(sink.blocks(), 0, "metrics off: sink must stay silent");
+        }
     }
 
     #[test]

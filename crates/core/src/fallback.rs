@@ -24,12 +24,15 @@
 //! [`ExecutionReport::summary_line`] is the one-line structured form the
 //! CLI prints.
 
+use crate::cache::PlanCache;
 use crate::config::Precision;
 use crate::engine::{ExecOptions, TileMode};
 use crate::error::{Violation, WinrsError};
+use crate::metrics::{PhaseTimings, TimingSink};
 use crate::plan::WinRsPlan;
 use crate::workspace::{ExecCtx, Workspace, WorkspaceLayout};
 use std::str::FromStr;
+use std::time::Instant;
 use winrs_conv::gemm_bfc::{bfc_gemm_f32, GemmAlgo};
 use winrs_conv::strided::{bfc_strided, StridedShape};
 use winrs_conv::{direct, ConvShape};
@@ -155,6 +158,15 @@ pub struct ExecutionReport {
     pub promoted_segments: Vec<usize>,
     /// Buckets re-executed at FP32.
     pub promoted_buckets: usize,
+    /// Phase-level timing breakdown (wall phases always measured; the
+    /// FT/IT/EWMM/OT busy decomposition needs the `metrics` feature).
+    pub timing: PhaseTimings,
+    /// Cumulative [`PlanCache`] hits at dispatch time (populated only by
+    /// the cached entry point [`run_bfc_cached`]).
+    pub cache_hits: u64,
+    /// Cumulative [`PlanCache`] misses at dispatch time (see
+    /// [`ExecutionReport::cache_hits`]).
+    pub cache_misses: u64,
 }
 
 impl ExecutionReport {
@@ -170,6 +182,9 @@ impl ExecutionReport {
             non_finite: 0,
             promoted_segments: Vec::new(),
             promoted_buckets: 0,
+            timing: PhaseTimings::default(),
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -202,6 +217,15 @@ impl ExecutionReport {
                 " promoted={}/{} buckets",
                 self.promoted_buckets,
                 self.z.unwrap_or(0)
+            ));
+        }
+        if self.timing.is_populated() {
+            s.push_str(&format!(" total={:.3}ms", self.timing.total_s * 1e3));
+        }
+        if self.cache_hits + self.cache_misses > 0 {
+            s.push_str(&format!(
+                " plan_cache={}h/{}m",
+                self.cache_hits, self.cache_misses
             ));
         }
         if let Some(reason) = &self.fallback_reason {
@@ -261,20 +285,95 @@ pub fn run_bfc_with(
         // Forced by the caller — not a fallback, so no reason recorded.
         let mut report = ExecutionReport::new(alg, precision, guard);
         report.mem = substitute_footprint(alg, conv);
-        let dw = run_substitute(alg, conv, x, dy);
+        let dw = run_substitute_timed(alg, conv, x, dy, &mut report);
         return Ok((dw, report));
     }
 
+    let t_plan = Instant::now();
     match WinRsPlan::new(conv, device, precision) {
         Ok(plan) => {
-            let (dw, report) = run_planned_with(&plan, x, dy, guard, ws)?;
+            let plan_s = t_plan.elapsed().as_secs_f64();
+            let (dw, mut report) = run_planned_with(&plan, x, dy, guard, ws)?;
+            report.timing.plan_s = plan_s;
+            report.timing.total_s += plan_s;
             Ok((dw, report))
         }
         Err(err) if err.recoverable_by_fallback() && policy == FallbackPolicy::Auto => {
+            let plan_s = t_plan.elapsed().as_secs_f64();
             let mut report = ExecutionReport::new(Algorithm::GemmBfc, precision, guard);
             report.fallback_reason = Some(err);
             report.mem = substitute_footprint(Algorithm::GemmBfc, conv);
-            let dw = run_substitute(Algorithm::GemmBfc, conv, x, dy);
+            let dw = run_substitute_timed(Algorithm::GemmBfc, conv, x, dy, &mut report);
+            // The failed WinRS plan attempt is what bought the fallback.
+            report.timing.plan_s = plan_s;
+            report.timing.total_s += plan_s;
+            Ok((dw, report))
+        }
+        Err(err) => Err(err),
+    }
+}
+
+/// Fetch the plan from `cache` (building and memoising on miss) and
+/// dispatch exactly like [`run_bfc_with`], stamping the cache's cumulative
+/// hit/miss counters into the report. This is the training-loop entry
+/// point: after the first step of a stable shape, `plan_s` collapses to a
+/// hash lookup and [`ExecutionReport::cache_hits`] starts climbing.
+///
+/// Plan-build failures are not cached, so an out-of-envelope shape pays
+/// the (cheap) rejection each step; see [`PlanCache::get`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_bfc_cached(
+    conv: &ConvShape,
+    device: &DeviceSpec,
+    precision: Precision,
+    x: &Tensor4<f32>,
+    dy: &Tensor4<f32>,
+    policy: FallbackPolicy,
+    guard: NumericGuard,
+    cache: &mut PlanCache,
+    ws: &mut Workspace,
+) -> Result<(Tensor4<f32>, ExecutionReport), WinrsError> {
+    let stamp = |report: &mut ExecutionReport, cache: &PlanCache| {
+        let (h, m) = cache.stats();
+        report.cache_hits = h as u64;
+        report.cache_misses = m as u64;
+    };
+    let shape_violations: Vec<Violation> = conv
+        .violations()
+        .into_iter()
+        .map(Violation::Shape)
+        .collect();
+    if !shape_violations.is_empty() {
+        return Err(WinrsError::InvalidShape(shape_violations));
+    }
+
+    if let FallbackPolicy::Force(alg) = policy {
+        let mut report = ExecutionReport::new(alg, precision, guard);
+        report.mem = substitute_footprint(alg, conv);
+        let dw = run_substitute_timed(alg, conv, x, dy, &mut report);
+        stamp(&mut report, cache);
+        return Ok((dw, report));
+    }
+
+    let t_plan = Instant::now();
+    match cache.get(conv, device, precision) {
+        Ok(plan) => {
+            let plan_s = t_plan.elapsed().as_secs_f64();
+            let (dw, mut report) = run_planned_with(&plan, x, dy, guard, ws)?;
+            report.timing.plan_s = plan_s;
+            report.timing.total_s += plan_s;
+            stamp(&mut report, cache);
+            Ok((dw, report))
+        }
+        Err(err) if err.recoverable_by_fallback() && policy == FallbackPolicy::Auto => {
+            let plan_s = t_plan.elapsed().as_secs_f64();
+            let mut report = ExecutionReport::new(Algorithm::GemmBfc, precision, guard);
+            report.fallback_reason = Some(err);
+            report.mem = substitute_footprint(Algorithm::GemmBfc, conv);
+            let dw = run_substitute_timed(Algorithm::GemmBfc, conv, x, dy, &mut report);
+            report.timing.plan_s = plan_s;
+            report.timing.total_s += plan_s;
+            stamp(&mut report, cache);
             Ok((dw, report))
         }
         Err(err) => Err(err),
@@ -316,7 +415,12 @@ pub fn run_bfc_strided(
     let mut report = ExecutionReport::new(Algorithm::StridedDirect, precision, guard);
     report.fallback_reason = Some(err);
     report.mem = substitute_footprint(Algorithm::StridedDirect, &shape.base);
-    Ok((bfc_strided(shape, x, dy), report))
+    let t0 = Instant::now();
+    let dw = bfc_strided(shape, x, dy);
+    let elapsed = t0.elapsed().as_secs_f64();
+    report.timing.block_loop_s = elapsed;
+    report.timing.total_s = elapsed;
+    Ok((dw, report))
 }
 
 fn run_substitute(
@@ -329,6 +433,24 @@ fn run_substitute(
         Algorithm::GemmBfc => bfc_gemm_f32(GemmAlgo::Algo1, conv, x, dy),
         _ => direct::bfc_direct(conv, x, dy),
     }
+}
+
+/// [`run_substitute`] plus timing: a substitute algorithm is one opaque
+/// kernel, so its whole runtime is charged to the block-loop phase — the
+/// report's timing is populated on every dispatch path, not just WinRS.
+fn run_substitute_timed(
+    alg: Algorithm,
+    conv: &ConvShape,
+    x: &Tensor4<f32>,
+    dy: &Tensor4<f32>,
+    report: &mut ExecutionReport,
+) -> Tensor4<f32> {
+    let t0 = Instant::now();
+    let dw = run_substitute(alg, conv, x, dy);
+    let elapsed = t0.elapsed().as_secs_f64();
+    report.timing.block_loop_s = elapsed;
+    report.timing.total_s = elapsed;
+    dw
 }
 
 /// Workspace layout a substitute algorithm would declare — fallbacks own
@@ -409,6 +531,7 @@ pub fn run_planned_into(
     ws: &mut Workspace,
     dw: &mut Tensor4<f32>,
 ) -> Result<ExecutionReport, WinrsError> {
+    let t_total = Instant::now();
     let conv = plan.shape();
     let want_dw = [conv.oc, conv.fh, conv.fw, conv.ic];
     if dw.dims() != want_dw {
@@ -434,14 +557,20 @@ pub fn run_planned_into(
             scratch,
             health,
         } = ws.ctx(layout)?;
+        let sink = TimingSink::new();
         let opts = ExecOptions {
             scratch: Some(&scratch),
             // FP32 can't saturate and `Ignore` asked for no accounting, so
             // skip the counter traffic on those paths.
             health: (guard != NumericGuard::Ignore && mode != TileMode::Fp32).then_some(health),
+            // The engine ignores the sink when the `metrics` feature is
+            // compiled out, so passing it is free there.
+            timing: Some(&sink),
             ..Default::default()
         };
+        let t_block = Instant::now();
         plan.execute_into_buckets(x, dy, mode, buckets, opts)?;
+        report.timing.block_loop_s = t_block.elapsed().as_secs_f64();
         if opts.health.is_some() {
             let (saturated, non_finite) = health.totals();
             report.saturated = saturated;
@@ -458,6 +587,7 @@ pub fn run_planned_into(
                 for &s in &poisoned {
                     filter[segments[s].bucket] = true;
                 }
+                let t_promote = Instant::now();
                 plan.execute_into_buckets(
                     x,
                     dy,
@@ -469,6 +599,7 @@ pub fn run_planned_into(
                         ..Default::default()
                     },
                 )?;
+                report.timing.promote_s = t_promote.elapsed().as_secs_f64();
                 report.promoted_buckets = filter.iter().filter(|&&f| f).count();
                 report.promoted_segments = segments
                     .iter()
@@ -478,7 +609,12 @@ pub fn run_planned_into(
                     .collect();
             }
         }
+        let t_reduce = Instant::now();
         plan.reduce_into(buckets, dw);
+        report.timing.reduce_s = t_reduce.elapsed().as_secs_f64();
+        report
+            .timing
+            .absorb_sink(&sink, crate::workspace::default_scratch_slots());
         hot_loop_allocs = scratch.hot_loop_allocs();
     }
     // Measured high-water mark: every overflow bucket with an owner is
@@ -499,6 +635,7 @@ pub fn run_planned_into(
         workspace_bytes_peak: peak,
         hot_loop_allocs,
     };
+    report.timing.total_s = t_total.elapsed().as_secs_f64();
     Ok(report)
 }
 
@@ -717,6 +854,156 @@ mod tests {
         assert!(m < 5e-3, "MARE {m}");
         let line = report.summary_line();
         assert!(line.contains("promoted="), "{line}");
+    }
+
+    fn wall_phases_consistent(r: &ExecutionReport) {
+        assert!(r.timing.is_populated(), "{:?}", r.timing);
+        assert!(r.timing.block_loop_s > 0.0, "{:?}", r.timing);
+        let named =
+            r.timing.plan_s + r.timing.block_loop_s + r.timing.promote_s + r.timing.reduce_s;
+        assert!(
+            named <= r.timing.total_s * (1.0 + 1e-9),
+            "phases {named} exceed total {}",
+            r.timing.total_s
+        );
+    }
+
+    #[test]
+    fn timing_is_populated_on_every_dispatch_path() {
+        // WinRS path.
+        let conv = ConvShape::square(2, 16, 4, 4, 3);
+        let (x, dy, _) = tensors(&conv, 1.0);
+        let (_, r) = run_bfc(
+            &conv,
+            &RTX_4090,
+            Precision::Fp32,
+            &x,
+            &dy,
+            FallbackPolicy::Auto,
+            NumericGuard::Warn,
+        )
+        .unwrap();
+        assert_eq!(r.algorithm, Algorithm::WinRs);
+        wall_phases_consistent(&r);
+        if cfg!(feature = "metrics") {
+            assert!(r.timing.blocks > 0);
+            assert!(r.timing.ewmm_s > 0.0);
+            assert!(r.timing.utilisation > 0.0 && r.timing.utilisation <= 1.0);
+        }
+        assert!(r.summary_line().contains(" total="), "{}", r.summary_line());
+
+        // GEMM fallback path (F_W = 4 has no FP16 kernel).
+        let conv4 = ConvShape::square(1, 16, 3, 3, 4);
+        let (x4, dy4, _) = tensors(&conv4, 1.0);
+        let (_, r) = run_bfc(
+            &conv4,
+            &RTX_4090,
+            Precision::Fp16,
+            &x4,
+            &dy4,
+            FallbackPolicy::Auto,
+            NumericGuard::Warn,
+        )
+        .unwrap();
+        assert_eq!(r.algorithm, Algorithm::GemmBfc);
+        wall_phases_consistent(&r);
+
+        // Forced-direct path.
+        let (_, r) = run_bfc(
+            &conv,
+            &RTX_4090,
+            Precision::Fp32,
+            &x,
+            &dy,
+            FallbackPolicy::Force(Algorithm::Direct),
+            NumericGuard::Warn,
+        )
+        .unwrap();
+        assert_eq!(r.algorithm, Algorithm::Direct);
+        wall_phases_consistent(&r);
+
+        // Strided path.
+        let base = ConvShape::new(1, 12, 12, 2, 2, 3, 3, 1, 1);
+        let s = StridedShape::new(base, 2, 2, 1, 1);
+        let xs = Tensor4::<f32>::random_uniform([1, 12, 12, 2], 61, 1.0);
+        let dys = Tensor4::<f32>::random_uniform([1, s.oh(), s.ow(), 2], 62, 1.0);
+        let (_, r) = run_bfc_strided(
+            &s,
+            &RTX_4090,
+            Precision::Fp32,
+            &xs,
+            &dys,
+            FallbackPolicy::Auto,
+            NumericGuard::Warn,
+        )
+        .unwrap();
+        assert_eq!(r.algorithm, Algorithm::StridedDirect);
+        wall_phases_consistent(&r);
+    }
+
+    #[test]
+    fn cached_dispatch_reports_hits_after_first_call() {
+        let conv = ConvShape::square(2, 16, 4, 4, 3);
+        let (x, dy, exact) = tensors(&conv, 1.0);
+        let mut cache = PlanCache::new();
+        let mut ws = Workspace::new();
+        let (dw1, r1) = run_bfc_cached(
+            &conv,
+            &RTX_4090,
+            Precision::Fp32,
+            &x,
+            &dy,
+            FallbackPolicy::Auto,
+            NumericGuard::Warn,
+            &mut cache,
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!((r1.cache_hits, r1.cache_misses), (0, 1));
+        let (dw2, r2) = run_bfc_cached(
+            &conv,
+            &RTX_4090,
+            Precision::Fp32,
+            &x,
+            &dy,
+            FallbackPolicy::Auto,
+            NumericGuard::Warn,
+            &mut cache,
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!((r2.cache_hits, r2.cache_misses), (1, 1));
+        assert_eq!(dw1, dw2);
+        assert!(mare(&dw1, &exact) < 1e-5);
+        wall_phases_consistent(&r2);
+        let line = r2.summary_line();
+        assert!(line.contains("plan_cache=1h/1m"), "{line}");
+    }
+
+    #[test]
+    fn cached_dispatch_falls_back_without_caching_rejections() {
+        let conv = ConvShape::square(1, 16, 3, 3, 4); // no FP16 kernel
+        let (x, dy, exact) = tensors(&conv, 1.0);
+        let mut cache = PlanCache::new();
+        let mut ws = Workspace::new();
+        for step in 1..=2u64 {
+            let (dw, r) = run_bfc_cached(
+                &conv,
+                &RTX_4090,
+                Precision::Fp16,
+                &x,
+                &dy,
+                FallbackPolicy::Auto,
+                NumericGuard::Warn,
+                &mut cache,
+                &mut ws,
+            )
+            .unwrap();
+            assert_eq!(r.algorithm, Algorithm::GemmBfc);
+            assert_eq!((r.cache_hits, r.cache_misses), (0, step));
+            assert!(mare(&dw, &exact) < 1e-5);
+        }
+        assert!(cache.is_empty(), "rejections must not be cached");
     }
 
     #[test]

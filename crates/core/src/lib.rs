@@ -59,6 +59,7 @@ pub mod fallback;
 #[cfg(feature = "faults")]
 pub mod faults;
 pub mod forward;
+pub mod metrics;
 pub mod ndim;
 pub mod partition;
 pub mod plan;
@@ -69,6 +70,7 @@ pub use config::pair::KernelPair;
 pub use config::Precision;
 pub use error::{Violation, WinrsError};
 pub use fallback::{Algorithm, ExecutionReport, FallbackPolicy, NumericGuard};
+pub use metrics::{PhaseTimings, TimingSink};
 pub use partition::{Partition, Segment};
 pub use cache::PlanCache;
 pub use plan::WinRsPlan;

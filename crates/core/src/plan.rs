@@ -461,6 +461,22 @@ impl WinRsPlan {
         reduce_buckets(buckets, self.z(), dw);
     }
 
+    /// Number of block columns (`oc`-tile tasks) one full execution at the
+    /// plan's tile mode runs through the engine — the unit the profiler's
+    /// per-block statistics ([`crate::PhaseTimings::blocks`]) count.
+    pub fn block_columns(&self) -> usize {
+        let mode = self.tile_mode();
+        self.partition
+            .segments
+            .iter()
+            .map(|s| {
+                self.conv
+                    .oc
+                    .div_ceil(crate::engine::cache_block(mode, s.kernel.alpha()).0)
+            })
+            .sum()
+    }
+
     /// EWM multiply–accumulate count actually executed (after Winograd
     /// reduction, height clipping, and boundary/phantom redundancy).
     pub fn ewm_macs(&self) -> u64 {

@@ -328,6 +328,7 @@ pub struct Workspace {
     health: HealthSink,
     peak_workspace_bytes: usize,
     hot_loop_allocs: u64,
+    grows: usize,
 }
 
 impl Workspace {
@@ -352,6 +353,7 @@ impl Workspace {
     pub fn ensure(&mut self, layout: &WorkspaceLayout) {
         if self.arena.len() < layout.arena_elems() {
             self.arena.resize(layout.arena_elems(), 0.0);
+            self.grows += 1;
         }
         if self.health.len() < layout.segments() {
             self.health = HealthSink::new(layout.segments());
@@ -404,6 +406,14 @@ impl Workspace {
     /// Current arena capacity in bytes.
     pub fn arena_bytes(&self) -> usize {
         self.arena.len() * 4
+    }
+
+    /// Times the arena actually grew. A warm training loop should hold
+    /// this at 1 (the first step); every further growth is a layout the
+    /// caller didn't anticipate — the observability hook for the
+    /// grow-only reuse contract.
+    pub fn grows(&self) -> usize {
+        self.grows
     }
 }
 

@@ -184,6 +184,40 @@ mod tests {
     }
 
     #[test]
+    fn carry_at_max_rounds_to_infinity() {
+        // bf16::MAX is 0x7F7F (odd mantissa). An f32 exactly halfway to the
+        // next step ties upward, and the `wrapping_add(1)` carry ripples
+        // through the mantissa into the exponent, producing the infinity
+        // pattern 0x7F80 — the correctly rounded result.
+        let halfway_up = f32::from_bits(0x7F7F_8000);
+        assert_eq!(bf16::from_f32(halfway_up), bf16::INFINITY);
+        assert_eq!(bf16::from_f32(-halfway_up).to_bits(), 0xFF80);
+        // Anything past halfway overflows too; f32::MAX truncates to
+        // 0x7F7F + a full tail of discarded ones.
+        assert_eq!(bf16::from_f32(f32::MAX), bf16::INFINITY);
+        assert_eq!(bf16::from_f32(f32::MIN).to_bits(), 0xFF80);
+        // Just below halfway stays at MAX: no premature overflow.
+        assert_eq!(bf16::from_f32(f32::from_bits(0x7F7F_7FFF)), bf16::MAX);
+        // f32 infinities map straight to bf16 infinities (zero discarded
+        // bits, so the rounding branch is never taken).
+        assert_eq!(bf16::from_f32(f32::INFINITY), bf16::INFINITY);
+        assert_eq!(bf16::from_f32(f32::NEG_INFINITY).to_bits(), 0xFF80);
+    }
+
+    #[test]
+    fn carry_within_normals_reaches_next_binade() {
+        // Same carry mechanism below the overflow threshold: 0x3FFF has an
+        // all-ones mantissa; the halfway tie rounds it up to exactly 2.0
+        // (0x4000), crossing the binade boundary.
+        assert_eq!(bf16::from_f32(f32::from_bits(0x3FFF_8000)).to_f32(), 2.0);
+        // Even mantissa at the tie stays put: 0x3FFE halfway keeps 0x3FFE.
+        assert_eq!(
+            bf16::from_f32(f32::from_bits(0x3FFE_8000)).to_bits(),
+            0x3FFE
+        );
+    }
+
+    #[test]
     fn arithmetic() {
         let a = bf16::from_f32(3.0);
         let b = bf16::from_f32(0.5);

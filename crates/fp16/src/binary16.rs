@@ -322,6 +322,104 @@ mod tests {
         }
     }
 
+    /// Round a non-negative f64 to an integer with round-half-to-even.
+    /// Written from the rounding definition, independently of the bit
+    /// manipulation in `from_f32`, so the two can cross-check each other.
+    fn rne_to_int(q: f64) -> u64 {
+        let floor = q.floor();
+        let frac = q - floor;
+        let f = floor as u64;
+        if frac > 0.5 || (frac == 0.5 && f % 2 == 1) {
+            f + 1
+        } else {
+            f
+        }
+    }
+
+    /// Reference conversion for |v| < 2⁻¹³: both binary16 subnormals and
+    /// the smallest normal binade have ulp 2⁻²⁴, so the correctly rounded
+    /// bit pattern is just RNE quantisation in units of 2⁻²⁴. The scaling
+    /// by 2²⁴ is exact in f64 (power of two), so this reference is exact.
+    fn ref_f16_bits_tiny(v: f32) -> u16 {
+        assert!(v.abs() < 2.0f32.powi(-13));
+        let sign = if v.is_sign_negative() { 0x8000u16 } else { 0 };
+        let q = (v.abs() as f64) * (1u64 << 24) as f64;
+        sign | rne_to_int(q) as u16
+    }
+
+    #[test]
+    fn subnormal_boundary_matches_f64_reference() {
+        // Sweep every source exponent that lands in or below the binary16
+        // subnormal range, unbiased ∈ [-25, -14]: targeted mantissas around
+        // each exponent's RNE halfway patterns plus deterministic samples.
+        for unbiased in -25i32..=-14 {
+            let exp_bits = ((unbiased + 127) as u32) << 23;
+            // Mirror of from_f32's shift; = 24 at unbiased = -25 (the edge).
+            let shift = if unbiased >= -14 {
+                13u32
+            } else {
+                (-14 - unbiased) as u32 + 13
+            };
+            let halfway = 1u32 << (shift - 1);
+            let mut mans = vec![0u32, 1, 0x40_0000, 0x7F_FFFF];
+            for base in [0u32, 1 << (shift % 24), 3 << (shift % 24), 0x7F_FFFF] {
+                for delta in [halfway - 1, halfway, halfway + 1] {
+                    mans.push((base ^ delta) & 0x7F_FFFF);
+                    mans.push((base | delta) & 0x7F_FFFF);
+                }
+            }
+            let mut s = 0x9E37_79B9_7F4A_7C15u64 ^ (unbiased as u64);
+            for _ in 0..500 {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                mans.push((s >> 40) as u32 & 0x7F_FFFF);
+            }
+            for man in mans {
+                for sign in [0u32, 0x8000_0000] {
+                    let v = f32::from_bits(sign | exp_bits | man);
+                    let got = f16::from_f32(v).to_bits();
+                    let want = ref_f16_bits_tiny(v);
+                    assert_eq!(
+                        got,
+                        want,
+                        "v = {v:e} (bits {:#010x}, unbiased {unbiased}, shift {shift})",
+                        v.to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shift_24_edge_cases() {
+        // unbiased = -25 drives shift to its maximum of 24: the entire
+        // 24-bit significand is below the result, and rounding decides
+        // between zero and MIN_SUBNORMAL.
+        let ulp = 2.0f32.powi(-24);
+        // Exactly half an ulp: tie, result mantissa 0 is even -> zero.
+        assert_eq!(f16::from_f32(ulp / 2.0), f16::ZERO);
+        assert_eq!(f16::from_f32(-ulp / 2.0).to_bits(), 0x8000);
+        // The next f32 above half an ulp breaks the tie upward.
+        let above = f32::from_bits((ulp / 2.0).to_bits() + 1);
+        assert_eq!(f16::from_f32(above), f16::MIN_SUBNORMAL);
+        // Below half an ulp: zero regardless of mantissa.
+        let below = f32::from_bits((ulp / 2.0).to_bits() - 1);
+        assert_eq!(f16::from_f32(below), f16::ZERO);
+
+        // RNE halfway cases one binade up (shift = 23): 1.5 ulp sits between
+        // subnormal mantissas 1 (odd) and 2 (even) -> 2; 2.5 ulp between 2
+        // and 3 -> stays 2.
+        assert_eq!(f16::from_f32(1.5 * ulp).to_bits(), 0x0002);
+        assert_eq!(f16::from_f32(2.5 * ulp).to_bits(), 0x0002);
+        assert_eq!(f16::from_f32(3.5 * ulp).to_bits(), 0x0004);
+
+        // Rounding up out of the subnormal range must land exactly on the
+        // smallest normal (the `half_man + 1` carry at the top of the range).
+        let just_under_normal = f32::from_bits((2.0f32.powi(-14)).to_bits() - 1);
+        assert_eq!(f16::from_f32(just_under_normal), f16::MIN_POSITIVE);
+    }
+
     #[test]
     fn arithmetic_rounds_once() {
         // 1.0 + eps/2 in f16 is 1.0 (the addend vanishes below the mantissa).

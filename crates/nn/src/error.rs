@@ -1,0 +1,63 @@
+//! Typed errors for the training layers.
+//!
+//! The layers in this crate used to panic on misuse (calling `backward`
+//! before `forward`) and on dispatch failure. Both are recoverable from the
+//! caller's point of view — a training harness can skip a step, reduce the
+//! loss scale, or surface the problem — so they are typed errors instead.
+
+use std::error::Error;
+use std::fmt;
+use winrs_core::WinrsError;
+
+/// Errors surfaced by the neural-network layers.
+#[derive(Debug)]
+pub enum NnError {
+    /// `backward` was called before any `forward`, so the layer has no
+    /// cached activation to differentiate against.
+    BackwardBeforeForward {
+        /// Which layer was misused (e.g. `"Conv2d"`).
+        layer: &'static str,
+    },
+    /// The backward-filter dispatcher failed even after applying the
+    /// configured fallback policy (e.g. `FallbackPolicy::ErrorOut` on a
+    /// rejected shape, or a forced algorithm that itself rejected).
+    Dispatch(WinrsError),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "{layer}::backward called before forward: no cached input")
+            }
+            NnError::Dispatch(err) => write!(f, "backward-filter dispatch failed: {err}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::BackwardBeforeForward { .. } => None,
+            NnError::Dispatch(err) => Some(err),
+        }
+    }
+}
+
+impl From<WinrsError> for NnError {
+    fn from(err: WinrsError) -> NnError {
+        NnError::Dispatch(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_layer() {
+        let e = NnError::BackwardBeforeForward { layer: "Conv2d" };
+        assert!(e.to_string().contains("Conv2d"));
+        assert!(e.to_string().contains("before forward"));
+    }
+}

@@ -1,9 +1,10 @@
 //! Layers: convolution (with pluggable backward-filter engine), ReLU,
 //! max-pool, and a fully connected head.
 
+use crate::error::NnError;
 use winrs_conv::{direct, ConvShape};
-use winrs_core::fallback::{run_bfc_with, ExecutionReport, FallbackPolicy, NumericGuard};
-use winrs_core::{Precision, Workspace};
+use winrs_core::fallback::{run_bfc_cached, ExecutionReport, FallbackPolicy, NumericGuard};
+use winrs_core::{PlanCache, Precision, Workspace};
 use winrs_gpu_sim::DeviceSpec;
 use winrs_tensor::Tensor4;
 
@@ -54,6 +55,10 @@ pub struct Conv2d {
     /// reused across training steps, so steady-state backward passes do no
     /// workspace allocation.
     pub workspace: Workspace,
+    /// Memoised plans keyed by `(shape, device, precision)`: the first
+    /// backward pass plans, every later step with the same batch size is a
+    /// cache hit (visible as `cache_hits` in [`Conv2d::last_report`]).
+    pub plan_cache: PlanCache,
 }
 
 impl Conv2d {
@@ -74,6 +79,7 @@ impl Conv2d {
             numeric_guard: NumericGuard::default(),
             last_report: None,
             workspace: Workspace::new(),
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -91,11 +97,17 @@ impl Conv2d {
     }
 
     /// Backward: computes `∇W` via the configured engine and returns `∇X`.
-    pub fn backward(&mut self, dy: &Tensor4<f32>) -> Tensor4<f32> {
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::BackwardBeforeForward`] when no `forward` has cached an
+    /// input yet; [`NnError::Dispatch`] when the backward-filter dispatcher
+    /// fails even after the configured fallback policy.
+    pub fn backward(&mut self, dy: &Tensor4<f32>) -> Result<Tensor4<f32>, NnError> {
         let n = self
             .cached_input
             .as_ref()
-            .expect("backward before forward")
+            .ok_or(NnError::BackwardBeforeForward { layer: "Conv2d" })?
             .dims()[0];
         let shape = self.shape_for_batch(n);
 
@@ -109,7 +121,10 @@ impl Conv2d {
             }
         };
 
-        let x = self.cached_input.as_ref().expect("backward before forward");
+        let x = match self.cached_input.as_ref() {
+            Some(x) => x,
+            None => return Err(NnError::BackwardBeforeForward { layer: "Conv2d" }),
+        };
         self.grad_weights = match (precision, device) {
             (Some(p), Some(d)) => {
                 // Loss scaling (§6.3): FP16 convolves S·∇Y and unscales in
@@ -122,7 +137,7 @@ impl Conv2d {
                 } else {
                     dy
                 };
-                let (dw, report) = run_bfc_with(
+                let (dw, report) = run_bfc_cached(
                     &shape,
                     &d,
                     p,
@@ -130,9 +145,9 @@ impl Conv2d {
                     dy_eff,
                     self.fallback_policy,
                     self.numeric_guard,
+                    &mut self.plan_cache,
                     &mut self.workspace,
-                )
-                .unwrap_or_else(|err| panic!("Conv2d backward-filter dispatch failed: {err}"));
+                )?;
                 self.last_report = Some(report);
                 if p == Precision::Fp16 {
                     dw.scale(1.0 / scale as f64)
@@ -142,7 +157,7 @@ impl Conv2d {
             }
             _ => direct::bfc_direct(&shape, x, dy),
         };
-        direct::bdc_direct(&shape, dy, &self.weights)
+        Ok(direct::bdc_direct(&shape, dy, &self.weights))
     }
 
     /// SGD step.
@@ -362,8 +377,8 @@ mod tests {
         let yb = b.forward(&x);
         assert_eq!(ya, yb);
         let dy = Tensor4::<f32>::random_uniform(ya.dims(), 6, 1.0);
-        let dxa = a.backward(&dy);
-        let dxb = b.backward(&dy);
+        let dxa = a.backward(&dy).unwrap();
+        let dxb = b.backward(&dy).unwrap();
         assert_eq!(dxa, dxb); // BDC identical (direct both)
         let m = winrs_tensor::mare(&b.grad_weights, &a.grad_weights);
         assert!(m < 1e-5, "MARE {m}");
@@ -382,12 +397,12 @@ mod tests {
         let x = Tensor4::<f32>::random_uniform([1, 16, 16, 2], 7, 1.0);
         let y = c.forward(&x);
         let dy = Tensor4::<f32>::random_uniform(y.dims(), 8, 1.0);
-        c.backward(&dy);
+        c.backward(&dy).unwrap();
         let sized = c.workspace.arena_bytes();
         assert!(sized > 0, "first backward sizes the arena");
         for _ in 0..2 {
             c.forward(&x);
-            c.backward(&dy);
+            c.backward(&dy).unwrap();
             assert_eq!(
                 c.workspace.arena_bytes(),
                 sized,
@@ -400,6 +415,44 @@ mod tests {
             report.mem.workspace_bytes_peak,
             report.mem.workspace_bytes_planned
         );
+    }
+
+    #[test]
+    fn conv_backward_before_forward_is_a_typed_error() {
+        let mut c = Conv2d::new(8, 2, 3, 3, GradEngine::WinRsFp32 { device: RTX_4090 }, 3);
+        let dy = Tensor4::<f32>::random_uniform([1, 8, 8, 3], 9, 1.0);
+        match c.backward(&dy) {
+            Err(NnError::BackwardBeforeForward { layer }) => assert_eq!(layer, "Conv2d"),
+            other => panic!("expected BackwardBeforeForward, got {other:?}"),
+        }
+        // Direct engine misuse errors the same way (no silent panic path).
+        let mut d = Conv2d::new(8, 2, 3, 3, GradEngine::Direct, 3);
+        assert!(matches!(
+            d.backward(&dy),
+            Err(NnError::BackwardBeforeForward { .. })
+        ));
+    }
+
+    #[test]
+    fn conv_backward_hits_plan_cache_after_first_step() {
+        let mut c = Conv2d::new(12, 2, 3, 3, GradEngine::WinRsFp32 { device: RTX_4090 }, 4);
+        let x = Tensor4::<f32>::random_uniform([2, 12, 12, 2], 10, 1.0);
+        let y = c.forward(&x);
+        let dy = Tensor4::<f32>::random_uniform(y.dims(), 11, 1.0);
+
+        c.backward(&dy).unwrap();
+        let first = c.last_report.as_ref().expect("report");
+        assert_eq!((first.cache_hits, first.cache_misses), (0, 1));
+
+        // Warm steps replan nothing: every later dispatch is a cache hit.
+        for step in 1..=3u64 {
+            c.forward(&x);
+            c.backward(&dy).unwrap();
+            let r = c.last_report.as_ref().expect("report");
+            assert!(r.cache_hits >= 1, "step {step} should hit the plan cache");
+            assert_eq!((r.cache_hits, r.cache_misses), (step, 1));
+        }
+        assert_eq!(c.plan_cache.len(), 1);
     }
 
     #[test]

@@ -18,12 +18,14 @@
 //! Everything is plain FP32 SGD; only the `∇W` computation varies.
 
 pub mod data;
+pub mod error;
 pub mod layers;
 pub mod model;
 pub mod resnet;
 pub mod train;
 
 pub use data::SyntheticDataset;
+pub use error::NnError;
 pub use layers::{Conv2d, GradEngine, Linear, MaxPool2, Relu};
 pub use model::SmallCnn;
 pub use resnet::{BasicBlock, TinyResNet};

@@ -1,5 +1,6 @@
 //! A small VGG-style CNN: conv–relu–pool, conv–relu–pool, linear.
 
+use crate::error::NnError;
 use crate::layers::{softmax_cross_entropy, Conv2d, GradEngine, Linear, MaxPool2, Relu};
 use winrs_gpu_sim::DeviceSpec;
 use winrs_tensor::Tensor4;
@@ -62,7 +63,17 @@ impl SmallCnn {
     }
 
     /// One training step: returns the mean batch loss.
-    pub fn train_step(&mut self, x: &Tensor4<f32>, labels: &[usize], lr: f32) -> f32 {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NnError`] from the convolution backward passes (e.g. a
+    /// dispatch failure under `FallbackPolicy::ErrorOut`).
+    pub fn train_step(
+        &mut self,
+        x: &Tensor4<f32>,
+        labels: &[usize],
+        lr: f32,
+    ) -> Result<f32, NnError> {
         // Forward.
         let a1 = self.conv1.forward(x);
         let a2 = self.relu1.forward(&a1);
@@ -77,16 +88,16 @@ impl SmallCnn {
         let g6 = self.fc.backward(&dlogits);
         let g5 = self.pool2.backward(&g6);
         let g4 = self.relu2.backward(&g5);
-        let g3 = self.conv2.backward(&g4);
+        let g3 = self.conv2.backward(&g4)?;
         let g2 = self.pool1.backward(&g3);
         let g1 = self.relu1.backward(&g2);
-        let _ = self.conv1.backward(&g1);
+        let _ = self.conv1.backward(&g1)?;
 
         // Update.
         self.fc.sgd_step(lr);
         self.conv2.sgd_step(lr);
         self.conv1.sgd_step(lr);
-        loss
+        Ok(loss)
     }
 
     /// Classification accuracy on a batch (no parameter updates).
@@ -126,11 +137,11 @@ mod tests {
         let mut data = SyntheticDataset::new(8, 1, 2, 0.05, 42);
         let mut model = SmallCnn::new(8, 1, 4, 2, Backend::Direct, RTX_4090, 1);
         let (x0, l0) = data.batch(8);
-        let first = model.train_step(&x0, &l0, 0.05);
+        let first = model.train_step(&x0, &l0, 0.05).unwrap();
         let mut last = first;
         for _ in 0..30 {
             let (x, l) = data.batch(8);
-            last = model.train_step(&x, &l, 0.05);
+            last = model.train_step(&x, &l, 0.05).unwrap();
         }
         assert!(last < first * 0.8, "first {first} last {last}");
     }

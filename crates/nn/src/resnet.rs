@@ -7,6 +7,7 @@
 //! skip-connected architecture (skip connections change gradient flow, so
 //! convergence parity here is a stronger check than the plain CNN's).
 
+use crate::error::NnError;
 use crate::layers::{softmax_cross_entropy, Conv2d, GradEngine, Linear, Relu};
 use crate::model::Backend;
 use winrs_gpu_sim::DeviceSpec;
@@ -58,20 +59,24 @@ impl BasicBlock {
 
     /// Backward pass: returns `∇X` (both the conv path and the skip path
     /// contribute).
-    pub fn backward(&mut self, dy: &Tensor4<f32>) -> Tensor4<f32> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NnError`] from either convolution's backward pass.
+    pub fn backward(&mut self, dy: &Tensor4<f32>) -> Result<Tensor4<f32>, NnError> {
         let g_sum = self.relu_out.backward(dy);
-        let g3 = self.conv2.backward(&g_sum);
+        let g3 = self.conv2.backward(&g_sum)?;
         let g2 = self.relu1.backward(&g3);
-        let g1 = self.conv1.backward(&g2);
+        let g1 = self.conv1.backward(&g2)?;
         // Skip path adds the post-add gradient directly.
-        Tensor4::from_vec(
+        Ok(Tensor4::from_vec(
             g1.dims(),
             g1.as_slice()
                 .iter()
                 .zip(g_sum.as_slice())
                 .map(|(a, b)| a + b)
                 .collect(),
-        )
+        ))
     }
 
     /// SGD step on both convolutions.
@@ -107,15 +112,24 @@ impl TinyResNet {
     }
 
     /// One SGD step; returns the batch loss.
-    pub fn train_step(&mut self, x: &Tensor4<f32>, labels: &[usize], lr: f32) -> f32 {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NnError`] from the block's backward pass.
+    pub fn train_step(
+        &mut self,
+        x: &Tensor4<f32>,
+        labels: &[usize],
+        lr: f32,
+    ) -> Result<f32, NnError> {
         let a = self.block.forward(x);
         let logits = self.fc.forward(&a);
         let (loss, dlogits) = softmax_cross_entropy(&logits, labels, self.classes);
         let g = self.fc.backward(&dlogits);
-        let _ = self.block.backward(&g);
+        let _ = self.block.backward(&g)?;
         self.fc.sgd_step(lr);
         self.block.sgd_step(lr);
-        loss
+        Ok(loss)
     }
 }
 
@@ -134,7 +148,7 @@ mod tests {
         let g = Tensor4::<f32>::random_uniform([1, 6, 6, 2], 11, 1.0);
         let y = block.forward(&x);
         let _ = y;
-        let dx = block.backward(&g);
+        let dx = block.backward(&g).unwrap();
 
         let loss = |block: &mut BasicBlock, x: &Tensor4<f32>| -> f64 {
             block
@@ -169,8 +183,8 @@ mod tests {
         let mut first = (0.0f32, 0.0f32);
         for step in 0..40 {
             let (x, l) = data.batch(8);
-            let ld = direct.train_step(&x, &l, 0.03);
-            let lw = winrs.train_step(&x, &l, 0.03);
+            let ld = direct.train_step(&x, &l, 0.03).unwrap();
+            let lw = winrs.train_step(&x, &l, 0.03).unwrap();
             if step == 0 {
                 first = (ld, lw);
             }

@@ -1,6 +1,7 @@
 //! Training harness producing the loss curves of the Figure 13 experiment.
 
 use crate::data::SyntheticDataset;
+use crate::error::NnError;
 use crate::model::{Backend, SmallCnn};
 use winrs_gpu_sim::{DeviceSpec, RTX_4090};
 
@@ -60,7 +61,11 @@ pub struct TrainReport {
 /// Train one model with the given backend; data and initialisation are
 /// deterministic in `cfg.seed`, so curves across backends are directly
 /// comparable (the Figure 13 protocol).
-pub fn train(cfg: &TrainConfig, backend: Backend) -> TrainReport {
+///
+/// # Errors
+///
+/// Propagates [`NnError`] from any training step's backward pass.
+pub fn train(cfg: &TrainConfig, backend: Backend) -> Result<TrainReport, NnError> {
     let mut data = SyntheticDataset::new(cfg.res, cfg.channels, cfg.classes, cfg.noise, cfg.seed);
     let mut model = SmallCnn::new(
         cfg.res,
@@ -74,15 +79,15 @@ pub fn train(cfg: &TrainConfig, backend: Backend) -> TrainReport {
     let mut losses = Vec::with_capacity(cfg.steps);
     for _ in 0..cfg.steps {
         let (x, labels) = data.batch(cfg.batch);
-        losses.push(model.train_step(&x, &labels, cfg.lr));
+        losses.push(model.train_step(&x, &labels, cfg.lr)?);
     }
     let (xt, lt) = data.batch(64);
     let final_accuracy = model.accuracy(&xt, &lt);
-    TrainReport {
+    Ok(TrainReport {
         backend,
         losses,
         final_accuracy,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -102,8 +107,8 @@ mod tests {
             steps: 40,
             ..TrainConfig::default()
         };
-        let direct = train(&cfg, Backend::Direct);
-        let winrs = train(&cfg, Backend::WinRsFp32);
+        let direct = train(&cfg, Backend::Direct).unwrap();
+        let winrs = train(&cfg, Backend::WinRsFp32).unwrap();
         let (d, w) = (mean_tail(&direct.losses), mean_tail(&winrs.losses));
         assert!(
             (d - w).abs() < 0.15 * d.max(0.1),
@@ -120,8 +125,8 @@ mod tests {
             steps: 40,
             ..TrainConfig::default()
         };
-        let direct = train(&cfg, Backend::Direct);
-        let fp16 = train(&cfg, Backend::WinRsFp16);
+        let direct = train(&cfg, Backend::Direct).unwrap();
+        let fp16 = train(&cfg, Backend::WinRsFp16).unwrap();
         let (d, h) = (mean_tail(&direct.losses), mean_tail(&fp16.losses));
         assert!(h < fp16.losses[0] * 0.8, "fp16 failed to learn: tail {h}");
         assert!(
@@ -133,7 +138,7 @@ mod tests {
     #[test]
     fn accuracy_beats_chance_after_training() {
         let cfg = TrainConfig::default();
-        let report = train(&cfg, Backend::WinRsFp32);
+        let report = train(&cfg, Backend::WinRsFp32).unwrap();
         assert!(
             report.final_accuracy > 1.5 / cfg.classes as f64,
             "accuracy {}",

@@ -27,7 +27,13 @@ fn main() {
     );
 
     for backend in [Backend::Direct, Backend::WinRsFp32, Backend::WinRsFp16] {
-        let report = train(&cfg, backend);
+        let report = match train(&cfg, backend) {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("{backend:?}: training failed: {err}");
+                continue;
+            }
+        };
         let first = report.losses[0];
         let last10: f32 =
             report.losses[report.losses.len() - 10..].iter().sum::<f32>() / 10.0;

@@ -10,6 +10,9 @@
 #   4. workspace-accounting smoke test: the CLI's layout breakdown must
 #      match the paper formula and a guarded execution must report a
 #      zero-allocation hot loop
+#   5. profiling smoke test: `winrs profile` must print the per-phase
+#      breakdown with a warm plan cache, and the bench harness's --json
+#      baseline must carry the winrs-bench-v1 schema and phase fields
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,5 +32,28 @@ REF_SHAPE=(--n 32 --res 56 --ic 16 --oc 16 --f 3)
   | grep -q "overflow check : matches"
 "$WINRS" verify "${REF_SHAPE[@]}" | tee /dev/stderr \
   | grep -q "hot_loop_allocs=0"
+
+echo "==> profiling smoke (winrs profile + phase-baseline JSON schema)"
+PROFILE_OUT=$("$WINRS" profile --n 1 --res 16 --ic 4 --oc 8 --f 3 --trips 3)
+echo "$PROFILE_OUT" >&2
+echo "$PROFILE_OUT" | grep -q "wall-clock phases"
+echo "$PROFILE_OUT" | grep -Eq "plan-cache   : 2 hits / 1 misses"
+echo "$PROFILE_OUT" | grep -q "total"
+
+BASELINE=bench_results/phase_baseline.json
+target/release/phase_baseline --json >/dev/null
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.schema == "winrs-bench-v1"
+         and (.results | length >= 1)
+         and (.results[0] | has("total_ms") and has("ewmm_ms")
+              and has("cache_hits"))' "$BASELINE" >/dev/null
+else
+  # jq-free schema check: the emitter writes compact single-line JSON, so
+  # fixed-string greps on the key tokens are reliable.
+  grep -q '"schema":"winrs-bench-v1"' "$BASELINE"
+  grep -q '"total_ms":' "$BASELINE"
+  grep -q '"ewmm_ms":' "$BASELINE"
+  grep -q '"cache_hits":' "$BASELINE"
+fi
 
 echo "CI OK"
