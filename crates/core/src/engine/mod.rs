@@ -49,9 +49,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use winrs_conv::ConvShape;
 use winrs_fp16::{bf16, e4m3, f16};
+use winrs_gemm::micro;
 use winrs_tensor::{Scalar, Tensor4};
 use winrs_winograd::cook_toom::TransformReal;
 use winrs_winograd::kernels::{fp16_cache_block, fp32_cache_block, KernelId};
+
+/// Largest cache-block dimension any kernel configures (see
+/// `winrs-winograd::kernels`); sizes the stack buffer the interior fast
+/// paths widen reduced-precision channel runs into.
+const MAX_BLOCK: usize = 128;
 
 /// Resolve the (possibly scaled) transform for a segment's kernel.
 pub trait TransformSource: Sync {
@@ -194,15 +200,16 @@ pub fn cache_block(mode: TileMode, alpha: usize) -> (usize, usize) {
     }
 }
 
-/// Scratch f32 elements one block column of `kernel` needs: the `ĝ`
-/// (α·B_N), `d̂` (α·B_M) and accumulator (α·B_N·B_M) tiles, with the block
-/// dims clamped to the problem's channel counts.
+/// Scratch f32 elements one block task of `kernel` needs: the `ĝ`
+/// (α·B_N), `d̂` (α·B_M) and accumulator (α·B_N·B_M) tiles plus the output
+/// transform's row buffer (B_M), with the block dims clamped to the
+/// problem's channel counts.
 pub fn scratch_slot_elems(conv: &ConvShape, kernel: KernelId, mode: TileMode) -> usize {
     let alpha = kernel.alpha();
     let (bn, bm) = cache_block(mode, alpha);
     let bn_c = bn.min(conv.oc);
     let bm_c = bm.min(conv.ic);
-    alpha * (bn_c + bm_c + bn_c * bm_c)
+    alpha * (bn_c + bm_c + bn_c * bm_c) + bm_c
 }
 
 /// Largest block-column scratch requirement over every segment of
@@ -218,14 +225,15 @@ pub fn scratch_slot_elems_for(conv: &ConvShape, partition: &Partition, mode: Til
 }
 
 /// Scratch slots worth provisioning: one per hardware thread, capped at
-/// the largest number of block columns any launch pass can run at once.
+/// the largest number of `(oc-tile × filter-row)` tasks any launch pass
+/// can run at once.
 pub fn scratch_slots_for(conv: &ConvShape, partition: &Partition, mode: TileMode) -> usize {
     let tasks_in_pass = |pass: u8| -> usize {
         partition
             .segments
             .iter()
             .filter(|s| s.pass == pass)
-            .map(|s| conv.oc.div_ceil(cache_block(mode, s.kernel.alpha()).0))
+            .map(|s| conv.oc.div_ceil(cache_block(mode, s.kernel.alpha()).0) * conv.fh)
             .sum()
     };
     let max_tasks = tasks_in_pass(0).max(tasks_in_pass(1));
@@ -324,7 +332,7 @@ pub fn execute_segments_with<T: Scalar, S: TransformSource>(
         None => {
             let slot_elems = scratch_slot_elems_for(conv, partition, mode);
             let slots = scratch_slots_for(conv, partition, mode);
-            let mut arena = vec![0.0f32; slot_elems * slots];
+            let mut arena = vec![0.0f32; ScratchPool::region_elems(slot_elems, slots)];
             let pool = ScratchPool::new(&mut arena, slot_elems);
             run_passes(
                 conv, partition, transforms, x, dy, mode, buckets, opts, &pool,
@@ -365,33 +373,73 @@ fn run_passes<T: Scalar, S: TransformSource>(
                 }
                 let (bn, bm) = cache_block(mode, segment.kernel.alpha());
                 let t = transforms.transform(segment.kernel);
-                // Parallelise over output-channel tiles inside the segment:
-                // each tile owns a contiguous bucket slice.
-                let oc_tile_elems = bn * conv.fh * conv.fw * conv.ic;
-                bucket
-                    .par_chunks_mut(oc_tile_elems)
-                    .enumerate()
-                    .for_each(|(tile_idx, slice)| {
-                        let oc0 = tile_idx * bn;
-                        let bn_cur = bn.min(conv.oc - oc0);
-                        run_block_column(
-                            conv,
-                            segment,
-                            seg_idx,
-                            t,
-                            x,
-                            dy,
-                            mode,
-                            oc0,
-                            bn_cur,
-                            bm,
-                            slice,
-                            opts.health,
-                            opts.timing,
-                            scratch,
-                        );
-                    });
+                // Parallelise at (oc-tile × filter-row) granularity inside
+                // the segment: tail segments with few oc tiles no longer
+                // serialise a whole column on one worker. Tasks write
+                // strided-but-disjoint bucket rows through `BucketWriter`.
+                let tiles = conv.oc.div_ceil(bn);
+                let writer = BucketWriter::new(bucket);
+                (0..tiles * conv.fh).into_par_iter().for_each(|task| {
+                    let tile_idx = task / conv.fh;
+                    let fh = task % conv.fh;
+                    let oc0 = tile_idx * bn;
+                    let bn_cur = bn.min(conv.oc - oc0);
+                    run_block_tile(
+                        conv,
+                        segment,
+                        seg_idx,
+                        t,
+                        x,
+                        dy,
+                        mode,
+                        oc0,
+                        bn_cur,
+                        bm,
+                        fh,
+                        &writer,
+                        opts.health,
+                        opts.timing,
+                        scratch,
+                    );
+                });
             });
+    }
+}
+
+/// Raw-pointer view of one segment's bucket for the flattened
+/// `(oc-tile × filter-row)` task list. Each task owns every bucket index
+/// with an `oc` in its tile and `f_h` equal to its filter row, so the
+/// row ranges handed out by [`BucketWriter::row_mut`] are disjoint across
+/// concurrently running tasks — that disjointness is the safety argument
+/// for the `Sync` impl.
+struct BucketWriter<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: tasks only touch disjoint index ranges (see type docs); the
+// pointer itself is valid for the whole `run_passes` borrow of the bucket.
+unsafe impl<T: Send> Send for BucketWriter<T> {}
+unsafe impl<T: Send> Sync for BucketWriter<T> {}
+
+impl<T> BucketWriter<T> {
+    fn new(bucket: &mut [T]) -> BucketWriter<T> {
+        BucketWriter {
+            ptr: bucket.as_mut_ptr(),
+            len: bucket.len(),
+        }
+    }
+
+    /// Mutable view of `start..start + len`.
+    ///
+    /// # Safety
+    /// The range must be in-bounds and disjoint from every range any
+    /// concurrent caller obtains.
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // disjointness contract documented above
+    unsafe fn row_mut(&self, start: usize, len: usize) -> &mut [T] {
+        debug_assert!(start + len <= self.len, "BucketWriter row out of bounds");
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
     }
 }
 
@@ -450,12 +498,13 @@ impl Lap {
     }
 }
 
-/// Process every `(ic-tile, filter-tile)` block of one `oc` tile of one
-/// segment. `slice` is the bucket region for channels `oc0..oc0+bn_cur`,
-/// laid out `(bn_cur, F_H, F_W, I_C)`. Health counts and phase timings
-/// accumulate in locals and flush into their sinks once at the end.
+/// Process every `(ic-tile, filter-width-tile)` block of one
+/// `(oc-tile, filter-row)` task of one segment. Writes go through `out`
+/// into the rows this task owns (see [`BucketWriter`]). Health counts and
+/// phase timings accumulate in locals and flush into their sinks once at
+/// the end.
 #[allow(clippy::too_many_arguments)]
-fn run_block_column<T: Scalar>(
+fn run_block_tile<T: Scalar>(
     conv: &ConvShape,
     seg: &Segment,
     seg_idx: usize,
@@ -466,7 +515,8 @@ fn run_block_column<T: Scalar>(
     oc0: usize,
     bn_cur: usize,
     bm: usize,
-    slice: &mut [T],
+    fh: usize,
+    out: &BucketWriter<T>,
     health: Option<&HealthSink>,
     timing: Option<&TimingSink>,
     scratch: &ScratchPool<'_>,
@@ -488,78 +538,93 @@ fn run_block_column<T: Scalar>(
     let block_start = timing.map(|_| Instant::now());
     let (mut ft_ns, mut it_ns, mut ewmm_ns, mut ot_ns) = (0u64, 0u64, 0u64, 0u64);
 
-    // The block's "SMEM": ĝ, d̂ and accumulator tiles carved from one
-    // pooled slot. Slots arrive dirty — ĝ/d̂ are fully overwritten by the
-    // tile loaders and the accumulator region in use is zero-filled per
-    // filter tile below, so nothing stale is ever read.
-    scratch.with_slot(alpha * (bn_cur + bm_c + bn_cur * bm_c), |buf| {
+    let (i_lo, i_hi) = clip_rows(seg.h0, seg.h1, fh, conv.ph, conv.ih);
+
+    // The block's "SMEM": ĝ, d̂, accumulator and OT row-buffer tiles
+    // carved from one pooled slot. Slots arrive dirty — ĝ/d̂ are fully
+    // overwritten by the tile loaders, the accumulator region in use is
+    // zero-filled per filter tile below and the row buffer per row, so
+    // nothing stale is ever read.
+    scratch.with_slot(alpha * (bn_cur + bm_c + bn_cur * bm_c) + bm_c, |buf| {
         let (ghat, rest) = buf.split_at_mut(alpha * bn_cur);
-        let (dhat, acc) = rest.split_at_mut(alpha * bm_c);
+        let (dhat, rest) = rest.split_at_mut(alpha * bm_c);
+        let (acc, orow_buf) = rest.split_at_mut(alpha * bn_cur * bm_c);
 
         let mut ic0 = 0;
         while ic0 < conv.ic {
             let bm_cur = bm.min(conv.ic - ic0);
-            for fh in 0..conv.fh {
-                let (i_lo, i_hi) = clip_rows(seg.h0, seg.h1, fh, conv.ph, conv.ih);
-                for ftw in 0..fw_tiles {
-                    let fw0 = ftw * n_out;
-                    acc[..alpha * bn_cur * bm_cur].fill(0.0);
+            for ftw in 0..fw_tiles {
+                let fw0 = ftw * n_out;
+                acc[..alpha * bn_cur * bm_cur].fill(0.0);
 
-                    for i in i_lo..i_hi {
-                        let x_row = (fh + i) as isize - conv.ph as isize;
-                        for u in 0..seg.units {
-                            let col0 = seg.w0 + u * r;
-                            let x_col0 = (fw0 + col0) as isize - conv.pw as isize;
-                            for b in 0..conv.n {
-                                let mut lap = Lap::start(timing.is_some());
-                                // Filter transform: ghat[β][oc] = Σ_t G[β][t]·∇Y.
-                                load_filter_tile(dy, t, b, i, col0, oc0, bn_cur, ghat);
-                                #[cfg(feature = "faults")]
-                                crate::faults::maybe_inject(seg_idx, mode, ghat);
-                                saturated += round_tile(&mut ghat[..alpha * bn_cur], mode);
-                                lap.lap(&mut ft_ns);
-                                // Input transform: dhat[β][ic] = Σ_s Dᵀ[β][s]·X.
-                                load_input_tile(x, t, b, x_row, x_col0, ic0, bm_cur, dhat);
-                                saturated += round_tile(&mut dhat[..alpha * bm_cur], mode);
-                                lap.lap(&mut it_ns);
-                                // α-batched outer-product accumulation.
-                                for beta in 0..alpha {
-                                    let g_row = &ghat[beta * bn_cur..(beta + 1) * bn_cur];
-                                    let d_row = &dhat[beta * bm_cur..(beta + 1) * bm_cur];
-                                    let a_row = &mut acc
-                                        [beta * bn_cur * bm_cur..(beta + 1) * bn_cur * bm_cur];
-                                    for (oi, &gv) in g_row.iter().enumerate() {
-                                        let dst = &mut a_row[oi * bm_cur..(oi + 1) * bm_cur];
-                                        for (ii, &dv) in d_row.iter().enumerate() {
-                                            dst[ii] += gv * dv;
-                                        }
-                                    }
-                                }
-                                lap.lap(&mut ewmm_ns);
-                            }
+                for i in i_lo..i_hi {
+                    let x_row = (fh + i) as isize - conv.ph as isize;
+                    for u in 0..seg.units {
+                        let col0 = seg.w0 + u * r;
+                        let x_col0 = (fw0 + col0) as isize - conv.pw as isize;
+                        for b in 0..conv.n {
+                            let mut lap = Lap::start(timing.is_some());
+                            // Filter transform: ghat[β][oc] = Σ_t G[β][t]·∇Y.
+                            load_filter_tile(dy, t, b, i, col0, oc0, bn_cur, ghat);
+                            #[cfg(feature = "faults")]
+                            crate::faults::maybe_inject(seg_idx, mode, ghat);
+                            saturated += round_tile(&mut ghat[..alpha * bn_cur], mode);
+                            lap.lap(&mut ft_ns);
+                            // Input transform: dhat[β][ic] = Σ_s Dᵀ[β][s]·X.
+                            load_input_tile(x, t, b, x_row, x_col0, ic0, bm_cur, dhat);
+                            saturated += round_tile(&mut dhat[..alpha * bm_cur], mode);
+                            lap.lap(&mut it_ns);
+                            // α-batched outer-product accumulation through
+                            // the shared register-blocked micro-kernel —
+                            // all α planes in one dispatched call.
+                            micro::rank1_batch(
+                                &mut acc[..alpha * bn_cur * bm_cur],
+                                &ghat[..alpha * bn_cur],
+                                &dhat[..alpha * bm_cur],
+                                alpha,
+                            );
+                            lap.lap(&mut ewmm_ns);
                         }
                     }
-
-                    // Output transform Aᵀ and bucket accumulation (the
-                    // residual pass adds onto the bulk pass's bucket).
-                    let mut lap = Lap::start(timing.is_some());
-                    for oi in 0..bn_cur {
-                        for ii in 0..bm_cur {
-                            for d in 0..n_out {
-                                let mut y = 0.0f32;
-                                for beta in 0..alpha {
-                                    y += t.at_f32[d * alpha + beta]
-                                        * acc[(beta * bn_cur + oi) * bm_cur + ii];
-                                }
-                                non_finite += u64::from(!y.is_finite());
-                                let fw = fw0 + d;
-                                let dst = ((oi * conv.fh + fh) * conv.fw + fw) * conv.ic + ic0 + ii;
-                                slice[dst] += T::from_f32(y);
-                            }
-                        }
-                    }
-                    lap.lap(&mut ot_ns);
                 }
+
+                // Output transform Aᵀ and bucket accumulation (the
+                // residual pass adds onto the bulk pass's bucket): vector
+                // accumulation over β into a row buffer, one finite-check
+                // reduction per row, one contiguous row add.
+                let mut lap = Lap::start(timing.is_some());
+                for oi in 0..bn_cur {
+                    for d in 0..n_out {
+                        let orow = &mut orow_buf[..bm_cur];
+                        orow.fill(0.0);
+                        // Fold all α accumulator planes into the row buffer
+                        // with one batched call (plane stride bn·bm).
+                        micro::gather_axpy(
+                            orow,
+                            &t.at_f32[d * alpha..(d + 1) * alpha],
+                            &acc[oi * bm_cur..],
+                            bn_cur * bm_cur,
+                        );
+                        non_finite += orow
+                            .iter()
+                            .map(|y| u64::from(!y.is_finite()))
+                            .sum::<u64>();
+                        let fw = fw0 + d;
+                        let dst = (((oc0 + oi) * conv.fh + fh) * conv.fw + fw) * conv.ic + ic0;
+                        // SAFETY: this task owns every (oc ∈ tile, f_h = fh)
+                        // row; ranges are disjoint across concurrent tasks.
+                        let out_row = unsafe { out.row_mut(dst, bm_cur) };
+                        match T::as_f32s_mut(out_row) {
+                            Some(o) => micro::add_assign(o, orow),
+                            None => {
+                                for (o, &y) in out_row.iter_mut().zip(orow.iter()) {
+                                    *o += T::from_f32(y);
+                                }
+                            }
+                        }
+                    }
+                }
+                lap.lap(&mut ot_ns);
             }
             ic0 += bm_cur;
         }
@@ -580,9 +645,20 @@ fn run_block_column<T: Scalar>(
 /// fallback) read zero through the padded accessor. Reduced-precision
 /// re-rounding happens separately in [`round_tile`] so the engine can
 /// count saturations (and the fault injector can perturb the tile).
+///
+/// Every in-bounds column takes the vector path — one contiguous channel
+/// run per ∇Y column, the whole `G` column applied as one batched AXPY —
+/// while out-of-bounds (phantom) columns are skipped outright, since they
+/// contribute exactly zero. Border tiles therefore run at interior speed.
+/// This is bit-identical to the padded scalar reference: the AXPY adds
+/// `G[β][t]·v` terms the reference adds too, the skipped terms are
+/// `G[β][t]·0 = ±0.0`, and adding a signed zero to an accumulator that
+/// starts at `+0.0` can never change its bits. Oversized channel blocks
+/// (`bn_cur > MAX_BLOCK`, never produced by the planner) keep the scalar
+/// reference path.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn load_filter_tile<T: Scalar>(
+pub fn load_filter_tile<T: Scalar>(
     dy: &Tensor4<T>,
     t: &TransformReal,
     b: usize,
@@ -594,6 +670,34 @@ fn load_filter_tile<T: Scalar>(
 ) {
     let (alpha, r) = (t.alpha, t.r);
     ghat[..alpha * bn_cur].fill(0.0);
+    if i < dy.dims()[1] && bn_cur <= MAX_BLOCK {
+        let ow = dy.dims()[2];
+        let mut widened = [0.0f32; MAX_BLOCK];
+        for tt in 0..r {
+            // Bounds are per *column*, so border tiles stay on the vector
+            // path: a phantom column (width padding past the right edge)
+            // contributes exactly zero and is simply skipped — bit-identical
+            // to the padded-read reference, which skips its zero reads.
+            let col = col0 + tt;
+            if col >= ow {
+                continue;
+            }
+            let src = dy.chan_slice(b, i, col, oc0, bn_cur);
+            let row: &[f32] = match T::as_f32s(src) {
+                Some(s) => s,
+                None => {
+                    for (w, v) in widened.iter_mut().zip(src) {
+                        *w = v.to_f32();
+                    }
+                    &widened[..bn_cur]
+                }
+            };
+            // Whole G column in one batched call: the β loop runs inside
+            // the micro-kernel, one dispatch check per ∇Y column.
+            micro::expand_axpy(&mut ghat[..alpha * bn_cur], &t.g_f32[tt..], r, row);
+        }
+        return;
+    }
     for tt in 0..r {
         // One padded-row read per (t): channels are contiguous.
         let col = (col0 + tt) as isize;
@@ -611,9 +715,14 @@ fn load_filter_tile<T: Scalar>(
 /// Load one input tile (`α` X columns × `bm_cur` input channels) and apply
 /// `Dᵀ` in FP32. Out-of-range rows/columns read zero (width padding,
 /// Figure 7's clipping already removed out-of-range rows).
+///
+/// In-bounds columns take the same contiguous-read + batched-AXPY vector
+/// path as [`load_filter_tile`] (per-column bounds, so border tiles stay
+/// vectorised), with the same bit-identity argument; a fully clipped row
+/// returns the zero tile immediately.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn load_input_tile<T: Scalar>(
+pub fn load_input_tile<T: Scalar>(
     x: &Tensor4<T>,
     t: &TransformReal,
     b: usize,
@@ -625,6 +734,35 @@ fn load_input_tile<T: Scalar>(
 ) {
     let alpha = t.alpha;
     dhat[..alpha * bm_cur].fill(0.0);
+    if x_row < 0 || (x_row as usize) >= x.dims()[1] {
+        return; // clipped row: the whole tile reads padding zeros
+    }
+    if bm_cur <= MAX_BLOCK {
+        let iw = x.dims()[2] as isize;
+        let mut widened = [0.0f32; MAX_BLOCK];
+        for s in 0..alpha {
+            // Per-column bounds, as in the filter loader: padding columns
+            // contribute zero and are skipped, interior columns take the
+            // contiguous vector path even inside a border tile.
+            let col = x_col0 + s as isize;
+            if col < 0 || col >= iw {
+                continue;
+            }
+            let src = x.chan_slice(b, x_row as usize, col as usize, ic0, bm_cur);
+            let row: &[f32] = match T::as_f32s(src) {
+                Some(sl) => sl,
+                None => {
+                    for (w, v) in widened.iter_mut().zip(src) {
+                        *w = v.to_f32();
+                    }
+                    &widened[..bm_cur]
+                }
+            };
+            // Whole Dᵀ column batched, same as the filter loader.
+            micro::expand_axpy(&mut dhat[..alpha * bm_cur], &t.dt_f32[s..], alpha, row);
+        }
+        return;
+    }
     for s in 0..alpha {
         let col = x_col0 + s as isize;
         for ic_i in 0..bm_cur {
@@ -827,7 +965,7 @@ mod tests {
     }
 
     #[test]
-    fn timing_sink_counts_every_block_column() {
+    fn timing_sink_counts_every_block_task() {
         let conv = ConvShape::new(2, 16, 16, 4, 6, 3, 3, 1, 1);
         let (partition, src) = setup(&conv, 4);
         let x = Tensor4::<f32>::random_uniform([2, 16, 16, 4], 11, 1.0);
@@ -852,7 +990,9 @@ mod tests {
             let expected: usize = partition
                 .segments
                 .iter()
-                .map(|s| conv.oc.div_ceil(cache_block(TileMode::Fp32, s.kernel.alpha()).0))
+                .map(|s| {
+                    conv.oc.div_ceil(cache_block(TileMode::Fp32, s.kernel.alpha()).0) * conv.fh
+                })
                 .sum();
             assert_eq!(sink.blocks() as usize, expected);
             assert!(sink.ft_ns() > 0, "FT untimed");

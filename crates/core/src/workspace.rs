@@ -35,6 +35,18 @@ use crate::error::{Violation, WinrsError};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Slot alignment quantum in f32 elements: 16 f32s = one 64-byte cache
+/// line. [`ScratchPool`] rounds slot strides up to this and skips the
+/// region's unaligned lead, so every slot starts on a cache-line boundary
+/// and the engine's 8-lane loads never split lines.
+pub const SLOT_ALIGN_ELEMS: usize = 16;
+
+/// Slot stride for a requested slot size: the next multiple of the
+/// alignment quantum.
+fn slot_stride(slot_elems: usize) -> usize {
+    slot_elems.next_multiple_of(SLOT_ALIGN_ELEMS)
+}
+
 /// What a [`Region`] of the layout is for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RegionKind {
@@ -100,6 +112,7 @@ impl WorkspaceLayout {
         slots: usize,
         segments: usize,
     ) -> WorkspaceLayout {
+        let scratch_elems = ScratchPool::region_elems(slot_elems, slots);
         let regions = vec![
             Region {
                 name: "dw-bucket",
@@ -116,8 +129,8 @@ impl WorkspaceLayout {
             Region {
                 name: "thread-scratch",
                 kind: RegionKind::Scratch,
-                elems: slot_elems * slots,
-                bytes: slot_elems * slots * 4,
+                elems: scratch_elems,
+                bytes: scratch_elems * 4,
             },
             Region {
                 name: "guard-counters",
@@ -138,12 +151,13 @@ impl WorkspaceLayout {
     /// Layout with only a thread-scratch region — used by the forward/BDC
     /// and N-D paths, which have no buckets (Z = 1 folds into the output).
     pub fn scratch_only(slot_elems: usize, slots: usize) -> WorkspaceLayout {
+        let scratch_elems = ScratchPool::region_elems(slot_elems, slots);
         WorkspaceLayout {
             regions: vec![Region {
                 name: "thread-scratch",
                 kind: RegionKind::Scratch,
-                elems: slot_elems * slots,
-                bytes: slot_elems * slots * 4,
+                elems: scratch_elems,
+                bytes: scratch_elems * 4,
             }],
             bucket_elems: 0,
             slot_elems,
@@ -176,9 +190,16 @@ impl WorkspaceLayout {
         &self.regions
     }
 
-    /// Total f32 elements the arena must hold (bucket + scratch regions).
+    /// Total f32 elements the arena must hold (bucket + scratch regions,
+    /// the latter including slot-alignment padding).
     pub fn arena_elems(&self) -> usize {
-        self.bucket_elems + self.slot_elems * self.slots
+        self.bucket_elems + self.scratch_elems()
+    }
+
+    /// Scratch region length in f32 elements: aligned slot strides plus
+    /// one alignment quantum of lead padding (see [`SLOT_ALIGN_ELEMS`]).
+    pub fn scratch_elems(&self) -> usize {
+        ScratchPool::region_elems(self.slot_elems, self.slots)
     }
 
     /// Bucket region length in f32 elements (`Z · |∇W|`).
@@ -247,13 +268,39 @@ pub struct ScratchPool<'a> {
 }
 
 impl<'a> ScratchPool<'a> {
-    /// Partition `region` into slots of `slot_elems` f32s each.
+    /// Region length (f32 elements) that yields exactly `slots` slots of
+    /// `slot_elems` under [`ScratchPool::new`]'s alignment rules: strides
+    /// round up to [`SLOT_ALIGN_ELEMS`] and one quantum is reserved for
+    /// the lead trim. Layout constructors and transient pools size their
+    /// buffers with this so slot counts are deterministic regardless of
+    /// where the allocator placed the region.
+    pub fn region_elems(slot_elems: usize, slots: usize) -> usize {
+        if slot_elems == 0 || slots == 0 {
+            return 0;
+        }
+        slot_stride(slot_elems) * slots + SLOT_ALIGN_ELEMS
+    }
+
+    /// Partition `region` into 64-byte-aligned slots of `slot_elems` f32s
+    /// each. The unaligned lead of the region is skipped and slot strides
+    /// round up to [`SLOT_ALIGN_ELEMS`], so 8-lane vector loads inside a
+    /// slot never straddle cache lines. The slot count is the
+    /// deterministic `(len − SLOT_ALIGN_ELEMS) / stride` — independent of
+    /// the actual lead trim — so a region sized by
+    /// [`ScratchPool::region_elems`] always yields exactly `slots` slots.
     pub fn new(region: &'a mut [f32], slot_elems: usize) -> ScratchPool<'a> {
         let slots = if slot_elems == 0 {
             Vec::new()
         } else {
-            region
-                .chunks_exact_mut(slot_elems)
+            let stride = slot_stride(slot_elems);
+            let count = region.len().saturating_sub(SLOT_ALIGN_ELEMS) / stride;
+            let lead = region
+                .as_ptr()
+                .align_offset(SLOT_ALIGN_ELEMS * std::mem::size_of::<f32>())
+                .min(region.len());
+            region[lead..]
+                .chunks_exact_mut(stride)
+                .take(count)
                 .map(Mutex::new)
                 .collect()
         };
@@ -377,7 +424,7 @@ impl Workspace {
         let Workspace { arena, health, .. } = self;
         health.reset();
         let (buckets, rest) = arena.split_at_mut(layout.bucket_elems());
-        let scratch_len = layout.slot_elems() * layout.slots();
+        let scratch_len = layout.scratch_elems();
         let scratch = ScratchPool::new(&mut rest[..scratch_len], layout.slot_elems());
         Ok(ExecCtx {
             buckets,
@@ -427,7 +474,10 @@ mod tests {
         let layout = WorkspaceLayout::winrs(dw, z, 100, 4, 6);
         assert_eq!(layout.workspace_bytes(), (z - 1) * dw * 4);
         assert_eq!(layout.bucket_elems(), z * dw);
-        assert_eq!(layout.arena_elems(), z * dw + 400);
+        // Scratch: 4 slots of 100 elems, strides rounded to 112 (the
+        // 16-elem alignment quantum) plus one quantum of lead padding.
+        assert_eq!(layout.scratch_elems(), 112 * 4 + 16);
+        assert_eq!(layout.arena_elems(), z * dw + 464);
         let overflow = layout
             .regions()
             .iter()
@@ -476,10 +526,11 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("empty workspace must be rejected"),
         };
+        // 20 bucket elems + 2 aligned slots (8 → stride 16) + 16 lead pad.
         assert!(matches!(
             err.violations()[0],
             Violation::WorkspaceTooSmall {
-                needed_elems: 36,
+                needed_elems: 68,
                 got_elems: 0
             }
         ));
@@ -493,7 +544,7 @@ mod tests {
 
     #[test]
     fn scratch_pool_hands_out_slots_without_allocating() {
-        let mut region = vec![0.0f32; 32];
+        let mut region = vec![0.0f32; ScratchPool::region_elems(8, 4)];
         let pool = ScratchPool::new(&mut region, 8);
         assert_eq!(pool.slots(), 4);
         let total: f32 = pool.with_slot(8, |buf| {
@@ -501,6 +552,19 @@ mod tests {
             buf.iter().sum()
         });
         assert_eq!(total, 8.0);
+        assert_eq!(pool.hot_loop_allocs(), 0);
+    }
+
+    #[test]
+    fn scratch_slots_are_cache_line_aligned() {
+        let mut region = vec![0.0f32; ScratchPool::region_elems(20, 3)];
+        let pool = ScratchPool::new(&mut region, 20);
+        assert_eq!(pool.slots(), 3);
+        for _ in 0..3 {
+            pool.with_slot(20, |buf| {
+                assert_eq!(buf.as_ptr() as usize % 64, 0, "slot start not 64B-aligned");
+            });
+        }
         assert_eq!(pool.hot_loop_allocs(), 0);
     }
 
@@ -515,8 +579,10 @@ mod tests {
 
     #[test]
     fn scratch_pool_is_safe_under_parallel_contention() {
-        let mut region = vec![0.0f32; 4]; // 2 slots for 8 threads
+        // 2 slots for 8 threads.
+        let mut region = vec![0.0f32; ScratchPool::region_elems(2, 2)];
         let pool = ScratchPool::new(&mut region, 2);
+        assert_eq!(pool.slots(), 2);
         std::thread::scope(|s| {
             for t in 0..8 {
                 let pool = &pool;

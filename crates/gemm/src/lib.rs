@@ -19,6 +19,9 @@
 //! equal to their logical widths (no padding), which is what the conv
 //! lowering produces.
 
+pub mod micro;
+
+use micro::{micro_kernel_4x8, micro_kernel_4xn, MR, NR};
 use rayon::prelude::*;
 use winrs_fp16::f16;
 use winrs_tensor::Scalar;
@@ -27,9 +30,6 @@ use winrs_tensor::Scalar;
 /// of B. Sized for a ~1 MiB L2 slice.
 const MC: usize = 64;
 const KC: usize = 256;
-/// Register micro-tile.
-const MR: usize = 4;
-const NR: usize = 8;
 
 /// `C = alpha · A·B + beta · C`, all row-major; `A` is `m×k`, `B` is `k×n`,
 /// `C` is `m×n`. Reference implementation over any scalar type.
@@ -145,8 +145,21 @@ fn panel_kernel(
                     &mut c[i * n + j..],
                     n,
                 );
+            } else if mr == MR {
+                // Column tail: vector-shaped kernel with zero-padded B lanes.
+                micro_kernel_4xn(
+                    kc,
+                    alpha,
+                    &a[i * lda..],
+                    lda,
+                    &b[j..],
+                    ldb,
+                    nr,
+                    &mut c[i * n + j..],
+                    n,
+                );
             } else {
-                // Edge tile: scalar loop.
+                // Row-tail tile: scalar loop.
                 for ii in 0..mr {
                     for jj in 0..nr {
                         let mut acc = 0.0f32;
@@ -160,38 +173,6 @@ fn panel_kernel(
             j += nr;
         }
         i += mr;
-    }
-}
-
-/// `4 × 8` register-tile micro-kernel; the compiler auto-vectorises the
-/// inner 8-wide updates.
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn micro_kernel_4x8(
-    kc: usize,
-    alpha: f32,
-    a: &[f32],
-    lda: usize,
-    b: &[f32],
-    ldb: usize,
-    c: &mut [f32],
-    ldc: usize,
-) {
-    let mut acc = [[0.0f32; NR]; MR];
-    for p in 0..kc {
-        let bp = &b[p * ldb..p * ldb + NR];
-        for (ii, row) in acc.iter_mut().enumerate() {
-            let av = a[ii * lda + p];
-            for jj in 0..NR {
-                row[jj] += av * bp[jj];
-            }
-        }
-    }
-    for (ii, row) in acc.iter().enumerate() {
-        let crow = &mut c[ii * ldc..ii * ldc + NR];
-        for jj in 0..NR {
-            crow[jj] += alpha * row[jj];
-        }
     }
 }
 

@@ -1,0 +1,660 @@
+//! Register-blocked f32 micro-kernels shared by the GEMM panels and the
+//! fused Winograd engine (`winrs-core::engine`).
+//!
+//! Every kernel exists in two flavours that are **bit-identical**:
+//!
+//! * a scalar body written as fixed [`LANES`]-wide unrolled loops, which
+//!   LLVM auto-vectorises to SSE/AVX on any target;
+//! * an explicit AVX2 body (`simd` cargo feature, `x86_64` only) selected
+//!   by runtime feature detection.
+//!
+//! Bit-identity is a hard contract, not an accident: the AVX2 bodies use
+//! separate `_mm256_mul_ps` + `_mm256_add_ps` instead of `_mm256_fmadd_ps`,
+//! because a fused multiply-add skips the intermediate rounding and would
+//! make the `simd` feature change `∇W` bits. Both flavours therefore
+//! perform the identical IEEE-754 operation sequence per element, and the
+//! engine's scalar-vs-simd equivalence tests assert exact equality.
+//!
+//! Detection requires both `avx2` *and* `fma` (the target-feature pair the
+//! kernels are compiled for); [`force_scalar`] pins the dispatch to the
+//! scalar bodies so tests can compare both on the same machine.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Vector width of the unrolled loops: 8 f32 lanes = one 256-bit register.
+pub const LANES: usize = 8;
+
+/// Register micro-tile rows of the GEMM kernel.
+pub const MR: usize = 4;
+/// Register micro-tile columns of the GEMM kernel.
+pub const NR: usize = 8;
+
+/// When set, [`simd_active`] reports `false` and every kernel runs its
+/// scalar body — the test hook behind the scalar-vs-simd equivalence suite.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Pin (or unpin) dispatch to the scalar bodies. Global; tests that toggle
+/// it must serialise among themselves.
+pub fn force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::SeqCst);
+}
+
+/// True when the explicit AVX2 bodies will be used: the `simd` feature is
+/// compiled in, the CPU reports `avx2` and `fma`, and [`force_scalar`] is
+/// not pinning the dispatch.
+#[inline]
+pub fn simd_active() -> bool {
+    avx2_ready() && !FORCE_SCALAR.load(Ordering::SeqCst)
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn avx2_ready() -> bool {
+    use std::sync::OnceLock;
+    static READY: OnceLock<bool> = OnceLock::new();
+    *READY.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    })
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+#[inline(always)]
+fn avx2_ready() -> bool {
+    false
+}
+
+/// `dst[i] += a · x[i]` over `dst.len()` elements (`x` at least as long).
+///
+/// The engine's transform loops are built from this: one AXPY per
+/// transform coefficient, vectorised over the channel axis.
+#[inline]
+pub fn axpy(dst: &mut [f32], a: f32, x: &[f32]) {
+    let n = dst.len();
+    debug_assert!(x.len() >= n, "axpy: x shorter than dst");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: avx2+fma verified at runtime by `simd_active`.
+        unsafe { avx2::axpy(dst, a, &x[..n]) };
+        return;
+    }
+    axpy_scalar(dst, a, &x[..n]);
+}
+
+/// `dst[i] += x[i]` over `dst.len()` elements (`x` at least as long).
+#[inline]
+pub fn add_assign(dst: &mut [f32], x: &[f32]) {
+    let n = dst.len();
+    debug_assert!(x.len() >= n, "add_assign: x shorter than dst");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: avx2+fma verified at runtime by `simd_active`.
+        unsafe { avx2::add_assign(dst, &x[..n]) };
+        return;
+    }
+    add_assign_scalar(dst, &x[..n]);
+}
+
+/// Rank-1 accumulation `acc[oi][..] += g[oi] · d[..]` — the α-batched EWMM
+/// outer product for one β. `acc` is row-major `g.len() × d.len()`.
+#[inline]
+pub fn rank1_accumulate(acc: &mut [f32], g: &[f32], d: &[f32]) {
+    let bm = d.len();
+    debug_assert!(acc.len() >= g.len() * bm, "rank1: acc too short");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: avx2+fma verified at runtime by `simd_active`.
+        unsafe { avx2::rank1(acc, g, d) };
+        return;
+    }
+    for (oi, &gv) in g.iter().enumerate() {
+        axpy_scalar(&mut acc[oi * bm..(oi + 1) * bm], gv, d);
+    }
+}
+
+/// Batched transform AXPY: `dst` is `k` consecutive chunks of width
+/// `src.len()`, and chunk `j` accumulates `coeffs[j·cstride] · src`. One
+/// call covers a whole transform column — the β loop lives inside the
+/// kernel, so the engine pays the dispatch check (atomic load + feature
+/// probe) once per ∇Y column instead of once per 4–8 element AXPY.
+#[inline]
+pub fn expand_axpy(dst: &mut [f32], coeffs: &[f32], cstride: usize, src: &[f32]) {
+    let w = src.len();
+    debug_assert!(w > 0 && dst.len().is_multiple_of(w), "expand_axpy: ragged dst");
+    let k = dst.len() / w;
+    debug_assert!(coeffs.len() > (k - 1) * cstride, "expand_axpy: coeffs short");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: avx2+fma verified at runtime by `simd_active`.
+        unsafe { avx2::expand_axpy(dst, coeffs, cstride, src) };
+        return;
+    }
+    // Channel blocks are small (4–32); a compile-time width turns each
+    // chunk update into exact fixed-width vector code with no per-chunk
+    // iterator or bounds-check overhead.
+    match w {
+        2 => expand_axpy_w::<2>(dst, coeffs, cstride, src),
+        4 => expand_axpy_w::<4>(dst, coeffs, cstride, src),
+        8 => expand_axpy_w::<8>(dst, coeffs, cstride, src),
+        16 => expand_axpy_w::<16>(dst, coeffs, cstride, src),
+        _ => {
+            for (j, chunk) in dst.chunks_exact_mut(w).enumerate() {
+                axpy_scalar(chunk, coeffs[j * cstride], src);
+            }
+        }
+    }
+}
+
+/// Const-width body of [`expand_axpy`]'s scalar path.
+#[inline]
+fn expand_axpy_w<const W: usize>(dst: &mut [f32], coeffs: &[f32], cstride: usize, src: &[f32]) {
+    let Ok(s) = <&[f32; W]>::try_from(src) else {
+        return; // unreachable: the caller matched on src.len()
+    };
+    for (chunk, c) in dst
+        .chunks_exact_mut(W)
+        .zip(coeffs.iter().step_by(cstride.max(1)))
+    {
+        for l in 0..W {
+            chunk[l] += *c * s[l];
+        }
+    }
+}
+
+/// Batched reduction AXPY (the output-transform dual of [`expand_axpy`]):
+/// `dst += Σ_j coeffs[j] · src[j·sstride .. j·sstride + dst.len()]`. One
+/// call folds all α accumulator planes into the row buffer.
+#[inline]
+pub fn gather_axpy(dst: &mut [f32], coeffs: &[f32], src: &[f32], sstride: usize) {
+    let w = dst.len();
+    debug_assert!(
+        coeffs.is_empty() || src.len() >= (coeffs.len() - 1) * sstride + w,
+        "gather_axpy: src short"
+    );
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: avx2+fma verified at runtime by `simd_active`.
+        unsafe { avx2::gather_axpy(dst, coeffs, src, sstride) };
+        return;
+    }
+    match w {
+        2 => gather_axpy_w::<2>(dst, coeffs, src, sstride),
+        4 => gather_axpy_w::<4>(dst, coeffs, src, sstride),
+        8 => gather_axpy_w::<8>(dst, coeffs, src, sstride),
+        16 => gather_axpy_w::<16>(dst, coeffs, src, sstride),
+        _ => {
+            for (j, &c) in coeffs.iter().enumerate() {
+                axpy_scalar(dst, c, &src[j * sstride..j * sstride + w]);
+            }
+        }
+    }
+}
+
+/// Const-width body of [`gather_axpy`]'s scalar path.
+#[inline]
+fn gather_axpy_w<const W: usize>(dst: &mut [f32], coeffs: &[f32], src: &[f32], sstride: usize) {
+    let Ok(d) = <&mut [f32; W]>::try_from(dst) else {
+        return; // unreachable: the caller matched on dst.len()
+    };
+    for (j, &c) in coeffs.iter().enumerate() {
+        let plane = &src[j * sstride..j * sstride + W];
+        for l in 0..W {
+            d[l] += c * plane[l];
+        }
+    }
+}
+
+/// α-batched EWMM: for every β, `acc[β] += ĝ[β] ⊗ d̂[β]` where `acc` holds
+/// α row-major `bn × bm` planes, `g` α rows of `bn` and `d` α rows of `bm`.
+/// The whole per-tile outer-product batch is one call — dispatch checked
+/// once, bodies inlined.
+#[inline]
+pub fn rank1_batch(acc: &mut [f32], g: &[f32], d: &[f32], alpha: usize) {
+    debug_assert!(alpha > 0 && g.len().is_multiple_of(alpha) && d.len().is_multiple_of(alpha));
+    let bn = g.len() / alpha;
+    let bm = d.len() / alpha;
+    debug_assert!(acc.len() >= alpha * bn * bm, "rank1_batch: acc too short");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: avx2+fma verified at runtime by `simd_active`.
+        unsafe { avx2::rank1_batch(acc, g, d, alpha, bn, bm) };
+        return;
+    }
+    match bm {
+        2 => rank1_batch_w::<2>(acc, g, d, alpha, bn),
+        4 => rank1_batch_w::<4>(acc, g, d, alpha, bn),
+        8 => rank1_batch_w::<8>(acc, g, d, alpha, bn),
+        16 => rank1_batch_w::<16>(acc, g, d, alpha, bn),
+        _ => {
+            for beta in 0..alpha {
+                let plane = &mut acc[beta * bn * bm..(beta + 1) * bn * bm];
+                let grow = &g[beta * bn..(beta + 1) * bn];
+                let drow = &d[beta * bm..(beta + 1) * bm];
+                for (oi, &gv) in grow.iter().enumerate() {
+                    axpy_scalar(&mut plane[oi * bm..(oi + 1) * bm], gv, drow);
+                }
+            }
+        }
+    }
+}
+
+/// Const-width (`bm`) body of [`rank1_batch`]'s scalar path.
+#[inline]
+fn rank1_batch_w<const W: usize>(acc: &mut [f32], g: &[f32], d: &[f32], alpha: usize, bn: usize) {
+    for beta in 0..alpha {
+        let grow = &g[beta * bn..(beta + 1) * bn];
+        let plane = &mut acc[beta * bn * W..(beta + 1) * bn * W];
+        let Ok(drow) = <&[f32; W]>::try_from(&d[beta * W..(beta + 1) * W]) else {
+            return; // unreachable: slice length is W by construction
+        };
+        for (row, &gv) in plane.chunks_exact_mut(W).zip(grow) {
+            for l in 0..W {
+                row[l] += gv * drow[l];
+            }
+        }
+    }
+}
+
+// The scalar bodies carry `#[inline]` too: the public wrappers are
+// cross-crate inlined into the engine's hot loop, and without MIR for the
+// bodies every 4–8 element AXPY would stay an outlined call.
+//
+// They are written as plain element zips, not manual LANES-chunked loops:
+// every element update is independent, so LLVM's auto-vectoriser produces
+// the same bit-exact results with its own (cheaper) tail handling — and
+// the engine's dominant widths are *small* (a channel block, often 4–16),
+// where iterator chunking machinery would cost more than the payload.
+#[inline]
+fn axpy_scalar(dst: &mut [f32], a: f32, x: &[f32]) {
+    for (d, s) in dst.iter_mut().zip(x) {
+        *d += a * *s;
+    }
+}
+
+#[inline]
+fn add_assign_scalar(dst: &mut [f32], x: &[f32]) {
+    for (d, s) in dst.iter_mut().zip(x) {
+        *d += *s;
+    }
+}
+
+/// `MR × NR` register-tile GEMM micro-kernel:
+/// `C[0..MR][0..NR] += alpha · A[0..MR][0..kc] · B[0..kc][0..NR]`.
+/// The fixed-width inner updates auto-vectorise.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn micro_kernel_4x8(
+    kc: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let bp = &b[p * ldb..p * ldb + NR];
+        for (ii, row) in acc.iter_mut().enumerate() {
+            let av = a[ii * lda + p];
+            for jj in 0..NR {
+                row[jj] += av * bp[jj];
+            }
+        }
+    }
+    for (ii, row) in acc.iter().enumerate() {
+        let crow = &mut c[ii * ldc..ii * ldc + NR];
+        for jj in 0..NR {
+            crow[jj] += alpha * row[jj];
+        }
+    }
+}
+
+/// NR-tail specialisation of [`micro_kernel_4x8`]: full `MR` rows but only
+/// `nr < NR` columns. B rows are zero-padded into a fixed `[f32; NR]` lane
+/// buffer so the accumulation keeps the vector shape instead of degrading
+/// to the scalar edge loop; the padding lanes are discarded on store.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn micro_kernel_4xn(
+    kc: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    nr: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    debug_assert!(nr > 0 && nr < NR);
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let mut bp = [0.0f32; NR];
+        bp[..nr].copy_from_slice(&b[p * ldb..p * ldb + nr]);
+        for (ii, row) in acc.iter_mut().enumerate() {
+            let av = a[ii * lda + p];
+            for jj in 0..NR {
+                row[jj] += av * bp[jj];
+            }
+        }
+    }
+    for (ii, row) in acc.iter().enumerate() {
+        let crow = &mut c[ii * ldc..ii * ldc + nr];
+        for jj in 0..nr {
+            crow[jj] += alpha * row[jj];
+        }
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    use super::LANES;
+    use std::arch::x86_64::*;
+
+    // All bodies use mul+add, never fmadd: the fused op skips the
+    // intermediate rounding and would break the scalar/simd bit-identity
+    // contract stated at the module top.
+
+    /// # Safety
+    /// Caller must have verified `avx2` and `fma` at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy(dst: &mut [f32], a: f32, x: &[f32]) {
+        let n = dst.len();
+        let dp = dst.as_mut_ptr();
+        let xp = x.as_ptr();
+        let av = _mm256_set1_ps(a);
+        let mut i = 0;
+        while i + LANES <= n {
+            let prod = _mm256_mul_ps(av, _mm256_loadu_ps(xp.add(i)));
+            _mm256_storeu_ps(dp.add(i), _mm256_add_ps(_mm256_loadu_ps(dp.add(i)), prod));
+            i += LANES;
+        }
+        while i < n {
+            *dp.add(i) += a * *xp.add(i);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified `avx2` and `fma` at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn add_assign(dst: &mut [f32], x: &[f32]) {
+        let n = dst.len();
+        let dp = dst.as_mut_ptr();
+        let xp = x.as_ptr();
+        let mut i = 0;
+        while i + LANES <= n {
+            let sum = _mm256_add_ps(_mm256_loadu_ps(dp.add(i)), _mm256_loadu_ps(xp.add(i)));
+            _mm256_storeu_ps(dp.add(i), sum);
+            i += LANES;
+        }
+        while i < n {
+            *dp.add(i) += *xp.add(i);
+            i += 1;
+        }
+    }
+
+    /// Batched transform AXPY (see the safe wrapper): the β loop runs
+    /// inside the `target_feature` body so the per-chunk `axpy` calls
+    /// inline here instead of going through dispatch again.
+    ///
+    /// # Safety
+    /// Caller must have verified `avx2` and `fma` at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn expand_axpy(dst: &mut [f32], coeffs: &[f32], cstride: usize, src: &[f32]) {
+        let w = src.len();
+        for (j, chunk) in dst.chunks_exact_mut(w).enumerate() {
+            axpy(chunk, *coeffs.get_unchecked(j * cstride), src);
+        }
+    }
+
+    /// Batched reduction AXPY (see the safe wrapper).
+    ///
+    /// # Safety
+    /// Caller must have verified `avx2` and `fma` at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn gather_axpy(dst: &mut [f32], coeffs: &[f32], src: &[f32], sstride: usize) {
+        let w = dst.len();
+        for (j, &c) in coeffs.iter().enumerate() {
+            axpy(dst, c, src.get_unchecked(j * sstride..j * sstride + w));
+        }
+    }
+
+    /// α-batched rank-1 accumulation (see the safe wrapper).
+    ///
+    /// # Safety
+    /// Caller must have verified `avx2` and `fma` at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn rank1_batch(
+        acc: &mut [f32],
+        g: &[f32],
+        d: &[f32],
+        alpha: usize,
+        bn: usize,
+        bm: usize,
+    ) {
+        for beta in 0..alpha {
+            rank1(
+                acc.get_unchecked_mut(beta * bn * bm..(beta + 1) * bn * bm),
+                g.get_unchecked(beta * bn..(beta + 1) * bn),
+                d.get_unchecked(beta * bm..(beta + 1) * bm),
+            );
+        }
+    }
+
+    /// Two-row register blocking: each `d̂` vector is loaded once and used
+    /// against a pair of `ĝ` broadcasts.
+    ///
+    /// # Safety
+    /// Caller must have verified `avx2` and `fma` at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn rank1(acc: &mut [f32], g: &[f32], d: &[f32]) {
+        let bm = d.len();
+        let ap = acc.as_mut_ptr();
+        let dp = d.as_ptr();
+        let mut oi = 0;
+        while oi + 2 <= g.len() {
+            let g0 = _mm256_set1_ps(*g.get_unchecked(oi));
+            let g1 = _mm256_set1_ps(*g.get_unchecked(oi + 1));
+            let r0 = ap.add(oi * bm);
+            let r1 = ap.add((oi + 1) * bm);
+            let mut j = 0;
+            while j + LANES <= bm {
+                let dv = _mm256_loadu_ps(dp.add(j));
+                let s0 = _mm256_add_ps(_mm256_loadu_ps(r0.add(j)), _mm256_mul_ps(g0, dv));
+                let s1 = _mm256_add_ps(_mm256_loadu_ps(r1.add(j)), _mm256_mul_ps(g1, dv));
+                _mm256_storeu_ps(r0.add(j), s0);
+                _mm256_storeu_ps(r1.add(j), s1);
+                j += LANES;
+            }
+            while j < bm {
+                let dv = *dp.add(j);
+                *r0.add(j) += *g.get_unchecked(oi) * dv;
+                *r1.add(j) += *g.get_unchecked(oi + 1) * dv;
+                j += 1;
+            }
+            oi += 2;
+        }
+        if oi < g.len() {
+            axpy(&mut acc[oi * bm..(oi + 1) * bm], *g.get_unchecked(oi), d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// `force_scalar` is process-global; tests that toggle it serialise
+    /// through this lock.
+    static DISPATCH_LOCK: Mutex<()> = Mutex::new(());
+
+    fn pseudo(seed: u32, len: usize) -> Vec<f32> {
+        // Tiny LCG: deterministic, no rand dependency in the hot crate.
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                (s >> 8) as f32 / (1u32 << 24) as f32 * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn axpy_matches_plain_loop_all_lengths() {
+        let _g = DISPATCH_LOCK.lock().unwrap();
+        for n in [0usize, 1, 7, 8, 9, 16, 31, 100] {
+            let x = pseudo(n as u32 + 1, n);
+            let base = pseudo(n as u32 + 2, n);
+            let mut want = base.clone();
+            for i in 0..n {
+                want[i] += 1.25 * x[i];
+            }
+            for forced in [true, false] {
+                force_scalar(forced);
+                let mut dst = base.clone();
+                axpy(&mut dst, 1.25, &x);
+                assert_eq!(dst, want, "n={n} forced={forced}");
+            }
+            force_scalar(false);
+        }
+    }
+
+    #[test]
+    fn add_assign_matches_plain_loop() {
+        let _g = DISPATCH_LOCK.lock().unwrap();
+        for n in [3usize, 8, 17, 64] {
+            let x = pseudo(n as u32 + 9, n);
+            let base = pseudo(n as u32 + 10, n);
+            let mut want = base.clone();
+            for i in 0..n {
+                want[i] += x[i];
+            }
+            for forced in [true, false] {
+                force_scalar(forced);
+                let mut dst = base.clone();
+                add_assign(&mut dst, &x);
+                assert_eq!(dst, want, "n={n} forced={forced}");
+            }
+            force_scalar(false);
+        }
+    }
+
+    #[test]
+    fn rank1_scalar_and_simd_are_bit_identical() {
+        let _g = DISPATCH_LOCK.lock().unwrap();
+        for (bn, bm) in [(1usize, 1usize), (3, 5), (4, 8), (7, 13), (64, 32)] {
+            let g = pseudo(77, bn);
+            let d = pseudo(78, bm);
+            let base = pseudo(79, bn * bm);
+            force_scalar(true);
+            let mut scalar = base.clone();
+            rank1_accumulate(&mut scalar, &g, &d);
+            force_scalar(false);
+            let mut auto = base.clone();
+            rank1_accumulate(&mut auto, &g, &d);
+            assert_eq!(
+                scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                auto.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "bn={bn} bm={bm}"
+            );
+            // And both match the naive outer product.
+            let mut want = base.clone();
+            for oi in 0..bn {
+                for ii in 0..bm {
+                    want[oi * bm + ii] += g[oi] * d[ii];
+                }
+            }
+            assert_eq!(scalar, want);
+        }
+    }
+
+    #[test]
+    fn batched_kernels_match_per_call_loops_bitwise() {
+        let _g = DISPATCH_LOCK.lock().unwrap();
+        for (alpha, bn, bm, cstride) in [(1usize, 1usize, 1usize, 1usize), (6, 4, 5, 6), (8, 8, 3, 8)]
+        {
+            let g = pseudo(21, alpha * bn);
+            let d = pseudo(22, alpha * bm);
+            let coeffs = pseudo(23, alpha * cstride);
+            let src = pseudo(24, bn);
+            for forced in [true, false] {
+                force_scalar(forced);
+
+                // expand_axpy == per-chunk axpy with strided coefficients.
+                let base = pseudo(25, alpha * bn);
+                let mut got = base.clone();
+                expand_axpy(&mut got, &coeffs, cstride, &src);
+                let mut want = base.clone();
+                for j in 0..alpha {
+                    axpy(&mut want[j * bn..(j + 1) * bn], coeffs[j * cstride], &src);
+                }
+                assert_eq!(got, want, "expand_axpy forced={forced}");
+
+                // rank1_batch == per-β rank1_accumulate.
+                let base = pseudo(26, alpha * bn * bm);
+                let mut got = base.clone();
+                rank1_batch(&mut got, &g, &d, alpha);
+                let mut want = base.clone();
+                for beta in 0..alpha {
+                    rank1_accumulate(
+                        &mut want[beta * bn * bm..(beta + 1) * bn * bm],
+                        &g[beta * bn..(beta + 1) * bn],
+                        &d[beta * bm..(beta + 1) * bm],
+                    );
+                }
+                assert_eq!(got, want, "rank1_batch forced={forced}");
+
+                // gather_axpy == per-plane axpy over a strided source.
+                let src2 = pseudo(27, alpha * bn * bm);
+                let base = pseudo(28, bm);
+                let mut got = base.clone();
+                gather_axpy(&mut got, &coeffs[..alpha], &src2, bn * bm);
+                let mut want = base.clone();
+                for (j, &c) in coeffs[..alpha].iter().enumerate() {
+                    axpy(&mut want, c, &src2[j * bn * bm..j * bn * bm + bm]);
+                }
+                assert_eq!(got, want, "gather_axpy forced={forced}");
+            }
+            force_scalar(false);
+        }
+    }
+
+    #[test]
+    fn tail_kernel_matches_full_kernel_semantics() {
+        // 4 × nr tail against a hand-rolled triple loop.
+        for nr in 1..NR {
+            let (kc, lda, ldb, ldc) = (11usize, 11usize, nr, nr);
+            let a = pseudo(5, MR * lda);
+            let b = pseudo(6, kc * ldb);
+            let base = pseudo(7, MR * ldc);
+            let mut got = base.clone();
+            micro_kernel_4xn(kc, 0.75, &a, lda, &b, ldb, nr, &mut got, ldc);
+            let mut want = base.clone();
+            for ii in 0..MR {
+                for jj in 0..nr {
+                    let mut acc = 0.0f32;
+                    for p in 0..kc {
+                        acc += a[ii * lda + p] * b[p * ldb + jj];
+                    }
+                    want[ii * ldc + jj] += 0.75 * acc;
+                }
+            }
+            for i in 0..MR * ldc {
+                assert!((got[i] - want[i]).abs() < 1e-5, "nr={nr} elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_active_reports_compile_state() {
+        let _g = DISPATCH_LOCK.lock().unwrap();
+        force_scalar(true);
+        assert!(!simd_active(), "force_scalar must pin the scalar bodies");
+        force_scalar(false);
+        if !cfg!(feature = "simd") {
+            assert!(!simd_active(), "simd off: explicit bodies must not run");
+        }
+    }
+}

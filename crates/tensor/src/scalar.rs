@@ -47,6 +47,21 @@ pub trait Scalar:
     fn to_f32(self) -> f32;
     /// Absolute value.
     fn abs(self) -> Self;
+
+    /// Reinterpret a slice of this type as `&[f32]` when the type *is*
+    /// `f32` (poor man's specialisation: the f32 impl returns `Some`
+    /// without any unsafe, everything else `None`). Vectorised kernels use
+    /// this to skip the per-element widening copy on the FP32 path.
+    #[inline]
+    fn as_f32s(_xs: &[Self]) -> Option<&[f32]> {
+        None
+    }
+
+    /// Mutable counterpart of [`Scalar::as_f32s`].
+    #[inline]
+    fn as_f32s_mut(_xs: &mut [Self]) -> Option<&mut [f32]> {
+        None
+    }
 }
 
 impl Scalar for f64 {
@@ -100,6 +115,14 @@ impl Scalar for f32 {
     #[inline]
     fn abs(self) -> Self {
         f32::abs(self)
+    }
+    #[inline]
+    fn as_f32s(xs: &[Self]) -> Option<&[f32]> {
+        Some(xs)
+    }
+    #[inline]
+    fn as_f32s_mut(xs: &mut [Self]) -> Option<&mut [f32]> {
+        Some(xs)
     }
 }
 
@@ -187,6 +210,18 @@ mod tests {
     fn constants_match() {
         assert_eq!(f16::ONE.to_f64(), 1.0);
         assert_eq!(bf16::ZERO.to_f64(), 0.0);
+    }
+
+    #[test]
+    fn as_f32s_specialises_only_f32() {
+        let mut xs = [1.0f32, 2.0];
+        assert_eq!(f32::as_f32s(&xs), Some(&[1.0f32, 2.0][..]));
+        assert!(f32::as_f32s_mut(&mut xs).is_some());
+        let mut hs = [f16::ONE, f16::ZERO];
+        assert!(f16::as_f32s(&hs).is_none());
+        assert!(f16::as_f32s_mut(&mut hs).is_none());
+        assert!(f64::as_f32s(&[1.0f64]).is_none());
+        assert!(bf16::as_f32s(&[bf16::ONE]).is_none());
     }
 
     #[test]

@@ -118,6 +118,18 @@ impl<T: Scalar> Tensor4<T> {
         }
     }
 
+    /// Contiguous channel run `[c0, c0+len)` at spatial position
+    /// `(i0, i1, i2)` — the slice-view the engine's interior fast paths
+    /// read instead of `len` bounds-checked [`Tensor4::get_padded`] calls.
+    /// The caller guarantees the position is in-bounds (border tiles keep
+    /// using `get_padded`).
+    #[inline]
+    pub fn chan_slice(&self, i0: usize, i1: usize, i2: usize, c0: usize, len: usize) -> &[T] {
+        debug_assert!(c0 + len <= self.dims[3], "chan_slice overruns channels");
+        let off = self.offset(i0, i1, i2, c0);
+        &self.data[off..off + len]
+    }
+
     /// Element-wise conversion into another precision (one rounding per
     /// element, via f64).
     pub fn cast<U: Scalar>(&self) -> Tensor4<U> {
@@ -208,6 +220,18 @@ mod tests {
         assert_eq!(t.get_padded(0, 0, -3, 0), 0.0);
         assert_eq!(t.get_padded(0, 2, 0, 0), 0.0);
         assert_eq!(t.get_padded(0, 1, 1, 0), 4.0);
+    }
+
+    #[test]
+    fn chan_slice_matches_padded_reads() {
+        let t = Tensor4::<f32>::from_fn([2, 3, 4, 5], |n, h, w, c| {
+            (n * 1000 + h * 100 + w * 10 + c) as f32
+        });
+        let s = t.chan_slice(1, 2, 3, 1, 4);
+        assert_eq!(s.len(), 4);
+        for (k, &v) in s.iter().enumerate() {
+            assert_eq!(v, t.get_padded(1, 2, 3, 1 + k));
+        }
     }
 
     #[test]

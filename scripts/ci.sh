@@ -22,6 +22,15 @@ cargo build --release --workspace
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> feature matrix: engine + gemm without default features"
+cargo test -q -p winrs-core -p winrs-gemm --no-default-features
+
+echo "==> feature matrix: engine + gemm with explicit SIMD micro-kernels"
+cargo test -q -p winrs-core -p winrs-gemm --features winrs-core/simd,winrs-gemm/simd
+
+echo "==> scalar/SIMD bit-identity acceptance test (root package, --features simd)"
+cargo test -q --test engine_simd --features simd
+
 echo "==> cargo clippy (all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -39,6 +48,19 @@ echo "$PROFILE_OUT" >&2
 echo "$PROFILE_OUT" | grep -q "wall-clock phases"
 echo "$PROFILE_OUT" | grep -Eq "plan-cache   : 2 hits / 1 misses"
 echo "$PROFILE_OUT" | grep -q "total"
+# The named wall phases must account for the total (`other` closes the gap
+# by construction; 10% slack absorbs the 3-decimal print rounding).
+echo "$PROFILE_OUT" | awk '
+  $1 ~ /^(plan|block-loop|promote|reduce|other)$/ && $2+0 == $2 { sum += $2 }
+  $1 == "total" && $2+0 == $2 { total = $2 }
+  END {
+    if (total <= 0) { print "profile smoke: no total row"; exit 1 }
+    d = sum - total; if (d < 0) d = -d
+    if (d > 0.1 * total + 0.01) {
+      printf "profile smoke: phases %.3f ms != total %.3f ms\n", sum, total
+      exit 1
+    }
+  }'
 
 BASELINE=bench_results/phase_baseline.json
 target/release/phase_baseline --json >/dev/null

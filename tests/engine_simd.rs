@@ -1,0 +1,292 @@
+//! Equivalence and bit-identity tests for the vectorised engine hot path
+//! (PR 4):
+//!
+//! 1. The interior fast-path tile loaders (`load_filter_tile` /
+//!    `load_input_tile`) must produce *bit-identical* tiles to a scalar
+//!    padded-read reference, for border and interior positions, every
+//!    precision, and odd block-tail widths.
+//! 2. The full FP32 pipeline must produce bit-identical `∇W` with the
+//!    explicit-SIMD dispatch forced off and left on auto — the micro-kernel
+//!    contract (mul+add, never fmadd; fixed accumulation order) made
+//!    observable.
+//! 3. The saturation / non-finite health counters must not depend on the
+//!    dispatch flavour either, pinned with the deterministic fault
+//!    injector.
+//!
+//! `winrs::gemm::micro::force_scalar` is process-global, so every test
+//! that toggles it serialises on a local mutex (and restores auto dispatch
+//! before releasing it).
+
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use winrs::conv::ConvShape;
+use winrs::core::config::pair::select_pair;
+use winrs::core::config::segment_shape::calculate;
+use winrs::core::engine::{
+    execute_segments_with, load_filter_tile, load_input_tile, ExecOptions, HealthSink, TileMode,
+    TransformSource,
+};
+use winrs::core::{faults, Partition, Precision};
+use winrs::fp16::{bf16, f16};
+use winrs::gemm::micro;
+use winrs::tensor::{Scalar, Tensor4};
+use winrs::winograd::cook_toom::{Transform, TransformReal};
+use winrs::winograd::kernels::KernelId;
+
+/// Serialises tests that flip the global scalar/SIMD dispatch switch.
+fn dispatch_guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Scalar reference of the filter-tile load: padded reads, zero-skip, the
+/// exact pre-vectorisation loop.
+fn ref_filter_tile<T: Scalar>(
+    dy: &Tensor4<T>,
+    t: &TransformReal,
+    b: usize,
+    i: usize,
+    col0: usize,
+    oc0: usize,
+    bn_cur: usize,
+) -> Vec<f32> {
+    let (alpha, r) = (t.alpha, t.r);
+    let mut ghat = vec![0.0f32; alpha * bn_cur];
+    for tt in 0..r {
+        for oc_i in 0..bn_cur {
+            let v = dy
+                .get_padded(b, i as isize, (col0 + tt) as isize, oc0 + oc_i)
+                .to_f32();
+            if v != 0.0 {
+                for beta in 0..alpha {
+                    ghat[beta * bn_cur + oc_i] += t.g_f32[beta * r + tt] * v;
+                }
+            }
+        }
+    }
+    ghat
+}
+
+/// Scalar reference of the input-tile load.
+fn ref_input_tile<T: Scalar>(
+    x: &Tensor4<T>,
+    t: &TransformReal,
+    b: usize,
+    x_row: isize,
+    x_col0: isize,
+    ic0: usize,
+    bm_cur: usize,
+) -> Vec<f32> {
+    let alpha = t.alpha;
+    let mut dhat = vec![0.0f32; alpha * bm_cur];
+    for s in 0..alpha {
+        for ic_i in 0..bm_cur {
+            let v = x
+                .get_padded(b, x_row, x_col0 + s as isize, ic0 + ic_i)
+                .to_f32();
+            if v != 0.0 {
+                for beta in 0..alpha {
+                    dhat[beta * bm_cur + ic_i] += t.dt_f32[beta * alpha + s] * v;
+                }
+            }
+        }
+    }
+    dhat
+}
+
+/// Compare the loaders against the reference over every spatial position
+/// (interior and border alike) of a small tensor, asserting exact bits.
+fn check_loaders<T: Scalar>(n: usize, r: usize, dims: [usize; 4], bn_cur: usize, seed: u64) {
+    let t = Transform::generate(n, r).to_real();
+    let dy = Tensor4::<T>::random_uniform(dims, seed, 1.0);
+    let chans = dims[3];
+    let oc0_max = chans - bn_cur;
+    let mut ghat = vec![7.5f32; t.alpha * bn_cur]; // dirty, must be overwritten
+    for b in 0..dims[0] {
+        for i in 0..dims[1] {
+            // col0 sweeps past the right edge so both paths are exercised.
+            for col0 in 0..dims[2] + 2 {
+                for oc0 in [0, oc0_max] {
+                    load_filter_tile(&dy, &t, b, i, col0, oc0, bn_cur, &mut ghat);
+                    let want = ref_filter_tile(&dy, &t, b, i, col0, oc0, bn_cur);
+                    for (k, (g, w)) in ghat.iter().zip(&want).enumerate() {
+                        assert_eq!(
+                            g.to_bits(),
+                            w.to_bits(),
+                            "filter tile ({b},{i},{col0},oc0={oc0})[{k}]: {g} vs {w}"
+                        );
+                    }
+
+                    let mut dhat = vec![-3.25f32; t.alpha * bn_cur];
+                    // Signed rows/cols sweep from -2 so the top/left border
+                    // (negative coordinates) is covered too.
+                    let x_row = i as isize - 2;
+                    let x_col0 = col0 as isize - 2;
+                    load_input_tile(&dy, &t, b, x_row, x_col0, oc0, bn_cur, &mut dhat);
+                    let want = ref_input_tile(&dy, &t, b, x_row, x_col0, oc0, bn_cur);
+                    for (k, (d, w)) in dhat.iter().zip(&want).enumerate() {
+                        assert_eq!(
+                            d.to_bits(),
+                            w.to_bits(),
+                            "input tile ({b},{x_row},{x_col0},c0={oc0})[{k}]: {d} vs {w}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fast-path loaders are bit-identical to the scalar reference for
+    /// every kernel geometry, precision, position and odd tail width —
+    /// under both dispatch flavours.
+    #[test]
+    fn loaders_match_scalar_reference(
+        n in 1usize..5,
+        r in 2usize..6,
+        chans in 1usize..11,
+        hw in 4usize..8,
+        seed in 0u64..1000,
+        force in 0u8..2,
+    ) {
+        let _g = dispatch_guard();
+        micro::force_scalar(force == 1);
+        let bn_cur = 1 + (seed as usize) % chans; // odd tails included
+        let dims = [2, hw, hw, chans];
+        check_loaders::<f32>(n, r, dims, bn_cur, seed);
+        check_loaders::<f16>(n, r, dims, bn_cur, seed.wrapping_add(1));
+        check_loaders::<bf16>(n, r, dims, bn_cur, seed.wrapping_add(2));
+        micro::force_scalar(false);
+    }
+}
+
+struct Plain(std::collections::HashMap<(usize, usize), TransformReal>);
+impl TransformSource for Plain {
+    fn transform(&self, k: KernelId) -> &TransformReal {
+        &self.0[&(k.n, k.r)]
+    }
+}
+
+fn setup(conv: &ConvShape, z_hat: usize, precision: Precision) -> (Partition, Plain) {
+    let pair = select_pair(conv.fw, conv.ow(), precision);
+    let seg_shape = calculate(z_hat, conv.oh(), conv.ow(), pair.bulk.r, conv.ph);
+    let partition = Partition::build(conv, &pair, seg_shape).expect("valid partition");
+    let mut map = std::collections::HashMap::new();
+    for k in [Some(pair.bulk), pair.residual].into_iter().flatten() {
+        map.entry((k.n, k.r))
+            .or_insert_with(|| Transform::generate(k.n, k.r).to_real());
+    }
+    (partition, Plain(map))
+}
+
+/// Run the fused engine once and return the raw bucket buffer.
+fn run_buckets(conv: &ConvShape, z_hat: usize, mode: TileMode, seed: u64) -> Vec<f32> {
+    let precision = match mode {
+        TileMode::Fp16 => Precision::Fp16,
+        _ => Precision::Fp32,
+    };
+    let (partition, src) = setup(conv, z_hat, precision);
+    let x = Tensor4::<f32>::random_uniform([conv.n, conv.ih, conv.iw, conv.ic], seed, 1.0);
+    let dy = Tensor4::<f32>::random_uniform([conv.n, conv.oh(), conv.ow(), conv.oc], seed + 1, 1.0);
+    let mut buckets = vec![0.0f32; partition.z() * conv.dw_elems()];
+    execute_segments_with(
+        conv,
+        &partition,
+        &src,
+        &x,
+        &dy,
+        mode,
+        &mut buckets,
+        ExecOptions::default(),
+    )
+    .expect("valid arguments");
+    buckets
+}
+
+/// Acceptance criterion: FP32 `∇W` is bit-identical between forced-scalar
+/// and auto (SIMD when compiled+detected) dispatch — across tile modes and
+/// across shapes that hit the border fast-path splits (odd O_W phantom
+/// padding, no padding, large filters).
+#[test]
+fn engine_gradients_bit_identical_scalar_vs_auto_dispatch() {
+    let _g = dispatch_guard();
+    let shapes = [
+        ConvShape::new(2, 16, 16, 4, 6, 3, 3, 1, 1),
+        ConvShape::new(1, 11, 11, 2, 2, 5, 5, 2, 2), // odd O_W: phantom column
+        ConvShape::new(2, 13, 17, 3, 2, 2, 2, 0, 0), // no padding
+        ConvShape::new(1, 18, 18, 2, 2, 9, 9, 4, 4), // large filter
+    ];
+    for (si, conv) in shapes.iter().enumerate() {
+        for mode in [TileMode::Fp32, TileMode::Fp16, TileMode::Bf16] {
+            if mode != TileMode::Fp32 && conv.fw != 3 {
+                continue; // reduced-precision kernels are only ported for F_W = 3
+            }
+            micro::force_scalar(true);
+            let scalar = run_buckets(conv, 3, mode, 90 + si as u64);
+            micro::force_scalar(false);
+            let auto = run_buckets(conv, 3, mode, 90 + si as u64);
+            assert_eq!(scalar.len(), auto.len());
+            for (k, (a, b)) in scalar.iter().zip(&auto).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "shape {si} mode {mode:?} bucket[{k}]: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+/// Saturation / non-finite counting must be dispatch-invariant: the
+/// vectorised OT reduction and the scalar loop see the same values, so the
+/// injected fault must produce the *same* counter totals either way.
+#[test]
+fn fault_injection_counts_identical_scalar_vs_auto_dispatch() {
+    let _fg = faults::serial_guard();
+    let _dg = dispatch_guard();
+    let conv = ConvShape::square(1, 12, 2, 2, 3);
+    let (partition, src) = setup(&conv, 2, Precision::Fp16);
+    let x = Tensor4::<f32>::random_uniform([conv.n, conv.ih, conv.iw, conv.ic], 7, 1.0);
+    let dy = Tensor4::<f32>::random_uniform([conv.n, conv.oh(), conv.ow(), conv.oc], 8, 0.01);
+
+    let run = |force: bool| {
+        micro::force_scalar(force);
+        faults::arm(0..partition.segments.len());
+        let mut buckets = vec![0.0f32; partition.z() * conv.dw_elems()];
+        let sink = HealthSink::new(partition.segments.len());
+        execute_segments_with(
+            &conv,
+            &partition,
+            &src,
+            &x,
+            &dy,
+            TileMode::Fp16,
+            &mut buckets,
+            ExecOptions {
+                health: Some(&sink),
+                ..Default::default()
+            },
+        )
+        .expect("valid arguments");
+        let fired = faults::disarm();
+        micro::force_scalar(false);
+        assert_eq!(
+            fired.len(),
+            partition.segments.len(),
+            "every armed segment must fire"
+        );
+        sink.totals()
+    };
+
+    let (sat_scalar, nonfin_scalar) = run(true);
+    let (sat_auto, nonfin_auto) = run(false);
+    assert!(sat_scalar > 0, "injected fault must saturate");
+    assert!(nonfin_scalar > 0, "saturation must reach the output transform");
+    assert_eq!(sat_scalar, sat_auto, "saturation counts diverge");
+    assert_eq!(nonfin_scalar, nonfin_auto, "non-finite counts diverge");
+}
