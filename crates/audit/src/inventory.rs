@@ -1,0 +1,170 @@
+//! The inventory half of the **unsafe-registry** lint.
+//!
+//! `docs/unsafe_inventory.md` holds a markdown table of every file with
+//! `unsafe` code and its exact site count. The auditor recounts sites from
+//! source and fails on any drift — a missing file, a stale entry, or a
+//! count mismatch — so an `unsafe` block can never be added or removed
+//! without the diff touching the inventory, where review happens.
+
+use std::collections::BTreeMap;
+
+use crate::lex::SourceFile;
+use crate::lints::{count_unsafe_sites, Finding};
+
+pub const INVENTORY_PATH: &str = "docs/unsafe_inventory.md";
+
+/// Parse the `| file | sites | why |` table out of the inventory markdown.
+/// Rows whose second column is not an integer (the header, the separator)
+/// are skipped, so the document can hold arbitrary prose around the table.
+pub fn parse(text: &str) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let t = line.trim();
+        if !t.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = t.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        let Ok(count) = cells[1].parse::<usize>() else {
+            continue;
+        };
+        let path = cells[0].trim_matches('`').to_string();
+        map.insert(path, count);
+    }
+    map
+}
+
+/// Cross-check recounted `unsafe` sites against the inventory table.
+pub fn check(files: &[SourceFile], inventory_text: Option<&str>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut actual: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in files {
+        // Vendored/opted-out files are outside the registry's scope.
+        if f.is_allowed(0, "unsafe-registry") {
+            continue;
+        }
+        let n = count_unsafe_sites(f);
+        if n > 0 {
+            actual.insert(&f.path, n);
+        }
+    }
+
+    let Some(text) = inventory_text else {
+        if !actual.is_empty() {
+            out.push(Finding {
+                path: INVENTORY_PATH.to_string(),
+                line: 1,
+                col: 1,
+                lint: "unsafe-registry",
+                msg: format!(
+                    "missing inventory file but {} file(s) contain `unsafe` code",
+                    actual.len()
+                ),
+            });
+        }
+        return out;
+    };
+    let listed = parse(text);
+
+    for (path, n) in &actual {
+        match listed.get(*path) {
+            None => out.push(Finding {
+                path: INVENTORY_PATH.to_string(),
+                line: 1,
+                col: 1,
+                lint: "unsafe-registry",
+                msg: format!("`{path}` has {n} unsafe site(s) but is not listed in the inventory"),
+            }),
+            Some(m) if *m != *n => out.push(Finding {
+                path: INVENTORY_PATH.to_string(),
+                line: 1,
+                col: 1,
+                lint: "unsafe-registry",
+                msg: format!("`{path}` lists {m} unsafe site(s) but the source has {n} — update the inventory"),
+            }),
+            Some(_) => {}
+        }
+    }
+    for path in listed.keys() {
+        if !actual.contains_key(path.as_str()) {
+            out.push(Finding {
+                path: INVENTORY_PATH.to_string(),
+                line: 1,
+                col: 1,
+                lint: "unsafe-registry",
+                msg: format!("stale inventory entry: `{path}` has no unsafe sites (or no longer exists)"),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::SourceFile;
+
+    const TABLE: &str = "\
+# Unsafe inventory
+
+| file | sites | why |
+|------|-------|-----|
+| `crates/x/src/a.rs` | 2 | kernel bodies |
+";
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::parse(path, src)
+    }
+
+    #[test]
+    fn parse_reads_table_rows_only() {
+        let m = parse(TABLE);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("crates/x/src/a.rs"), Some(&2));
+    }
+
+    #[test]
+    fn matching_counts_pass() {
+        let files = vec![file(
+            "crates/x/src/a.rs",
+            "// SAFETY: a\nunsafe fn f() {}\n// SAFETY: b\nunsafe fn g() {}\n",
+        )];
+        assert!(check(&files, Some(TABLE)).is_empty());
+    }
+
+    #[test]
+    fn count_drift_is_a_finding() {
+        let files = vec![file("crates/x/src/a.rs", "// SAFETY: a\nunsafe fn f() {}\n")];
+        let got = check(&files, Some(TABLE));
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].msg.contains("lists 2"));
+    }
+
+    #[test]
+    fn unlisted_file_and_stale_entry_are_findings() {
+        let files = vec![file("crates/y/src/b.rs", "// SAFETY: a\nunsafe fn f() {}\n")];
+        let got = check(&files, Some(TABLE));
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert!(got.iter().any(|f| f.msg.contains("not listed")));
+        assert!(got.iter().any(|f| f.msg.contains("stale")));
+    }
+
+    #[test]
+    fn missing_inventory_with_unsafe_code_fails() {
+        let files = vec![file("crates/x/src/a.rs", "// SAFETY: a\nunsafe fn f() {}\n")];
+        let got = check(&files, None);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].msg.contains("missing inventory"));
+    }
+
+    #[test]
+    fn opted_out_files_are_outside_the_registry() {
+        let files = vec![file(
+            "vendor/dep/src/lib.rs",
+            "//! winrs-audit: allow-file(unsafe-registry)\nunsafe fn f() {}\n",
+        )];
+        assert!(check(&files, Some(TABLE)).iter().all(|f| f.msg.contains("stale")));
+    }
+}

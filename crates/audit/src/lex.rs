@@ -1,0 +1,576 @@
+//! A purpose-built Rust source scanner for the audit lints.
+//!
+//! This is *not* a parser: the invariants the auditor enforces (forbidden
+//! tokens in annotated modules, comment-adjacent justifications, unsafe
+//! site counting) only need to know, for every line,
+//!
+//! * which characters are **code** (with string/char-literal contents and
+//!   comments blanked out, so a token inside a string never matches),
+//! * which characters are **comment** text (where `SAFETY:`/`ORDERING:`
+//!   justifications and `winrs-audit:` directives live),
+//! * the brace **depth** at the start of the line, and
+//! * whether the line sits in a **test region** (`#[cfg(test)]` module or
+//!   `#[test]` function body, or a `tests/`-style path).
+//!
+//! A `syn`-based pass would be strictly stronger, but the build
+//! environment is offline (every dependency is a vendored subset), so the
+//! auditor carries its own lexer. The state machine handles line and
+//! nested block comments, string/raw-string/byte-string literals, char
+//! literals vs. lifetimes, and doc comments; that is enough Rust for every
+//! lint in `crate::lints` to be exact on this codebase, and the unit tests
+//! pin the tricky cases.
+
+use std::collections::BTreeSet;
+
+/// One scanned source line.
+#[derive(Debug)]
+pub struct Line {
+    /// The verbatim line.
+    pub raw: String,
+    /// The line with comments removed and literal contents blanked to
+    /// spaces (same length as `raw`), so column numbers survive.
+    pub code: String,
+    /// Concatenated comment text of the line (line, block and doc).
+    pub comment: String,
+    /// Brace depth at the first character of the line.
+    pub depth_start: usize,
+    /// Brace depth after the last character of the line.
+    pub depth_end: usize,
+    /// True inside `#[cfg(test)]` / `#[test]` regions or all-test files.
+    pub in_test: bool,
+}
+
+/// A scanned file plus its audit opt-outs.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as reported in diagnostics (workspace-relative).
+    pub path: String,
+    /// Scanned lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+    /// Lints disabled for the whole file via `winrs-audit: allow-file(…)`
+    /// or an inner `#![allow(winrs_audit::…)]`-style marker.
+    pub allow_file: BTreeSet<String>,
+    /// Per-line lint opt-outs (`winrs-audit: allow(…)` covers its own line
+    /// and the next line).
+    pub allow_line: Vec<BTreeSet<String>>,
+}
+
+/// Normalise a lint name for directive matching: kebab and snake compare
+/// equal, `all` matches every lint.
+pub fn norm_lint(name: &str) -> String {
+    name.trim().replace('-', "_")
+}
+
+/// Scanner state carried across lines.
+enum State {
+    Code,
+    BlockComment { nest: usize, doc: bool },
+    Str,
+    RawStr { hashes: usize },
+}
+
+impl SourceFile {
+    /// Scan `text` into lines. `path` is used for diagnostics and for the
+    /// all-test-file heuristic (`tests/`, `benches/`, `examples/`).
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let mut lines = Vec::new();
+        let mut state = State::Code;
+        let mut depth = 0usize;
+
+        for raw_line in text.split('\n') {
+            let raw: Vec<char> = raw_line.chars().collect();
+            let depth_start = depth;
+            let mut code = String::with_capacity(raw.len());
+            let mut comment = String::new();
+            let mut i = 0usize;
+            // Blank `n` characters into the code view.
+            let pad = |code: &mut String, n: usize| {
+                for _ in 0..n {
+                    code.push(' ');
+                }
+            };
+            while i < raw.len() {
+                match state {
+                    State::Code => {
+                        let c = raw[i];
+                        let next = raw.get(i + 1).copied();
+                        match c {
+                            '/' if next == Some('/') => {
+                                // Line comment (incl. doc); rest of line.
+                                comment.push_str(&raw[i..].iter().collect::<String>());
+                                pad(&mut code, raw.len() - i);
+                                i = raw.len();
+                            }
+                            '/' if next == Some('*') => {
+                                let doc = raw.get(i + 2).copied() == Some('*')
+                                    || raw.get(i + 2).copied() == Some('!');
+                                state = State::BlockComment { nest: 1, doc };
+                                pad(&mut code, 2);
+                                i += 2;
+                            }
+                            '"' => {
+                                state = State::Str;
+                                pad(&mut code, 1);
+                                i += 1;
+                            }
+                            'r' | 'b' if starts_raw_string(&raw, i) => {
+                                let (hashes, consumed) = raw_string_open(&raw, i);
+                                state = State::RawStr { hashes };
+                                pad(&mut code, consumed);
+                                i += consumed;
+                            }
+                            'b' if next == Some('\'') => {
+                                let consumed = char_literal_len(&raw, i + 1) + 1;
+                                pad(&mut code, consumed);
+                                i += consumed;
+                            }
+                            'b' if next == Some('"') => {
+                                state = State::Str;
+                                pad(&mut code, 2);
+                                i += 2;
+                            }
+                            '\'' => {
+                                if is_char_literal(&raw, i) {
+                                    let consumed = char_literal_len(&raw, i);
+                                    pad(&mut code, consumed);
+                                    i += consumed;
+                                } else {
+                                    // Lifetime tick: keep as code.
+                                    code.push('\'');
+                                    i += 1;
+                                }
+                            }
+                            _ => {
+                                if c == '{' {
+                                    depth += 1;
+                                } else if c == '}' {
+                                    depth = depth.saturating_sub(1);
+                                }
+                                // An identifier char before `r"`/`b"` must
+                                // not re-trigger the raw-string opener
+                                // (e.g. `for` ends in `r`): the opener
+                                // check above requires a non-ident char
+                                // before it, handled in starts_raw_string.
+                                code.push(c);
+                                i += 1;
+                            }
+                        }
+                    }
+                    State::BlockComment { nest, doc } => {
+                        if raw[i] == '*' && raw.get(i + 1).copied() == Some('/') {
+                            let nest = nest - 1;
+                            pad(&mut code, 2);
+                            i += 2;
+                            if nest == 0 {
+                                state = State::Code;
+                            } else {
+                                state = State::BlockComment { nest, doc };
+                            }
+                        } else if raw[i] == '/' && raw.get(i + 1).copied() == Some('*') {
+                            state = State::BlockComment {
+                                nest: nest + 1,
+                                doc,
+                            };
+                            pad(&mut code, 2);
+                            i += 2;
+                        } else {
+                            comment.push(raw[i]);
+                            pad(&mut code, 1);
+                            i += 1;
+                        }
+                    }
+                    State::Str => {
+                        if raw[i] == '\\' {
+                            pad(&mut code, 2.min(raw.len() - i));
+                            i += 2.min(raw.len() - i);
+                        } else if raw[i] == '"' {
+                            state = State::Code;
+                            pad(&mut code, 1);
+                            i += 1;
+                        } else {
+                            pad(&mut code, 1);
+                            i += 1;
+                        }
+                    }
+                    State::RawStr { hashes } => {
+                        if raw[i] == '"' && closes_raw_string(&raw, i, hashes) {
+                            state = State::Code;
+                            pad(&mut code, 1 + hashes);
+                            i += 1 + hashes;
+                        } else {
+                            pad(&mut code, 1);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            // A `\`-escape at end of line inside a normal string keeps the
+            // string open across the newline, which split('\n') already
+            // models (state persists).
+            lines.push(Line {
+                raw: raw_line.to_string(),
+                code,
+                comment,
+                depth_start,
+                depth_end: depth,
+                in_test: false,
+            });
+        }
+
+        let mut file = SourceFile {
+            path: path.to_string(),
+            lines,
+            allow_file: BTreeSet::new(),
+            allow_line: Vec::new(),
+        };
+        file.mark_tests();
+        file.collect_directives();
+        file
+    }
+
+    /// True when the whole file is test/bench/example collateral.
+    fn is_test_path(path: &str) -> bool {
+        let p = path.replace('\\', "/");
+        p.contains("/tests/")
+            || p.contains("/benches/")
+            || p.contains("/examples/")
+            || p.starts_with("tests/")
+            || p.starts_with("benches/")
+            || p.starts_with("examples/")
+    }
+
+    /// Mark `#[cfg(test)]` / `#[test]` regions (and all-test paths).
+    fn mark_tests(&mut self) {
+        if Self::is_test_path(&self.path) {
+            for l in &mut self.lines {
+                l.in_test = true;
+            }
+            return;
+        }
+        let n = self.lines.len();
+        let mut i = 0;
+        while i < n {
+            let code = self.lines[i].code.clone();
+            let is_marker = code.contains("#[cfg(test)]")
+                || code.contains("#[cfg(all(test")
+                || code.contains("#[test]")
+                || code.contains("#[cfg(any(test");
+            if !is_marker {
+                i += 1;
+                continue;
+            }
+            let d = self.lines[i].depth_start;
+            // Find the end of the item the attribute decorates: the first
+            // line where depth falls back to `d` after a block opened
+            // above `d`, or a same-depth `;` before any block (a
+            // cfg(test)'d statement such as a `use`).
+            let mut end = i;
+            let mut opened = self.lines[i].depth_end > d;
+            let mut j = i + 1;
+            while j < n {
+                let l = &self.lines[j];
+                if !opened {
+                    if l.depth_end > d {
+                        opened = true;
+                    } else if l.code.contains(';') && l.depth_end == d {
+                        end = j;
+                        break;
+                    }
+                    end = j;
+                    j += 1;
+                    continue;
+                }
+                end = j;
+                if l.depth_end <= d {
+                    break;
+                }
+                j += 1;
+            }
+            if opened || end > i {
+                for l in &mut self.lines[i..=end.min(n - 1)] {
+                    l.in_test = true;
+                }
+                i = end + 1;
+            } else {
+                self.lines[i].in_test = true;
+                i += 1;
+            }
+        }
+    }
+
+    /// Parse `winrs-audit:` directives out of comment text, plus the
+    /// textual `allow(winrs_audit::lint)` attribute form.
+    fn collect_directives(&mut self) {
+        self.allow_line = (0..self.lines.len()).map(|_| BTreeSet::new()).collect();
+        for i in 0..self.lines.len() {
+            let comment = self.lines[i].comment.clone();
+            let raw = self.lines[i].raw.clone();
+            for name in directive_lints(&comment, "allow-file") {
+                self.allow_file.insert(name);
+            }
+            // Inner-attribute style marker, scanned textually wherever it
+            // appears (comments keep vendored files compiling).
+            if raw.contains("#![allow(winrs_audit::") {
+                for name in tool_attr_lints(&raw) {
+                    self.allow_file.insert(name);
+                }
+            } else if raw.contains("allow(winrs_audit::") {
+                for name in tool_attr_lints(&raw) {
+                    self.cover_from(i, name);
+                }
+            }
+            for name in directive_lints(&comment, "allow") {
+                self.cover_from(i, name);
+            }
+        }
+    }
+
+    /// Cover line `i` with `name`, extending down through contiguous
+    /// comment-only/blank lines to (and including) the first code line —
+    /// so a directive in a multi-line comment reaches the statement below.
+    fn cover_from(&mut self, i: usize, name: String) {
+        self.allow_line[i].insert(name.clone());
+        let mut j = i;
+        while self.lines[j].code.trim().is_empty() {
+            j += 1;
+            if j >= self.lines.len() {
+                return;
+            }
+            self.allow_line[j].insert(name.clone());
+        }
+    }
+
+    /// True when `lint` is suppressed at `line` (0-based).
+    pub fn is_allowed(&self, line: usize, lint: &str) -> bool {
+        let lint = norm_lint(lint);
+        let hit = |set: &BTreeSet<String>| set.contains(&lint) || set.contains("all");
+        hit(&self.allow_file) || self.allow_line.get(line).is_some_and(hit)
+    }
+
+    /// True when the file opts into a lint via a module doc marker such as
+    /// `#![doc = "audit: no-alloc"]` (checked on raw text so the string
+    /// literal is visible).
+    pub fn has_doc_marker(&self, marker: &str) -> bool {
+        let needle = format!("audit: {marker}");
+        // The attribute syntax must be real code (not a doc-comment mention
+        // of the marker); the marker text itself lives in the string
+        // literal, which the code view blanks, so check it against raw.
+        self.lines
+            .iter()
+            .take(40)
+            .any(|l| l.code.trim_start().starts_with("#![doc") && l.raw.contains(&needle))
+    }
+}
+
+/// Lint names inside `winrs-audit: <verb>(a, b)` within comment text.
+fn directive_lints(comment: &str, verb: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("winrs-audit:") {
+        let tail = rest[pos + "winrs-audit:".len()..].trim_start();
+        if let Some(args) = tail.strip_prefix(verb) {
+            let args = args.trim_start();
+            if let Some(open) = args.strip_prefix('(') {
+                // Reject `allow(` matching when the verb is `allow` but the
+                // text is `allow-file(`: strip_prefix("allow") leaves
+                // "-file(…)" which does not start with '(', so this is
+                // already exact.
+                if let Some(close) = open.find(')') {
+                    for name in open[..close].split(',') {
+                        if !name.trim().is_empty() {
+                            out.push(norm_lint(name));
+                        }
+                    }
+                }
+            }
+        }
+        rest = &rest[pos + "winrs-audit:".len()..];
+    }
+    out
+}
+
+/// Lint names in textual `allow(winrs_audit::name)` attributes.
+fn tool_attr_lints(raw: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = raw;
+    while let Some(pos) = rest.find("winrs_audit::") {
+        let tail = &rest[pos + "winrs_audit::".len()..];
+        let name: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            out.push(norm_lint(&name));
+        }
+        rest = tail;
+    }
+    out
+}
+
+/// Does position `i` (an `r` or `b`) open a raw string (`r"`, `r#"`,
+/// `br"`, `br#"` …)? Requires a non-identifier character before it so
+/// identifiers ending in `r`/`b` (`for`, `ptr`) never match.
+fn starts_raw_string(raw: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = raw[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if raw[j] == 'b' {
+        j += 1;
+        if raw.get(j).copied() != Some('r') {
+            return false;
+        }
+    }
+    if raw.get(j).copied() != Some('r') {
+        return false;
+    }
+    j += 1;
+    while raw.get(j).copied() == Some('#') {
+        j += 1;
+    }
+    raw.get(j).copied() == Some('"')
+}
+
+/// Length of the raw-string opener at `i` and its hash count.
+fn raw_string_open(raw: &[char], i: usize) -> (usize, usize) {
+    let mut j = i;
+    if raw[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0;
+    while raw.get(j).copied() == Some('#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // the `"`
+    (hashes, j - i)
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` hashes?
+fn closes_raw_string(raw: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| raw.get(i + k).copied() == Some('#'))
+}
+
+/// Is the `'` at `i` a char literal (vs. a lifetime)?
+fn is_char_literal(raw: &[char], i: usize) -> bool {
+    match raw.get(i + 1).copied() {
+        Some('\\') => true,
+        Some(_) => raw.get(i + 2).copied() == Some('\''),
+        None => false,
+    }
+}
+
+/// Length of the char literal starting at the `'` at position `i`.
+fn char_literal_len(raw: &[char], i: usize) -> usize {
+    let mut j = i + 1;
+    if raw.get(j).copied() == Some('\\') {
+        j += 2;
+        // \u{…} escapes run to the closing brace.
+        while j < raw.len() && raw[j] != '\'' {
+            j += 1;
+        }
+    } else {
+        j += 1;
+    }
+    // Closing quote.
+    (j + 1).min(raw.len()) - i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_leave_the_code_view() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let a = \"vec![in a string]\"; // vec! in a comment\nlet b = 1; /* Box::new */ let c = 2;\n",
+        );
+        assert!(!f.lines[0].code.contains("vec!"));
+        assert!(f.lines[0].comment.contains("vec!"));
+        assert!(!f.lines[1].code.contains("Box::new"));
+        assert!(f.lines[1].code.contains("let c"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let s = r#\"unsafe { }\"#;\nlet c = '\\'';\nlet lt: &'static str = x;\n",
+        );
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert!(f.lines[1].code.contains("let c"));
+        assert!(f.lines[2].code.contains("'static"), "lifetimes stay code");
+    }
+
+    #[test]
+    fn multiline_block_comments_carry_state() {
+        let f = SourceFile::parse("x.rs", "/* start\n vec! inside\n end */ let x = 1;\n");
+        assert!(!f.lines[1].code.contains("vec!"));
+        assert!(f.lines[1].comment.contains("vec!"));
+        assert!(f.lines[2].code.contains("let x"));
+    }
+
+    #[test]
+    fn depth_tracks_braces_outside_strings() {
+        let f = SourceFile::parse("x.rs", "fn a() {\n    let s = \"}\";\n}\nfn b() {}\n");
+        assert_eq!(f.lines[0].depth_start, 0);
+        assert_eq!(f.lines[1].depth_start, 1);
+        assert_eq!(f.lines[1].depth_end, 1, "brace in string ignored");
+        assert_eq!(f.lines[2].depth_end, 0);
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn live2() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn test_fn_region_is_marked() {
+        let src = "#[test]\nfn t() {\n    body();\n}\nfn live() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.lines[2].in_test);
+        assert!(!f.lines[4].in_test);
+    }
+
+    #[test]
+    fn test_paths_are_fully_marked() {
+        let f = SourceFile::parse("tests/foo.rs", "fn x() {}\n");
+        assert!(f.lines[0].in_test);
+    }
+
+    #[test]
+    fn directives_cover_file_and_next_line() {
+        let src = "// winrs-audit: allow-file(error-hygiene)\nlet a;\n// winrs-audit: allow(no-alloc)\nlet b = vec![];\nlet c = vec![];\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_allowed(4, "error-hygiene"), "file-wide allow");
+        assert!(f.is_allowed(3, "no-alloc"), "next-line allow");
+        assert!(!f.is_allowed(4, "no-alloc"), "does not leak further");
+    }
+
+    #[test]
+    fn tool_attribute_form_is_honoured_textually() {
+        let src = "// #[allow(winrs_audit::atomic_ordering)]\nx.store(0, Ordering::Relaxed);\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_allowed(1, "atomic-ordering"));
+        let inner = SourceFile::parse("y.rs", "// #![allow(winrs_audit::all)]\nanything();\n");
+        assert!(inner.is_allowed(1, "no-alloc"));
+    }
+
+    #[test]
+    fn doc_marker_detection_reads_raw_text() {
+        let f = SourceFile::parse("x.rs", "#![doc = \"audit: no-alloc\"]\nfn hot() {}\n");
+        assert!(f.has_doc_marker("no-alloc"));
+        assert!(!f.has_doc_marker("other"));
+    }
+}

@@ -188,6 +188,8 @@ fn best_pair(cands: &[KernelId], ow: usize) -> KernelPair {
             }
         }
     }
+    // winrs-audit: allow(error-hygiene) — b = 1 always yields a valid
+    // padded decomposition, so the loop sets `padded_best` before exiting.
     padded_best.expect("padded decomposition always exists")
 }
 

@@ -64,6 +64,7 @@ pub mod ndim;
 pub mod partition;
 pub mod plan;
 pub mod reduce;
+pub(crate) mod sync;
 pub mod workspace;
 
 pub use config::pair::KernelPair;

@@ -31,7 +31,7 @@
 //! exceed the block-loop wall time on a multi-core run — their *ratio* is
 //! the Fig. 6 shape.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// Atomic per-phase accumulator filled in by the engine while it runs.
 ///
@@ -63,6 +63,10 @@ impl TimingSink {
     /// Flush one block column's local phase counters. `total_ns` is the
     /// column's wall time (covers the four phases plus loop overhead).
     pub fn record_block(&self, ft_ns: u64, it_ns: u64, ewmm_ns: u64, ot_ns: u64, total_ns: u64) {
+        // ORDERING: per-column flush of independent counters; readers only
+        // consume the sink after the rayon scope joins (a happens-before
+        // edge the join provides), so Relaxed RMWs are sufficient and the
+        // checked-model in tests/loom_models.rs verifies totals anyway.
         self.ft_ns.fetch_add(ft_ns, Ordering::Relaxed);
         self.it_ns.fetch_add(it_ns, Ordering::Relaxed);
         self.ewmm_ns.fetch_add(ewmm_ns, Ordering::Relaxed);
@@ -75,6 +79,8 @@ impl TimingSink {
 
     /// Zero every counter so one sink can be reused across runs.
     pub fn reset(&self) {
+        // ORDERING: reset runs between executions, never concurrently with
+        // recording writers; Relaxed stores are sufficient.
         self.ft_ns.store(0, Ordering::Relaxed);
         self.it_ns.store(0, Ordering::Relaxed);
         self.ewmm_ns.store(0, Ordering::Relaxed);
@@ -87,38 +93,38 @@ impl TimingSink {
 
     /// Filter-transform busy nanoseconds (summed across threads).
     pub fn ft_ns(&self) -> u64 {
-        self.ft_ns.load(Ordering::Relaxed)
+        self.ft_ns.load(Ordering::Relaxed) // ORDERING: post-join read
     }
 
     /// Input-transform busy nanoseconds.
     pub fn it_ns(&self) -> u64 {
-        self.it_ns.load(Ordering::Relaxed)
+        self.it_ns.load(Ordering::Relaxed) // ORDERING: post-join read
     }
 
     /// α-batched EWMM busy nanoseconds.
     pub fn ewmm_ns(&self) -> u64 {
-        self.ewmm_ns.load(Ordering::Relaxed)
+        self.ewmm_ns.load(Ordering::Relaxed) // ORDERING: post-join read
     }
 
     /// Output-transform busy nanoseconds.
     pub fn ot_ns(&self) -> u64 {
-        self.ot_ns.load(Ordering::Relaxed)
+        self.ot_ns.load(Ordering::Relaxed) // ORDERING: post-join read
     }
 
     /// Total block-column busy nanoseconds (wall time per column, summed
     /// across columns and threads).
     pub fn busy_ns(&self) -> u64 {
-        self.busy_ns.load(Ordering::Relaxed)
+        self.busy_ns.load(Ordering::Relaxed) // ORDERING: post-join read
     }
 
     /// Block columns recorded.
     pub fn blocks(&self) -> u64 {
-        self.blocks.load(Ordering::Relaxed)
+        self.blocks.load(Ordering::Relaxed) // ORDERING: post-join read
     }
 
     /// Fastest block column in nanoseconds (0 when no block ran).
     pub fn min_ns(&self) -> u64 {
-        let v = self.min_ns.load(Ordering::Relaxed);
+        let v = self.min_ns.load(Ordering::Relaxed); // ORDERING: post-join read
         if v == u64::MAX {
             0
         } else {
@@ -128,7 +134,7 @@ impl TimingSink {
 
     /// Slowest block column in nanoseconds.
     pub fn max_ns(&self) -> u64 {
-        self.max_ns.load(Ordering::Relaxed)
+        self.max_ns.load(Ordering::Relaxed) // ORDERING: post-join read
     }
 }
 

@@ -32,8 +32,8 @@
 
 use crate::engine::HealthSink;
 use crate::error::{Violation, WinrsError};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::Mutex;
 
 /// Slot alignment quantum in f32 elements: 16 f32s = one 64-byte cache
 /// line. [`ScratchPool`] rounds slot strides up to this and skips the
@@ -327,6 +327,9 @@ impl<'a> ScratchPool<'a> {
     /// otherwise falls back to a counted heap allocation.
     pub fn with_slot<R>(&self, need: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
         if need <= self.slot_elems && !self.slots.is_empty() {
+            // ORDERING: round-robin ticket only — any distribution of
+            // tickets is correct because the Mutex below provides the
+            // exclusion; Relaxed is sufficient (checked in loom_models.rs).
             let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.slots.len();
             let mut guard = match self.slots[idx].lock() {
                 Ok(g) => g,
@@ -336,6 +339,7 @@ impl<'a> ScratchPool<'a> {
             };
             f(&mut guard[..need])
         } else {
+            // ORDERING: diagnostic counter, read after the run completes.
             self.overflow_allocs.fetch_add(1, Ordering::Relaxed);
             let mut buf = vec![0.0f32; need];
             f(&mut buf)
@@ -344,7 +348,7 @@ impl<'a> ScratchPool<'a> {
 
     /// Heap allocations that escaped the pool so far.
     pub fn hot_loop_allocs(&self) -> u64 {
-        self.overflow_allocs.load(Ordering::Relaxed)
+        self.overflow_allocs.load(Ordering::Relaxed) // ORDERING: post-run read
     }
 }
 

@@ -18,6 +18,7 @@
 //! Detection requires both `avx2` *and* `fma` (the target-feature pair the
 //! kernels are compiled for); [`force_scalar`] pins the dispatch to the
 //! scalar bodies so tests can compare both on the same machine.
+#![doc = "audit: no-alloc"]
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -36,7 +37,10 @@ static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
 /// Pin (or unpin) dispatch to the scalar bodies. Global; tests that toggle
 /// it must serialise among themselves.
 pub fn force_scalar(on: bool) {
-    FORCE_SCALAR.store(on, Ordering::SeqCst);
+    // ORDERING: idempotent dispatch pin with no associated data — there is
+    // nothing to publish, so Relaxed is sufficient (SeqCst here was pure
+    // fence overhead on the hot dispatch check).
+    FORCE_SCALAR.store(on, Ordering::Relaxed);
 }
 
 /// True when the explicit AVX2 bodies will be used: the `simd` feature is
@@ -44,7 +48,9 @@ pub fn force_scalar(on: bool) {
 /// not pinning the dispatch.
 #[inline]
 pub fn simd_active() -> bool {
-    avx2_ready() && !FORCE_SCALAR.load(Ordering::SeqCst)
+    // ORDERING: cached CPU-feature probe + test pin; a stale read only
+    // selects the (bit-identical) other kernel flavour, so Relaxed is safe.
+    avx2_ready() && !FORCE_SCALAR.load(Ordering::Relaxed)
 }
 
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]

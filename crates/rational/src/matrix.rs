@@ -84,6 +84,9 @@ impl RatMatrix {
             // Find a nonzero pivot (exact arithmetic: any nonzero works).
             let pivot_row = (col..n)
                 .find(|&r| !a[(r, col)].is_zero())
+                // winrs-audit: allow(error-hygiene) — exact-arithmetic table
+                // construction: a singular Vandermonde system is a programming
+                // error in the point set, not a runtime condition to recover.
                 .unwrap_or_else(|| panic!("singular matrix in RatMatrix::inverse (col {col})"));
             if pivot_row != col {
                 a.swap_rows(pivot_row, col);

@@ -114,6 +114,9 @@ impl Rational {
     fn checked_new(num: Option<i128>, den: Option<i128>, op: &str) -> Self {
         match (num, den) {
             (Some(n), Some(d)) => Rational::new(n, d),
+            // winrs-audit: allow(error-hygiene) — i128 overflow during exact
+            // transform-table construction is unrecoverable by design; the
+            // documented contract of this crate is to abort construction.
             _ => panic!("Rational overflow in {op}"),
         }
     }
@@ -228,6 +231,8 @@ impl Ord for Rational {
             _ => self
                 .to_f64()
                 .partial_cmp(&other.to_f64())
+                // winrs-audit: allow(error-hygiene) — den > 0 invariant means
+                // both f64 images are non-NaN, so partial_cmp cannot be None.
                 .expect("rational comparison"),
         }
     }

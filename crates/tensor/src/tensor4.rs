@@ -126,6 +126,12 @@ impl<T: Scalar> Tensor4<T> {
     #[inline]
     pub fn chan_slice(&self, i0: usize, i1: usize, i2: usize, c0: usize, len: usize) -> &[T] {
         debug_assert!(c0 + len <= self.dims[3], "chan_slice overruns channels");
+        if len == 0 {
+            // A zero-length run carries no position: `offset` would reject
+            // `(i0, i1, i2, c0)` on degenerate (zero-sized) shapes where no
+            // element exists, yet an empty view of them is well-defined.
+            return &[];
+        }
         let off = self.offset(i0, i1, i2, c0);
         &self.data[off..off + len]
     }

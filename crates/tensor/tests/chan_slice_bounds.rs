@@ -1,0 +1,61 @@
+//! Property tests pinning down [`Tensor4::chan_slice`]'s offset/length
+//! arithmetic: the engine's interior fast paths trust this view to stay
+//! inside the backing buffer, including for adversarial `(N, H, W, C)`
+//! shapes with zero-sized dimensions, where a zero-length request must be
+//! an empty slice rather than an out-of-bounds position computation.
+
+use proptest::prelude::*;
+use winrs_tensor::Tensor4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For every in-bounds position and channel run with `c0 + len <= C`
+    /// (including `c0 == C` with `len == 0`), the flat offset plus run
+    /// length never exceeds the backing buffer, the view has exactly the
+    /// requested length, and its elements are the indexed reads.
+    #[test]
+    fn chan_slice_stays_inside_backing_buffer(
+        d0 in 1usize..4, d1 in 1usize..6, d2 in 1usize..6, d3 in 1usize..9,
+        raw in (0usize..1 << 20, 0usize..1 << 20, 0usize..1 << 20,
+                0usize..1 << 20, 0usize..1 << 20),
+    ) {
+        let t = Tensor4::<f32>::from_fn([d0, d1, d2, d3], |a, b, c, d| {
+            (((a * d1 + b) * d2 + c) * d3 + d) as f32
+        });
+        let (r0, r1, r2, rc, rl) = raw;
+        let (i0, i1, i2) = (r0 % d0, r1 % d1, r2 % d2);
+        let c0 = rc % (d3 + 1);
+        let len = rl % (d3 - c0 + 1);
+        if len > 0 {
+            // The arithmetic bound itself, not just the slice-op panic:
+            // a run that fits the channel axis fits the flat buffer.
+            prop_assert!(t.offset(i0, i1, i2, c0) + len <= t.len());
+        }
+        let s = t.chan_slice(i0, i1, i2, c0, len);
+        prop_assert_eq!(s.len(), len);
+        for (k, &v) in s.iter().enumerate() {
+            prop_assert_eq!(v, t[(i0, i1, i2, c0 + k)]);
+        }
+    }
+
+    /// Zero-length runs are well-defined empty views even on degenerate
+    /// shapes (any dimension zero), where no element — and hence no valid
+    /// flat position — exists.
+    #[test]
+    fn zero_len_chan_slice_is_empty_on_degenerate_shapes(
+        d0 in 0usize..4, d1 in 0usize..4, d2 in 0usize..4, d3 in 0usize..4,
+        raw in (0usize..1 << 20, 0usize..1 << 20, 0usize..1 << 20, 0usize..1 << 20),
+    ) {
+        let t = Tensor4::<f32>::zeros([d0, d1, d2, d3]);
+        let (r0, r1, r2, rc) = raw;
+        let s = t.chan_slice(
+            r0 % d0.max(1),
+            r1 % d1.max(1),
+            r2 % d2.max(1),
+            rc % (d3 + 1),
+            0,
+        );
+        prop_assert!(s.is_empty());
+    }
+}

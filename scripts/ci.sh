@@ -13,6 +13,17 @@
 #   5. profiling smoke test: `winrs profile` must print the per-phase
 #      breakdown with a warm plan cache, and the bench harness's --json
 #      baseline must carry the winrs-bench-v1 schema and phase fields
+#   6. `cargo xtask audit`: the workspace's own invariant lints (hot-loop
+#      allocation ban, unsafe registry + SAFETY comments, atomic-ordering
+#      justifications, bit-identity FMA ban, error hygiene) with clickable
+#      file:line:col diagnostics — see DESIGN.md §10
+#   7. loom concurrency models: exhaustive interleaving checks of
+#      TimingSink / ScratchPool / PlanCache under `--cfg loom`, built in
+#      a separate target dir so the cfg flag doesn't thrash the cache
+#   8. sanitizer jobs (gated): Miri smoke on the pure-arithmetic crates
+#      and a ThreadSanitizer pass over the loom-modelled types, each
+#      skipped with a notice when the toolchain component is unavailable
+#      (this offline image ships neither)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,6 +72,39 @@ echo "$PROFILE_OUT" | awk '
       exit 1
     }
   }'
+
+echo "==> cargo xtask audit (custom invariant lints + unsafe inventory)"
+cargo xtask audit
+
+echo "==> loom concurrency models (TimingSink / ScratchPool / PlanCache)"
+# Separate target dir: --cfg loom changes every crate's fingerprint, and
+# sharing target/ would force a full rebuild of the normal profile next run.
+RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
+  cargo test -q -p winrs-core --test loom_models --release
+
+echo "==> miri smoke (winrs-fp16 + winrs-rational, skipped if unavailable)"
+# Miri exercises the bit-twiddling conversion kernels for UB; it needs the
+# rustup `miri` component + nightly, which the offline image does not ship.
+if cargo miri --version >/dev/null 2>&1; then
+  # Isolated target dir for the same fingerprint reason as the loom job.
+  CARGO_TARGET_DIR=target/miri cargo miri test -q -p winrs-fp16 -p winrs-rational
+else
+  echo "    miri not installed; skipping (install the rustup component to enable)"
+fi
+
+echo "==> thread sanitizer (loom-modelled types, skipped if unavailable)"
+# TSan needs -Z sanitizer (nightly) plus a rebuilt std (rust-src / -Z
+# build-std), neither of which is available offline. When present, it runs
+# the same loom_models scenarios against the real std::sync types.
+if rustc +nightly --version >/dev/null 2>&1 \
+   && rustc +nightly --print target-libdir 2>/dev/null | grep -q . \
+   && [ -d "$(rustc +nightly --print sysroot)/lib/rustlib/src/rust/library" ]; then
+  RUSTFLAGS="-Zsanitizer=thread" CARGO_TARGET_DIR=target/tsan \
+    cargo +nightly test -q -p winrs-core --lib metrics -Z build-std \
+    --target "$(rustc -vV | sed -n 's/^host: //p')"
+else
+  echo "    nightly rust-src not installed; skipping TSan job"
+fi
 
 BASELINE=bench_results/phase_baseline.json
 target/release/phase_baseline --json >/dev/null

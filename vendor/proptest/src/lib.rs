@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+// winrs-audit: allow-file(error-hygiene) — vendored test harness: its
+// assertion plumbing panics by design, matching upstream proptest.
 //! Offline drop-in subset of the `proptest` API.
 //!
 //! The build environment has no access to crates.io, so this vendored crate
