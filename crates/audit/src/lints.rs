@@ -1,4 +1,4 @@
-//! The five workspace-invariant lints.
+//! The six workspace-invariant lints.
 //!
 //! Each lint is a pure function from scanned sources to [`Finding`]s, so
 //! the unit tests can plant violations in string fixtures without touching
@@ -26,6 +26,15 @@
 //!   denied in library crates outside test regions (precise, test-aware
 //!   version of the clippy `unwrap_used` config, extended to `expect` and
 //!   the panic macros).
+//! * **lock-poison** — a bare `.lock().unwrap()`/`.lock().expect(` is
+//!   denied in library code outside test regions: one panicked lock
+//!   holder would cascade a poisoning panic into every later caller,
+//!   which is exactly the failure the leasing `WorkspacePool` exists to
+//!   contain. Recover deliberately (`unwrap_or_else(|p| p.into_inner())`
+//!   when the protected state cannot be torn, discard-and-rebuild when it
+//!   can — see `winrs-core::pool`). Deliberately *not* suppressed by an
+//!   `allow(error-hygiene)` directive: the two lints answer different
+//!   questions.
 
 use crate::lex::SourceFile;
 
@@ -86,6 +95,10 @@ const PANIC_TOKENS: &[&str] = &[
     "todo!(",
     "unimplemented!(",
 ];
+
+/// Bare lock-poisoning unwraps denied in library code (see the module
+/// docs' **lock-poison** entry).
+const LOCK_POISON_TOKENS: &[&str] = &[".lock().unwrap()", ".lock().expect("];
 
 /// The atomic `Ordering` variants (the `std::cmp::Ordering` variants —
 /// `Less`/`Equal`/`Greater` — never match).
@@ -349,15 +362,20 @@ pub fn bit_identity(file: &SourceFile) -> Vec<Finding> {
     out
 }
 
+/// Is `path` library code for the caller-facing hygiene lints — a lib
+/// crate's `src/` tree, excluding binaries?
+fn in_library_code(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    (p.contains("crates/") && p.contains("/src/") || p.starts_with("src/")
+        || p.contains("vendor/") && p.contains("/src/"))
+        && !BIN_CRATES.iter().any(|b| p.contains(b))
+        && !p.contains("/bin/")
+}
+
 /// **error-hygiene**: no panic-family calls in library code outside tests.
 pub fn error_hygiene(file: &SourceFile) -> Vec<Finding> {
     let mut out = Vec::new();
-    let p = file.path.replace('\\', "/");
-    let in_lib = (p.contains("crates/") && p.contains("/src/") || p.starts_with("src/")
-        || p.contains("vendor/") && p.contains("/src/"))
-        && !BIN_CRATES.iter().any(|b| p.contains(b))
-        && !p.contains("/bin/");
-    if !in_lib {
+    if !in_library_code(&file.path) {
         return out;
     }
     for (i, line) in file.lines.iter().enumerate() {
@@ -380,6 +398,34 @@ pub fn error_hygiene(file: &SourceFile) -> Vec<Finding> {
     out
 }
 
+/// **lock-poison**: no bare lock-poisoning unwraps in library code
+/// outside tests (shared state must survive a panicked holder; recover or
+/// rebuild, never cascade — DESIGN §11).
+pub fn lock_poison(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if !in_library_code(&file.path) {
+        return out;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for tok in LOCK_POISON_TOKENS {
+            if let Some(col) = find_token(&line.code, tok) {
+                push(
+                    &mut out,
+                    file,
+                    i,
+                    col,
+                    "lock-poison",
+                    format!("`{tok}` cascades a holder's panic into every later caller — recover the guard (`unwrap_or_else(|p| p.into_inner())`) or discard-and-rebuild the state (see winrs-core::pool)"),
+                );
+            }
+        }
+    }
+    out
+}
+
 /// Run every per-file lint.
 pub fn run_all(file: &SourceFile) -> Vec<Finding> {
     let mut out = Vec::new();
@@ -388,6 +434,7 @@ pub fn run_all(file: &SourceFile) -> Vec<Finding> {
     out.extend(atomic_ordering(file));
     out.extend(bit_identity(file));
     out.extend(error_hygiene(file));
+    out.extend(lock_poison(file));
     out
 }
 
@@ -474,6 +521,53 @@ mod tests {
         let got = error_hygiene(&f);
         assert_eq!(got.len(), 1, "{got:?}");
         assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn planted_bare_lock_unwrap_is_caught() {
+        let f = parse(
+            "crates/x/src/a.rs",
+            "fn f(m: &Mutex<u32>) -> u32 {\n    *m.lock().unwrap()\n}\n",
+        );
+        let got = lock_poison(&f);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!((got[0].line, got[0].lint), (2, "lock-poison"));
+        let g = parse(
+            "crates/x/src/a.rs",
+            "fn f(m: &Mutex<u32>) -> u32 {\n    *m.lock().expect(\"poisoned\")\n}\n",
+        );
+        assert_eq!(lock_poison(&g).len(), 1);
+    }
+
+    #[test]
+    fn recovering_lock_forms_pass_lock_poison() {
+        let f = parse(
+            "crates/x/src/a.rs",
+            "fn f(m: &Mutex<u32>) -> u32 {\n    *m.lock().unwrap_or_else(|p| p.into_inner())\n}\n",
+        );
+        assert!(lock_poison(&f).is_empty());
+        // Test regions and binaries stay exempt.
+        let t = parse(
+            "crates/x/src/a.rs",
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = M.lock().unwrap();\n    }\n}\n",
+        );
+        assert!(lock_poison(&t).is_empty());
+        let b = parse("crates/cli/src/main.rs", "let g = M.lock().unwrap();\n");
+        assert!(lock_poison(&b).is_empty());
+    }
+
+    #[test]
+    fn error_hygiene_allow_does_not_silence_lock_poison() {
+        let f = parse(
+            "crates/x/src/a.rs",
+            "// winrs-audit: allow(error-hygiene)\nlet g = m.lock().unwrap();\n",
+        );
+        assert_eq!(lock_poison(&f).len(), 1, "distinct lint, distinct directive");
+        let allowed = parse(
+            "crates/x/src/a.rs",
+            "// winrs-audit: allow(lock-poison) — single-threaded setup path\nlet g = m.lock().unwrap();\n",
+        );
+        assert!(lock_poison(&allowed).is_empty());
     }
 
     // ---- justified code passes ----

@@ -101,7 +101,7 @@ fn main() -> ExitCode {
 
     let (findings, scanned) = run(&root);
     if findings.is_empty() {
-        println!("audit: clean ({scanned} files scanned, 5 lints + unsafe inventory)");
+        println!("audit: clean ({scanned} files scanned, 6 lints + unsafe inventory)");
         ExitCode::SUCCESS
     } else {
         for f in &findings {

@@ -3,9 +3,12 @@
 
 use crate::args::Flags;
 use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
 use winrs_bench::json::{Json, SCHEMA};
 use winrs_conv::{direct, ConvShape};
-use winrs_core::fallback::{run_bfc, run_bfc_cached, FallbackPolicy, NumericGuard};
+use winrs_core::fallback::{run_bfc_cached, FallbackPolicy, NumericGuard};
+use winrs_core::pool::{ExecHandle, PoolConfig, WorkspacePool};
 use winrs_core::{PlanCache, Precision, WinRsPlan, Workspace};
 use winrs_gpu_sim::{DeviceSpec, A5000, L40S, RTX_3090, RTX_4090};
 use winrs_tensor::{mare, Tensor4};
@@ -19,9 +22,14 @@ commands:
   plan     print the adaptive configuration for a layer
            --n N --res R --ic C --oc C --f F [--pad P] [--device NAME] [--fp16|--bf16]
   verify   execute BFC on random tensors, report MARE vs f64 direct conv
+           (dispatched through a leasing workspace pool with panic
+           isolation; pool counters are printed with the report)
            --n N --res R --ic C --oc C --f F [--pad P] [--fp16|--bf16] [--seed S]
            [--fallback-policy strict|auto|force-gemm|force-direct]
            [--numeric-guard ignore|warn|promote-retry]
+           [--pool-slots K] [--deadline-ms MS]  (0 = no deadline)
+           [--fault-seed N]  (arm the seeded chaos campaign N, print the
+                              fired injection sites and the contained outcome)
   cost     modelled time / throughput / workspace on a device
            --n N --res R --ic C --oc C --f F [--pad P] [--device NAME] [--fp16]
   profile  execute BFC and print the measured per-phase cost breakdown
@@ -144,6 +152,23 @@ fn cmd_plan(flags: &Flags) -> Result<String, String> {
     Ok(out)
 }
 
+/// `--deadline-ms MS` (0 or absent = no deadline).
+fn deadline_from(flags: &Flags) -> Result<Option<Duration>, String> {
+    let ms = flags.opt_usize("deadline-ms", 0)?;
+    Ok((ms > 0).then(|| Duration::from_millis(ms as u64)))
+}
+
+/// `--fault-seed N` parsed as the campaign seed.
+fn fault_seed_from(flags: &Flags) -> Result<Option<u64>, String> {
+    match flags.opt_str("fault-seed") {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("--fault-seed expects a u64 seed, got '{raw}'")),
+    }
+}
+
 fn cmd_verify(flags: &Flags) -> Result<String, String> {
     let shape = shape_from(flags)?;
     let seed = flags.opt_usize("seed", 42)? as u64;
@@ -151,6 +176,13 @@ fn cmd_verify(flags: &Flags) -> Result<String, String> {
     let device = device_by_name(flags.opt_str("device"))?;
     let policy = fallback_policy_from(flags)?;
     let guard = numeric_guard_from(flags)?;
+    let slots = flags.opt_usize("pool-slots", PoolConfig::default().slots)?;
+    let deadline = deadline_from(flags)?;
+    let fault_seed = fault_seed_from(flags)?;
+    #[cfg(not(feature = "faults"))]
+    if fault_seed.is_some() {
+        return Err("--fault-seed requires a build with the 'faults' feature".into());
+    }
     if shape.x_elems() > 4_000_000 {
         return Err("verify executes on the CPU: keep N*res^2*C under 4e6 elements".into());
     }
@@ -168,38 +200,84 @@ fn cmd_verify(flags: &Flags) -> Result<String, String> {
     );
     let exact = direct::bfc_direct(&shape, &x, &dy);
 
-    // Dispatch through the fail-safe path: out-of-envelope problems degrade
-    // to GEMM-BFC (per --fallback-policy) instead of failing, and the
+    // Dispatch through the resilient pooled path: the workspace is leased
+    // from a (private) pool, the fused loop runs under panic isolation,
+    // out-of-envelope problems and runtime failures degrade to GEMM-BFC
+    // or direct (per --fallback-policy) instead of failing, and the
     // numeric guard accounts for reduced-precision overflow.
-    let (dw, report) = run_bfc(
-        &shape,
-        &device,
-        precision,
-        &x.cast(),
-        &dy.cast(),
-        policy,
-        guard,
-    )
-    .map_err(|e| e.to_string())?;
-    let m = mare(&dw, &exact);
-    let verdict = match precision {
-        Precision::Fp32 => m < 1e-4,
-        Precision::Fp16 => m < 1e-1,
-        Precision::Bf16 => m < 2e-1,
-    } && !report.tainted();
+    let pool = WorkspacePool::new(PoolConfig {
+        slots,
+        ..PoolConfig::default()
+    });
+    let handle = ExecHandle::new(Arc::clone(&pool), device, precision)
+        .with_policy(policy)
+        .with_guard(guard)
+        .with_deadline(deadline);
+
     let mut out = String::new();
     let _ = writeln!(out, "shape     : {shape:?}");
-    let _ = writeln!(out, "report    : {}", report.summary_line());
-    let _ = writeln!(out, "MARE      : {m:.3e} vs f64 direct convolution");
-    let _ = writeln!(
-        out,
-        "verdict   : {}",
-        if verdict { "OK" } else { "SUSPECT" }
-    );
-    if verdict {
-        Ok(out)
-    } else {
-        Err(format!("verification failed:\n{out}"))
+
+    #[cfg(feature = "faults")]
+    let campaign = fault_seed.map(winrs_core::faults::campaign);
+    #[cfg(feature = "faults")]
+    if let Some(c) = &campaign {
+        let _ = writeln!(out, "campaign  : {c}");
+        c.arm();
+    }
+
+    let result = handle.run(&shape, &x.cast(), &dy.cast());
+
+    #[cfg(feature = "faults")]
+    if campaign.is_some() {
+        let fired = winrs_core::faults::fired_sites();
+        let names: Vec<String> = fired.iter().map(|s| s.to_string()).collect();
+        let _ = writeln!(out, "fired     : [{}]", names.join(", "));
+        winrs_core::faults::disarm_sites();
+        winrs_core::faults::disarm();
+    }
+
+    let stats = pool.stats();
+    match result {
+        Ok((dw, report)) => {
+            let m = mare(&dw, &exact);
+            let verdict = match precision {
+                Precision::Fp32 => m < 1e-4,
+                Precision::Fp16 => m < 1e-1,
+                Precision::Bf16 => m < 2e-1,
+            } && !report.tainted();
+            let _ = writeln!(out, "report    : {}", report.summary_line());
+            let _ = writeln!(out, "pool      : {stats}");
+            let _ = writeln!(out, "MARE      : {m:.3e} vs f64 direct convolution");
+            let _ = writeln!(
+                out,
+                "verdict   : {}",
+                if verdict { "OK" } else { "SUSPECT" }
+            );
+            if verdict {
+                Ok(out)
+            } else {
+                Err(format!("verification failed:\n{out}"))
+            }
+        }
+        // Under an armed campaign a typed error is a *contained* outcome —
+        // the injected failure surfaced as a WinrsError instead of a
+        // crash, and the pool is verifiably clean afterwards.
+        Err(err) if fault_seed.is_some() => {
+            let _ = writeln!(out, "outcome   : typed error (contained): {err}");
+            let _ = writeln!(out, "pool      : {stats}");
+            let clean = stats.in_use == 0 && stats.poisonings == stats.rebuilds;
+            let _ = writeln!(
+                out,
+                "verdict   : {}",
+                if clean { "OK" } else { "SUSPECT" }
+            );
+            if clean {
+                Ok(out)
+            } else {
+                Err(format!("pool left dirty after contained failure:\n{out}"))
+            }
+        }
+        Err(err) => Err(err.to_string()),
     }
 }
 

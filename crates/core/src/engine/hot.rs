@@ -190,6 +190,8 @@ pub(super) fn run_block_tile<T: Scalar>(
                             load_filter_tile(dy, t, b, i, col0, oc0, bn_cur, ghat);
                             #[cfg(feature = "faults")]
                             crate::faults::maybe_inject(seg_idx, mode, ghat);
+                            #[cfg(feature = "faults")]
+                            crate::faults::maybe_panic(crate::faults::Site::HotLoopPanic);
                             saturated += round_tile(&mut ghat[..alpha * bn_cur], mode);
                             lap.lap(&mut ft_ns);
                             // Input transform: dhat[β][ic] = Σ_s Dᵀ[β][s]·X.

@@ -174,15 +174,49 @@ pub enum WinrsError {
     /// Plan execution was called with arguments inconsistent with the
     /// plan (wrong tensor dims, wrong precision, wrong buffer size).
     ExecutionRejected(Vec<Violation>),
+    /// Plan execution panicked mid-flight. The panic was contained by the
+    /// [`crate::pool::ExecHandle`] `catch_unwind` boundary, the leased
+    /// workspace was poisoned (discarded and rebuilt, never re-issued
+    /// dirty), and the half-written ∇W buffer was dropped during unwind —
+    /// the caller observes only this typed error.
+    ExecutionPanicked {
+        /// Human-readable panic site or payload (best effort).
+        site: String,
+    },
+    /// Admission control: every pool slot stayed leased for the whole
+    /// configured wait, so the request was rejected rather than queued
+    /// unboundedly (backpressure).
+    PoolExhausted {
+        /// Total slots in the pool.
+        slots: usize,
+        /// How long the caller waited before giving up, in milliseconds.
+        waited_ms: u64,
+    },
+    /// The per-call deadline expired before (or during) execution. Under
+    /// an `Auto` fallback policy the dispatcher degrades down the ladder
+    /// WinRS → GEMM-BFC → direct instead of surfacing this.
+    DeadlineExceeded {
+        /// The configured deadline, in milliseconds.
+        deadline_ms: u64,
+        /// Time actually elapsed when the deadline check fired.
+        elapsed_ms: u64,
+    },
 }
 
 impl WinrsError {
-    /// The complete violation list, regardless of stage.
+    /// The complete violation list, regardless of stage. Runtime failures
+    /// ([`ExecutionPanicked`](WinrsError::ExecutionPanicked),
+    /// [`PoolExhausted`](WinrsError::PoolExhausted),
+    /// [`DeadlineExceeded`](WinrsError::DeadlineExceeded)) carry no
+    /// violated invariant and report an empty list.
     pub fn violations(&self) -> &[Violation] {
         match self {
             WinrsError::InvalidShape(v)
             | WinrsError::PlanRejected(v)
             | WinrsError::ExecutionRejected(v) => v,
+            WinrsError::ExecutionPanicked { .. }
+            | WinrsError::PoolExhausted { .. }
+            | WinrsError::DeadlineExceeded { .. } => &[],
         }
     }
 
@@ -192,6 +226,9 @@ impl WinrsError {
             WinrsError::InvalidShape(_) => "invalid-shape",
             WinrsError::PlanRejected(_) => "plan-rejected",
             WinrsError::ExecutionRejected(_) => "execution-rejected",
+            WinrsError::ExecutionPanicked { .. } => "execution-panicked",
+            WinrsError::PoolExhausted { .. } => "pool-exhausted",
+            WinrsError::DeadlineExceeded { .. } => "deadline-exceeded",
         }
     }
 
@@ -199,6 +236,20 @@ impl WinrsError {
     /// shape itself is fine, only the WinRS envelope was exceeded.
     pub fn recoverable_by_fallback(&self) -> bool {
         matches!(self, WinrsError::PlanRejected(_))
+    }
+
+    /// True when the problem is fine but *this attempt* failed for a
+    /// runtime reason (panic, pool pressure, deadline): a slower algorithm
+    /// on the degradation ladder can still deliver a correct ∇W. Distinct
+    /// from [`recoverable_by_fallback`](Self::recoverable_by_fallback),
+    /// which classifies plan-time envelope rejections.
+    pub fn recoverable_by_degradation(&self) -> bool {
+        matches!(
+            self,
+            WinrsError::ExecutionPanicked { .. }
+                | WinrsError::PoolExhausted { .. }
+                | WinrsError::DeadlineExceeded { .. }
+        )
     }
 }
 
@@ -208,6 +259,30 @@ impl fmt::Display for WinrsError {
             WinrsError::InvalidShape(_) => "invalid problem shape",
             WinrsError::PlanRejected(_) => "problem outside the WinRS envelope",
             WinrsError::ExecutionRejected(_) => "execution arguments rejected",
+            WinrsError::ExecutionPanicked { site } => {
+                return write!(
+                    f,
+                    "execution panicked at {site}; workspace lease poisoned and \
+                     rebuilt, partial ∇W discarded"
+                );
+            }
+            WinrsError::PoolExhausted { slots, waited_ms } => {
+                return write!(
+                    f,
+                    "workspace pool exhausted: all {slots} slot{} stayed leased \
+                     for {waited_ms} ms",
+                    if *slots == 1 { "" } else { "s" }
+                );
+            }
+            WinrsError::DeadlineExceeded {
+                deadline_ms,
+                elapsed_ms,
+            } => {
+                return write!(
+                    f,
+                    "deadline of {deadline_ms} ms exceeded ({elapsed_ms} ms elapsed)"
+                );
+            }
         };
         let v = self.violations();
         write!(f, "{what} ({} violation{}): ", v.len(), if v.len() == 1 { "" } else { "s" })?;
@@ -266,5 +341,53 @@ mod tests {
         let err = WinrsError::PlanRejected(vec![Violation::UnsupportedStride { sh: 2, sw: 2 }]);
         assert!(err.recoverable_by_fallback());
         assert!(err.to_string().contains("stride (2, 2)"));
+    }
+
+    #[test]
+    fn runtime_failures_are_degradable_not_fallback_recoverable() {
+        let cases = [
+            WinrsError::ExecutionPanicked {
+                site: "fused block loop".into(),
+            },
+            WinrsError::PoolExhausted {
+                slots: 2,
+                waited_ms: 5,
+            },
+            WinrsError::DeadlineExceeded {
+                deadline_ms: 10,
+                elapsed_ms: 17,
+            },
+        ];
+        for err in cases {
+            assert!(err.recoverable_by_degradation(), "{err}");
+            assert!(!err.recoverable_by_fallback(), "{err}");
+            assert!(err.violations().is_empty(), "{err}");
+        }
+    }
+
+    #[test]
+    fn runtime_failure_display_names_the_cause() {
+        let e = WinrsError::ExecutionPanicked {
+            site: "fused block loop".into(),
+        };
+        assert_eq!(e.stage(), "execution-panicked");
+        let msg = e.to_string();
+        assert!(msg.contains("fused block loop"), "{msg}");
+        assert!(msg.contains("poisoned"), "{msg}");
+
+        let e = WinrsError::PoolExhausted {
+            slots: 1,
+            waited_ms: 3,
+        };
+        assert_eq!(e.stage(), "pool-exhausted");
+        let msg = e.to_string();
+        assert!(msg.contains("all 1 slot stayed leased"), "{msg}");
+
+        let e = WinrsError::DeadlineExceeded {
+            deadline_ms: 10,
+            elapsed_ms: 17,
+        };
+        assert_eq!(e.stage(), "deadline-exceeded");
+        assert!(e.to_string().contains("10 ms exceeded (17 ms"), "{}", e);
     }
 }

@@ -167,10 +167,18 @@ pub struct ExecutionReport {
     /// Cumulative [`PlanCache`] misses at dispatch time (see
     /// [`ExecutionReport::cache_hits`]).
     pub cache_misses: u64,
+    /// Snapshot of the [`crate::pool::WorkspacePool`] counters at the end
+    /// of the dispatch (populated only when execution went through a
+    /// [`crate::pool::ExecHandle`] lease).
+    pub pool: Option<crate::metrics::PoolStats>,
 }
 
 impl ExecutionReport {
-    fn new(algorithm: Algorithm, precision: Precision, guard: NumericGuard) -> ExecutionReport {
+    pub(crate) fn new(
+        algorithm: Algorithm,
+        precision: Precision,
+        guard: NumericGuard,
+    ) -> ExecutionReport {
         ExecutionReport {
             algorithm,
             requested_precision: precision,
@@ -185,6 +193,7 @@ impl ExecutionReport {
             timing: PhaseTimings::default(),
             cache_hits: 0,
             cache_misses: 0,
+            pool: None,
         }
     }
 
@@ -227,6 +236,9 @@ impl ExecutionReport {
                 " plan_cache={}h/{}m",
                 self.cache_hits, self.cache_misses
             ));
+        }
+        if let Some(pool) = &self.pool {
+            s.push_str(&format!(" pool[{pool}]"));
         }
         if let Some(reason) = &self.fallback_reason {
             s.push_str(&format!(" fallback=\"{reason}\""));
@@ -438,7 +450,7 @@ fn run_substitute(
 /// [`run_substitute`] plus timing: a substitute algorithm is one opaque
 /// kernel, so its whole runtime is charged to the block-loop phase — the
 /// report's timing is populated on every dispatch path, not just WinRS.
-fn run_substitute_timed(
+pub(crate) fn run_substitute_timed(
     alg: Algorithm,
     conv: &ConvShape,
     x: &Tensor4<f32>,
@@ -472,7 +484,7 @@ pub fn substitute_layout(alg: Algorithm, conv: &ConvShape) -> WorkspaceLayout {
 /// [`MemoryFootprint`] for a substitute run: the internal buffers are
 /// allocated once per call, outside any block loop, so planned = peak and
 /// `hot_loop_allocs` is zero by construction.
-fn substitute_footprint(alg: Algorithm, conv: &ConvShape) -> MemoryFootprint {
+pub(crate) fn substitute_footprint(alg: Algorithm, conv: &ConvShape) -> MemoryFootprint {
     let bytes = substitute_layout(alg, conv).workspace_bytes();
     MemoryFootprint {
         workspace_bytes_planned: bytes,

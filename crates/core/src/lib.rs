@@ -63,6 +63,7 @@ pub mod metrics;
 pub mod ndim;
 pub mod partition;
 pub mod plan;
+pub mod pool;
 pub mod reduce;
 pub(crate) mod sync;
 pub mod workspace;
@@ -71,10 +72,11 @@ pub use config::pair::KernelPair;
 pub use config::Precision;
 pub use error::{Violation, WinrsError};
 pub use fallback::{Algorithm, ExecutionReport, FallbackPolicy, NumericGuard};
-pub use metrics::{PhaseTimings, TimingSink};
+pub use metrics::{PhaseTimings, PoolStats, TimingSink};
 pub use partition::{Partition, Segment};
 pub use cache::PlanCache;
 pub use plan::WinRsPlan;
+pub use pool::{ExecHandle, Lease, PoolConfig, WorkspacePool};
 pub use workspace::{ExecCtx, Region, RegionKind, ScratchPool, Workspace, WorkspaceLayout};
 
 /// Deliberately-undersized bucket-buffer length shared by the numeric

@@ -227,9 +227,78 @@ impl PhaseTimings {
     }
 }
 
+/// Snapshot of [`crate::pool::WorkspacePool`] counters, stamped into every
+/// [`crate::ExecutionReport`] produced through a pool lease — the pool's
+/// health flows through the same observability path as [`PhaseTimings`],
+/// so the CLI and serving layers read one report, not two telemetry APIs.
+///
+/// Counter invariants the chaos suite asserts after every campaign:
+/// `in_use == 0` (no leaked lease) and `poisonings == rebuilds` (every
+/// poisoned workspace was rebuilt before becoming leasable again).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total workspace slots the pool owns.
+    pub slots: usize,
+    /// Slots currently leased out.
+    pub in_use: usize,
+    /// Leases granted since the pool was built.
+    pub leases: u64,
+    /// Leases that had to wait for a slot before being granted.
+    pub waits: u64,
+    /// Leases returned poisoned (holder panicked or called `poison`).
+    pub poisonings: u64,
+    /// Workspaces discarded and rebuilt fresh after poisoning.
+    pub rebuilds: u64,
+    /// Lease requests rejected with `PoolExhausted` after the wait budget.
+    pub exhausted: u64,
+    /// Executions that dropped down the degradation ladder
+    /// (WinRS → GEMM-BFC → direct); each rung taken counts once.
+    pub degradations: u64,
+    /// Shared plan caches discarded after a holder panicked mid-update.
+    pub cache_poisonings: u64,
+}
+
+impl std::fmt::Display for PoolStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "slots={}/{} leases={} waits={} poisonings={} rebuilds={} \
+             exhausted={} degradations={}",
+            self.in_use,
+            self.slots,
+            self.leases,
+            self.waits,
+            self.poisonings,
+            self.rebuilds,
+            self.exhausted,
+            self.degradations
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pool_stats_display_is_one_line_and_complete() {
+        let s = PoolStats {
+            slots: 4,
+            in_use: 1,
+            leases: 10,
+            waits: 2,
+            poisonings: 1,
+            rebuilds: 1,
+            exhausted: 3,
+            degradations: 4,
+            cache_poisonings: 0,
+        };
+        let line = s.to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("slots=1/4"), "{line}");
+        assert!(line.contains("poisonings=1"), "{line}");
+        assert!(line.contains("degradations=4"), "{line}");
+    }
 
     #[test]
     fn sink_accumulates_and_tracks_extremes() {

@@ -1,0 +1,844 @@
+//! Resilient shared execution layer: a leasing [`WorkspacePool`] with a
+//! shared [`PlanCache`], panic isolation, admission control, and per-call
+//! deadlines.
+//!
+//! The paper's tiny-workspace property — `(Z−1)·|∇W|` per problem — makes
+//! BFC state small enough to *pool*: a handful of [`Workspace`] arenas can
+//! serve every layer of a training loop, or every request of a serving
+//! process, instead of one arena per caller. This module is that shared
+//! layer, built so shared state survives the three things that kill naive
+//! pools:
+//!
+//! * **Panics** — [`ExecHandle::run`] executes the planned BFC under
+//!   `catch_unwind`. A panic inside the fused block loop (the vendored
+//!   rayon substrate resumes worker panics on the caller) becomes a typed
+//!   [`WinrsError::ExecutionPanicked`]; the half-written `∇W` is dropped
+//!   during unwind and the leased workspace is **poisoned**: discarded and
+//!   rebuilt fresh before the slot is leasable again, so no later caller
+//!   can observe a partial write. Lease return is panic-driven too —
+//!   [`Lease`]'s `Drop` detects unwinding and self-poisons, so even a
+//!   panic *between* lease and execution cannot leak a dirty arena.
+//! * **Exhaustion** — the pool holds a fixed number of slots. A lease
+//!   request waits on a condvar up to a configurable budget, then fails
+//!   with typed [`WinrsError::PoolExhausted`] backpressure instead of
+//!   queueing unboundedly.
+//! * **Slowness** — an optional per-call deadline turns an over-budget
+//!   call into [`WinrsError::DeadlineExceeded`], which the dispatcher (the
+//!   PR 1 fallback policy layer) degrades down the ladder WinRS →
+//!   GEMM-BFC → direct. Each rung gets a fresh deadline window; the last
+//!   rung always delivers, so under `Auto` policy a deadline shapes
+//!   *which* algorithm runs, it never cancels a correct answer.
+//!
+//! Pool health (leases, waits, poisonings, rebuilds, exhaustions,
+//! degradations) is a [`PoolStats`] snapshot stamped into every
+//! [`ExecutionReport`], flowing through the same observability path as
+//! [`crate::metrics::PhaseTimings`].
+//!
+//! The whole layer is driven by the seeded chaos harness in
+//! [`crate::faults`]: deterministic campaigns inject panics, feigned slot
+//! exhaustion, allocation-budget failures and artificial slowness at named
+//! sites, and the chaos suite asserts every campaign ends in either a
+//! bitwise-correct `∇W` or a typed error with the pool back to a clean,
+//! fully-leasable state. Interleaving-level properties (no double-lease,
+//! no dirty re-issue, waiter wakeup) are checked exhaustively by the loom
+//! models in `tests/pool_models.rs`.
+
+use crate::cache::PlanCache;
+use crate::config::Precision;
+use crate::error::{Violation, WinrsError};
+use crate::fallback::{
+    self, Algorithm, ExecutionReport, FallbackPolicy, NumericGuard,
+};
+use crate::metrics::PoolStats;
+use crate::plan::WinRsPlan;
+use crate::sync::{Condvar, Mutex};
+use crate::workspace::{Workspace, WorkspaceLayout};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+use winrs_conv::ConvShape;
+use winrs_gpu_sim::DeviceSpec;
+use winrs_tensor::Tensor4;
+
+/// Configuration for a [`WorkspacePool`].
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Number of workspace slots (concurrent leases). Clamped to ≥ 1.
+    pub slots: usize,
+    /// How long a lease request may wait for a slot before failing with
+    /// [`WinrsError::PoolExhausted`].
+    pub max_wait: Duration,
+    /// Capacity of the shared [`PlanCache`].
+    pub plan_capacity: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            // One lease per concurrent BFC *call* (each call parallelises
+            // internally); four covers a training loop plus a couple of
+            // background verifiers without over-provisioning arenas.
+            slots: 4,
+            max_wait: Duration::from_millis(100),
+            plan_capacity: crate::cache::DEFAULT_PLAN_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// One pooled workspace plus its rebuild generation (bumped every time the
+/// slot is poisoned and rebuilt — lets tests prove a dirty arena was
+/// discarded, not recycled).
+struct Slot {
+    ws: Workspace,
+    generation: u64,
+}
+
+/// Mutable pool state, all under one mutex. The counters are plain
+/// integers rather than atomics on purpose: every update already happens
+/// inside the state lock, and keeping them there makes the loom models
+/// tractable (no extra scheduling points) while guaranteeing snapshot
+/// consistency.
+struct PoolState {
+    free: Vec<Slot>,
+    in_use: usize,
+    leases: u64,
+    waits: u64,
+    poisonings: u64,
+    rebuilds: u64,
+    exhausted: u64,
+    degradations: u64,
+    cache_poisonings: u64,
+}
+
+/// A process-wide pool of reusable [`Workspace`] arenas with lease
+/// semantics, plus the shared [`PlanCache`] the leased executions use.
+///
+/// [`WorkspacePool::lease`] hands out an *exclusive* workspace sized by
+/// `Workspace::ensure`; the [`Lease`] returns it on drop, rebuilding it
+/// fresh first if the leaseholder panicked (or called [`Lease::poison`]).
+/// See the module docs for the full resilience model.
+pub struct WorkspacePool {
+    state: Mutex<PoolState>,
+    /// Signalled whenever a slot returns to `free`.
+    available: Condvar,
+    cfg: PoolConfig,
+    plans: Mutex<PlanCache>,
+}
+
+impl WorkspacePool {
+    /// Build a pool with `cfg.slots` fresh workspaces.
+    pub fn new(cfg: PoolConfig) -> Arc<WorkspacePool> {
+        let slots = cfg.slots.max(1);
+        let free = (0..slots)
+            .map(|_| Slot {
+                ws: Workspace::new(),
+                generation: 0,
+            })
+            .collect();
+        Arc::new(WorkspacePool {
+            state: Mutex::new(PoolState {
+                free,
+                in_use: 0,
+                leases: 0,
+                waits: 0,
+                poisonings: 0,
+                rebuilds: 0,
+                exhausted: 0,
+                degradations: 0,
+                cache_poisonings: 0,
+            }),
+            available: Condvar::new(),
+            cfg: PoolConfig { slots, ..cfg },
+            plans: Mutex::new(PlanCache::with_capacity(cfg.plan_capacity)),
+        })
+    }
+
+    /// Convenience constructor: `slots` slots, default wait budget.
+    pub fn with_slots(slots: usize) -> Arc<WorkspacePool> {
+        WorkspacePool::new(PoolConfig {
+            slots,
+            ..PoolConfig::default()
+        })
+    }
+
+    /// The process-wide default pool (what [`crate::pool::ExecHandle`] and
+    /// `winrs-nn` layers use unless given a private pool).
+    pub fn global() -> &'static Arc<WorkspacePool> {
+        static GLOBAL: OnceLock<Arc<WorkspacePool>> = OnceLock::new();
+        GLOBAL.get_or_init(|| WorkspacePool::new(PoolConfig::default()))
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.cfg
+    }
+
+    fn lock_state(&self) -> crate::sync::MutexGuard<'_, PoolState> {
+        // A panic while holding the state lock cannot leave the counters
+        // torn (every critical section is a handful of integer updates
+        // with no unwind point), so recovering the poisoned guard is
+        // sound — and required: the pool must stay serviceable after a
+        // leaseholder dies.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn lock_plans(&self) -> crate::sync::MutexGuard<'_, PlanCache> {
+        match self.plans.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                // Unlike the pool counters, the LRU bookkeeping *does*
+                // have multi-step updates; a cache abandoned mid-update is
+                // discarded wholesale and rebuilt by future misses.
+                let mut g = poisoned.into_inner();
+                g.clear();
+                // Lock order: plans → state. No path takes state → plans,
+                // so holding both here cannot deadlock.
+                self.lock_state().cache_poisonings += 1;
+                g
+            }
+        }
+    }
+
+    /// Snapshot the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        let st = self.lock_state();
+        PoolStats {
+            slots: self.cfg.slots,
+            in_use: st.in_use,
+            leases: st.leases,
+            waits: st.waits,
+            poisonings: st.poisonings,
+            rebuilds: st.rebuilds,
+            exhausted: st.exhausted,
+            degradations: st.degradations,
+            cache_poisonings: st.cache_poisonings,
+        }
+    }
+
+    /// Cumulative (hits, misses) of the shared plan cache.
+    pub fn plan_stats(&self) -> (u64, u64) {
+        let (h, m) = self.lock_plans().stats();
+        (h as u64, m as u64)
+    }
+
+    /// Fetch or build a plan through the shared [`PlanCache`].
+    pub fn cached_plan(
+        &self,
+        shape: &ConvShape,
+        device: &DeviceSpec,
+        precision: Precision,
+    ) -> Result<Arc<WinRsPlan>, WinrsError> {
+        self.lock_plans().get(shape, device, precision)
+    }
+
+    /// Lease a workspace sized for `layout`, waiting up to the pool's
+    /// configured budget. See [`WorkspacePool::lease_for`].
+    pub fn lease(self: &Arc<Self>, layout: &WorkspaceLayout) -> Result<Lease, WinrsError> {
+        self.lease_for(layout, self.cfg.max_wait)
+    }
+
+    /// Lease a workspace sized for `layout`, waiting up to `max_wait` for
+    /// a free slot.
+    ///
+    /// Errors:
+    /// * [`WinrsError::PoolExhausted`] — every slot stayed leased for the
+    ///   whole wait (admission-control backpressure).
+    /// * [`WinrsError::ExecutionRejected`] with
+    ///   [`Violation::WorkspaceTooSmall`] — the chaos harness's
+    ///   allocation-budget site refused the arena growth; the untouched
+    ///   slot is returned to the pool.
+    pub fn lease_for(
+        self: &Arc<Self>,
+        layout: &WorkspaceLayout,
+        max_wait: Duration,
+    ) -> Result<Lease, WinrsError> {
+        let start = Instant::now();
+        let mut waited = false;
+        let mut st = self.lock_state();
+        loop {
+            // The chaos site feigns "every slot leased" even when slots
+            // are free, driving the exhaustion path deterministically.
+            #[cfg(feature = "faults")]
+            let feigned_full = crate::faults::fire_if_armed(crate::faults::Site::PoolSlotExhausted);
+            #[cfg(not(feature = "faults"))]
+            let feigned_full = false;
+
+            if !feigned_full {
+                if let Some(mut slot) = st.free.pop() {
+                    st.in_use += 1;
+                    st.leases += 1;
+                    if waited {
+                        st.waits += 1;
+                    }
+                    drop(st);
+                    // Size the arena OUTSIDE the pool lock: `ensure` may
+                    // allocate megabytes and must not serialise admission.
+                    #[cfg(feature = "faults")]
+                    if crate::faults::fire_if_armed(crate::faults::Site::AllocBudget) {
+                        // Growth refused: hand the untouched slot straight
+                        // back (not poisoned — nothing was written).
+                        self.release(slot, false);
+                        // The refusal fires before any growth, so the
+                        // budget's view is "nothing was granted".
+                        return Err(WinrsError::ExecutionRejected(vec![
+                            Violation::WorkspaceTooSmall {
+                                needed_elems: layout.arena_elems(),
+                                got_elems: 0,
+                            },
+                        ]));
+                    }
+                    slot.ws.ensure(layout);
+                    return Ok(Lease {
+                        pool: Arc::clone(self),
+                        slot: Some(slot),
+                        poisoned: false,
+                    });
+                }
+            }
+
+            let elapsed = start.elapsed();
+            if elapsed >= max_wait {
+                st.exhausted += 1;
+                drop(st);
+                return Err(WinrsError::PoolExhausted {
+                    slots: self.cfg.slots,
+                    waited_ms: elapsed.as_millis() as u64,
+                });
+            }
+            waited = true;
+            // Inside a loom model `wait_timeout` never times out (wall
+            // clocks are not explorable) — models must return slots to
+            // wake their waiters, and a stranded waiter is reported as a
+            // deadlock, which is exactly the bug it would be.
+            st = match self.available.wait_timeout(st, max_wait - elapsed) {
+                Ok((g, _timeout)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    /// Return a slot to the free list, rebuilding it first when poisoned.
+    /// Never panics (runs from [`Lease`]'s `Drop`, possibly mid-unwind).
+    fn release(&self, mut slot: Slot, poison: bool) {
+        if poison {
+            // Discard the dirty arena wholesale. A fresh `Workspace` has
+            // an empty arena and `ensure` zero-fills growth, so nothing a
+            // panicking holder half-wrote can reach the next leaseholder.
+            slot.ws = Workspace::new();
+            slot.generation += 1;
+        }
+        let mut st = self.lock_state();
+        if poison {
+            st.poisonings += 1;
+            st.rebuilds += 1;
+        }
+        st.in_use -= 1;
+        st.free.push(slot);
+        drop(st);
+        // notify_all, not notify_one: a woken waiter can lose the race to
+        // a barging new arrival and must re-wait; waking everyone makes
+        // that starvation-free (and keeps the loom model free of lost-
+        // wakeup corner cases).
+        self.available.notify_all();
+    }
+
+    /// Count one rung taken on the degradation ladder.
+    pub(crate) fn note_degradation(&self) {
+        self.lock_state().degradations += 1;
+    }
+}
+
+/// An exclusive lease on one pooled [`Workspace`].
+///
+/// Dropping the lease returns the workspace to the pool. If the thread is
+/// unwinding when the drop runs — the leaseholder panicked — the lease
+/// self-poisons: the workspace is discarded and rebuilt fresh before the
+/// slot becomes leasable again. [`Lease::poison`] forces the same
+/// treatment explicitly (used by [`ExecHandle`], which catches the panic
+/// and therefore drops the lease from non-unwinding code, and by loom
+/// models, where real in-model panics would fail the whole model).
+pub struct Lease {
+    pool: Arc<WorkspacePool>,
+    slot: Option<Slot>,
+    poisoned: bool,
+}
+
+impl Lease {
+    /// The leased workspace.
+    pub fn workspace(&mut self) -> &mut Workspace {
+        match self.slot.as_mut() {
+            Some(s) => &mut s.ws,
+            // The slot is vacated only by Drop, which consumes the lease.
+            // winrs-audit: allow(error-hygiene) — structurally unreachable.
+            None => unreachable!("lease slot vacated before drop"),
+        }
+    }
+
+    /// Rebuild generation of the leased slot (bumps on every poisoning —
+    /// proof that a poisoned arena was discarded, not recycled).
+    pub fn generation(&self) -> u64 {
+        self.slot.as_ref().map_or(0, |s| s.generation)
+    }
+
+    /// Mark the leased workspace as corrupt: on drop it will be discarded
+    /// and rebuilt fresh instead of returned as-is.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            // `thread::panicking()` catches holders that never had the
+            // chance to call `poison()` — the unwind itself is the signal.
+            let poison = self.poisoned || std::thread::panicking();
+            self.pool.release(slot, poison);
+        }
+    }
+}
+
+/// A Send + Sync handle that runs planned BFC executions over pool leases
+/// with panic isolation, deadlines and the degradation ladder.
+///
+/// Cloning is cheap (one `Arc` bump); clones share the pool and plan
+/// cache, so a serving layer can hand one handle to every worker thread.
+#[derive(Clone)]
+pub struct ExecHandle {
+    pool: Arc<WorkspacePool>,
+    device: DeviceSpec,
+    precision: Precision,
+    policy: FallbackPolicy,
+    guard: NumericGuard,
+    deadline: Option<Duration>,
+}
+
+impl ExecHandle {
+    /// A handle over `pool` for the given device and precision, with the
+    /// default policy (`Auto`), guard (`Warn`) and no deadline.
+    pub fn new(pool: Arc<WorkspacePool>, device: DeviceSpec, precision: Precision) -> ExecHandle {
+        ExecHandle {
+            pool,
+            device,
+            precision,
+            policy: FallbackPolicy::default(),
+            guard: NumericGuard::default(),
+            deadline: None,
+        }
+    }
+
+    /// Set the fallback policy.
+    pub fn with_policy(mut self, policy: FallbackPolicy) -> ExecHandle {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the numeric guard.
+    pub fn with_guard(mut self, guard: NumericGuard) -> ExecHandle {
+        self.guard = guard;
+        self
+    }
+
+    /// Set (or clear) the per-call deadline. Each rung of the degradation
+    /// ladder gets a fresh window of this length.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> ExecHandle {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The pool this handle leases from.
+    pub fn pool(&self) -> &Arc<WorkspacePool> {
+        &self.pool
+    }
+
+    /// Dispatch one BFC problem through a pool lease. Semantics match
+    /// [`fallback::run_bfc`] plus the resilience layer: panics surface as
+    /// [`WinrsError::ExecutionPanicked`], pool pressure as
+    /// [`WinrsError::PoolExhausted`], deadline expiry as
+    /// [`WinrsError::DeadlineExceeded`] — and under the `Auto` policy all
+    /// three degrade down the ladder WinRS → GEMM-BFC → direct instead of
+    /// surfacing. The report carries [`PoolStats`] and the shared plan
+    /// cache's counters.
+    pub fn run(
+        &self,
+        conv: &ConvShape,
+        x: &Tensor4<f32>,
+        dy: &Tensor4<f32>,
+    ) -> Result<(Tensor4<f32>, ExecutionReport), WinrsError> {
+        // Ill-formed shapes are fatal for every rung: reject before
+        // touching the pool.
+        let shape_violations: Vec<Violation> = conv
+            .violations()
+            .into_iter()
+            .map(Violation::Shape)
+            .collect();
+        if !shape_violations.is_empty() {
+            return Err(WinrsError::InvalidShape(shape_violations));
+        }
+
+        if let FallbackPolicy::Force(alg) = self.policy {
+            let mut report = ExecutionReport::new(alg, self.precision, self.guard);
+            report.mem = fallback::substitute_footprint(alg, conv);
+            let dw = fallback::run_substitute_timed(alg, conv, x, dy, &mut report);
+            self.stamp(&mut report);
+            return Ok((dw, report));
+        }
+
+        match self.try_winrs(conv, x, dy) {
+            Ok((dw, mut report)) => {
+                self.stamp(&mut report);
+                Ok((dw, report))
+            }
+            Err(err)
+                if self.policy == FallbackPolicy::Auto
+                    && (err.recoverable_by_fallback() || err.recoverable_by_degradation()) =>
+            {
+                let (dw, mut report) = self.run_degraded(conv, x, dy, err);
+                self.stamp(&mut report);
+                Ok((dw, report))
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Rung 1: the WinRS engine over a pool lease, under `catch_unwind`.
+    fn try_winrs(
+        &self,
+        conv: &ConvShape,
+        x: &Tensor4<f32>,
+        dy: &Tensor4<f32>,
+    ) -> Result<(Tensor4<f32>, ExecutionReport), WinrsError> {
+        let start = Instant::now();
+        // Standing chaos slowness lands here, ahead of the deadline check,
+        // exactly like a slow dependency would.
+        #[cfg(feature = "faults")]
+        crate::faults::maybe_slow(crate::faults::Site::SlowBlockLoop);
+        self.check_deadline(start)?;
+
+        let t_plan = Instant::now();
+        let plan = self
+            .pool
+            .cached_plan(conv, &self.device, self.precision)?;
+        let plan_s = t_plan.elapsed().as_secs_f64();
+
+        // The lease may not wait past the deadline: admission gets the
+        // smaller of the pool's budget and what remains of the window.
+        let mut wait = self.pool.config().max_wait;
+        if let Some(d) = self.deadline {
+            wait = wait.min(d.saturating_sub(start.elapsed()));
+        }
+        let mut lease = self.pool.lease_for(plan.workspace_layout(), wait)?;
+        self.check_deadline(start)?;
+
+        // The panic boundary. `AssertUnwindSafe` is sound here because
+        // nothing crossing the boundary is reused on the panic path: the
+        // half-written ∇W is allocated inside and dropped by the unwind,
+        // and the leased workspace is poisoned (discarded + rebuilt), so
+        // no broken invariant can be observed afterwards.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fallback::run_planned_with(&plan, x, dy, self.guard, lease.workspace())
+        }));
+        match outcome {
+            Ok(Ok((dw, mut report))) => {
+                report.timing.plan_s = plan_s;
+                report.timing.total_s += plan_s;
+                Ok((dw, report))
+            }
+            // Typed rejections leave the arena no dirtier than a normal
+            // run (each execution re-zeroes the buckets it owns), so the
+            // lease returns clean.
+            Ok(Err(err)) => Err(err),
+            Err(payload) => {
+                lease.poison();
+                drop(lease);
+                Err(WinrsError::ExecutionPanicked {
+                    site: panic_site(payload),
+                })
+            }
+        }
+    }
+
+    /// Rungs 2 and 3: GEMM-BFC, then direct if the fresh deadline window
+    /// expires again. The last rung always delivers.
+    fn run_degraded(
+        &self,
+        conv: &ConvShape,
+        x: &Tensor4<f32>,
+        dy: &Tensor4<f32>,
+        reason: WinrsError,
+    ) -> (Tensor4<f32>, ExecutionReport) {
+        self.pool.note_degradation();
+        let rung_start = Instant::now();
+        // Standing slowness delays this rung too; with `slow_ms` beyond
+        // the deadline the window expires a second time and the ladder
+        // bottoms out at direct.
+        #[cfg(feature = "faults")]
+        crate::faults::maybe_slow(crate::faults::Site::SlowBlockLoop);
+        let alg = if self.check_deadline(rung_start).is_err() {
+            self.pool.note_degradation();
+            Algorithm::Direct
+        } else {
+            Algorithm::GemmBfc
+        };
+        let mut report = ExecutionReport::new(alg, self.precision, self.guard);
+        // The recorded reason is the *first* cause — why WinRS did not
+        // deliver; the degradations counter says how far the ladder ran.
+        report.fallback_reason = Some(reason);
+        report.mem = fallback::substitute_footprint(alg, conv);
+        let dw = fallback::run_substitute_timed(alg, conv, x, dy, &mut report);
+        (dw, report)
+    }
+
+    fn check_deadline(&self, start: Instant) -> Result<(), WinrsError> {
+        let Some(deadline) = self.deadline else {
+            return Ok(());
+        };
+        let elapsed = start.elapsed();
+        if elapsed >= deadline {
+            Err(WinrsError::DeadlineExceeded {
+                deadline_ms: deadline.as_millis() as u64,
+                elapsed_ms: elapsed.as_millis() as u64,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Stamp the shared-cache counters and the pool snapshot into a
+    /// report, whatever path produced it.
+    fn stamp(&self, report: &mut ExecutionReport) {
+        let (h, m) = self.pool.plan_stats();
+        report.cache_hits = h;
+        report.cache_misses = m;
+        report.pool = Some(self.pool.stats());
+    }
+}
+
+/// Best-effort human-readable panic location/payload for the typed error.
+fn panic_site(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "fused block loop (non-string panic payload)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winrs_conv::direct;
+    use winrs_gpu_sim::RTX_4090;
+    use winrs_tensor::mare;
+
+    fn small_layout() -> WorkspaceLayout {
+        WorkspaceLayout::scratch_only(16, 1)
+    }
+
+    #[test]
+    fn handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExecHandle>();
+        assert_send_sync::<WorkspacePool>();
+    }
+
+    #[test]
+    fn lease_round_trip_updates_counters() {
+        let pool = WorkspacePool::with_slots(2);
+        let layout = small_layout();
+        {
+            let mut lease = pool.lease(&layout).unwrap();
+            assert!(lease.workspace().fits(&layout));
+            let st = pool.stats();
+            assert_eq!((st.in_use, st.leases), (1, 1));
+        }
+        let st = pool.stats();
+        assert_eq!(st.in_use, 0);
+        assert_eq!(st.leases, 1);
+        assert_eq!(st.poisonings, 0);
+    }
+
+    #[test]
+    fn exhausted_pool_reports_typed_backpressure() {
+        let pool = WorkspacePool::new(PoolConfig {
+            slots: 1,
+            max_wait: Duration::from_millis(5),
+            ..PoolConfig::default()
+        });
+        let layout = small_layout();
+        let _held = pool.lease(&layout).unwrap();
+        let err = match pool.lease(&layout) {
+            Err(e) => e,
+            Ok(_) => panic!("second lease must be refused"),
+        };
+        assert!(matches!(err, WinrsError::PoolExhausted { slots: 1, .. }), "{err}");
+        assert_eq!(pool.stats().exhausted, 1);
+    }
+
+    #[test]
+    fn waiter_acquires_after_release() {
+        let pool = WorkspacePool::new(PoolConfig {
+            slots: 1,
+            max_wait: Duration::from_secs(5),
+            ..PoolConfig::default()
+        });
+        let layout = small_layout();
+        let lease = pool.lease(&layout).unwrap();
+        let p2 = Arc::clone(&pool);
+        let waiter = std::thread::spawn(move || {
+            let layout = WorkspaceLayout::scratch_only(16, 1);
+            p2.lease(&layout).map(|_| ()).is_ok()
+        });
+        // Give the waiter time to park, then release.
+        std::thread::sleep(Duration::from_millis(20));
+        drop(lease);
+        assert!(waiter.join().unwrap(), "waiter must get the returned slot");
+        let st = pool.stats();
+        assert_eq!(st.leases, 2);
+        assert_eq!(st.in_use, 0);
+        assert!(st.waits >= 1, "the second lease should have waited: {st}");
+    }
+
+    #[test]
+    fn explicit_poison_rebuilds_the_slot() {
+        let pool = WorkspacePool::with_slots(1);
+        let layout = small_layout();
+        let gen_before;
+        {
+            let mut lease = pool.lease(&layout).unwrap();
+            gen_before = lease.generation();
+            lease.workspace().ensure(&layout);
+            lease.poison();
+        }
+        let st = pool.stats();
+        assert_eq!((st.poisonings, st.rebuilds), (1, 1));
+        let lease = pool.lease(&layout).unwrap();
+        assert_eq!(lease.generation(), gen_before + 1, "rebuilt, not recycled");
+    }
+
+    #[test]
+    fn panicking_holder_poisons_on_unwind() {
+        let pool = WorkspacePool::with_slots(1);
+        let layout = small_layout();
+        let p2 = Arc::clone(&pool);
+        let result = std::thread::spawn(move || {
+            let layout = WorkspaceLayout::scratch_only(16, 1);
+            let _lease = p2.lease(&layout).unwrap();
+            // winrs-audit: allow(error-hygiene) — deliberate test panic.
+            panic!("holder dies with the lease live");
+        })
+        .join();
+        assert!(result.is_err());
+        let st = pool.stats();
+        assert_eq!((st.in_use, st.poisonings, st.rebuilds), (0, 1, 1));
+        // The pool is fully leasable again.
+        drop(pool.lease(&layout).unwrap());
+    }
+
+    #[test]
+    fn exec_handle_matches_direct_dispatch_bitwise() {
+        // The pool lease must not change numerics: same plan, same
+        // workspace discipline, bit-identical ∇W vs the plain dispatcher.
+        let conv = ConvShape::square(2, 16, 4, 4, 3);
+        let x64 = Tensor4::<f64>::random_uniform([2, 16, 16, 4], 71, 1.0);
+        let dy64 = Tensor4::<f64>::random_uniform([2, 16, 16, 4], 72, 1.0);
+        let (x, dy): (Tensor4<f32>, Tensor4<f32>) = (x64.cast(), dy64.cast());
+        let handle = ExecHandle::new(WorkspacePool::with_slots(2), RTX_4090, Precision::Fp32);
+        let (dw, report) = handle.run(&conv, &x, &dy).unwrap();
+        assert_eq!(report.algorithm, Algorithm::WinRs);
+        let (dw_ref, _) = fallback::run_bfc(
+            &conv,
+            &RTX_4090,
+            Precision::Fp32,
+            &x,
+            &dy,
+            FallbackPolicy::Auto,
+            NumericGuard::Warn,
+        )
+        .unwrap();
+        assert_eq!(dw, dw_ref, "pool lease changed the numerics");
+        let exact = direct::bfc_direct(&conv, &x64, &dy64);
+        assert!(mare(&dw, &exact) < 1e-5);
+        // The report carries the pool snapshot and shared-cache counters.
+        let stats = report.pool.unwrap();
+        assert_eq!((stats.leases, stats.in_use), (1, 0));
+        assert_eq!((report.cache_hits, report.cache_misses), (0, 1));
+        assert!(report.summary_line().contains("pool["), "{}", report.summary_line());
+    }
+
+    #[test]
+    fn exec_handle_zero_allocation_warm_path() {
+        // PR 2's zero-allocation guarantee must survive the lease layer:
+        // after the first call warms the slot, later calls grow nothing.
+        let conv = ConvShape::square(1, 16, 2, 2, 3);
+        let x = Tensor4::<f32>::random_uniform([1, 16, 16, 2], 81, 1.0);
+        let dy = Tensor4::<f32>::random_uniform([1, 16, 16, 2], 82, 1.0);
+        let handle = ExecHandle::new(WorkspacePool::with_slots(1), RTX_4090, Precision::Fp32);
+        let (_, r1) = handle.run(&conv, &x, &dy).unwrap();
+        assert_eq!(r1.mem.hot_loop_allocs, 0);
+        let mut lease = handle.pool().lease(&small_layout()).unwrap();
+        let grows_after_warmup = lease.workspace().grows();
+        drop(lease);
+        let (_, r2) = handle.run(&conv, &x, &dy).unwrap();
+        assert_eq!(r2.mem.hot_loop_allocs, 0);
+        let mut lease = handle.pool().lease(&small_layout()).unwrap();
+        assert_eq!(
+            lease.workspace().grows(),
+            grows_after_warmup,
+            "warm path must not grow the pooled arena"
+        );
+        assert_eq!((r2.cache_hits, r2.cache_misses), (1, 1));
+    }
+
+    #[test]
+    fn exec_handle_unported_fp16_width_degrades_to_gemm() {
+        let conv = ConvShape::square(1, 16, 3, 3, 4); // no FP16 kernel
+        let x = Tensor4::<f32>::random_uniform([1, conv.ih, conv.iw, conv.ic], 91, 1.0);
+        let dy = Tensor4::<f32>::random_uniform([1, conv.oh(), conv.ow(), conv.oc], 92, 0.01);
+        let handle = ExecHandle::new(WorkspacePool::with_slots(1), RTX_4090, Precision::Fp16);
+        let (_, report) = handle.run(&conv, &x, &dy).unwrap();
+        assert_eq!(report.algorithm, Algorithm::GemmBfc);
+        assert!(report.fallback_reason.is_some());
+        assert_eq!(report.pool.unwrap().degradations, 1);
+    }
+
+    #[test]
+    fn strict_policy_propagates_runtime_errors() {
+        let conv = ConvShape::square(1, 16, 3, 3, 4);
+        let x = Tensor4::<f32>::random_uniform([1, conv.ih, conv.iw, conv.ic], 93, 1.0);
+        let dy = Tensor4::<f32>::random_uniform([1, conv.oh(), conv.ow(), conv.oc], 94, 0.01);
+        let handle = ExecHandle::new(WorkspacePool::with_slots(1), RTX_4090, Precision::Fp16)
+            .with_policy(FallbackPolicy::Strict);
+        let err = handle.run(&conv, &x, &dy).unwrap_err();
+        assert!(err.recoverable_by_fallback(), "{err}");
+    }
+
+    #[test]
+    fn zero_deadline_degrades_to_substitute() {
+        let conv = ConvShape::square(1, 12, 2, 2, 3);
+        let x = Tensor4::<f32>::random_uniform([1, 12, 12, 2], 95, 1.0);
+        let dy = Tensor4::<f32>::random_uniform([1, 12, 12, 2], 96, 1.0);
+        let handle = ExecHandle::new(WorkspacePool::with_slots(1), RTX_4090, Precision::Fp32)
+            .with_deadline(Some(Duration::ZERO));
+        let (dw, report) = handle.run(&conv, &x, &dy).unwrap();
+        // Rung 1 expires instantly; each later rung gets a fresh window,
+        // which is also zero — the ladder bottoms out at direct.
+        assert_eq!(report.algorithm, Algorithm::Direct);
+        assert!(matches!(
+            report.fallback_reason,
+            Some(WinrsError::DeadlineExceeded { .. })
+        ));
+        assert_eq!(report.pool.unwrap().degradations, 2);
+        let x64: Tensor4<f64> = x.cast();
+        let dy64: Tensor4<f64> = dy.cast();
+        let exact = direct::bfc_direct(&conv, &x64, &dy64);
+        assert!(mare(&dw, &exact) < 1e-5);
+
+        // Strict policy surfaces the typed error instead.
+        let strict = ExecHandle::new(WorkspacePool::with_slots(1), RTX_4090, Precision::Fp32)
+            .with_policy(FallbackPolicy::Strict)
+            .with_deadline(Some(Duration::ZERO));
+        let err = strict.run(&conv, &x, &dy).unwrap_err();
+        assert!(matches!(err, WinrsError::DeadlineExceeded { .. }), "{err}");
+    }
+}

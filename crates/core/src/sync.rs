@@ -2,15 +2,17 @@
 //!
 //! Normal builds re-export `std::sync`; `RUSTFLAGS="--cfg loom"` builds
 //! re-export the vendored model checker instead, so the concurrency suite
-//! (`tests/loom_models.rs`) exhaustively explores the interleavings of
-//! [`crate::metrics::TimingSink`] and [`crate::workspace::ScratchPool`]
-//! through exactly the code paths production uses. Only modules with real
+//! (`tests/loom_models.rs`, `tests/pool_models.rs`) exhaustively explores
+//! the interleavings of [`crate::metrics::TimingSink`],
+//! [`crate::workspace::ScratchPool`], and the leasing
+//! [`crate::pool::WorkspacePool`] through exactly the code paths
+//! production uses. Only modules with real
 //! concurrent state go through this shim; single-threaded state such as
 //! [`crate::cache::PlanCache`] (externally synchronised, `&mut self` API)
 //! is modeled by wrapping it in a `loom` mutex inside the test itself.
 
 #[cfg(loom)]
-pub(crate) use loom::sync::{atomic, Mutex};
+pub(crate) use loom::sync::{atomic, Condvar, Mutex, MutexGuard};
 
 #[cfg(not(loom))]
-pub(crate) use std::sync::{atomic, Mutex};
+pub(crate) use std::sync::{atomic, Condvar, Mutex, MutexGuard};

@@ -1,0 +1,403 @@
+//! Seeded chaos campaigns against the resilient execution layer.
+//!
+//! Every test arms deterministic fault injections ([`winrs_core::faults`])
+//! at named sites — a panic inside the fused block loop, feigned workspace
+//! pool exhaustion, an allocation-budget refusal, artificial slowness —
+//! and asserts the contract from DESIGN §11: **every campaign ends in
+//! either a bitwise-correct `∇W` or a typed [`WinrsError`]**, never an
+//! escaped panic, with the pool back to a clean, fully-leasable state
+//! (no leaked leases, every poisoning matched by a rebuild).
+//!
+//! "Bitwise-correct" is literal: a degraded outcome must equal a clean
+//! (chaos-free) run of the same substitute algorithm bit for bit, and a
+//! WinRS outcome must equal the clean WinRS dispatch bit for bit — chaos
+//! may change *which* algorithm delivers, never *what* it computes.
+//!
+//! The injection registry is process-global, so everything here (and any
+//! test that merely runs concurrently with it) holds
+//! [`winrs_core::faults::serial_guard`].
+
+#![cfg(feature = "faults")]
+
+use std::sync::Arc;
+use std::time::Duration;
+use winrs_conv::{direct, ConvShape};
+use winrs_core::fallback::{self, Algorithm, FallbackPolicy, NumericGuard};
+use winrs_core::faults::{self, Site};
+use winrs_core::pool::{ExecHandle, PoolConfig, WorkspacePool};
+use winrs_core::{Precision, WinrsError};
+use winrs_gpu_sim::RTX_4090;
+use winrs_tensor::{mare, Tensor4};
+
+/// In-envelope FP32 problem small enough for many reruns.
+fn problem() -> (ConvShape, Tensor4<f32>, Tensor4<f32>, Tensor4<f64>) {
+    let conv = ConvShape::square(2, 16, 4, 4, 3);
+    let x64 = Tensor4::<f64>::random_uniform([conv.n, conv.ih, conv.iw, conv.ic], 1001, 1.0);
+    let dy64 = Tensor4::<f64>::random_uniform([conv.n, conv.oh(), conv.ow(), conv.oc], 1002, 1.0);
+    let exact = direct::bfc_direct(&conv, &x64, &dy64);
+    (conv, x64.cast(), dy64.cast(), exact)
+}
+
+fn handle(pool: &Arc<WorkspacePool>) -> ExecHandle {
+    ExecHandle::new(Arc::clone(pool), RTX_4090, Precision::Fp32)
+}
+
+/// The post-campaign pool contract: nothing leaked, every poisoning
+/// rebuilt, and every slot actually leasable right now.
+fn assert_pool_clean(pool: &Arc<WorkspacePool>) {
+    let st = pool.stats();
+    assert_eq!(st.in_use, 0, "leaked lease: {st}");
+    assert_eq!(
+        st.poisonings, st.rebuilds,
+        "poisoned slot without a rebuild: {st}"
+    );
+    let layout = winrs_core::WorkspaceLayout::accounting("clean-check", 0);
+    let leases: Vec<_> = (0..pool.config().slots)
+        .map(|i| {
+            pool.lease_for(&layout, Duration::ZERO)
+                .unwrap_or_else(|e| panic!("slot {i} not leasable after campaign: {e}"))
+        })
+        .collect();
+    drop(leases);
+}
+
+/// Disarm everything and return the sites that fired, failing loudly if
+/// the campaign never reached its injection point.
+fn end_campaign() -> Vec<Site> {
+    let fired = faults::fired_sites();
+    faults::disarm_sites();
+    faults::disarm();
+    faults::set_slow_ms(0);
+    fired
+}
+
+/// Campaign 1 — panic in the hot loop. The fused-kernel panic is caught
+/// at the lease boundary: under `Auto` the ladder delivers GEMM-BFC
+/// bit-for-bit, the dirty workspace is poisoned and rebuilt, and the
+/// half-written dw-bucket never escapes; under `Strict` the same failure
+/// surfaces as typed [`WinrsError::ExecutionPanicked`].
+#[test]
+fn panic_in_hot_loop_is_contained_and_degrades() {
+    let _g = faults::serial_guard();
+    let (conv, x, dy, exact) = problem();
+
+    faults::arm_sites([Site::HotLoopPanic]);
+    let pool = WorkspacePool::with_slots(1);
+    let (dw, report) = handle(&pool).run(&conv, &x, &dy).expect("Auto contains the panic");
+    assert_eq!(end_campaign(), vec![Site::HotLoopPanic]);
+
+    assert_eq!(report.algorithm, Algorithm::GemmBfc);
+    assert!(
+        matches!(report.fallback_reason, Some(WinrsError::ExecutionPanicked { .. })),
+        "{:?}",
+        report.fallback_reason
+    );
+    let st = report.pool.expect("pool snapshot");
+    assert_eq!((st.poisonings, st.rebuilds, st.degradations), (1, 1, 1), "{st}");
+    // Bitwise-correct: identical to a clean forced GEMM-BFC run.
+    let (dw_ref, _) = handle(&pool)
+        .with_policy(FallbackPolicy::Force(Algorithm::GemmBfc))
+        .run(&conv, &x, &dy)
+        .expect("clean reference");
+    assert_eq!(dw, dw_ref, "degraded ∇W differs from clean GEMM-BFC");
+    assert!(mare(&dw, &exact) < 1e-5);
+    assert_pool_clean(&pool);
+
+    // Strict: the typed error, not a crash — and still a clean pool.
+    faults::arm_sites([Site::HotLoopPanic]);
+    let strict = WorkspacePool::with_slots(1);
+    let err = handle(&strict)
+        .with_policy(FallbackPolicy::Strict)
+        .run(&conv, &x, &dy)
+        .expect_err("Strict surfaces the panic as a typed error");
+    assert_eq!(end_campaign(), vec![Site::HotLoopPanic]);
+    assert!(matches!(err, WinrsError::ExecutionPanicked { .. }), "{err}");
+    assert!(err.to_string().contains("poisoned and rebuilt"), "{err}");
+    assert_pool_clean(&strict);
+}
+
+/// Campaign 2 — slot exhaustion. The chaos site feigns "every slot
+/// leased"; admission control turns the bounded wait into typed
+/// [`WinrsError::PoolExhausted`] backpressure, which `Auto` degrades.
+#[test]
+fn slot_exhaustion_backpressure_degrades_or_surfaces() {
+    let _g = faults::serial_guard();
+    let (conv, x, dy, exact) = problem();
+    let pool = WorkspacePool::new(PoolConfig {
+        slots: 2,
+        max_wait: Duration::from_millis(5),
+        ..PoolConfig::default()
+    });
+
+    // Raw lease: the typed error names the pressure.
+    faults::arm_sites([Site::PoolSlotExhausted]);
+    let layout = winrs_core::WorkspaceLayout::accounting("exhausted", 0);
+    let err = pool
+        .lease_for(&layout, Duration::from_millis(5))
+        .map(|_| ())
+        .expect_err("feigned-full pool must refuse");
+    assert!(matches!(err, WinrsError::PoolExhausted { slots: 2, .. }), "{err}");
+    assert!(err.recoverable_by_degradation());
+
+    // Dispatched: Auto rides the ladder to a bitwise-clean substitute.
+    let (dw, report) = handle(&pool).run(&conv, &x, &dy).expect("Auto degrades");
+    assert_eq!(end_campaign(), vec![Site::PoolSlotExhausted]);
+    assert_eq!(report.algorithm, Algorithm::GemmBfc);
+    assert!(
+        matches!(report.fallback_reason, Some(WinrsError::PoolExhausted { .. })),
+        "{:?}",
+        report.fallback_reason
+    );
+    let st = report.pool.expect("pool snapshot");
+    assert!(st.exhausted >= 2, "{st}");
+    assert_eq!(st.poisonings, 0, "exhaustion dirties nothing: {st}");
+    let (dw_ref, _) = handle(&pool)
+        .with_policy(FallbackPolicy::Force(Algorithm::GemmBfc))
+        .run(&conv, &x, &dy)
+        .expect("clean reference");
+    assert_eq!(dw, dw_ref);
+    assert!(mare(&dw, &exact) < 1e-5);
+    assert_pool_clean(&pool);
+}
+
+/// Campaign 3 — deadline expiry. Injected slowness blows the per-call
+/// deadline; each ladder rung gets a fresh window, so persistent slowness
+/// walks WinRS → GEMM-BFC → direct, and the last rung delivers bitwise
+/// the clean direct result.
+#[test]
+fn deadline_expiry_walks_the_full_ladder() {
+    let _g = faults::serial_guard();
+    let (conv, x, dy, exact) = problem();
+    let pool = WorkspacePool::with_slots(1);
+
+    faults::arm_sites([Site::SlowBlockLoop]);
+    faults::set_slow_ms(25);
+    let (dw, report) = handle(&pool)
+        .with_deadline(Some(Duration::from_millis(5)))
+        .run(&conv, &x, &dy)
+        .expect("the last rung always delivers");
+    assert_eq!(end_campaign(), vec![Site::SlowBlockLoop]);
+
+    assert_eq!(report.algorithm, Algorithm::Direct, "both windows expired");
+    assert!(
+        matches!(report.fallback_reason, Some(WinrsError::DeadlineExceeded { .. })),
+        "{:?}",
+        report.fallback_reason
+    );
+    assert_eq!(report.pool.expect("pool snapshot").degradations, 2);
+    let (dw_ref, _) = handle(&pool)
+        .with_policy(FallbackPolicy::Force(Algorithm::Direct))
+        .run(&conv, &x, &dy)
+        .expect("clean reference");
+    assert_eq!(dw, dw_ref, "degraded ∇W differs from clean direct");
+    assert!(mare(&dw, &exact) < 1e-5);
+    assert_pool_clean(&pool);
+
+    // A comfortable deadline with the same slowness still runs WinRS.
+    faults::arm_sites([Site::SlowBlockLoop]);
+    faults::set_slow_ms(2);
+    let (dw_ok, report_ok) = handle(&pool)
+        .with_deadline(Some(Duration::from_secs(30)))
+        .run(&conv, &x, &dy)
+        .expect("slowness within budget is not a failure");
+    assert_eq!(end_campaign(), vec![Site::SlowBlockLoop]);
+    assert_eq!(report_ok.algorithm, Algorithm::WinRs);
+    let (dw_clean, _) = handle(&pool).run(&conv, &x, &dy).expect("clean run");
+    assert_eq!(dw_ok, dw_clean, "slowness changed the numerics");
+    assert_pool_clean(&pool);
+}
+
+/// Campaign 4 — allocation-budget refusal. The lease's arena growth is
+/// denied; the untouched slot returns to the pool and the caller gets the
+/// typed workspace violation (a caller-side contract error, deliberately
+/// not degradable — degradation is for runtime misfortune, not for
+/// budgets the caller set).
+#[test]
+fn allocation_budget_refusal_is_typed_and_leaves_pool_clean() {
+    let _g = faults::serial_guard();
+    let (conv, x, dy, _) = problem();
+    let pool = WorkspacePool::with_slots(1);
+
+    faults::arm_sites([Site::AllocBudget]);
+    let err = handle(&pool)
+        .run(&conv, &x, &dy)
+        .map(|_| ())
+        .expect_err("refused allocation is a typed error");
+    assert_eq!(end_campaign(), vec![Site::AllocBudget]);
+    assert!(matches!(err, WinrsError::ExecutionRejected(_)), "{err}");
+    assert!(!err.violations().is_empty());
+    let st = pool.stats();
+    assert_eq!(st.poisonings, 0, "refusal dirties nothing: {st}");
+    assert_pool_clean(&pool);
+
+    // Disarmed, the same handle and pool immediately work again.
+    let (dw, report) = handle(&pool).run(&conv, &x, &dy).expect("recovered");
+    assert_eq!(report.algorithm, Algorithm::WinRs);
+    assert!(dw.as_slice().iter().all(|v| v.is_finite()));
+    assert_pool_clean(&pool);
+}
+
+/// Seed-replay determinism: the same campaign seed arms the same sites,
+/// fires the same injections, and produces a bit-identical outcome —
+/// twice over. This is what makes a chaos failure reportable as one u64.
+#[test]
+fn campaigns_replay_bit_identically() {
+    let _g = faults::serial_guard();
+    let (conv, x, dy, _) = problem();
+    let seed = 0xC0FFEE;
+
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let c = faults::campaign(seed);
+        let description = c.to_string();
+        c.arm();
+        let pool = WorkspacePool::with_slots(2);
+        let outcome = handle(&pool)
+            .with_guard(NumericGuard::PromoteAndRetry)
+            .run(&conv, &x, &dy);
+        let fired = end_campaign();
+        assert_pool_clean(&pool);
+        runs.push((description, fired, outcome.map(|(dw, r)| (dw, r.algorithm))));
+    }
+    let (d1, f1, o1) = &runs[0];
+    let (d2, f2, o2) = &runs[1];
+    assert_eq!(d1, d2, "campaign description must replay");
+    assert_eq!(f1, f2, "fired sites must replay");
+    match (o1, o2) {
+        (Ok((dw1, alg1)), Ok((dw2, alg2))) => {
+            assert_eq!(alg1, alg2, "replay picked a different ladder rung");
+            assert_eq!(dw1, dw2, "replay is not bit-identical");
+        }
+        (Err(e1), Err(e2)) => assert_eq!(e1.stage(), e2.stage(), "{e1} vs {e2}"),
+        (a, b) => panic!("outcomes diverged across replay: {a:?} vs {b:?}"),
+    }
+}
+
+/// The sweep: a dozen seeded campaigns, every primary injection site
+/// covered (the campaign space guarantees it within 12 consecutive
+/// seeds). Each run ends in a bitwise-correct `∇W` — equal to a clean
+/// chaos-free dispatch of whatever algorithm delivered — or a typed
+/// error, with the pool fully leasable and counter-coherent after every
+/// seed.
+#[test]
+fn seeded_campaign_sweep_always_contains_the_failure() {
+    let _g = faults::serial_guard();
+    let (conv, x, dy, exact) = problem();
+    let mut outcomes = (0usize, 0usize); // (ok, typed-error)
+
+    for seed in 0..12u64 {
+        let c = faults::campaign(seed);
+        c.arm();
+        let pool = WorkspacePool::new(PoolConfig {
+            slots: 2,
+            // Small wait so feigned-exhaustion seeds fail fast.
+            max_wait: Duration::from_millis(5),
+            ..PoolConfig::default()
+        });
+        let result = handle(&pool)
+            .with_guard(NumericGuard::PromoteAndRetry)
+            .run(&conv, &x, &dy);
+        let fired = end_campaign();
+        assert!(
+            !fired.is_empty(),
+            "seed {seed}: campaign {c} never reached its injection site"
+        );
+
+        match result {
+            Ok((dw, report)) => {
+                // Bitwise-correct: clean rerun of the delivering rung.
+                let clean = handle(&pool).with_guard(NumericGuard::PromoteAndRetry);
+                let (dw_ref, _) = match report.algorithm {
+                    Algorithm::WinRs => clean.run(&conv, &x, &dy),
+                    alg => clean.with_policy(FallbackPolicy::Force(alg)).run(&conv, &x, &dy),
+                }
+                .expect("clean reference run");
+                assert_eq!(
+                    dw, dw_ref,
+                    "seed {seed}: chaos changed the bits of a {:?} result",
+                    report.algorithm
+                );
+                assert!(mare(&dw, &exact) < 1e-4, "seed {seed}");
+                outcomes.0 += 1;
+            }
+            Err(err) => {
+                // Typed, never an escaped panic (a panic would have
+                // already failed the test harness).
+                assert!(!err.stage().is_empty(), "seed {seed}: {err}");
+                outcomes.1 += 1;
+            }
+        }
+        assert_pool_clean(&pool);
+    }
+    // The campaign space covers both terminal outcomes.
+    assert!(outcomes.0 > 0, "no campaign delivered a ∇W: {outcomes:?}");
+    assert!(outcomes.1 > 0, "no campaign surfaced a typed error: {outcomes:?}");
+}
+
+/// Satellite 4 — `PromoteAndRetry` under concurrent execution over one
+/// shared pool: FP16 runs that overflow (and repair via per-segment
+/// promotion) on multiple threads at once must keep guard counters and
+/// `MemoryFootprint.peak` coherent per report, repair every thread's
+/// result, and leave the shared pool clean.
+#[test]
+fn concurrent_promote_and_retry_shares_the_pool_coherently() {
+    // Holds the guard even though nothing is armed: a concurrent chaos
+    // test would otherwise inject into these runs.
+    let _g = faults::serial_guard();
+    const THREADS: usize = 3;
+
+    // The overflow-prone FP16 problem from the fallback suite: big ∇Y
+    // saturates binary16 tiles, PromoteAndRetry reruns them in FP32.
+    let conv = ConvShape::square(1, 12, 2, 2, 3);
+    let x64 = Tensor4::<f64>::random_uniform([1, 12, 12, 2], 51, 1.0);
+    let dy64 = Tensor4::<f64>::random_uniform([1, 12, 12, 2], 52, 6.0e4);
+    let exact = direct::bfc_direct(&conv, &x64, &dy64);
+    let x: Tensor4<f32> = x64.cast();
+    let dy: Tensor4<f32> = dy64.cast();
+
+    let pool = WorkspacePool::with_slots(2);
+    let shared = ExecHandle::new(Arc::clone(&pool), RTX_4090, Precision::Fp16)
+        .with_guard(NumericGuard::PromoteAndRetry);
+
+    let results: Vec<_> = std::thread::scope(|s| {
+        (0..THREADS)
+            .map(|_| {
+                let h = shared.clone();
+                let (conv, x, dy) = (&conv, &x, &dy);
+                s.spawn(move || h.run(conv, x, dy).expect("guarded run"))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().expect("no escaped panic"))
+            .collect()
+    });
+
+    // Single-threaded reference for the guard counters.
+    let (dw_ref, report_ref) = fallback::run_bfc(
+        &conv,
+        &RTX_4090,
+        Precision::Fp16,
+        &x,
+        &dy,
+        FallbackPolicy::Auto,
+        NumericGuard::PromoteAndRetry,
+    )
+    .expect("reference");
+    assert!(report_ref.promoted_buckets > 0, "problem must actually overflow");
+
+    for (dw, report) in &results {
+        assert_eq!(report.algorithm, Algorithm::WinRs);
+        // Guard counters are per-report, not smeared across threads.
+        assert_eq!(report.promoted_buckets, report_ref.promoted_buckets);
+        assert_eq!(report.promoted_segments, report_ref.promoted_segments);
+        assert_eq!(dw, &dw_ref, "concurrent promoted run diverged bitwise");
+        assert!(mare(dw, &exact) < 1e-1);
+        // Footprint stays coherent under sharing: peak covers the plan.
+        assert!(report.mem.workspace_bytes_peak >= report.mem.workspace_bytes_planned);
+        assert_eq!(report.mem.hot_loop_allocs, 0);
+    }
+    let st = pool.stats();
+    assert_eq!(st.leases, THREADS as u64, "{st}");
+    assert_eq!(st.poisonings, 0, "{st}");
+    assert_pool_clean(&pool);
+}

@@ -2,9 +2,11 @@
 //! max-pool, and a fully connected head.
 
 use crate::error::NnError;
+use std::sync::Arc;
 use winrs_conv::{direct, ConvShape};
-use winrs_core::fallback::{run_bfc_cached, ExecutionReport, FallbackPolicy, NumericGuard};
-use winrs_core::{PlanCache, Precision, Workspace};
+use winrs_core::fallback::{ExecutionReport, FallbackPolicy, NumericGuard};
+use winrs_core::pool::{ExecHandle, WorkspacePool};
+use winrs_core::Precision;
 use winrs_gpu_sim::DeviceSpec;
 use winrs_tensor::Tensor4;
 
@@ -31,11 +33,17 @@ pub enum GradEngine {
 
 /// A stride-1 "same" convolution layer, NHWC, with bias-free filters.
 ///
-/// The WinRS engines dispatch through [`winrs_core::fallback::run_bfc`]:
-/// if the layer's shape ever falls outside the WinRS envelope the backward
-/// pass degrades to GEMM-BFC instead of panicking, and reduced-precision
-/// overflow is counted (and optionally repaired) per [`Conv2d::numeric_guard`].
-/// [`Conv2d::last_report`] records what actually happened.
+/// The WinRS engines dispatch through a [`winrs_core::pool::ExecHandle`]
+/// over a shared [`WorkspacePool`] (the process-wide
+/// [`WorkspacePool::global`] unless a private pool is injected with
+/// [`Conv2d::with_pool`]): arenas are leased per backward pass and
+/// returned — or poisoned and rebuilt if the pass panicked — so every
+/// layer of a model shares the same few workspaces and the same plan
+/// cache. If the layer's shape ever falls outside the WinRS envelope the
+/// backward pass degrades to GEMM-BFC instead of panicking, and
+/// reduced-precision overflow is counted (and optionally repaired) per
+/// [`Conv2d::numeric_guard`]. [`Conv2d::last_report`] records what
+/// actually happened, including the pool snapshot.
 pub struct Conv2d {
     shape_template: ConvShape,
     /// Filters `(O_C, F, F, I_C)`.
@@ -51,14 +59,15 @@ pub struct Conv2d {
     /// Execution report from the most recent WinRS-engined backward pass
     /// (`None` before the first backward, or for [`GradEngine::Direct`]).
     pub last_report: Option<ExecutionReport>,
-    /// Reusable execution arena: sized on the first backward pass and
-    /// reused across training steps, so steady-state backward passes do no
-    /// workspace allocation.
-    pub workspace: Workspace,
-    /// Memoised plans keyed by `(shape, device, precision)`: the first
-    /// backward pass plans, every later step with the same batch size is a
-    /// cache hit (visible as `cache_hits` in [`Conv2d::last_report`]).
-    pub plan_cache: PlanCache,
+    /// The workspace pool backward passes lease from. Defaults to
+    /// [`WorkspacePool::global`]; its plan cache memoises plans keyed by
+    /// `(shape, device, precision)`, so the first backward pass plans and
+    /// every later step with the same batch size is a cache hit (visible
+    /// as `cache_hits` in [`Conv2d::last_report`]).
+    pub pool: Arc<WorkspacePool>,
+    /// Optional per-backward-pass deadline (see
+    /// [`winrs_core::pool::ExecHandle::with_deadline`]).
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Conv2d {
@@ -78,9 +87,16 @@ impl Conv2d {
             fallback_policy: FallbackPolicy::default(),
             numeric_guard: NumericGuard::default(),
             last_report: None,
-            workspace: Workspace::new(),
-            plan_cache: PlanCache::new(),
+            pool: Arc::clone(WorkspacePool::global()),
+            deadline: None,
         }
+    }
+
+    /// Lease from `pool` instead of the process-wide default — for tests
+    /// and for callers that want isolated pool counters or capacity.
+    pub fn with_pool(mut self, pool: Arc<WorkspacePool>) -> Self {
+        self.pool = pool;
+        self
     }
 
     fn shape_for_batch(&self, n: usize) -> ConvShape {
@@ -137,17 +153,11 @@ impl Conv2d {
                 } else {
                     dy
                 };
-                let (dw, report) = run_bfc_cached(
-                    &shape,
-                    &d,
-                    p,
-                    x,
-                    dy_eff,
-                    self.fallback_policy,
-                    self.numeric_guard,
-                    &mut self.plan_cache,
-                    &mut self.workspace,
-                )?;
+                let handle = ExecHandle::new(Arc::clone(&self.pool), d, p)
+                    .with_policy(self.fallback_policy)
+                    .with_guard(self.numeric_guard)
+                    .with_deadline(self.deadline);
+                let (dw, report) = handle.run(&shape, x, dy_eff)?;
                 self.last_report = Some(report);
                 if p == Precision::Fp16 {
                     dw.scale(1.0 / scale as f64)
@@ -391,22 +401,36 @@ mod tests {
         assert!(a.last_report.is_none(), "Direct engine records no report");
     }
 
+    /// Probe the (sole) pooled arena without disturbing it: an accounting
+    /// layout has no arena elems, so the lease's `ensure` grows nothing.
+    fn probe_arena(pool: &Arc<WorkspacePool>) -> (usize, usize) {
+        let mut lease = pool
+            .lease(&winrs_core::WorkspaceLayout::accounting("probe", 0))
+            .unwrap();
+        let ws = lease.workspace();
+        (ws.arena_bytes(), ws.grows())
+    }
+
     #[test]
     fn conv_backward_reuses_workspace_across_steps() {
-        let mut c = Conv2d::new(16, 2, 3, 3, GradEngine::WinRsFp32 { device: RTX_4090 }, 2);
+        // A private one-slot pool: every backward pass leases the same
+        // arena, so growth is observable step to step.
+        let pool = WorkspacePool::with_slots(1);
+        let mut c = Conv2d::new(16, 2, 3, 3, GradEngine::WinRsFp32 { device: RTX_4090 }, 2)
+            .with_pool(Arc::clone(&pool));
         let x = Tensor4::<f32>::random_uniform([1, 16, 16, 2], 7, 1.0);
         let y = c.forward(&x);
         let dy = Tensor4::<f32>::random_uniform(y.dims(), 8, 1.0);
         c.backward(&dy).unwrap();
-        let sized = c.workspace.arena_bytes();
-        assert!(sized > 0, "first backward sizes the arena");
+        let (sized, grows) = probe_arena(&pool);
+        assert!(sized > 0, "first backward sizes the pooled arena");
         for _ in 0..2 {
             c.forward(&x);
             c.backward(&dy).unwrap();
             assert_eq!(
-                c.workspace.arena_bytes(),
-                sized,
-                "arena is reused, not regrown"
+                probe_arena(&pool),
+                (sized, grows),
+                "pooled arena is reused, not regrown"
             );
         }
         let report = c.last_report.as_ref().expect("report");
@@ -415,6 +439,9 @@ mod tests {
             report.mem.workspace_bytes_peak,
             report.mem.workspace_bytes_planned
         );
+        let stats = pool.stats();
+        assert_eq!(stats.in_use, 0, "every lease returned: {stats}");
+        assert_eq!(stats.poisonings, 0, "clean runs poison nothing");
     }
 
     #[test]
@@ -435,7 +462,11 @@ mod tests {
 
     #[test]
     fn conv_backward_hits_plan_cache_after_first_step() {
-        let mut c = Conv2d::new(12, 2, 3, 3, GradEngine::WinRsFp32 { device: RTX_4090 }, 4);
+        // A private pool isolates the shared plan cache's counters so the
+        // exact hit/miss sequence is assertable.
+        let pool = WorkspacePool::with_slots(2);
+        let mut c = Conv2d::new(12, 2, 3, 3, GradEngine::WinRsFp32 { device: RTX_4090 }, 4)
+            .with_pool(Arc::clone(&pool));
         let x = Tensor4::<f32>::random_uniform([2, 12, 12, 2], 10, 1.0);
         let y = c.forward(&x);
         let dy = Tensor4::<f32>::random_uniform(y.dims(), 11, 1.0);
@@ -452,7 +483,9 @@ mod tests {
             assert!(r.cache_hits >= 1, "step {step} should hit the plan cache");
             assert_eq!((r.cache_hits, r.cache_misses), (step, 1));
         }
-        assert_eq!(c.plan_cache.len(), 1);
+        assert_eq!(pool.plan_stats(), (3, 1));
+        let stats = c.last_report.as_ref().unwrap().pool.expect("pool snapshot");
+        assert_eq!(stats.leases, 4, "one lease per backward pass: {stats}");
     }
 
     #[test]

@@ -18,9 +18,14 @@
 #      justifications, bit-identity FMA ban, error hygiene) with clickable
 #      file:line:col diagnostics — see DESIGN.md §10
 #   7. loom concurrency models: exhaustive interleaving checks of
-#      TimingSink / ScratchPool / PlanCache under `--cfg loom`, built in
-#      a separate target dir so the cfg flag doesn't thrash the cache
-#   8. sanitizer jobs (gated): Miri smoke on the pure-arithmetic crates
+#      TimingSink / ScratchPool / PlanCache / the leasing WorkspacePool
+#      under `--cfg loom`, built in a separate target dir so the cfg flag
+#      doesn't thrash the cache
+#   8. seeded chaos campaigns: deterministic fault injection (hot-loop
+#      panic, slot exhaustion, allocation-budget refusal, deadline-blowing
+#      slowness) against the resilient pool layer, on every feature leg,
+#      plus a `winrs verify --fault-seed` replay smoke — DESIGN.md §11
+#   9. sanitizer jobs (gated): Miri smoke on the pure-arithmetic crates
 #      and a ThreadSanitizer pass over the loom-modelled types, each
 #      skipped with a notice when the toolchain component is unavailable
 #      (this offline image ships neither)
@@ -76,11 +81,25 @@ echo "$PROFILE_OUT" | awk '
 echo "==> cargo xtask audit (custom invariant lints + unsafe inventory)"
 cargo xtask audit
 
-echo "==> loom concurrency models (TimingSink / ScratchPool / PlanCache)"
+echo "==> loom concurrency models (TimingSink / ScratchPool / PlanCache / WorkspacePool)"
 # Separate target dir: --cfg loom changes every crate's fingerprint, and
 # sharing target/ would force a full rebuild of the normal profile next run.
 RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
-  cargo test -q -p winrs-core --test loom_models --release
+  cargo test -q -p winrs-core --test loom_models --test pool_models --release
+
+echo "==> seeded chaos campaigns (panic / exhaustion / alloc-budget / deadline)"
+# Fixed seeds inside the suite make every failure replayable from one u64.
+# The resilience contract must hold on every feature leg: default, no
+# default features, and SIMD dispatch.
+cargo test -q -p winrs-core --features faults --test chaos
+cargo test -q -p winrs-core --no-default-features --features faults --test chaos
+cargo test -q -p winrs-core --features faults,simd --test chaos
+# CLI replay smoke: campaign seed 6 injects a hot-loop panic; the verify
+# must contain it (typed degradation, poison+rebuild) and stay green.
+"$WINRS" verify --n 1 --res 16 --ic 4 --oc 4 --f 3 --fault-seed 6 2>/dev/null \
+  | tee /dev/stderr | grep -q "fired     : \[hot-loop-panic\]"
+"$WINRS" verify --n 1 --res 16 --ic 4 --oc 4 --f 3 --fault-seed 6 2>/dev/null \
+  | tee /dev/stderr | grep -q "poisonings=1 rebuilds=1"
 
 echo "==> miri smoke (winrs-fp16 + winrs-rational, skipped if unavailable)"
 # Miri exercises the bit-twiddling conversion kernels for UB; it needs the

@@ -33,10 +33,15 @@
 //!   exhaustively. The workspace's audited atomics are justified as plain
 //!   counters whose *values* must stay consistent, which is exactly the
 //!   property interleaving exploration checks.
-//! * No spurious wakeups, no `Condvar`/`Notify` modeling, no `UnsafeCell`
-//!   instrumentation, no preemption bounding (models must stay small
-//!   enough for full exhaustion — the suite's largest explores ~13k
-//!   executions).
+//! * [`sync::Condvar`] is modeled without spurious wakeups: `wait` blocks
+//!   the modeled thread until a `notify_one`/`notify_all`, a notify with
+//!   no waiter is lost (as with the real primitive), and a waiter that is
+//!   never notified is reported as a deadlock. `wait_timeout` never times
+//!   out inside a model (timeouts are a wall-clock notion the checker
+//!   cannot explore) — model the timeout path by notifying.
+//! * No `UnsafeCell` instrumentation, no preemption bounding (models must
+//!   stay small enough for full exhaustion — the suite's largest explores
+//!   ~13k executions).
 //! * Deadlock (all live threads blocked) and in-model panics fail the
 //!   whole `model` call, as upstream does.
 
@@ -66,6 +71,7 @@ mod rt {
         Runnable,
         BlockedMutex(usize),
         BlockedJoin(usize),
+        BlockedCondvar(usize),
         Finished,
     }
 
@@ -82,6 +88,7 @@ mod rt {
         pub current: usize,
         pub finished: usize,
         pub mutexes: Vec<bool>,
+        pub condvars: usize,
         pub schedule: Vec<Choice>,
         pub pos: usize,
         pub deadlock: bool,
@@ -117,6 +124,7 @@ mod rt {
                     current: 0,
                     finished: 0,
                     mutexes: Vec::new(),
+                    condvars: 0,
                     schedule,
                     pos: 0,
                     deadlock: false,
@@ -164,7 +172,10 @@ mod rt {
                     st.panicked = Some(DEADLOCK_MSG.to_string());
                 }
                 for s in st.threads.iter_mut() {
-                    if matches!(*s, Status::BlockedMutex(_) | Status::BlockedJoin(_)) {
+                    if matches!(
+                        *s,
+                        Status::BlockedMutex(_) | Status::BlockedJoin(_) | Status::BlockedCondvar(_)
+                    ) {
                         *s = Status::Runnable;
                     }
                 }
@@ -240,6 +251,12 @@ mod rt {
             st.mutexes.len() - 1
         }
 
+        pub fn register_condvar(&self) -> usize {
+            let mut st = self.lock();
+            st.condvars += 1;
+            st.condvars - 1
+        }
+
         pub fn mutex_acquire(&self, tid: usize, id: usize) {
             let mut st = self.lock();
             loop {
@@ -285,6 +302,65 @@ mod rt {
             let _st = self.wait_for_turn(st, tid);
         }
 
+        /// Atomically release model mutex `mutex_id`, block on condvar
+        /// `cv_id` until a notify, then reacquire the mutex. The caller
+        /// must have dropped the std-level guard already (the invariant
+        /// that the std mutex is only held by the model-mutex holder is
+        /// preserved: we still hold the model mutex while dropping it).
+        ///
+        /// There are no spurious wakeups: the thread runs again only after
+        /// a notify (or free-for-all teardown, where the subsequent
+        /// `mutex_acquire` panics to unwind the waiter).
+        pub fn condvar_wait(&self, tid: usize, cv_id: usize, mutex_id: usize) {
+            {
+                let mut st = self.lock();
+                if st.deadlock {
+                    drop(st);
+                    panic!("{DEADLOCK_MSG}");
+                }
+                debug_assert_eq!(st.current, tid);
+                // Release the mutex exactly as `mutex_release` would …
+                st.mutexes[mutex_id] = false;
+                for s in st.threads.iter_mut() {
+                    if *s == Status::BlockedMutex(mutex_id) {
+                        *s = Status::Runnable;
+                    }
+                }
+                // … but instead of staying runnable, park on the condvar.
+                st.threads[tid] = Status::BlockedCondvar(cv_id);
+                self.schedule_next(&mut st);
+                let _st = self.wait_for_turn(st, tid);
+            }
+            // Woken (or teardown): reacquire. `mutex_acquire` panics on
+            // deadlock, unwinding the waiter — `wait` is never called from
+            // a destructor, so that is safe.
+            self.mutex_acquire(tid, mutex_id);
+        }
+
+        /// Wake blocked waiters of condvar `cv_id` (`all` = every waiter,
+        /// otherwise the lowest-tid one). A notify with no waiter is lost,
+        /// as with the real primitive. Destructor-safe: never panics, and
+        /// in free-for-all teardown only forwards the wakeup.
+        pub fn condvar_notify(&self, cv_id: usize, all: bool) {
+            let Some((_, tid)) = current() else { return };
+            let mut st = self.lock();
+            for s in st.threads.iter_mut() {
+                if *s == Status::BlockedCondvar(cv_id) {
+                    *s = Status::Runnable;
+                    if !all {
+                        break;
+                    }
+                }
+            }
+            if st.deadlock {
+                self.cv.notify_all();
+                return;
+            }
+            debug_assert_eq!(st.current, tid);
+            self.schedule_next(&mut st);
+            let _st = self.wait_for_turn(st, tid);
+        }
+
         pub fn join_wait(&self, tid: usize, target: usize) {
             let mut st = self.lock();
             while st.threads[target] != Status::Finished {
@@ -313,7 +389,10 @@ mod rt {
                 }
                 // Unblock everyone; they will observe completion/deadlock.
                 for s in st.threads.iter_mut() {
-                    if matches!(*s, Status::BlockedMutex(_) | Status::BlockedJoin(_)) {
+                    if matches!(
+                        *s,
+                        Status::BlockedMutex(_) | Status::BlockedJoin(_) | Status::BlockedCondvar(_)
+                    ) {
                         *s = Status::Runnable;
                     }
                 }
@@ -514,6 +593,8 @@ pub mod sync {
         id: usize,
         inner: Option<StdMutexGuard<'a, T>>,
         rt: Option<std::sync::Arc<super::rt::Runtime>>,
+        // Back-reference so `Condvar::wait` can relock after waking.
+        mx: &'a Mutex<T>,
     }
 
     impl<T> Mutex<T> {
@@ -540,6 +621,7 @@ pub mod sync {
                         id,
                         inner: Some(inner),
                         rt: Some(runtime),
+                        mx: self,
                     })
                 }
                 None => {
@@ -552,6 +634,7 @@ pub mod sync {
                         id: usize::MAX,
                         inner: Some(inner),
                         rt: None,
+                        mx: self,
                     })
                 }
             }
@@ -576,6 +659,162 @@ pub mod sync {
             self.inner = None; // release the std mutex first
             if let Some(rt) = self.rt.take() {
                 rt.mutex_release(self.id);
+            }
+        }
+    }
+
+    /// Result of [`Condvar::wait_timeout`], mirroring
+    /// `std::sync::WaitTimeoutResult`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct WaitTimeoutResult {
+        timed_out: bool,
+    }
+
+    impl WaitTimeoutResult {
+        /// True if the wait ended because the timeout elapsed.
+        pub fn timed_out(&self) -> bool {
+            self.timed_out
+        }
+    }
+
+    /// A modeled condition variable: `wait` parks the modeled thread until
+    /// a notify (no spurious wakeups), a notify with no waiter is lost,
+    /// and a never-notified waiter is reported as a deadlock. Outside a
+    /// model it is a plain `std::sync::Condvar`.
+    pub struct Condvar {
+        id: std::sync::OnceLock<usize>,
+        real: std::sync::Condvar,
+    }
+
+    impl Default for Condvar {
+        fn default() -> Condvar {
+            Condvar::new()
+        }
+    }
+
+    impl Condvar {
+        /// A new condition variable with no waiters.
+        pub fn new() -> Condvar {
+            Condvar {
+                id: std::sync::OnceLock::new(),
+                real: std::sync::Condvar::new(),
+            }
+        }
+
+        /// Atomically release `guard`, block until notified, reacquire.
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            match rt::current() {
+                Some((runtime, tid)) => {
+                    let cv = *self.id.get_or_init(|| runtime.register_condvar());
+                    let mutex_id = guard.id;
+                    let mx = guard.mx;
+                    // Disarm the guard: drop the std-level lock now (we
+                    // still hold the model mutex, preserving the holder
+                    // invariant) and suppress its model-release on drop —
+                    // `condvar_wait` performs the release atomically with
+                    // parking.
+                    guard.inner = None;
+                    guard.rt = None;
+                    drop(guard);
+                    runtime.condvar_wait(tid, cv, mutex_id);
+                    // `condvar_wait` reacquired the model mutex; take the
+                    // std-level lock back (uncontended by construction).
+                    let inner = match mx.inner.lock() {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                    Ok(MutexGuard {
+                        id: mutex_id,
+                        inner: Some(inner),
+                        rt: Some(runtime),
+                        mx,
+                    })
+                }
+                None => {
+                    let mx = guard.mx;
+                    let inner = guard.inner.take().expect("guard taken");
+                    guard.rt = None;
+                    drop(guard);
+                    let inner = match self.real.wait(inner) {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                    Ok(MutexGuard {
+                        id: usize::MAX,
+                        inner: Some(inner),
+                        rt: None,
+                        mx,
+                    })
+                }
+            }
+        }
+
+        /// Like [`wait`](Condvar::wait) with an upper bound on blocking.
+        /// Inside a model the timeout never fires (wall-clock time is not
+        /// explorable): the wait behaves exactly like `wait` and reports
+        /// `timed_out() == false`. Outside a model it is the real
+        /// `std::sync::Condvar::wait_timeout`.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: std::time::Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            match rt::current() {
+                Some(_) => {
+                    let guard = match self.wait(guard) {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                    Ok((guard, WaitTimeoutResult { timed_out: false }))
+                }
+                None => {
+                    let mut guard = guard;
+                    let mx = guard.mx;
+                    let inner = guard.inner.take().expect("guard taken");
+                    guard.rt = None;
+                    drop(guard);
+                    let (inner, res) = match self.real.wait_timeout(inner, dur) {
+                        Ok(pair) => pair,
+                        Err(p) => p.into_inner(),
+                    };
+                    Ok((
+                        MutexGuard {
+                            id: usize::MAX,
+                            inner: Some(inner),
+                            rt: None,
+                            mx,
+                        },
+                        WaitTimeoutResult {
+                            timed_out: res.timed_out(),
+                        },
+                    ))
+                }
+            }
+        }
+
+        /// Wake one waiter (lost if there is none).
+        pub fn notify_one(&self) {
+            match rt::current() {
+                Some((runtime, _)) => {
+                    // `id` unset means no thread ever waited: nothing to
+                    // wake (the notify is legitimately lost).
+                    if let Some(&cv) = self.id.get() {
+                        runtime.condvar_notify(cv, false);
+                    }
+                }
+                None => self.real.notify_one(),
+            }
+        }
+
+        /// Wake every waiter (lost if there are none).
+        pub fn notify_all(&self) {
+            match rt::current() {
+                Some((runtime, _)) => {
+                    if let Some(&cv) = self.id.get() {
+                        runtime.condvar_notify(cv, true);
+                    }
+                }
+                None => self.real.notify_all(),
             }
         }
     }
@@ -756,6 +995,59 @@ mod tests {
             let g = m.lock().unwrap();
             assert_eq!(*g, 2);
         });
+    }
+
+    #[test]
+    fn condvar_handoff_is_observed_in_every_schedule() {
+        use super::sync::Condvar;
+        // Classic flag handoff: the consumer must always observe the
+        // producer's write, whichever side reaches the mutex first (the
+        // pre-set flag covers the notify-before-wait schedule).
+        super::model(|| {
+            let m = Arc::new(Mutex::new(false));
+            let cv = Arc::new(Condvar::new());
+            let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+            let t = super::thread::spawn(move || {
+                let mut g = m2.lock().unwrap();
+                *g = true;
+                drop(g);
+                cv2.notify_all();
+            });
+            let mut g = m.lock().unwrap();
+            while !*g {
+                g = cv.wait(g).unwrap();
+            }
+            drop(g);
+            t.join().unwrap();
+        });
+        assert!(
+            super::last_iterations() >= 2,
+            "expected both wait-first and notify-first schedules, got {}",
+            super::last_iterations()
+        );
+    }
+
+    #[test]
+    fn condvar_missed_notify_is_reported_as_deadlock() {
+        use super::sync::Condvar;
+        // Waiting without a predicate loses the notify in the schedule
+        // where the producer runs first — the checker must flag the
+        // stranded waiter as a deadlock.
+        let found = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let m = Arc::new(Mutex::new(()));
+                let cv = Arc::new(Condvar::new());
+                let cv2 = Arc::clone(&cv);
+                let t = super::thread::spawn(move || {
+                    cv2.notify_all();
+                });
+                let g = m.lock().unwrap();
+                let g = cv.wait(g).unwrap();
+                drop(g);
+                t.join().unwrap();
+            });
+        });
+        assert!(found.is_err(), "model checker missed the stranded waiter");
     }
 
     #[test]
