@@ -6,10 +6,12 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
 use winrs_bench::json::{Json, SCHEMA};
+use winrs_bench::{accuracy_sweep, throughput_dims};
 use winrs_conv::{direct, ConvShape};
 use winrs_core::fallback::{run_bfc_cached, FallbackPolicy, NumericGuard};
 use winrs_core::pool::{ExecHandle, PoolConfig, WorkspacePool};
-use winrs_core::{PlanCache, Precision, WinRsPlan, Workspace};
+use winrs_core::tuner::{precision_tag, AlgoChoice, TuneDb, Tuner, TunerConfig, TunerDecision};
+use winrs_core::{PlanCache, Precision, WinRsPlan, Workspace, TUNE_DB_SCHEMA};
 use winrs_gpu_sim::{DeviceSpec, A5000, L40S, RTX_3090, RTX_4090};
 use winrs_tensor::{mare, Tensor4};
 use winrs_winograd::kernels::WINRS_KERNELS;
@@ -44,6 +46,17 @@ commands:
              --n N --res R --ic C --oc C --f F [--pad P] [--device NAME] [--fp16|--bf16]
   kernels  list the 13-kernel inventory
   devices  list the modelled GPUs
+  tune     rank WinRS against GEMM-BFC / FFT-BFC / direct with the cost
+           model, print the decision table, and persist winners to a
+           winrs-tune-v1 tuning database
+           --shapes fig10|fig11|small  (or one explicit --n/--res/--ic/--oc/--f shape)
+           [--device NAME] [--fp16|--bf16]  (fig11 defaults to fp16)
+           [--db PATH]      read + write the tuning database at PATH
+           [--dry-run]      rank only, never write the database
+           [--measure K]    explore-then-commit: K measured trial runs per
+                            shape (CPU execution; oversized shapes are
+                            skipped and reported)
+           [--inspect]      print the entries of --db and exit
 
 devices: 4090 (default), 3090, l40s, a5000";
 
@@ -61,6 +74,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "workspace" => cmd_workspace(&flags),
         "kernels" => Ok(cmd_kernels()),
         "devices" => Ok(cmd_devices()),
+        "tune" => cmd_tune(&flags),
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(format!("unknown command '{other}'")),
     }
@@ -619,6 +633,226 @@ fn cmd_devices() -> String {
     out
 }
 
+/// Labelled shape list for `winrs tune`.
+fn tune_shapes(flags: &Flags) -> Result<Vec<(String, ConvShape)>, String> {
+    match flags.opt_str("shapes") {
+        None => {
+            let s = shape_from(flags)?;
+            Ok(vec![(
+                format!("{}:{}:{}:{} f={}", s.n, s.oh(), s.ow(), s.oc, s.fh),
+                s,
+            )])
+        }
+        // Figures 10 and 11 sweep the same constant-complexity dimension
+        // series over filter sizes 3/5/7/9; fp32 vs fp16 is the flag.
+        Some("fig10") | Some("fig11") => {
+            let mut out = Vec::new();
+            for f in [3usize, 5, 7, 9] {
+                for w in throughput_dims(f) {
+                    out.push((format!("{} f={f}", w.label), w.shape));
+                }
+            }
+            Ok(out)
+        }
+        Some("small") => Ok(accuracy_sweep()
+            .into_iter()
+            .map(|w| (format!("{} f={}", w.label, w.shape.fh), w.shape))
+            .collect()),
+        Some(other) => Err(format!("unknown --shapes '{other}' (fig10/fig11/small)")),
+    }
+}
+
+/// One decision-table row: modelled time per candidate, winner, source.
+fn tune_row(out: &mut String, label: &str, d: &TunerDecision) {
+    let cell = |algo| match d.predicted_for(algo) {
+        Some(s) => format!("{:.4}", s * 1e3),
+        None => "-".into(),
+    };
+    let _ = writeln!(
+        out,
+        "{:<22} {:>10} {:>10} {:>10} {:>10}  {:<8} {}",
+        label,
+        cell(AlgoChoice::WinRs),
+        cell(AlgoChoice::GemmBfc),
+        cell(AlgoChoice::FftBfc),
+        cell(AlgoChoice::Direct),
+        d.chosen.name(),
+        d.stats.source.name(),
+    );
+}
+
+fn inspect_tune_db(path: &std::path::Path) -> Result<String, String> {
+    let db = TuneDb::load(path).map_err(|w| w.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "database : {} ({} entries, schema {})",
+        path.display(),
+        db.len(),
+        TUNE_DB_SCHEMA
+    );
+    let _ = writeln!(
+        out,
+        "{:<30} {:<5} {:<9} {:>12} {:>11} {:>6}  device",
+        "[n ih iw ic oc fh fw ph pw]", "prec", "algo", "predicted ms", "measured ms", "trials"
+    );
+    for (fp, shape, tag, e) in db.iter() {
+        let _ = writeln!(
+            out,
+            "{:<30} {:<5} {:<9} {:>12.4} {:>11} {:>6}  {}",
+            format!("{shape:?}"),
+            tag,
+            e.algo.name(),
+            e.predicted_s * 1e3,
+            e.measured_s
+                .map(|m| format!("{:.4}", m * 1e3))
+                .unwrap_or_else(|| "-".into()),
+            e.trials,
+            fp
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_tune(flags: &Flags) -> Result<String, String> {
+    let device = device_by_name(flags.opt_str("device"))?;
+    // Figure 11 is the paper's FP16 experiment: default its sweep to fp16
+    // unless the caller pinned a precision explicitly.
+    let precision = if flags.opt_str("shapes") == Some("fig11")
+        && !flags.has("fp16")
+        && !flags.has("bf16")
+    {
+        Precision::Fp16
+    } else {
+        precision_from(flags)
+    };
+    let dry_run = flags.has("dry-run");
+    let measure = flags.opt_usize("measure", 0)?;
+    let db_path = flags.opt_str("db").map(std::path::PathBuf::from);
+
+    if flags.has("inspect") {
+        let Some(path) = &db_path else {
+            return Err("--inspect requires --db PATH".into());
+        };
+        return inspect_tune_db(path);
+    }
+    if db_path.is_none() && !dry_run {
+        return Err("tune writes a database: pass --db PATH (or --dry-run to rank only)".into());
+    }
+
+    let shapes = tune_shapes(flags)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "device      : {} (fingerprint {})",
+        device.name,
+        device.fingerprint()
+    );
+    let _ = writeln!(out, "precision   : {}", precision_tag(precision));
+    let _ = writeln!(out, "schema      : {TUNE_DB_SCHEMA}");
+    let header = format!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}  {:<8} {}",
+        "shape (N:OH:OW:OC)", "winrs ms", "gemm ms", "fft ms", "direct ms", "chosen", "source"
+    );
+
+    if measure == 0 {
+        // Pure cost-model ranking: deterministic, any scale of shape.
+        let mut tuner = Tuner::new(TunerConfig {
+            capacity: shapes.len().max(1),
+            ..TunerConfig::default()
+        });
+        if let Some(path) = &db_path {
+            if let Some(w) = tuner.attach_db(path) {
+                let _ = writeln!(out, "warning     : {w}");
+            }
+        }
+        let _ = writeln!(out, "\n{header}");
+        let fp = device.fingerprint();
+        for (label, conv) in &shapes {
+            let d = tuner.decide(conv, &device, precision);
+            tune_row(&mut out, label, &d);
+            if !dry_run {
+                // Pure model decisions never auto-commit; pin the winner
+                // so the database captures the whole table.
+                tuner.db_mut().insert(
+                    &fp,
+                    conv,
+                    precision,
+                    winrs_core::TunedEntry {
+                        algo: d.chosen,
+                        predicted_s: d.stats.predicted_s,
+                        measured_s: d.stats.measured_s,
+                        trials: d.stats.trials,
+                    },
+                );
+            }
+        }
+        if let (false, Some(path)) = (dry_run, &db_path) {
+            tuner.save().map_err(|w| w.to_string())?;
+            let _ = writeln!(
+                out,
+                "\ndatabase    : wrote {} entries to {}",
+                tuner.db().len(),
+                path.display()
+            );
+        }
+        return Ok(out);
+    }
+
+    // Explore-then-commit: execute each shape on the CPU, letting the
+    // pool's tuner trial the model's runner-up `measure` times before it
+    // commits the measured winner.
+    const EXEC_CAP: usize = 4_000_000;
+    let pool = WorkspacePool::new(PoolConfig {
+        plan_capacity: shapes.len().max(1),
+        ..PoolConfig::default()
+    });
+    if let Some(path) = &db_path {
+        if let Some(w) = pool.attach_tune_db(path) {
+            let _ = writeln!(out, "warning     : {w}");
+        }
+    }
+    pool.set_explore_trials(measure as u32);
+    let handle = ExecHandle::new(Arc::clone(&pool), device, precision);
+    let _ = writeln!(out, "\n{header}");
+    let mut skipped: Vec<String> = Vec::new();
+    for (label, conv) in &shapes {
+        if conv.x_elems() > EXEC_CAP {
+            skipped.push(label.clone());
+            continue;
+        }
+        let x = Tensor4::<f32>::random_uniform([conv.n, conv.ih, conv.iw, conv.ic], 7, 1.0);
+        let scale = if precision == Precision::Fp32 { 1.0 } else { 0.01 };
+        let dy =
+            Tensor4::<f32>::random_uniform([conv.n, conv.oh(), conv.ow(), conv.oc], 8, scale);
+        for _ in 0..measure + 2 {
+            handle.run(conv, &x, &dy).map_err(|e| e.to_string())?;
+        }
+        let d = pool.with_tuner(|t| t.decide(conv, &device, precision));
+        tune_row(&mut out, label, &d);
+    }
+    if !skipped.is_empty() {
+        // No silent caps: say exactly which shapes were not measured.
+        let _ = writeln!(
+            out,
+            "\nskipped     : {} shapes too large to execute on the CPU (> 4e6 X elems): {}",
+            skipped.len(),
+            skipped.join(", ")
+        );
+    }
+    let c = pool.tuner_counters();
+    let _ = writeln!(
+        out,
+        "trials      : {} measured runs, {} commits",
+        c.trials, c.commits
+    );
+    if let (false, Some(path)) = (dry_run, &db_path) {
+        pool.save_tune_db().map_err(|w| w.to_string())?;
+        let _ = writeln!(out, "database    : saved to {}", path.display());
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1013,6 +1247,64 @@ mod tests {
         ])
         .unwrap_err();
         assert!(e.contains("--trips"), "{e}");
+    }
+
+    #[test]
+    fn tune_dry_run_prints_decision_table() {
+        let out = run(&["tune", "--shapes", "fig10", "--dry-run"]).unwrap();
+        assert!(out.contains("winrs-tune-v1"), "{out}");
+        assert!(out.contains("chosen"), "{out}");
+        assert!(out.contains("32:112:112:64 f=3"), "{out}");
+        // Every fig10 fp32 shape resolves in WinRS's favour under the
+        // cost model; all 32 rows are present.
+        let rows = out
+            .lines()
+            .filter(|l| l.contains(" winrs ") && l.contains("model"))
+            .count();
+        assert_eq!(rows, 32, "{out}");
+    }
+
+    #[test]
+    fn tune_writes_and_inspects_database() {
+        let path = std::env::temp_dir().join(format!(
+            "winrs_cli_tune_db_{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let path_s = path.to_str().unwrap().to_string();
+        let out = run(&["tune", "--shapes", "small", "--db", &path_s]).unwrap();
+        assert!(out.contains("wrote 24 entries"), "{out}");
+        // The persisted document round-trips through the schema-checked
+        // loader.
+        let db = TuneDb::load(&path).unwrap();
+        assert_eq!(db.len(), 24);
+        let insp = run(&["tune", "--db", &path_s, "--inspect"]).unwrap();
+        assert!(insp.contains("24 entries"), "{insp}");
+        // The wide-shallow f=2 shape is a pure performance choice for a
+        // substitute — the decision table is not all-WinRS.
+        assert!(insp.contains("direct"), "{insp}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tune_measure_commits_a_winner() {
+        let out = run(&[
+            "tune", "--n", "2", "--res", "32", "--ic", "4", "--oc", "4", "--f", "2", "--measure",
+            "1", "--dry-run",
+        ])
+        .unwrap();
+        assert!(out.contains("committed"), "{out}");
+        assert!(out.contains("commits"), "{out}");
+    }
+
+    #[test]
+    fn tune_requires_db_or_dry_run() {
+        let e = run(&["tune", "--shapes", "fig10"]).unwrap_err();
+        assert!(e.contains("--db"), "{e}");
+        let e = run(&["tune", "--inspect"]).unwrap_err();
+        assert!(e.contains("--db"), "{e}");
+        let e = run(&["tune", "--shapes", "fig99", "--dry-run"]).unwrap_err();
+        assert!(e.contains("unknown --shapes"), "{e}");
     }
 
     #[test]

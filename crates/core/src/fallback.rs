@@ -9,10 +9,15 @@
 //!   plan with a recoverable [`WinrsError::PlanRejected`] (no ported
 //!   kernel for the filter width at the requested precision, partition
 //!   invariant failure), the dispatcher transparently reruns the problem
-//!   through GEMM-BFC (cuDNN `Algo1`'s analogue) — or direct convolution
-//!   on request — and records which algorithm actually produced `∇W`.
-//!   Strided/dilated problems route straight to the strided reference
-//!   kernel the same way.
+//!   through the best-ranked substitute — and records which algorithm
+//!   actually produced `∇W`. Strided/dilated problems route straight to
+//!   the strided reference kernel the same way.
+//!
+//!   This module is a thin *policy filter*: which substitute is "best"
+//!   (and the whole candidate ordering) is decided by the cost-model
+//!   autotuner in [`crate::tuner`]. `Strict` filters the ranked list down
+//!   to WinRS alone, `Auto` accepts it in full, `Force` replaces it with
+//!   one pinned entry — none of them reorder it.
 //! * **Numeric guard** ([`NumericGuard`]): reduced-precision execution
 //!   runs with the engine's per-segment health counters; on overflow the
 //!   guard can warn, or re-execute *only the poisoned buckets* at FP32
@@ -46,6 +51,8 @@ pub enum Algorithm {
     WinRs,
     /// GEMM-based BFC (cuDNN `Algo1` analogue) — the standard fallback.
     GemmBfc,
+    /// FFT-domain BFC (cuDNN FFT analogue; FP32 only, workspace-heavy).
+    FftBfc,
     /// Direct convolution — the last-resort reference.
     Direct,
     /// Strided/dilated direct BFC (stride or dilation ≠ 1).
@@ -58,6 +65,7 @@ impl Algorithm {
         match self {
             Algorithm::WinRs => "winrs",
             Algorithm::GemmBfc => "gemm-bfc",
+            Algorithm::FftBfc => "fft-bfc",
             Algorithm::Direct => "direct",
             Algorithm::StridedDirect => "strided-direct",
         }
@@ -84,10 +92,11 @@ impl FromStr for FallbackPolicy {
             "strict" => Ok(FallbackPolicy::Strict),
             "auto" => Ok(FallbackPolicy::Auto),
             "force-gemm" => Ok(FallbackPolicy::Force(Algorithm::GemmBfc)),
+            "force-fft" => Ok(FallbackPolicy::Force(Algorithm::FftBfc)),
             "force-direct" => Ok(FallbackPolicy::Force(Algorithm::Direct)),
             other => Err(format!(
                 "unknown fallback policy `{other}` (expected strict | auto | \
-                 force-gemm | force-direct)"
+                 force-gemm | force-fft | force-direct)"
             )),
         }
     }
@@ -171,6 +180,12 @@ pub struct ExecutionReport {
     /// of the dispatch (populated only when execution went through a
     /// [`crate::pool::ExecHandle`] lease).
     pub pool: Option<crate::metrics::PoolStats>,
+    /// What the dispatch authority *chose* to run (before any degradation):
+    /// differs from `algorithm` exactly when the ladder was walked.
+    pub chosen: crate::tuner::AlgoChoice,
+    /// Tuner observability (populated when dispatch went through the
+    /// cost-model autotuner, i.e. [`crate::pool::ExecHandle`]).
+    pub tuner: Option<crate::tuner::TunerStats>,
 }
 
 impl ExecutionReport {
@@ -194,6 +209,8 @@ impl ExecutionReport {
             cache_hits: 0,
             cache_misses: 0,
             pool: None,
+            chosen: crate::tuner::AlgoChoice::from_algorithm(algorithm),
+            tuner: None,
         }
     }
 
@@ -239,6 +256,22 @@ impl ExecutionReport {
         }
         if let Some(pool) = &self.pool {
             s.push_str(&format!(" pool[{pool}]"));
+        }
+        if let Some(t) = &self.tuner {
+            s.push_str(&format!(
+                " tuner[chosen={} src={} pred={:.3}ms",
+                self.chosen,
+                t.source,
+                t.predicted_s * 1e3
+            ));
+            if let Some(m) = t.measured_s {
+                s.push_str(&format!(" meas={:.3}ms", m * 1e3));
+            }
+            s.push_str(&format!(
+                " db={} trials={}]",
+                if t.db_hit { "hit" } else { "miss" },
+                t.trials
+            ));
         }
         if let Some(reason) = &self.fallback_reason {
             s.push_str(&format!(" fallback=\"{reason}\""));
@@ -312,10 +345,11 @@ pub fn run_bfc_with(
         }
         Err(err) if err.recoverable_by_fallback() && policy == FallbackPolicy::Auto => {
             let plan_s = t_plan.elapsed().as_secs_f64();
-            let mut report = ExecutionReport::new(Algorithm::GemmBfc, precision, guard);
+            let alg = best_substitute(conv, device, precision);
+            let mut report = ExecutionReport::new(alg, precision, guard);
             report.fallback_reason = Some(err);
-            report.mem = substitute_footprint(Algorithm::GemmBfc, conv);
-            let dw = run_substitute_timed(Algorithm::GemmBfc, conv, x, dy, &mut report);
+            report.mem = substitute_footprint(alg, conv);
+            let dw = run_substitute_timed(alg, conv, x, dy, &mut report);
             // The failed WinRS plan attempt is what bought the fallback.
             report.timing.plan_s = plan_s;
             report.timing.total_s += plan_s;
@@ -323,6 +357,20 @@ pub fn run_bfc_with(
         }
         Err(err) => Err(err),
     }
+}
+
+/// The best WinRS substitute for `(conv, precision)` on `device` — the
+/// head of the tuner's ranked candidate list with WinRS removed. All
+/// algorithm-ordering logic lives in [`crate::tuner`]; this module only
+/// filters that ranking per policy. Direct convolution is always ranked,
+/// so a substitute always exists.
+fn best_substitute(conv: &ConvShape, device: &DeviceSpec, precision: Precision) -> Algorithm {
+    crate::tuner::rank(conv, device, precision)
+        .into_iter()
+        .map(|c| c.algo)
+        .find(|a| *a != crate::tuner::AlgoChoice::WinRs)
+        .map(|a| a.algorithm())
+        .unwrap_or(Algorithm::Direct)
 }
 
 /// Fetch the plan from `cache` (building and memoising on miss) and
@@ -379,10 +427,11 @@ pub fn run_bfc_cached(
         }
         Err(err) if err.recoverable_by_fallback() && policy == FallbackPolicy::Auto => {
             let plan_s = t_plan.elapsed().as_secs_f64();
-            let mut report = ExecutionReport::new(Algorithm::GemmBfc, precision, guard);
+            let alg = best_substitute(conv, device, precision);
+            let mut report = ExecutionReport::new(alg, precision, guard);
             report.fallback_reason = Some(err);
-            report.mem = substitute_footprint(Algorithm::GemmBfc, conv);
-            let dw = run_substitute_timed(Algorithm::GemmBfc, conv, x, dy, &mut report);
+            report.mem = substitute_footprint(alg, conv);
+            let dw = run_substitute_timed(alg, conv, x, dy, &mut report);
             report.timing.plan_s = plan_s;
             report.timing.total_s += plan_s;
             stamp(&mut report, cache);
@@ -443,6 +492,7 @@ fn run_substitute(
 ) -> Tensor4<f32> {
     match alg {
         Algorithm::GemmBfc => bfc_gemm_f32(GemmAlgo::Algo1, conv, x, dy),
+        Algorithm::FftBfc => winrs_conv::fft_bfc::bfc_fft(conv, x, dy),
         _ => direct::bfc_direct(conv, x, dy),
     }
 }
@@ -474,6 +524,10 @@ pub fn substitute_layout(alg: Algorithm, conv: &ConvShape) -> WorkspaceLayout {
         Algorithm::GemmBfc => WorkspaceLayout::accounting(
             "gemm-lowering",
             winrs_conv::gemm_bfc::workspace_bytes(GemmAlgo::Algo1, conv),
+        ),
+        Algorithm::FftBfc => WorkspaceLayout::accounting(
+            "fft-stages",
+            winrs_conv::fft_bfc::workspace_bytes(conv),
         ),
         // The direct kernels stream straight from X/∇Y into ∇W.
         Algorithm::Direct => WorkspaceLayout::accounting("direct", 0),

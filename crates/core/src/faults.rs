@@ -53,11 +53,29 @@ pub enum Site {
     /// Artificial latency injected ahead of the block loop — exercises
     /// deadline expiry and the degradation ladder.
     SlowBlockLoop,
+    /// Tuning-database writes emit a torn (truncated) document — exercises
+    /// the loader's corrupt-file path: the next process must fall back to
+    /// pure cost-model dispatch with a typed [`crate::TuneDbWarning`].
+    TuneDbTorn,
 }
 
 impl Site {
     /// All chaos sites, in declaration order (the chaos-site inventory).
-    pub const ALL: [Site; 4] = [
+    pub const ALL: [Site; 5] = [
+        Site::HotLoopPanic,
+        Site::PoolSlotExhausted,
+        Site::AllocBudget,
+        Site::SlowBlockLoop,
+        Site::TuneDbTorn,
+    ];
+
+    /// The sites a seeded campaign may select as its primary injection:
+    /// the execution-path sites only. `TuneDbTorn` fires on a database
+    /// *save*, which a campaign's execute-and-verify run never performs,
+    /// so including it would yield no-op campaigns — and keeping it out
+    /// preserves the historical seed → scenario mapping
+    /// (`winrs verify --fault-seed N` replays from before the site existed).
+    pub const EXECUTION: [Site; 4] = [
         Site::HotLoopPanic,
         Site::PoolSlotExhausted,
         Site::AllocBudget,
@@ -72,6 +90,7 @@ impl fmt::Display for Site {
             Site::PoolSlotExhausted => "pool-slot-exhausted",
             Site::AllocBudget => "alloc-budget",
             Site::SlowBlockLoop => "slow-block-loop",
+            Site::TuneDbTorn => "tune-db-torn",
         })
     }
 }
@@ -274,15 +293,16 @@ impl fmt::Display for Campaign {
 
 /// Derive the deterministic fault [`Campaign`] for `seed`.
 ///
-/// The first draw picks the primary scenario (one of the four chaos
-/// sites), a second decides whether a numeric fault rides along (one in
+/// The first draw picks the primary scenario (one of the chaos sites), a
+/// second decides whether a numeric fault rides along (one in
 /// four campaigns also poisons a low-index segment, crossing the chaos
 /// layer with the PR 1 numeric guard), and slow campaigns draw a small
 /// latency. The stream is pure splitmix64, so the mapping never changes
 /// behind a test's back.
 pub fn campaign(seed: u64) -> Campaign {
     let mut s = seed;
-    let primary = Site::ALL[(splitmix64(&mut s) % Site::ALL.len() as u64) as usize];
+    let primary =
+        Site::EXECUTION[(splitmix64(&mut s) % Site::EXECUTION.len() as u64) as usize];
     let segments = if splitmix64(&mut s).is_multiple_of(4) {
         vec![(splitmix64(&mut s) % 4) as usize]
     } else {
@@ -386,7 +406,7 @@ mod tests {
         for seed in 0..64u64 {
             seen.insert(campaign(seed).sites[0]);
         }
-        assert_eq!(seen.len(), Site::ALL.len(), "all four scenarios reachable");
+        assert_eq!(seen.len(), Site::EXECUTION.len(), "every scenario reachable");
     }
 
     #[test]

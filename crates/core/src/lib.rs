@@ -66,6 +66,7 @@ pub mod plan;
 pub mod pool;
 pub mod reduce;
 pub(crate) mod sync;
+pub mod tuner;
 pub mod workspace;
 
 pub use config::pair::KernelPair;
@@ -77,6 +78,10 @@ pub use partition::{Partition, Segment};
 pub use cache::PlanCache;
 pub use plan::WinRsPlan;
 pub use pool::{ExecHandle, Lease, PoolConfig, WorkspacePool};
+pub use tuner::{
+    AlgoChoice, ChoiceSource, RankedCandidate, TuneDb, TuneDbWarning, TunedEntry, Tuner,
+    TunerConfig, TunerCounters, TunerDecision, TunerStats, TUNE_DB_SCHEMA,
+};
 pub use workspace::{ExecCtx, Region, RegionKind, ScratchPool, Workspace, WorkspaceLayout};
 
 /// Deliberately-undersized bucket-buffer length shared by the numeric

@@ -46,12 +46,13 @@
 use crate::cache::PlanCache;
 use crate::config::Precision;
 use crate::error::{Violation, WinrsError};
-use crate::fallback::{
-    self, Algorithm, ExecutionReport, FallbackPolicy, NumericGuard,
-};
+use crate::fallback::{self, ExecutionReport, FallbackPolicy, NumericGuard};
 use crate::metrics::PoolStats;
 use crate::plan::WinRsPlan;
 use crate::sync::{Condvar, Mutex};
+use crate::tuner::{
+    AlgoChoice, TuneDbWarning, Tuner, TunerConfig, TunerCounters, TunerDecision,
+};
 use crate::workspace::{Workspace, WorkspaceLayout};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -67,8 +68,12 @@ pub struct PoolConfig {
     /// How long a lease request may wait for a slot before failing with
     /// [`WinrsError::PoolExhausted`].
     pub max_wait: Duration,
-    /// Capacity of the shared [`PlanCache`].
+    /// Capacity of the shared [`PlanCache`] *and* of the tuner's decision
+    /// cache — both per-shape caches scale with this one knob.
     pub plan_capacity: usize,
+    /// Autotuner policy (explore budget, WinRS hysteresis margin). The
+    /// tuner's decision-cache capacity is overridden by `plan_capacity`.
+    pub tuner: TunerConfig,
 }
 
 impl Default for PoolConfig {
@@ -80,6 +85,7 @@ impl Default for PoolConfig {
             slots: 4,
             max_wait: Duration::from_millis(100),
             plan_capacity: crate::cache::DEFAULT_PLAN_CACHE_CAPACITY,
+            tuner: TunerConfig::default(),
         }
     }
 }
@@ -122,6 +128,10 @@ pub struct WorkspacePool {
     available: Condvar,
     cfg: PoolConfig,
     plans: Mutex<PlanCache>,
+    /// The dispatch authority: ranks WinRS against its substitutes per
+    /// shape/precision/device and caches the committed choice. Leaf lock —
+    /// never taken while holding `plans` or `state`.
+    tuner: Mutex<Tuner>,
 }
 
 impl WorkspacePool {
@@ -149,6 +159,10 @@ impl WorkspacePool {
             available: Condvar::new(),
             cfg: PoolConfig { slots, ..cfg },
             plans: Mutex::new(PlanCache::with_capacity(cfg.plan_capacity)),
+            tuner: Mutex::new(Tuner::new(TunerConfig {
+                capacity: cfg.plan_capacity,
+                ..cfg.tuner
+            })),
         })
     }
 
@@ -228,6 +242,72 @@ impl WorkspacePool {
         precision: Precision,
     ) -> Result<Arc<WinRsPlan>, WinrsError> {
         self.lock_plans().get(shape, device, precision)
+    }
+
+    fn lock_tuner(&self) -> crate::sync::MutexGuard<'_, Tuner> {
+        // The tuner's worst poisoning outcome is an abandoned half-updated
+        // decision entry, which the next `decide` simply re-ranks;
+        // recovering the guard keeps dispatch alive after a panic.
+        self.tuner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Ask the dispatch authority which algorithm should run `conv`.
+    pub(crate) fn tuner_decide(
+        &self,
+        conv: &ConvShape,
+        device: &DeviceSpec,
+        precision: Precision,
+    ) -> TunerDecision {
+        self.lock_tuner().decide(conv, device, precision)
+    }
+
+    /// Feed a measured wall time back into an in-flight exploration.
+    pub(crate) fn tuner_observe(
+        &self,
+        conv: &ConvShape,
+        device: &DeviceSpec,
+        precision: Precision,
+        algo: AlgoChoice,
+        measured_s: f64,
+    ) {
+        self.lock_tuner().observe(conv, device, precision, algo, measured_s);
+    }
+
+    /// Snapshot the tuner counters (decisions, db hits/misses, trials,
+    /// commits, evictions).
+    pub fn tuner_counters(&self) -> TunerCounters {
+        self.lock_tuner().counters()
+    }
+
+    /// The last non-fatal tuning-database warning, if any (corrupted or
+    /// torn db files degrade to pure model dispatch instead of failing).
+    pub fn tuner_warning(&self) -> Option<TuneDbWarning> {
+        self.lock_tuner().warning().cloned()
+    }
+
+    /// Attach a persistent tuning database at `path`, loading any existing
+    /// entries. Returns the load warning, if the file was unreadable or
+    /// malformed (dispatch continues from the cost model alone).
+    pub fn attach_tune_db(&self, path: &std::path::Path) -> Option<TuneDbWarning> {
+        self.lock_tuner().attach_db(path)
+    }
+
+    /// Persist committed decisions to the attached tuning database.
+    pub fn save_tune_db(&self) -> Result<(), TuneDbWarning> {
+        self.lock_tuner().save()
+    }
+
+    /// Set the explore budget for future cold decisions (see
+    /// [`crate::TunerConfig::explore_trials`]).
+    pub fn set_explore_trials(&self, trials: u32) {
+        self.lock_tuner().set_explore_trials(trials);
+    }
+
+    /// Run `f` with exclusive access to the pool's tuner — the escape
+    /// hatch for tooling (the CLI's `tune` subcommand) that needs richer
+    /// access than the narrow accessors above.
+    pub fn with_tuner<R>(&self, f: impl FnOnce(&mut Tuner) -> R) -> R {
+        f(&mut self.lock_tuner())
     }
 
     /// Lease a workspace sized for `layout`, waiting up to the pool's
@@ -445,6 +525,16 @@ impl ExecHandle {
         self
     }
 
+    /// Set the explore budget: the first `trials` *warm* runs of a cold
+    /// shape may trial the cost model's runner-up before the measured
+    /// winner is committed (see [`crate::TunerConfig::explore_trials`]).
+    /// This configures the *shared* tuner on this handle's pool, so it
+    /// affects every handle over the same pool.
+    pub fn with_exploration(self, trials: u32) -> ExecHandle {
+        self.pool.set_explore_trials(trials);
+        self
+    }
+
     /// The pool this handle leases from.
     pub fn pool(&self) -> &Arc<WorkspacePool> {
         &self.pool
@@ -455,9 +545,16 @@ impl ExecHandle {
     /// [`WinrsError::ExecutionPanicked`], pool pressure as
     /// [`WinrsError::PoolExhausted`], deadline expiry as
     /// [`WinrsError::DeadlineExceeded`] — and under the `Auto` policy all
-    /// three degrade down the ladder WinRS → GEMM-BFC → direct instead of
-    /// surfacing. The report carries [`PoolStats`] and the shared plan
-    /// cache's counters.
+    /// three degrade down the tuner's ranked ladder (WinRS → GEMM-BFC →
+    /// direct) instead of surfacing. The report carries [`PoolStats`], the
+    /// shared plan cache's counters and the tuner's dispatch stats.
+    ///
+    /// Which algorithm runs is decided by the pool's shared [`Tuner`]:
+    /// under `Auto` the full ranked candidate list is in play (the tuner
+    /// may pick a substitute outright when the cost model, the tuning
+    /// database or a committed measurement says WinRS is slower); `Strict`
+    /// filters the list down to WinRS alone; `Force` replaces it with one
+    /// pinned entry. The policy layer never reorders candidates.
     pub fn run(
         &self,
         conv: &ConvShape,
@@ -483,8 +580,36 @@ impl ExecHandle {
             return Ok((dw, report));
         }
 
+        // Only `Auto` consults the tuner: `Strict` pins WinRS regardless
+        // of ranking, and skipping the call keeps strict-mode dispatch
+        // free of decision-cache and trial churn.
+        let decision = match self.policy {
+            FallbackPolicy::Auto => {
+                Some(self.pool.tuner_decide(conv, &self.device, self.precision))
+            }
+            _ => None,
+        };
+
+        if let Some(d) = decision
+            .as_ref()
+            .filter(|d| d.chosen != AlgoChoice::WinRs)
+        {
+            return self.run_chosen_substitute(conv, x, dy, d);
+        }
+
         match self.try_winrs(conv, x, dy) {
             Ok((dw, mut report)) => {
+                if let Some(d) = &decision {
+                    report.chosen = d.chosen;
+                    report.tuner = Some(d.stats);
+                    self.pool.tuner_observe(
+                        conv,
+                        &self.device,
+                        self.precision,
+                        AlgoChoice::WinRs,
+                        report.timing.total_s,
+                    );
+                }
                 self.stamp(&mut report);
                 Ok((dw, report))
             }
@@ -492,12 +617,45 @@ impl ExecHandle {
                 if self.policy == FallbackPolicy::Auto
                     && (err.recoverable_by_fallback() || err.recoverable_by_degradation()) =>
             {
-                let (dw, mut report) = self.run_degraded(conv, x, dy, err);
+                let (dw, mut report) = self.run_degraded(conv, x, dy, err, decision.as_ref());
                 self.stamp(&mut report);
                 Ok((dw, report))
             }
             Err(err) => Err(err),
         }
+    }
+
+    /// The tuner chose a substitute over WinRS. If WinRS was *rejected*
+    /// (outside its envelope) this is a fallback: it counts as a
+    /// degradation and records the rejection as the report's reason. If
+    /// WinRS was viable but predicted (or measured) slower, it is a pure
+    /// performance choice — no degradation, no fallback reason.
+    fn run_chosen_substitute(
+        &self,
+        conv: &ConvShape,
+        x: &Tensor4<f32>,
+        dy: &Tensor4<f32>,
+        decision: &TunerDecision,
+    ) -> Result<(Tensor4<f32>, ExecutionReport), WinrsError> {
+        let alg = decision.chosen.algorithm();
+        let mut report = ExecutionReport::new(alg, self.precision, self.guard);
+        report.chosen = decision.chosen;
+        report.tuner = Some(decision.stats);
+        if let Some(rejection) = decision.winrs_rejection.clone() {
+            self.pool.note_degradation();
+            report.fallback_reason = Some(rejection);
+        }
+        report.mem = fallback::substitute_footprint(alg, conv);
+        let dw = fallback::run_substitute_timed(alg, conv, x, dy, &mut report);
+        self.pool.tuner_observe(
+            conv,
+            &self.device,
+            self.precision,
+            decision.chosen,
+            report.timing.total_s,
+        );
+        self.stamp(&mut report);
+        Ok((dw, report))
     }
 
     /// Rung 1: the WinRS engine over a pool lease, under `catch_unwind`.
@@ -557,14 +715,17 @@ impl ExecHandle {
         }
     }
 
-    /// Rungs 2 and 3: GEMM-BFC, then direct if the fresh deadline window
-    /// expires again. The last rung always delivers.
+    /// The lower rungs: WinRS started (or was chosen) but failed, so walk
+    /// the tuner's ranked substitute ladder. Each rung gets a fresh
+    /// deadline window; an expired window drops to the next rung, and the
+    /// last rung (always direct) delivers unconditionally.
     fn run_degraded(
         &self,
         conv: &ConvShape,
         x: &Tensor4<f32>,
         dy: &Tensor4<f32>,
         reason: WinrsError,
+        decision: Option<&TunerDecision>,
     ) -> (Tensor4<f32>, ExecutionReport) {
         self.pool.note_degradation();
         let rung_start = Instant::now();
@@ -573,13 +734,24 @@ impl ExecHandle {
         // bottoms out at direct.
         #[cfg(feature = "faults")]
         crate::faults::maybe_slow(crate::faults::Site::SlowBlockLoop);
-        let alg = if self.check_deadline(rung_start).is_err() {
+        let ladder = decision
+            .map(|d| d.degradation_ladder())
+            .unwrap_or_else(|| vec![AlgoChoice::GemmBfc, AlgoChoice::Direct]);
+        let mut rung = 0;
+        while rung + 1 < ladder.len() && self.check_deadline(rung_start).is_err() {
             self.pool.note_degradation();
-            Algorithm::Direct
-        } else {
-            Algorithm::GemmBfc
-        };
+            rung += 1;
+        }
+        let alg = ladder
+            .get(rung)
+            .copied()
+            .unwrap_or(AlgoChoice::Direct)
+            .algorithm();
         let mut report = ExecutionReport::new(alg, self.precision, self.guard);
+        if let Some(d) = decision {
+            report.chosen = d.chosen;
+            report.tuner = Some(d.stats);
+        }
         // The recorded reason is the *first* cause — why WinRS did not
         // deliver; the degradations counter says how far the ladder ran.
         report.fallback_reason = Some(reason);
@@ -627,6 +799,8 @@ fn panic_site(payload: Box<dyn std::any::Any + Send>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fallback::Algorithm;
+    use crate::tuner::ChoiceSource;
     use winrs_conv::direct;
     use winrs_gpu_sim::RTX_4090;
     use winrs_tensor::mare;
@@ -840,5 +1014,99 @@ mod tests {
             .with_deadline(Some(Duration::ZERO));
         let err = strict.run(&conv, &x, &dy).unwrap_err();
         assert!(matches!(err, WinrsError::DeadlineExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn exec_handle_honours_pure_tuner_choice() {
+        // On this wide-but-shallow shape the cost model prefers direct
+        // convolution even though WinRS is perfectly viable: dispatch must
+        // follow the tuner as a pure performance choice — the substitute
+        // runs, nothing "degrades".
+        let conv = ConvShape::square(2, 32, 4, 4, 2);
+        let x = Tensor4::<f32>::random_uniform([2, conv.ih, conv.iw, conv.ic], 97, 1.0);
+        let dy = Tensor4::<f32>::random_uniform([2, conv.oh(), conv.ow(), conv.oc], 98, 0.1);
+        let handle = ExecHandle::new(WorkspacePool::with_slots(1), RTX_4090, Precision::Fp32);
+        let (dw, report) = handle.run(&conv, &x, &dy).unwrap();
+        assert_eq!(report.algorithm, Algorithm::Direct);
+        assert_eq!(report.chosen, AlgoChoice::Direct);
+        assert!(report.fallback_reason.is_none(), "a choice is not a fallback");
+        assert_eq!(report.pool.as_ref().unwrap().degradations, 0);
+        let stats = report.tuner.unwrap();
+        assert_eq!(stats.source, ChoiceSource::Model);
+        assert!(!stats.db_hit);
+        assert!(
+            report.summary_line().contains("tuner[chosen=direct"),
+            "{}",
+            report.summary_line()
+        );
+        let x64: Tensor4<f64> = x.cast();
+        let dy64: Tensor4<f64> = dy.cast();
+        let exact = direct::bfc_direct(&conv, &x64, &dy64);
+        assert!(mare(&dw, &exact) < 1e-5);
+    }
+
+    #[test]
+    fn pool_tuner_cache_respects_plan_capacity() {
+        // The tuner's decision cache scales with the same knob as the plan
+        // cache; three distinct shapes through a 2-deep cache must evict.
+        let pool = WorkspacePool::new(PoolConfig {
+            plan_capacity: 2,
+            ..PoolConfig::default()
+        });
+        let handle = ExecHandle::new(Arc::clone(&pool), RTX_4090, Precision::Fp32);
+        for res in [12usize, 14, 16] {
+            let conv = ConvShape::square(1, res, 2, 2, 3);
+            let x = Tensor4::<f32>::random_uniform([1, res, res, 2], 99, 1.0);
+            let dy = Tensor4::<f32>::random_uniform([1, conv.oh(), conv.ow(), 2], 100, 1.0);
+            handle.run(&conv, &x, &dy).unwrap();
+        }
+        let c = pool.tuner_counters();
+        assert_eq!(c.decisions, 3);
+        assert_eq!(c.evictions, 1, "3 shapes through a 2-deep decision cache");
+    }
+
+    #[test]
+    fn warm_pool_with_populated_db_never_measures() {
+        let path = std::env::temp_dir().join(format!(
+            "winrs-pool-warm-db-{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let conv = ConvShape::square(1, 16, 2, 2, 3);
+        let x = Tensor4::<f32>::random_uniform([1, conv.ih, conv.iw, conv.ic], 101, 1.0);
+        let dy = Tensor4::<f32>::random_uniform([1, conv.oh(), conv.ow(), conv.oc], 102, 1.0);
+
+        // Cold process: explore, commit the measured winner, persist.
+        let pool = WorkspacePool::with_slots(1);
+        assert!(pool.attach_tune_db(&path).is_none());
+        let handle = ExecHandle::new(Arc::clone(&pool), RTX_4090, Precision::Fp32)
+            .with_exploration(1);
+        for _ in 0..3 {
+            handle.run(&conv, &x, &dy).unwrap();
+        }
+        let cold = pool.tuner_counters();
+        assert_eq!(
+            cold.trials, 2,
+            "explore budget of one → model pick + one runner-up, both measured"
+        );
+        assert!(cold.commits >= 1, "exploration must commit a winner");
+        pool.save_tune_db().unwrap();
+
+        // Warm process: the decision comes from the database — zero trial
+        // measurements ever, even with the explore budget still set.
+        let pool2 = WorkspacePool::with_slots(1);
+        assert!(pool2.attach_tune_db(&path).is_none());
+        pool2.set_explore_trials(1);
+        let handle2 = ExecHandle::new(Arc::clone(&pool2), RTX_4090, Precision::Fp32);
+        for _ in 0..3 {
+            let (_, report) = handle2.run(&conv, &x, &dy).unwrap();
+            let stats = report.tuner.unwrap();
+            assert!(stats.db_hit);
+            assert_eq!(stats.source, ChoiceSource::Database);
+        }
+        let warm = pool2.tuner_counters();
+        assert_eq!(warm.trials, 0, "warm process must never re-measure");
+        assert_eq!(warm.db_hits, 1);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,1379 @@
+//! Cost-model-driven algorithm autotuner with a persistent tuning database.
+//!
+//! Dispatch authority for backward-filter convolution lives here. For every
+//! `(shape, device, precision)` key the tuner
+//!
+//! 1. **ranks** the candidate algorithms — WinRS, GEMM-BFC, FFT-BFC and
+//!    direct — by the [`winrs_gpu_sim`] cost model ([`rank`]): each
+//!    candidate gets the same launch profiles the bench harness uses for
+//!    the paper's figures, and WinRS participates only when
+//!    [`WinRsPlan::new`] actually succeeds (support is derived from the
+//!    planner's `Result`, never a static matrix);
+//! 2. **refines** the model's choice with measured wall times under an
+//!    explore-then-commit policy ([`Tuner::decide`] / [`Tuner::observe`]):
+//!    the first `explore_trials` warm runs per key may trial the model's
+//!    runner-up, after which the measured winner is committed. Exploration
+//!    is opt-in (`explore_trials = 0` by default) so plain dispatch stays
+//!    deterministic;
+//! 3. **persists** committed winners to an on-disk database ([`TuneDb`],
+//!    schema [`TUNE_DB_SCHEMA`]) keyed by the device fingerprint
+//!    ([`winrs_gpu_sim::DeviceSpec::fingerprint`]), so a warm process never
+//!    re-measures: a database hit commits the stored choice immediately and
+//!    no trials run.
+//!
+//! The policy layer ([`crate::fallback`]) is deliberately *not* in this
+//! module: Strict/Auto/Force filter the ranked list but never reorder it,
+//! and the degradation ladder in [`crate::pool`] walks the same ranking
+//! restricted to the substitutes that are safe under resource pressure.
+//!
+//! The database format is a single JSON document (via [`winrs_json`]) and
+//! every load failure is a typed, non-fatal [`TuneDbWarning`]: a missing
+//! file is an empty database, a torn or hand-mangled one falls back to
+//! pure cost-model dispatch — never a panic.
+
+use crate::cache::DEFAULT_PLAN_CACHE_CAPACITY;
+use crate::config::Precision;
+use crate::error::WinrsError;
+use crate::plan::WinRsPlan;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use winrs_conv::{fft_bfc, ConvShape};
+use winrs_gpu_sim::{
+    estimate_pipeline_time, DeviceSpec, KernelProfile, Precision as SimPrecision,
+};
+use winrs_json::Json;
+
+/// Schema tag stamped into every tuning-database document. Bump on any
+/// format change: loaders reject other tags with
+/// [`TuneDbWarning::SchemaMismatch`] instead of misreading them.
+pub const TUNE_DB_SCHEMA: &str = "winrs-tune-v1";
+
+// ---------------------------------------------------------------------------
+// Candidate algorithms and cost-model ranking
+// ---------------------------------------------------------------------------
+
+/// A backward-filter algorithm the tuner can dispatch to.
+///
+/// This is the *planning* vocabulary; the execution vocabulary is
+/// [`crate::fallback::Algorithm`] (which additionally has `StridedDirect`,
+/// a shape-driven rewrite rather than a tunable choice).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AlgoChoice {
+    /// The paper's fused segmented Winograd kernel ([`WinRsPlan`]).
+    WinRs,
+    /// Implicit-im2col GEMM lowering (cuDNN Algo1 analogue).
+    GemmBfc,
+    /// FFT-domain backward filter (cuDNN FFT analogue; FP32 only).
+    FftBfc,
+    /// Naive direct accumulation — always available, never fast.
+    Direct,
+}
+
+impl AlgoChoice {
+    /// Every candidate, in display order.
+    pub const ALL: [AlgoChoice; 4] = [
+        AlgoChoice::WinRs,
+        AlgoChoice::GemmBfc,
+        AlgoChoice::FftBfc,
+        AlgoChoice::Direct,
+    ];
+
+    /// Stable lowercase name (used in the database and CLI tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgoChoice::WinRs => "winrs",
+            AlgoChoice::GemmBfc => "gemm-bfc",
+            AlgoChoice::FftBfc => "fft-bfc",
+            AlgoChoice::Direct => "direct",
+        }
+    }
+
+    /// Inverse of [`AlgoChoice::name`].
+    pub fn parse(s: &str) -> Option<AlgoChoice> {
+        AlgoChoice::ALL.into_iter().find(|a| a.name() == s)
+    }
+
+    /// The execution-layer algorithm this choice dispatches to.
+    pub fn algorithm(&self) -> crate::fallback::Algorithm {
+        match self {
+            AlgoChoice::WinRs => crate::fallback::Algorithm::WinRs,
+            AlgoChoice::GemmBfc => crate::fallback::Algorithm::GemmBfc,
+            AlgoChoice::FftBfc => crate::fallback::Algorithm::FftBfc,
+            AlgoChoice::Direct => crate::fallback::Algorithm::Direct,
+        }
+    }
+
+    /// Map an execution-layer algorithm back onto the tuning vocabulary
+    /// (`StridedDirect` is a direct-family rewrite).
+    pub fn from_algorithm(a: crate::fallback::Algorithm) -> AlgoChoice {
+        match a {
+            crate::fallback::Algorithm::WinRs => AlgoChoice::WinRs,
+            crate::fallback::Algorithm::GemmBfc => AlgoChoice::GemmBfc,
+            crate::fallback::Algorithm::FftBfc => AlgoChoice::FftBfc,
+            crate::fallback::Algorithm::Direct | crate::fallback::Algorithm::StridedDirect => {
+                AlgoChoice::Direct
+            }
+        }
+    }
+}
+
+impl fmt::Display for AlgoChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One candidate with its modelled execution time, as produced by [`rank`].
+#[derive(Clone, Copy, Debug)]
+pub struct RankedCandidate {
+    /// The algorithm.
+    pub algo: AlgoChoice,
+    /// Modelled execution time on the ranking device, seconds.
+    pub predicted_s: f64,
+}
+
+fn sim_precision(precision: Precision) -> SimPrecision {
+    match precision {
+        Precision::Fp32 => SimPrecision::Fp32,
+        // The GPU model's Tensor-Core peak covers both 16-bit formats.
+        Precision::Fp16 | Precision::Bf16 => SimPrecision::Fp16,
+    }
+}
+
+fn elem_bytes(precision: Precision) -> u64 {
+    match precision {
+        Precision::Fp32 => 4,
+        Precision::Fp16 | Precision::Bf16 => 2,
+    }
+}
+
+/// Launch profiles for one substitute candidate, mirroring the calibration
+/// the bench harness uses for the paper's figures (`winrs-bench::algos`):
+/// FLOP counts and intermediate traffic come from the real planners in
+/// `winrs-conv`; this function only assigns launch geometry and kernel
+/// quality. Returns `None` when the candidate has no kernel for the
+/// requested precision (FFT is FP32-only).
+fn substitute_profiles(
+    algo: AlgoChoice,
+    conv: &ConvShape,
+    precision: Precision,
+) -> Option<Vec<KernelProfile>> {
+    let prec = sim_precision(precision);
+    let eb = elem_bytes(precision);
+    let io = (conv.x_elems() + conv.dy_elems() + conv.dw_elems()) as u64 * eb;
+    match algo {
+        AlgoChoice::WinRs => None, // ranked through the real plan, not here
+        AlgoChoice::GemmBfc => Some(vec![KernelProfile {
+            flops: conv.bfc_flops(),
+            // Implicit im2col: the lowering panel lives on-chip, but X is
+            // read once more for the duplication.
+            io_bytes: io + conv.x_elems() as u64 * eb,
+            intermediate_bytes: 0,
+            blocks: conv.n
+                * (conv.fh * conv.fw * conv.ic).div_ceil(128)
+                * conv.oc.div_ceil(64),
+            pipe_efficiency: 0.90,
+            precision: prec,
+        }]),
+        AlgoChoice::FftBfc => {
+            if precision != Precision::Fp32 {
+                return None;
+            }
+            Some(vec![KernelProfile {
+                flops: fft_bfc::flops(conv),
+                io_bytes: io,
+                intermediate_bytes: fft_bfc::intermediate_traffic_bytes(conv) * eb / 4,
+                blocks: (conv.n * (conv.ic + conv.oc) + conv.ic * conv.oc).max(1),
+                pipe_efficiency: 0.70,
+                precision: prec,
+            }])
+        }
+        // Direct accumulation has no reduced-precision kernel: it is the
+        // guaranteed-delivery substitute and always runs (and is modelled)
+        // on the FP32 CUDA-core path, whatever precision was requested.
+        AlgoChoice::Direct => Some(vec![KernelProfile {
+            flops: conv.bfc_flops(),
+            io_bytes: io,
+            intermediate_bytes: 0,
+            blocks: (conv.n * conv.oh() * conv.ow()).div_ceil(256).max(1),
+            pipe_efficiency: 0.45,
+            precision: SimPrecision::Fp32,
+        }]),
+    }
+}
+
+/// Rank every supported candidate for `(conv, precision)` on `device` by
+/// modelled execution time, ascending. WinRS appears iff [`WinRsPlan::new`]
+/// succeeds; the second element carries its rejection otherwise. The list
+/// is never empty: direct convolution is always supported.
+pub fn rank_with_rejection(
+    conv: &ConvShape,
+    device: &DeviceSpec,
+    precision: Precision,
+) -> (Vec<RankedCandidate>, Option<WinrsError>) {
+    let mut out = Vec::with_capacity(AlgoChoice::ALL.len());
+    let mut rejection = None;
+    match WinRsPlan::new(conv, device, precision) {
+        Ok(plan) => out.push(RankedCandidate {
+            algo: AlgoChoice::WinRs,
+            predicted_s: estimate_pipeline_time(&plan.kernel_profiles(), device),
+        }),
+        Err(err) => rejection = Some(err),
+    }
+    for algo in [AlgoChoice::GemmBfc, AlgoChoice::FftBfc, AlgoChoice::Direct] {
+        if let Some(profiles) = substitute_profiles(algo, conv, precision) {
+            out.push(RankedCandidate {
+                algo,
+                predicted_s: estimate_pipeline_time(&profiles, device),
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        a.predicted_s
+            .partial_cmp(&b.predicted_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    (out, rejection)
+}
+
+/// [`rank_with_rejection`] without the rejection detail.
+pub fn rank(conv: &ConvShape, device: &DeviceSpec, precision: Precision) -> Vec<RankedCandidate> {
+    rank_with_rejection(conv, device, precision).0
+}
+
+// ---------------------------------------------------------------------------
+// Persistent tuning database
+// ---------------------------------------------------------------------------
+
+/// Why the tuning database could not be used. Every variant is a warning,
+/// not an error: the tuner falls back to pure cost-model dispatch and the
+/// process keeps running.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TuneDbWarning {
+    /// The file exists but could not be read or written.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The OS error rendered.
+        error: String,
+    },
+    /// The file is not syntactically valid JSON (torn write, truncation).
+    Parse {
+        /// The offending path.
+        path: String,
+        /// The parser's description of the first syntax error.
+        error: String,
+    },
+    /// Valid JSON, but a different (older/newer) schema tag.
+    SchemaMismatch {
+        /// The offending path.
+        path: String,
+        /// The tag the file carried (empty when absent).
+        found: String,
+    },
+    /// Valid JSON with the right tag, but a structurally broken body.
+    Malformed {
+        /// The offending path.
+        path: String,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TuneDbWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneDbWarning::Io { path, error } => {
+                write!(f, "tuning db {path}: io error: {error}")
+            }
+            TuneDbWarning::Parse { path, error } => {
+                write!(f, "tuning db {path}: unparseable (torn write?): {error}")
+            }
+            TuneDbWarning::SchemaMismatch { path, found } => write!(
+                f,
+                "tuning db {path}: schema `{found}` is not `{TUNE_DB_SCHEMA}`"
+            ),
+            TuneDbWarning::Malformed { path, detail } => {
+                write!(f, "tuning db {path}: malformed: {detail}")
+            }
+        }
+    }
+}
+
+/// One committed tuning decision.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TunedEntry {
+    /// The winning algorithm.
+    pub algo: AlgoChoice,
+    /// Modelled time of the winner when the decision was made, seconds.
+    pub predicted_s: f64,
+    /// Mean measured time that committed the winner (absent for decisions
+    /// persisted straight from the model, e.g. `winrs tune` sweeps).
+    pub measured_s: Option<f64>,
+    /// Number of measured executions behind `measured_s`.
+    pub trials: u32,
+}
+
+/// Shape portion of a database key (mirrors [`crate::PlanCache`]'s key).
+type ShapeKey = [usize; 9];
+
+fn shape_key(conv: &ConvShape) -> ShapeKey {
+    [
+        conv.n, conv.ih, conv.iw, conv.ic, conv.oc, conv.fh, conv.fw, conv.ph, conv.pw,
+    ]
+}
+
+fn precision_code(precision: Precision) -> u8 {
+    match precision {
+        Precision::Fp32 => 0,
+        Precision::Fp16 => 1,
+        Precision::Bf16 => 2,
+    }
+}
+
+/// Stable lowercase precision tag used in the database document.
+pub fn precision_tag(precision: Precision) -> &'static str {
+    match precision {
+        Precision::Fp32 => "fp32",
+        Precision::Fp16 => "fp16",
+        Precision::Bf16 => "bf16",
+    }
+}
+
+fn precision_from_tag(tag: &str) -> Option<Precision> {
+    match tag {
+        "fp32" => Some(Precision::Fp32),
+        "fp16" => Some(Precision::Fp16),
+        "bf16" => Some(Precision::Bf16),
+        _ => None,
+    }
+}
+
+/// The persistent winner table: `(device fingerprint, shape, precision) →`
+/// [`TunedEntry`]. Kept in sorted order so the rendered document is
+/// deterministic (stable diffs, reproducible CI artifacts).
+#[derive(Default, Clone, Debug)]
+pub struct TuneDb {
+    entries: BTreeMap<(String, ShapeKey, u8), TunedEntry>,
+}
+
+impl TuneDb {
+    /// An empty database.
+    pub fn new() -> TuneDb {
+        TuneDb::default()
+    }
+
+    /// Number of stored decisions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no decisions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up the committed decision for one key.
+    pub fn get(
+        &self,
+        fingerprint: &str,
+        conv: &ConvShape,
+        precision: Precision,
+    ) -> Option<&TunedEntry> {
+        self.entries.get(&(
+            fingerprint.to_string(),
+            shape_key(conv),
+            precision_code(precision),
+        ))
+    }
+
+    /// Store (or replace) the decision for one key.
+    pub fn insert(
+        &mut self,
+        fingerprint: &str,
+        conv: &ConvShape,
+        precision: Precision,
+        entry: TunedEntry,
+    ) {
+        self.entries.insert(
+            (
+                fingerprint.to_string(),
+                shape_key(conv),
+                precision_code(precision),
+            ),
+            entry,
+        );
+    }
+
+    /// Iterate all entries as `(fingerprint, shape key, precision tag,
+    /// entry)` in the document's deterministic (sorted) order. The shape
+    /// key is `[n, ih, iw, ic, oc, fh, fw, ph, pw]`.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, [usize; 9], &'static str, &TunedEntry)> {
+        self.entries.iter().map(|((fp, shape, prec), entry)| {
+            let tag = match prec {
+                0 => "fp32",
+                1 => "fp16",
+                _ => "bf16",
+            };
+            (fp.as_str(), *shape, tag, entry)
+        })
+    }
+
+    /// Render the database as a [`TUNE_DB_SCHEMA`] JSON document.
+    pub fn to_document(&self) -> String {
+        // Group by fingerprint, preserving the BTreeMap's sorted order.
+        let mut devices: Vec<(String, Vec<Json>)> = Vec::new();
+        for ((fp, shape, prec), entry) in &self.entries {
+            let rendered = Json::obj(vec![
+                (
+                    "shape",
+                    Json::Arr(shape.iter().map(|&d| Json::Int(d as i64)).collect()),
+                ),
+                (
+                    "precision",
+                    Json::str(match prec {
+                        0 => "fp32",
+                        1 => "fp16",
+                        _ => "bf16",
+                    }),
+                ),
+                ("algo", Json::str(entry.algo.name())),
+                ("predicted_s", Json::Num(entry.predicted_s)),
+                (
+                    "measured_s",
+                    entry.measured_s.map(Json::Num).unwrap_or(Json::Null),
+                ),
+                ("trials", Json::Int(entry.trials as i64)),
+            ]);
+            match devices.last_mut() {
+                Some((last_fp, list)) if last_fp == fp => list.push(rendered),
+                _ => devices.push((fp.clone(), vec![rendered])),
+            }
+        }
+        Json::obj(vec![
+            ("schema", Json::str(TUNE_DB_SCHEMA)),
+            (
+                "devices",
+                Json::Arr(
+                    devices
+                        .into_iter()
+                        .map(|(fp, entries)| {
+                            Json::obj(vec![
+                                ("fingerprint", Json::str(&fp)),
+                                ("entries", Json::Arr(entries)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_document()
+    }
+
+    /// Parse a rendered document. `path` is used only for the warning.
+    pub fn parse(text: &str, path: &str) -> Result<TuneDb, TuneDbWarning> {
+        let malformed = |detail: &str| TuneDbWarning::Malformed {
+            path: path.to_string(),
+            detail: detail.to_string(),
+        };
+        let doc = Json::parse(text).map_err(|error| TuneDbWarning::Parse {
+            path: path.to_string(),
+            error,
+        })?;
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != TUNE_DB_SCHEMA {
+            return Err(TuneDbWarning::SchemaMismatch {
+                path: path.to_string(),
+                found: schema.to_string(),
+            });
+        }
+        let mut db = TuneDb::new();
+        let devices = doc
+            .get("devices")
+            .and_then(Json::items)
+            .ok_or_else(|| malformed("missing `devices` array"))?;
+        for dev in devices {
+            let fp = dev
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .ok_or_else(|| malformed("device without `fingerprint`"))?;
+            let entries = dev
+                .get("entries")
+                .and_then(Json::items)
+                .ok_or_else(|| malformed("device without `entries` array"))?;
+            for e in entries {
+                let shape_arr = e
+                    .get("shape")
+                    .and_then(Json::items)
+                    .ok_or_else(|| malformed("entry without `shape`"))?;
+                if shape_arr.len() != 9 {
+                    return Err(malformed("`shape` is not 9 dims"));
+                }
+                let mut shape = [0usize; 9];
+                for (slot, dim) in shape.iter_mut().zip(shape_arr) {
+                    let v = dim.as_f64().ok_or_else(|| malformed("non-numeric dim"))?;
+                    if v < 0.0 || v.fract() != 0.0 {
+                        return Err(malformed("negative or fractional dim"));
+                    }
+                    *slot = v as usize;
+                }
+                let prec = e
+                    .get("precision")
+                    .and_then(Json::as_str)
+                    .and_then(precision_from_tag)
+                    .ok_or_else(|| malformed("bad `precision` tag"))?;
+                let algo = e
+                    .get("algo")
+                    .and_then(Json::as_str)
+                    .and_then(AlgoChoice::parse)
+                    .ok_or_else(|| malformed("unknown `algo`"))?;
+                let predicted_s = e
+                    .get("predicted_s")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| malformed("missing `predicted_s`"))?;
+                let measured_s = match e.get("measured_s") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_f64()
+                            .ok_or_else(|| malformed("non-numeric `measured_s`"))?,
+                    ),
+                };
+                let trials = e.get("trials").and_then(Json::as_f64).unwrap_or(0.0) as u32;
+                db.entries.insert(
+                    (fp.to_string(), shape, precision_code(prec)),
+                    TunedEntry {
+                        algo,
+                        predicted_s,
+                        measured_s,
+                        trials,
+                    },
+                );
+            }
+        }
+        Ok(db)
+    }
+
+    /// Load from disk. A missing file is an empty database (cold start,
+    /// not a warning); anything else unreadable is a typed warning and the
+    /// caller proceeds with pure cost-model dispatch.
+    pub fn load(path: &Path) -> Result<TuneDb, TuneDbWarning> {
+        let shown = path.display().to_string();
+        match std::fs::read_to_string(path) {
+            Ok(text) => TuneDb::parse(&text, &shown),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(TuneDb::new()),
+            Err(e) => Err(TuneDbWarning::Io {
+                path: shown,
+                error: e.to_string(),
+            }),
+        }
+    }
+
+    /// Persist atomically: render, write to a sibling temp file, rename
+    /// over the target. Readers therefore see either the old document or
+    /// the new one, never a torn half-write (the chaos harness simulates
+    /// the torn case by truncating the rendered document — see
+    /// `Site::TuneDbTorn`).
+    pub fn save(&self, path: &Path) -> Result<(), TuneDbWarning> {
+        let shown = path.display().to_string();
+        let io_warn = |e: std::io::Error| TuneDbWarning::Io {
+            path: shown.clone(),
+            error: e.to_string(),
+        };
+        #[allow(unused_mut)]
+        let mut doc = self.to_document();
+        #[cfg(feature = "faults")]
+        if crate::faults::fire_if_armed(crate::faults::Site::TuneDbTorn) {
+            // Simulate a crash mid-write: half a document, no closing brace.
+            doc.truncate(doc.len() / 2);
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, doc).map_err(io_warn)?;
+        std::fs::rename(&tmp, path).map_err(io_warn)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The tuner: decision cache + explore-then-commit + database
+// ---------------------------------------------------------------------------
+
+/// Tuner policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TunerConfig {
+    /// Decision-cache capacity (keys held in memory). The pool wires this
+    /// to [`crate::PoolConfig`]'s `plan_capacity`, so both caches scale
+    /// with the one knob.
+    pub capacity: usize,
+    /// Explore budget: the first `explore_trials` *warm* runs of a key may
+    /// trial the model's runner-up before the measured winner is
+    /// committed. `0` (default) disables measurement — dispatch is pure
+    /// cost model (or database) and fully deterministic.
+    pub explore_trials: u32,
+    /// Hysteresis in favour of WinRS: an alternative must beat the WinRS
+    /// prediction by more than this fraction to be chosen. `0.0` is pure
+    /// argmin.
+    pub margin: f64,
+}
+
+impl Default for TunerConfig {
+    fn default() -> TunerConfig {
+        TunerConfig {
+            capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            explore_trials: 0,
+            margin: 0.0,
+        }
+    }
+}
+
+/// Where a dispatch decision came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChoiceSource {
+    /// Cost model argmin, no measurements involved.
+    Model,
+    /// Warm-start hit in the persistent tuning database.
+    Database,
+    /// Mid-exploration measured trial (not yet committed).
+    Trial,
+    /// Committed in this process after exploration finished.
+    Committed,
+}
+
+impl ChoiceSource {
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChoiceSource::Model => "model",
+            ChoiceSource::Database => "db",
+            ChoiceSource::Trial => "trial",
+            ChoiceSource::Committed => "committed",
+        }
+    }
+}
+
+impl fmt::Display for ChoiceSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-decision observability, surfaced on
+/// [`crate::ExecutionReport::tuner`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TunerStats {
+    /// Where the choice came from.
+    pub source: ChoiceSource,
+    /// Modelled time of the chosen algorithm, seconds.
+    pub predicted_s: f64,
+    /// Committed mean measured time, when one exists.
+    pub measured_s: Option<f64>,
+    /// Whether the persistent database supplied the decision.
+    pub db_hit: bool,
+    /// Measured trial runs taken for this key so far (this process).
+    pub trials: u32,
+}
+
+/// Cumulative tuner counters (process-lifetime, monotone).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TunerCounters {
+    /// Total [`Tuner::decide`] calls.
+    pub decisions: u64,
+    /// Keys whose decision came from the persistent database.
+    pub db_hits: u64,
+    /// Keys the database did not know (decided by model/exploration).
+    pub db_misses: u64,
+    /// Measured trial executions (pre-commit exploration runs).
+    pub trials: u64,
+    /// Explore phases concluded with a committed winner.
+    pub commits: u64,
+    /// Decision-cache LRU evictions.
+    pub evictions: u64,
+}
+
+/// The verdict of one [`Tuner::decide`] call.
+#[derive(Clone, Debug)]
+pub struct TunerDecision {
+    /// The algorithm to run now.
+    pub chosen: AlgoChoice,
+    /// The full cost-model ranking (ascending time) — the degradation
+    /// ladder and the policy filter both derive from this list.
+    pub ranked: Vec<RankedCandidate>,
+    /// Why WinRS is absent from `ranked`, when it is.
+    pub winrs_rejection: Option<WinrsError>,
+    /// Observability for the execution report.
+    pub stats: TunerStats,
+}
+
+impl TunerDecision {
+    /// Modelled time of `algo` in this ranking, if present.
+    pub fn predicted_for(&self, algo: AlgoChoice) -> Option<f64> {
+        self.ranked
+            .iter()
+            .find(|c| c.algo == algo)
+            .map(|c| c.predicted_s)
+    }
+
+    /// The ranked substitutes that are safe under resource pressure — the
+    /// degradation ladder. FFT is excluded (its workspace appetite is the
+    /// opposite of what a degraded execution wants); direct convolution is
+    /// always present and always last, so the ladder cannot be empty and
+    /// delivery is guaranteed.
+    pub fn degradation_ladder(&self) -> Vec<AlgoChoice> {
+        let mut ladder: Vec<AlgoChoice> = self
+            .ranked
+            .iter()
+            .map(|c| c.algo)
+            .filter(|a| matches!(a, AlgoChoice::GemmBfc | AlgoChoice::Direct))
+            .collect();
+        // Rank order already puts the faster substitute first; make the
+        // guaranteed rung terminal even if the model ranked it faster.
+        if let Some(pos) = ladder.iter().position(|a| *a == AlgoChoice::Direct) {
+            ladder.truncate(pos + 1);
+        } else {
+            ladder.push(AlgoChoice::Direct);
+        }
+        ladder
+    }
+}
+
+/// Decision key: shape + precision + device identity. `DeviceSpec::name`
+/// is `'static`, mirroring [`crate::PlanCache`]'s key.
+type DecisionKey = (ShapeKey, u8, &'static str);
+
+struct DecisionState {
+    ranked: Vec<RankedCandidate>,
+    winrs_rejection: Option<WinrsError>,
+    committed: Option<AlgoChoice>,
+    source: ChoiceSource,
+    committed_measured: Option<f64>,
+    /// Measurement accumulator: `(algo, sum of seconds, count)`.
+    sums: Vec<(AlgoChoice, f64, u32)>,
+    /// Decisions handed out for this key (run 0 is the cold run).
+    runs: u32,
+    /// Measured trial runs taken for this key.
+    trials: u32,
+    last_used: u64,
+}
+
+/// The autotuner: one instance serves any number of devices and shapes.
+///
+/// Thread-safety is the caller's concern ([`crate::WorkspacePool`] wraps
+/// it in a `Mutex`); the tuner itself is plain single-threaded state.
+pub struct Tuner {
+    cfg: TunerConfig,
+    decisions: HashMap<DecisionKey, DecisionState>,
+    tick: u64,
+    db: TuneDb,
+    db_path: Option<PathBuf>,
+    warning: Option<TuneDbWarning>,
+    counters: TunerCounters,
+}
+
+impl Tuner {
+    /// A tuner with an empty (memory-only) database.
+    pub fn new(cfg: TunerConfig) -> Tuner {
+        Tuner {
+            cfg: TunerConfig {
+                capacity: cfg.capacity.max(1),
+                ..cfg
+            },
+            decisions: HashMap::new(),
+            tick: 0,
+            db: TuneDb::new(),
+            db_path: None,
+            warning: None,
+            counters: TunerCounters::default(),
+        }
+    }
+
+    /// Attach a persistent database file: load it now (recording a
+    /// [`TuneDbWarning`] instead of failing on corruption) and write
+    /// committed decisions back to it. Returns the load warning, if any.
+    /// In-memory decision state is cleared so database entries take effect
+    /// immediately.
+    pub fn attach_db(&mut self, path: &Path) -> Option<TuneDbWarning> {
+        self.db_path = Some(path.to_path_buf());
+        self.decisions.clear();
+        match TuneDb::load(path) {
+            Ok(db) => {
+                self.db = db;
+                self.warning = None;
+                None
+            }
+            Err(w) => {
+                self.db = TuneDb::new();
+                self.warning = Some(w.clone());
+                Some(w)
+            }
+        }
+    }
+
+    /// The load/save warning currently standing, if any.
+    pub fn warning(&self) -> Option<&TuneDbWarning> {
+        self.warning.as_ref()
+    }
+
+    /// Cumulative counters.
+    pub fn counters(&self) -> TunerCounters {
+        self.counters
+    }
+
+    /// The in-memory database view.
+    pub fn db(&self) -> &TuneDb {
+        &self.db
+    }
+
+    /// Mutable database access (the `winrs tune` sweep seeds model
+    /// decisions through this).
+    pub fn db_mut(&mut self) -> &mut TuneDb {
+        &mut self.db
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> TunerConfig {
+        self.cfg
+    }
+
+    /// Replace the explore budget (affects keys decided from now on).
+    pub fn set_explore_trials(&mut self, trials: u32) {
+        self.cfg.explore_trials = trials;
+    }
+
+    /// Persist the database to the attached path (no-op without one).
+    pub fn save(&mut self) -> Result<(), TuneDbWarning> {
+        let Some(path) = self.db_path.clone() else {
+            return Ok(());
+        };
+        match self.db.save(&path) {
+            Ok(()) => Ok(()),
+            Err(w) => {
+                self.warning = Some(w.clone());
+                Err(w)
+            }
+        }
+    }
+
+    /// Decide which algorithm to run for one execution of
+    /// `(conv, precision)` on `device`.
+    pub fn decide(
+        &mut self,
+        conv: &ConvShape,
+        device: &DeviceSpec,
+        precision: Precision,
+    ) -> TunerDecision {
+        self.tick += 1;
+        self.counters.decisions += 1;
+        let key: DecisionKey = (shape_key(conv), precision_code(precision), device.name);
+
+        if !self.decisions.contains_key(&key) {
+            let (ranked, winrs_rejection) = rank_with_rejection(conv, device, precision);
+            let db_entry = self
+                .db
+                .get(&device.fingerprint(), conv, precision)
+                .copied()
+                // A stored winner the current ranking does not even list
+                // (e.g. a stale FFT entry for a now-FP16 key) is ignored.
+                .filter(|e| ranked.iter().any(|c| c.algo == e.algo));
+            let state = match db_entry {
+                Some(entry) => {
+                    self.counters.db_hits += 1;
+                    DecisionState {
+                        ranked,
+                        winrs_rejection,
+                        committed: Some(entry.algo),
+                        source: ChoiceSource::Database,
+                        committed_measured: entry.measured_s,
+                        sums: Vec::new(),
+                        runs: 0,
+                        trials: 0,
+                        last_used: self.tick,
+                    }
+                }
+                None => {
+                    self.counters.db_misses += 1;
+                    DecisionState {
+                        ranked,
+                        winrs_rejection,
+                        committed: None,
+                        source: ChoiceSource::Model,
+                        committed_measured: None,
+                        sums: Vec::new(),
+                        runs: 0,
+                        trials: 0,
+                        last_used: self.tick,
+                    }
+                }
+            };
+            self.decisions.insert(key, state);
+            self.evict_to_capacity(key);
+        }
+
+        let explore = self.cfg.explore_trials;
+        let margin = self.cfg.margin;
+
+        // Explore budget exhausted without enough observations (the caller
+        // never fed measurements back)? Commit from whatever we have.
+        let stale_exploration = self
+            .decisions
+            .get(&key)
+            .is_some_and(|st| st.committed.is_none() && explore > 0 && st.runs > explore);
+        if stale_exploration {
+            if let Some(st) = self.decisions.get_mut(&key) {
+                Self::commit_state(st);
+            }
+            self.counters.commits += 1;
+            let fp = device.fingerprint();
+            self.store_commit(&fp, conv, precision, &key);
+        }
+
+        let tick = self.tick;
+        let mut counted_trial = false;
+        let decision = match self.decisions.get_mut(&key) {
+            Some(st) => {
+                st.last_used = tick;
+                let model_best = Self::model_choice(&st.ranked, margin);
+                let (chosen, source) = match st.committed {
+                    Some(c) => (c, st.source),
+                    None if explore > 0 && st.ranked.len() > 1 => {
+                        // Run 0 measures the model's pick; warm runs 1..=K
+                        // measure the runner-up.
+                        let c = if st.runs == 0 {
+                            model_best
+                        } else {
+                            st.ranked
+                                .iter()
+                                .map(|r| r.algo)
+                                .find(|a| *a != model_best)
+                                .unwrap_or(model_best)
+                        };
+                        st.trials += 1;
+                        counted_trial = true;
+                        (c, ChoiceSource::Trial)
+                    }
+                    None => (model_best, ChoiceSource::Model),
+                };
+                st.runs += 1;
+                let predicted_s = st
+                    .ranked
+                    .iter()
+                    .find(|c| c.algo == chosen)
+                    .map(|c| c.predicted_s)
+                    .unwrap_or(0.0);
+                TunerDecision {
+                    chosen,
+                    ranked: st.ranked.clone(),
+                    winrs_rejection: st.winrs_rejection.clone(),
+                    stats: TunerStats {
+                        source,
+                        predicted_s,
+                        measured_s: st.committed_measured,
+                        db_hit: st.source == ChoiceSource::Database,
+                        trials: st.trials,
+                    },
+                }
+            }
+            // Unreachable (the key was just inserted), but library code
+            // never panics: fall back to the guaranteed substitute.
+            None => TunerDecision {
+                chosen: AlgoChoice::Direct,
+                ranked: Vec::new(),
+                winrs_rejection: None,
+                stats: TunerStats {
+                    source: ChoiceSource::Model,
+                    predicted_s: 0.0,
+                    measured_s: None,
+                    db_hit: false,
+                    trials: 0,
+                },
+            },
+        };
+        if counted_trial {
+            self.counters.trials += 1;
+        }
+        decision
+    }
+
+    /// Feed a measured wall time back for the execution that
+    /// [`Tuner::decide`] chose. Ignored once the key is committed (a warm
+    /// process with a populated database performs zero trials).
+    pub fn observe(
+        &mut self,
+        conv: &ConvShape,
+        device: &DeviceSpec,
+        precision: Precision,
+        algo: AlgoChoice,
+        measured_s: f64,
+    ) {
+        if self.cfg.explore_trials == 0 || !measured_s.is_finite() || measured_s <= 0.0 {
+            return;
+        }
+        let key: DecisionKey = (shape_key(conv), precision_code(precision), device.name);
+        let explore = self.cfg.explore_trials;
+        let Some(st) = self.decisions.get_mut(&key) else {
+            return;
+        };
+        if st.committed.is_some() {
+            return;
+        }
+        match st.sums.iter_mut().find(|(a, _, _)| *a == algo) {
+            Some(slot) => {
+                slot.1 += measured_s;
+                slot.2 += 1;
+            }
+            None => st.sums.push((algo, measured_s, 1)),
+        }
+        // Cold run + `explore` warm trials observed: decide the winner.
+        if st.runs > explore && st.sums.len() >= 2 {
+            Self::commit_state(st);
+            self.counters.commits += 1;
+            let fp = device.fingerprint();
+            self.store_commit(&fp, conv, precision, &key);
+        }
+    }
+
+    /// Model argmin with the WinRS hysteresis margin applied.
+    fn model_choice(ranked: &[RankedCandidate], margin: f64) -> AlgoChoice {
+        let Some(best) = ranked.first() else {
+            return AlgoChoice::Direct;
+        };
+        if best.algo != AlgoChoice::WinRs && margin > 0.0 {
+            if let Some(w) = ranked.iter().find(|c| c.algo == AlgoChoice::WinRs) {
+                if w.predicted_s <= best.predicted_s * (1.0 + margin) {
+                    return AlgoChoice::WinRs;
+                }
+            }
+        }
+        best.algo
+    }
+
+    /// Commit the measured winner (or the model choice when measurements
+    /// are one-sided) into the state.
+    fn commit_state(st: &mut DecisionState) {
+        let measured_best = st
+            .sums
+            .iter()
+            .map(|(a, sum, n)| (*a, sum / f64::from((*n).max(1))))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        match measured_best {
+            Some((algo, mean)) => {
+                st.committed = Some(algo);
+                st.committed_measured = Some(mean);
+            }
+            None => {
+                st.committed = Some(Self::model_choice(&st.ranked, 0.0));
+                st.committed_measured = None;
+            }
+        }
+        st.source = ChoiceSource::Committed;
+    }
+
+    /// Write the freshly committed state through to the database (and
+    /// disk, when a path is attached).
+    fn store_commit(
+        &mut self,
+        fingerprint: &str,
+        conv: &ConvShape,
+        precision: Precision,
+        key: &DecisionKey,
+    ) {
+        let Some(st) = self.decisions.get(key) else {
+            return;
+        };
+        let Some(algo) = st.committed else { return };
+        let predicted_s = st
+            .ranked
+            .iter()
+            .find(|c| c.algo == algo)
+            .map(|c| c.predicted_s)
+            .unwrap_or(0.0);
+        let entry = TunedEntry {
+            algo,
+            predicted_s,
+            measured_s: st.committed_measured,
+            trials: st.trials,
+        };
+        self.db.insert(fingerprint, conv, precision, entry);
+        if self.db_path.is_some() {
+            // A failed save is a standing warning, not an error: the
+            // in-memory decision is still committed and dispatch continues.
+            let _ = self.save();
+        }
+    }
+
+    /// Evict least-recently-used decisions above capacity, sparing `keep`.
+    fn evict_to_capacity(&mut self, keep: DecisionKey) {
+        while self.decisions.len() > self.cfg.capacity {
+            let victim = self
+                .decisions
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .min_by_key(|(_, st)| st.last_used)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            self.decisions.remove(&victim);
+            self.counters.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winrs_gpu_sim::RTX_4090;
+
+    fn small() -> ConvShape {
+        ConvShape::square(2, 16, 4, 4, 3)
+    }
+
+    /// A shape the model hands to GEMM: tiny filter, tiny channels, large
+    /// spatial extent (WinRS's reduction is weakest at f=2 and the fused
+    /// launch is starved).
+    fn gemm_leaning() -> ConvShape {
+        ConvShape::square(2, 32, 4, 4, 2)
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_nonempty() {
+        for conv in [small(), gemm_leaning()] {
+            for precision in [Precision::Fp32, Precision::Fp16] {
+                let ranked = rank(&conv, &RTX_4090, precision);
+                assert!(!ranked.is_empty());
+                for w in ranked.windows(2) {
+                    assert!(w[0].predicted_s <= w[1].predicted_s);
+                }
+                for c in &ranked {
+                    assert!(
+                        c.predicted_s.is_finite() && c.predicted_s > 0.0,
+                        "{:?}: {}",
+                        c.algo,
+                        c.predicted_s
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn winrs_support_comes_from_the_planner() {
+        // f=2 has no FP16 kernel: WinRS must be absent with the rejection
+        // attached, and the list still non-empty.
+        let (ranked, rejection) = rank_with_rejection(&gemm_leaning(), &RTX_4090, Precision::Fp16);
+        assert!(ranked.iter().all(|c| c.algo != AlgoChoice::WinRs));
+        assert!(rejection.is_some());
+        assert!(!ranked.is_empty());
+        // FFT is FP32-only.
+        assert!(ranked.iter().all(|c| c.algo != AlgoChoice::FftBfc));
+    }
+
+    #[test]
+    fn winrs_dominates_the_paper_shape() {
+        let ranked = rank(&small(), &RTX_4090, Precision::Fp32);
+        assert_eq!(ranked[0].algo, AlgoChoice::WinRs);
+    }
+
+    #[test]
+    fn ladder_is_ranked_substitutes_ending_in_direct() {
+        let mut t = Tuner::new(TunerConfig::default());
+        let d = t.decide(&small(), &RTX_4090, Precision::Fp32);
+        let ladder = d.degradation_ladder();
+        assert_eq!(*ladder.last().expect("non-empty"), AlgoChoice::Direct);
+        assert!(ladder.iter().all(|a| *a != AlgoChoice::FftBfc));
+        assert!(ladder.iter().all(|a| *a != AlgoChoice::WinRs));
+        // GEMM outranks direct on this shape, so it is the first rung.
+        assert_eq!(ladder, vec![AlgoChoice::GemmBfc, AlgoChoice::Direct]);
+    }
+
+    #[test]
+    fn decision_cache_respects_capacity() {
+        let mut t = Tuner::new(TunerConfig {
+            capacity: 2,
+            ..TunerConfig::default()
+        });
+        for res in [12usize, 14, 16, 18] {
+            let conv = ConvShape::square(1, res, 2, 2, 3);
+            t.decide(&conv, &RTX_4090, Precision::Fp32);
+        }
+        assert_eq!(t.counters().evictions, 2);
+        assert_eq!(t.counters().decisions, 4);
+    }
+
+    #[test]
+    fn explore_then_commit_prefers_the_measured_winner() {
+        let mut t = Tuner::new(TunerConfig {
+            explore_trials: 2,
+            ..TunerConfig::default()
+        });
+        let conv = small();
+        // Cold run: model pick (WinRS here).
+        let d0 = t.decide(&conv, &RTX_4090, Precision::Fp32);
+        assert_eq!(d0.chosen, AlgoChoice::WinRs);
+        assert_eq!(d0.stats.source, ChoiceSource::Trial);
+        // Feed measurements that contradict the model: WinRS slow, the
+        // runner-up fast.
+        t.observe(&conv, &RTX_4090, Precision::Fp32, d0.chosen, 5.0);
+        let d1 = t.decide(&conv, &RTX_4090, Precision::Fp32);
+        assert_ne!(d1.chosen, AlgoChoice::WinRs, "warm run trials runner-up");
+        t.observe(&conv, &RTX_4090, Precision::Fp32, d1.chosen, 1.0);
+        let d2 = t.decide(&conv, &RTX_4090, Precision::Fp32);
+        t.observe(&conv, &RTX_4090, Precision::Fp32, d2.chosen, 1.0);
+        // Exploration done: committed to the measured winner.
+        let d3 = t.decide(&conv, &RTX_4090, Precision::Fp32);
+        assert_eq!(d3.stats.source, ChoiceSource::Committed);
+        assert_eq!(d3.chosen, d1.chosen);
+        assert_eq!(d3.stats.measured_s, Some(1.0));
+        assert_eq!(t.counters().commits, 1);
+        // Database carries the commitment.
+        assert_eq!(
+            t.db()
+                .get(&RTX_4090.fingerprint(), &conv, Precision::Fp32)
+                .map(|e| e.algo),
+            Some(d1.chosen)
+        );
+        // Further observes are ignored.
+        t.observe(&conv, &RTX_4090, Precision::Fp32, AlgoChoice::Direct, 0.001);
+        let d4 = t.decide(&conv, &RTX_4090, Precision::Fp32);
+        assert_eq!(d4.chosen, d1.chosen);
+    }
+
+    #[test]
+    fn zero_explore_budget_is_pure_model_dispatch() {
+        let mut t = Tuner::new(TunerConfig::default());
+        let conv = small();
+        for _ in 0..5 {
+            let d = t.decide(&conv, &RTX_4090, Precision::Fp32);
+            assert_eq!(d.chosen, AlgoChoice::WinRs);
+            assert_eq!(d.stats.source, ChoiceSource::Model);
+            // Measurements are ignored without an explore budget.
+            t.observe(&conv, &RTX_4090, Precision::Fp32, AlgoChoice::Direct, 1e-9);
+        }
+        assert_eq!(t.counters().trials, 0);
+        assert_eq!(t.counters().commits, 0);
+    }
+
+    #[test]
+    fn db_roundtrip_preserves_decisions() {
+        let mut db = TuneDb::new();
+        let fp = RTX_4090.fingerprint();
+        db.insert(
+            &fp,
+            &small(),
+            Precision::Fp32,
+            TunedEntry {
+                algo: AlgoChoice::WinRs,
+                predicted_s: 1.25e-4,
+                measured_s: Some(2.0e-4),
+                trials: 3,
+            },
+        );
+        db.insert(
+            &fp,
+            &gemm_leaning(),
+            Precision::Fp16,
+            TunedEntry {
+                algo: AlgoChoice::GemmBfc,
+                predicted_s: 3.0e-5,
+                measured_s: None,
+                trials: 0,
+            },
+        );
+        let doc = db.to_document();
+        assert!(doc.contains(TUNE_DB_SCHEMA));
+        let back = TuneDb::parse(&doc, "mem").unwrap();
+        assert_eq!(back.len(), 2);
+        let e = back.get(&fp, &small(), Precision::Fp32).unwrap();
+        assert_eq!(e.algo, AlgoChoice::WinRs);
+        assert_eq!(e.measured_s, Some(2.0e-4));
+        assert_eq!(e.trials, 3);
+        let e = back.get(&fp, &gemm_leaning(), Precision::Fp16).unwrap();
+        assert_eq!(e.algo, AlgoChoice::GemmBfc);
+        assert_eq!(e.measured_s, None);
+    }
+
+    #[test]
+    fn corrupt_documents_warn_and_never_panic() {
+        // Torn file (truncated JSON).
+        let doc = {
+            let mut db = TuneDb::new();
+            db.insert(
+                &RTX_4090.fingerprint(),
+                &small(),
+                Precision::Fp32,
+                TunedEntry {
+                    algo: AlgoChoice::WinRs,
+                    predicted_s: 1.0e-4,
+                    measured_s: None,
+                    trials: 0,
+                },
+            );
+            db.to_document()
+        };
+        let torn = &doc[..doc.len() / 2];
+        assert!(matches!(
+            TuneDb::parse(torn, "t"),
+            Err(TuneDbWarning::Parse { .. })
+        ));
+        // Wrong schema.
+        assert!(matches!(
+            TuneDb::parse("{\"schema\":\"winrs-bench-v1\",\"devices\":[]}", "t"),
+            Err(TuneDbWarning::SchemaMismatch { found, .. }) if found == "winrs-bench-v1"
+        ));
+        // Right schema, broken body.
+        let bad = format!("{{\"schema\":\"{TUNE_DB_SCHEMA}\",\"devices\":[{{}}]}}");
+        assert!(matches!(
+            TuneDb::parse(&bad, "t"),
+            Err(TuneDbWarning::Malformed { .. })
+        ));
+        // Missing devices entirely.
+        let none = format!("{{\"schema\":\"{TUNE_DB_SCHEMA}\"}}");
+        assert!(matches!(
+            TuneDb::parse(&none, "t"),
+            Err(TuneDbWarning::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn db_hit_commits_without_trials() {
+        let fp = RTX_4090.fingerprint();
+        let conv = small();
+        let mut t = Tuner::new(TunerConfig {
+            explore_trials: 3,
+            ..TunerConfig::default()
+        });
+        t.db_mut().insert(
+            &fp,
+            &conv,
+            Precision::Fp32,
+            TunedEntry {
+                algo: AlgoChoice::GemmBfc,
+                predicted_s: 1.0e-4,
+                measured_s: Some(9.0e-5),
+                trials: 3,
+            },
+        );
+        for _ in 0..4 {
+            let d = t.decide(&conv, &RTX_4090, Precision::Fp32);
+            assert_eq!(d.chosen, AlgoChoice::GemmBfc);
+            assert_eq!(d.stats.source, ChoiceSource::Database);
+            assert!(d.stats.db_hit);
+            t.observe(&conv, &RTX_4090, Precision::Fp32, d.chosen, 1.0);
+        }
+        assert_eq!(t.counters().trials, 0, "warm db: zero trial measurements");
+        assert_eq!(t.counters().db_hits, 1);
+    }
+
+    #[test]
+    fn margin_hysteresis_prefers_winrs_near_ties() {
+        // With an enormous margin every shape where WinRS is *supported*
+        // resolves to WinRS, however the model ranks it.
+        let mut t = Tuner::new(TunerConfig {
+            margin: 1e6,
+            ..TunerConfig::default()
+        });
+        let d = t.decide(&gemm_leaning(), &RTX_4090, Precision::Fp32);
+        assert_eq!(d.chosen, AlgoChoice::WinRs);
+        // Margin cannot resurrect an unsupported WinRS.
+        let d = t.decide(&gemm_leaning(), &RTX_4090, Precision::Fp16);
+        assert_ne!(d.chosen, AlgoChoice::WinRs);
+    }
+}

@@ -45,6 +45,7 @@ fn model_pool() -> Arc<WorkspacePool> {
         // the bound only has to be non-zero so the wait path is taken.
         max_wait: Duration::from_secs(3600),
         plan_capacity: 1,
+        ..PoolConfig::default()
     })
 }
 

@@ -52,13 +52,18 @@ impl KernelProfile {
     /// Algorithm 1's `Z₁` threshold ("when Ẑ ≥ k·N_SM, each SM has
     /// sufficient blocks to hide most latency").
     pub fn latency_hiding(&self, device: &DeviceSpec) -> f64 {
-        // Residency is capped by the SMEM budget (`max_blocks_per_sm`);
-        // beyond that, queued waves still help the tail, so allow one
-        // virtual extra.
-        let cap = device.max_blocks_per_sm as f64 + 1.0;
-        let resident = (self.blocks as f64 / device.n_sm as f64).min(cap);
-        // 0.70 at ≤1 resident block, saturating to 1.0 at ≥3.
-        (0.70 + 0.10 * resident).min(1.0)
+        // Residency is counted in whole waves: a partially filled wave
+        // occupies its SMs for the full wave, so fractional block counts
+        // must not be rewarded (a fractional-residency formula makes the
+        // predicted cost non-monotone — doubling a starved problem could
+        // *lower* its estimate because latency hiding improved faster than
+        // wave utilisation). The wave count is capped by the SMEM budget
+        // (`max_blocks_per_sm`); beyond that, queued waves still help the
+        // tail, so allow one virtual extra.
+        let cap = device.max_blocks_per_sm + 1;
+        let waves = self.blocks.div_ceil(device.n_sm.max(1)).min(cap);
+        // 0.80 at 1 wave, saturating to 1.0 at ≥3.
+        (0.70 + 0.10 * waves as f64).min(1.0)
     }
 
     /// Effective compute throughput in FLOP/s on `device`.

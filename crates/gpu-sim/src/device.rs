@@ -35,6 +35,23 @@ impl DeviceSpec {
     pub fn ridge_point(&self, fp16: bool) -> f64 {
         self.peak_flops(fp16) / self.bandwidth()
     }
+
+    /// Stable identity string for keying persisted per-device artifacts
+    /// (the tuning database). Folds in every field that feeds the cost
+    /// model, so editing a spec invalidates decisions tuned against the
+    /// old numbers instead of silently reusing them.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{}|sm{}|fp32:{:.1}|fp16:{:.1}|bw{:.0}|smem{}|res{}",
+            self.name,
+            self.n_sm,
+            self.fp32_tflops,
+            self.fp16_tflops,
+            self.bandwidth_gbs,
+            self.smem_per_sm_kib,
+            self.max_blocks_per_sm,
+        )
+    }
 }
 
 /// NVIDIA GeForce RTX 4090 (Ada, flagship consumer, 24 GB).

@@ -39,11 +39,14 @@ pub enum GradEngine {
 /// [`Conv2d::with_pool`]): arenas are leased per backward pass and
 /// returned — or poisoned and rebuilt if the pass panicked — so every
 /// layer of a model shares the same few workspaces and the same plan
-/// cache. If the layer's shape ever falls outside the WinRS envelope the
-/// backward pass degrades to GEMM-BFC instead of panicking, and
+/// cache. Which backward-filter algorithm actually runs is decided by the
+/// pool's cost-model autotuner ([`winrs_core::Tuner`]): WinRS on most
+/// shapes, a ranked substitute when the model (or the persistent tuning
+/// database) says WinRS is slower or its envelope is exceeded —
 /// reduced-precision overflow is counted (and optionally repaired) per
 /// [`Conv2d::numeric_guard`]. [`Conv2d::last_report`] records what
-/// actually happened, including the pool snapshot.
+/// actually happened, including the pool snapshot and the tuner's
+/// dispatch stats.
 pub struct Conv2d {
     shape_template: ConvShape,
     /// Filters `(O_C, F, F, I_C)`.

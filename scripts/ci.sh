@@ -13,19 +13,25 @@
 #   5. profiling smoke test: `winrs profile` must print the per-phase
 #      breakdown with a warm plan cache, and the bench harness's --json
 #      baseline must carry the winrs-bench-v1 schema and phase fields
-#   6. `cargo xtask audit`: the workspace's own invariant lints (hot-loop
+#   6. autotuner smoke test: a cold `winrs tune --shapes fig10 --dry-run`
+#      must print the full 32-row decision table from the cost model alone,
+#      and a `--db` run must persist a winrs-tune-v1 database that
+#      round-trips through `--inspect`
+#   7. `cargo xtask audit`: the workspace's own invariant lints (hot-loop
 #      allocation ban, unsafe registry + SAFETY comments, atomic-ordering
 #      justifications, bit-identity FMA ban, error hygiene) with clickable
 #      file:line:col diagnostics — see DESIGN.md §10
-#   7. loom concurrency models: exhaustive interleaving checks of
+#   8. loom concurrency models: exhaustive interleaving checks of
 #      TimingSink / ScratchPool / PlanCache / the leasing WorkspacePool
 #      under `--cfg loom`, built in a separate target dir so the cfg flag
 #      doesn't thrash the cache
-#   8. seeded chaos campaigns: deterministic fault injection (hot-loop
+#   9. seeded chaos campaigns: deterministic fault injection (hot-loop
 #      panic, slot exhaustion, allocation-budget refusal, deadline-blowing
 #      slowness) against the resilient pool layer, on every feature leg,
 #      plus a `winrs verify --fault-seed` replay smoke — DESIGN.md §11
-#   9. sanitizer jobs (gated): Miri smoke on the pure-arithmetic crates
+#      (the torn tuning-db site is exercised by tests/tuner_dispatch.rs
+#      in step 2)
+#  10. sanitizer jobs (gated): Miri smoke on the pure-arithmetic crates
 #      and a ThreadSanitizer pass over the loom-modelled types, each
 #      skipped with a notice when the toolchain component is unavailable
 #      (this offline image ships neither)
@@ -77,6 +83,25 @@ echo "$PROFILE_OUT" | awk '
       exit 1
     }
   }'
+
+echo "==> autotuner smoke (winrs tune decision table + winrs-tune-v1 schema)"
+# Cold run: no database on disk, so every row must resolve from the cost
+# model alone. fig10 is 8 dimension-series shapes x filter sizes {3,5,7,9}.
+TUNE_OUT=$("$WINRS" tune --shapes fig10 --dry-run)
+echo "$TUNE_OUT" >&2
+echo "$TUNE_OUT" | grep -q "schema      : winrs-tune-v1"
+echo "$TUNE_OUT" | grep -q "chosen"
+[ "$(echo "$TUNE_OUT" | grep -c " model$")" -eq 32 ] \
+  || { echo "tuner smoke: expected 32 model-resolved fig10 rows"; exit 1; }
+# Persistence round-trip: write the small sweep's decisions, check the
+# on-disk schema token, and read the file back through --inspect.
+TUNE_DB=$(mktemp -t winrs-ci-tune-XXXXXX.json)
+trap 'rm -f "$TUNE_DB"' EXIT
+"$WINRS" tune --shapes small --db "$TUNE_DB" | grep -q "wrote 24 entries"
+grep -q '"schema":"winrs-tune-v1"' "$TUNE_DB"
+"$WINRS" tune --db "$TUNE_DB" --inspect | tee /dev/stderr \
+  | grep -q "24 entries, schema winrs-tune-v1"
+rm -f "$TUNE_DB"
 
 echo "==> cargo xtask audit (custom invariant lints + unsafe inventory)"
 cargo xtask audit
