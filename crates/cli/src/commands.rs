@@ -57,6 +57,28 @@ commands:
                             shape (CPU execution; oversized shapes are
                             skipped and reported)
            [--inspect]      print the entries of --db and exit
+  serve    run the batched BFC HTTP/JSON service (POST /v1/bfc,
+           GET /healthz, GET /v1/stats); same-shape jobs arriving within
+           the coalescing window share one plan fetch + workspace lease,
+           and a full admission queue answers 429 + Retry-After
+           [--port P]       bind port (default 8077; 0 = ephemeral)
+           [--bind ADDR]    bind address (default 127.0.0.1)
+           [--addr-file F]  write the bound host:port to F once listening
+           [--max-jobs N]   serve N jobs, then shut down cleanly (0 = run
+                            until killed; the CI smoke test relies on this)
+           [--window-ms MS] coalescing window (default 2)
+           [--queue-cap K]  max queued jobs before 429 (default 256)
+           [--pool-slots K] private workspace pool with K slots
+                            (default 0 = share the process-global pool)
+           [--device NAME]
+  loadgen  drive a running `winrs serve` with a closed loop of same-shape
+           jobs and print the latency percentiles + histogram and the
+           server's coalescing counters
+           [--addr HOST:PORT]  (default 127.0.0.1:8077)
+           [--jobs N] [--concurrency C]  (defaults 64 / 8)
+           [--n N --res R --ic C --oc C --f F [--pad P]]  (default fig10
+                            small layer: n2 16x16 ic8 oc8 f3)
+           [--deadline-ms MS] [--out PATH]  (also write the report to PATH)
 
 devices: 4090 (default), 3090, l40s, a5000";
 
@@ -75,6 +97,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "kernels" => Ok(cmd_kernels()),
         "devices" => Ok(cmd_devices()),
         "tune" => cmd_tune(&flags),
+        "serve" => cmd_serve(&flags),
+        "loadgen" => cmd_loadgen(&flags),
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(format!("unknown command '{other}'")),
     }
@@ -851,6 +875,87 @@ fn cmd_tune(flags: &Flags) -> Result<String, String> {
         let _ = writeln!(out, "database    : saved to {}", path.display());
     }
     Ok(out)
+}
+
+fn cmd_serve(flags: &Flags) -> Result<String, String> {
+    let port = flags.opt_usize("port", 8077)?;
+    let bind = flags.opt_str("bind").unwrap_or("127.0.0.1");
+    let max_jobs = flags.opt_usize("max-jobs", 0)?;
+    let window_ms = flags.opt_usize("window-ms", 2)?;
+    let queue_cap = flags.opt_usize("queue-cap", 256)?;
+    let slots = flags.opt_usize("pool-slots", 0)?;
+    let device = device_by_name(flags.opt_str("device"))?;
+
+    let cfg = winrs_serve::ServeConfig {
+        addr: format!("{bind}:{port}"),
+        window: Duration::from_millis(window_ms as u64),
+        queue_cap: queue_cap.max(1),
+        max_jobs: (max_jobs > 0).then_some(max_jobs as u64),
+        slots,
+        device,
+    };
+    let mut server =
+        winrs_serve::Server::spawn(cfg).map_err(|e| format!("bind {bind}:{port}: {e}"))?;
+    let bound = server.addr();
+
+    // The listening line must reach pipes *before* the blocking join —
+    // the CI smoke test and the e2e harness wait for the bound address.
+    println!("winrs serve: listening on {bound}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Some(path) = flags.opt_str("addr-file") {
+        std::fs::write(path, format!("{bound}\n"))
+            .map_err(|e| format!("write --addr-file {path}: {e}"))?;
+    }
+
+    // Blocks until the --max-jobs budget drains (or forever without one;
+    // the process is then stopped by signal).
+    server.join();
+
+    let st = server.stats();
+    // ORDERING: the join() above synchronised with both service threads;
+    // these are quiescent final reads.
+    use std::sync::atomic::Ordering::Relaxed;
+    Ok(format!(
+        "winrs serve: done — jobs ok={} failed={} batches={} coalesced_batches={} \
+         max_batch={} rejected_queue_full={}\n",
+        st.jobs_ok.load(Relaxed),
+        st.jobs_failed.load(Relaxed),
+        st.batches.load(Relaxed),
+        st.coalesced_batches.load(Relaxed),
+        st.max_batch.load(Relaxed),
+        st.rejected_queue_full.load(Relaxed),
+    ))
+}
+
+fn cmd_loadgen(flags: &Flags) -> Result<String, String> {
+    let defaults = winrs_serve::LoadgenConfig::default();
+    let shape = if flags.opt_str("n").is_some() {
+        shape_from(flags)?
+    } else {
+        defaults.shape
+    };
+    let deadline_ms = flags.opt_usize("deadline-ms", 0)?;
+    let cfg = winrs_serve::LoadgenConfig {
+        addr: flags
+            .opt_str("addr")
+            .unwrap_or(defaults.addr.as_str())
+            .to_string(),
+        jobs: flags.opt_usize("jobs", 64)? as u64,
+        concurrency: flags.opt_usize("concurrency", 8)?.max(1),
+        shape,
+        deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms as u64)),
+        seed_base: 1000,
+    };
+    let report = winrs_serve::run_loadgen(&cfg)?;
+    let text = report.render(&cfg);
+    if let Some(path) = flags.opt_str("out") {
+        std::fs::write(path, &text).map_err(|e| format!("write --out {path}: {e}"))?;
+    }
+    if report.failed > 0 {
+        return Err(format!("{} of {} jobs failed\n{text}", report.failed, cfg.jobs));
+    }
+    Ok(text)
 }
 
 #[cfg(test)]

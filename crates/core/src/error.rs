@@ -194,12 +194,21 @@ pub enum WinrsError {
     },
     /// The per-call deadline expired before (or during) execution. Under
     /// an `Auto` fallback policy the dispatcher degrades down the ladder
-    /// WinRS → GEMM-BFC → direct instead of surfacing this.
+    /// WinRS → GEMM-BFC → direct while the budget lasts: every rung is
+    /// charged against the *one* window opened at call entry, and when it
+    /// expires before a rung starts this error surfaces with [`rung`]
+    /// naming how far the ladder got.
+    ///
+    /// [`rung`]: WinrsError::DeadlineExceeded::rung
     DeadlineExceeded {
         /// The configured deadline, in milliseconds.
         deadline_ms: u64,
         /// Time actually elapsed when the deadline check fired.
         elapsed_ms: u64,
+        /// The degradation rung that could not start because the shared
+        /// budget had expired (`None` when the deadline fired on the
+        /// primary path, before any degradation).
+        rung: Option<&'static str>,
     },
 }
 
@@ -277,11 +286,16 @@ impl fmt::Display for WinrsError {
             WinrsError::DeadlineExceeded {
                 deadline_ms,
                 elapsed_ms,
+                rung,
             } => {
-                return write!(
+                write!(
                     f,
                     "deadline of {deadline_ms} ms exceeded ({elapsed_ms} ms elapsed)"
-                );
+                )?;
+                if let Some(rung) = rung {
+                    write!(f, " before the `{rung}` rung could start")?;
+                }
+                return Ok(());
             }
         };
         let v = self.violations();
@@ -356,6 +370,7 @@ mod tests {
             WinrsError::DeadlineExceeded {
                 deadline_ms: 10,
                 elapsed_ms: 17,
+                rung: None,
             },
         ];
         for err in cases {
@@ -386,8 +401,17 @@ mod tests {
         let e = WinrsError::DeadlineExceeded {
             deadline_ms: 10,
             elapsed_ms: 17,
+            rung: None,
         };
         assert_eq!(e.stage(), "deadline-exceeded");
         assert!(e.to_string().contains("10 ms exceeded (17 ms"), "{}", e);
+
+        let e = WinrsError::DeadlineExceeded {
+            deadline_ms: 10,
+            elapsed_ms: 17,
+            rung: Some("gemm-bfc"),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("before the `gemm-bfc` rung"), "{msg}");
     }
 }

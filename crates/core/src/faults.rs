@@ -57,23 +57,28 @@ pub enum Site {
     /// the loader's corrupt-file path: the next process must fall back to
     /// pure cost-model dispatch with a typed [`crate::TuneDbWarning`].
     TuneDbTorn,
+    /// Tuning-database writes leave a zero-byte file, modelling a crash
+    /// between `create` and the first write — exercises the loader's
+    /// empty-file path: warn-and-continue, repaired by the next save.
+    TuneDbEmpty,
 }
 
 impl Site {
     /// All chaos sites, in declaration order (the chaos-site inventory).
-    pub const ALL: [Site; 5] = [
+    pub const ALL: [Site; 6] = [
         Site::HotLoopPanic,
         Site::PoolSlotExhausted,
         Site::AllocBudget,
         Site::SlowBlockLoop,
         Site::TuneDbTorn,
+        Site::TuneDbEmpty,
     ];
 
     /// The sites a seeded campaign may select as its primary injection:
-    /// the execution-path sites only. `TuneDbTorn` fires on a database
-    /// *save*, which a campaign's execute-and-verify run never performs,
-    /// so including it would yield no-op campaigns — and keeping it out
-    /// preserves the historical seed → scenario mapping
+    /// the execution-path sites only. The `TuneDb*` sites fire on a
+    /// database *save*, which a campaign's execute-and-verify run never
+    /// performs, so including them would yield no-op campaigns — and
+    /// keeping them out preserves the historical seed → scenario mapping
     /// (`winrs verify --fault-seed N` replays from before the site existed).
     pub const EXECUTION: [Site; 4] = [
         Site::HotLoopPanic,
@@ -91,6 +96,7 @@ impl fmt::Display for Site {
             Site::AllocBudget => "alloc-budget",
             Site::SlowBlockLoop => "slow-block-loop",
             Site::TuneDbTorn => "tune-db-torn",
+            Site::TuneDbEmpty => "tune-db-empty",
         })
     }
 }

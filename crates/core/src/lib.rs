@@ -77,7 +77,7 @@ pub use metrics::{PhaseTimings, PoolStats, TimingSink};
 pub use partition::{Partition, Segment};
 pub use cache::PlanCache;
 pub use plan::WinRsPlan;
-pub use pool::{ExecHandle, Lease, PoolConfig, WorkspacePool};
+pub use pool::{BfcJob, ExecHandle, Lease, PoolConfig, WorkspacePool};
 pub use tuner::{
     AlgoChoice, ChoiceSource, RankedCandidate, TuneDb, TuneDbWarning, TunedEntry, Tuner,
     TunerConfig, TunerCounters, TunerDecision, TunerStats, TUNE_DB_SCHEMA,

@@ -25,9 +25,14 @@
 //! * **Slowness** — an optional per-call deadline turns an over-budget
 //!   call into [`WinrsError::DeadlineExceeded`], which the dispatcher (the
 //!   PR 1 fallback policy layer) degrades down the ladder WinRS →
-//!   GEMM-BFC → direct. Each rung gets a fresh deadline window; the last
-//!   rung always delivers, so under `Auto` policy a deadline shapes
-//!   *which* algorithm runs, it never cancels a correct answer.
+//!   GEMM-BFC → direct. Every rung is charged against the *one* budget
+//!   opened when the call entered [`ExecHandle::run`]: a rung may start
+//!   only while that window is still open, so a call can overrun its
+//!   deadline by at most the runtime of the rung in flight (there is no
+//!   mid-run cancellation) — never by rungs× the window. A budget that
+//!   expires before a substitute rung starts surfaces as
+//!   `DeadlineExceeded` naming the rung reached, so a serving caller gets
+//!   a fast typed refusal instead of a late answer.
 //!
 //! Pool health (leases, waits, poisonings, rebuilds, exhaustions,
 //! degradations) is a [`PoolStats`] snapshot stamped into every
@@ -285,6 +290,13 @@ impl WorkspacePool {
         self.lock_tuner().warning().cloned()
     }
 
+    /// The tuner's standing database warning, delivered at most once per
+    /// occurrence (see [`Tuner::warning_once`]) — what per-request pollers
+    /// (the serve layer) use so one bad file logs one line.
+    pub fn tuner_warning_once(&self) -> Option<TuneDbWarning> {
+        self.lock_tuner().warning_once()
+    }
+
     /// Attach a persistent tuning database at `path`, loading any existing
     /// entries. Returns the load warning, if the file was unreadable or
     /// malformed (dispatch continues from the cost model alone).
@@ -333,6 +345,7 @@ impl WorkspacePool {
     ) -> Result<Lease, WinrsError> {
         let start = Instant::now();
         let mut waited = false;
+        let mut timed_out = false;
         let mut st = self.lock_state();
         loop {
             // The chaos site feigns "every slot leased" even when slots
@@ -375,8 +388,18 @@ impl WorkspacePool {
                 }
             }
 
+            // Re-derive the budget from the wall clock *after every*
+            // wakeup: condvar wakeups may be spurious, so neither the
+            // exhaustion check nor the remaining-wait computation may
+            // reuse a stale `elapsed`. `checked_sub` (never bare `-`)
+            // keeps a wakeup landing exactly on — or a hair past — the
+            // deadline from underflowing the subtraction, and a wait
+            // that *reported* timing out ends the attempt even if the
+            // clock claims a sliver remains: retrying with a near-zero
+            // budget would busy-spin the condvar past `max_wait`.
             let elapsed = start.elapsed();
-            if elapsed >= max_wait {
+            let remaining = max_wait.checked_sub(elapsed).unwrap_or(Duration::ZERO);
+            if timed_out || remaining.is_zero() {
                 st.exhausted += 1;
                 drop(st);
                 return Err(WinrsError::PoolExhausted {
@@ -389,9 +412,16 @@ impl WorkspacePool {
             // clocks are not explorable) — models must return slots to
             // wake their waiters, and a stranded waiter is reported as a
             // deadlock, which is exactly the bug it would be.
-            st = match self.available.wait_timeout(st, max_wait - elapsed) {
-                Ok((g, _timeout)) => g,
-                Err(poisoned) => poisoned.into_inner().0,
+            st = match self.available.wait_timeout(st, remaining) {
+                Ok((g, t)) => {
+                    timed_out = t.timed_out();
+                    g
+                }
+                Err(poisoned) => {
+                    let (g, t) = poisoned.into_inner();
+                    timed_out = t.timed_out();
+                    g
+                }
             };
         }
     }
@@ -477,6 +507,65 @@ impl Drop for Lease {
     }
 }
 
+/// A Send-safe batched BFC job descriptor: owned operand tensors plus the
+/// admission bookkeeping a serving layer needs. Jobs with the same
+/// `(ConvShape, Precision)` key can be coalesced into one
+/// [`ExecHandle::run_batch`] dispatch, amortising shape validation, the
+/// tuner decision, the plan fetch and the workspace lease across the
+/// whole batch while every job keeps its own operands, deadline and
+/// report.
+pub struct BfcJob {
+    /// Input feature maps `X`, `[n, ih, iw, ic]`.
+    pub x: Tensor4<f32>,
+    /// Output gradients `∇Y`, `[n, oh, ow, oc]`.
+    pub dy: Tensor4<f32>,
+    /// When the job entered the system. Queue wait is charged against the
+    /// job's deadline from this instant, so time spent coalescing counts.
+    pub enqueued: Instant,
+    /// Per-job admission deadline measured from [`enqueued`]: a job whose
+    /// budget has already expired when its turn comes is refused with
+    /// [`WinrsError::DeadlineExceeded`] instead of executed late.
+    ///
+    /// [`enqueued`]: BfcJob::enqueued
+    pub deadline: Option<Duration>,
+}
+
+impl BfcJob {
+    /// A job entering the system now, with no deadline.
+    pub fn new(x: Tensor4<f32>, dy: Tensor4<f32>) -> BfcJob {
+        BfcJob {
+            x,
+            dy,
+            enqueued: Instant::now(),
+            deadline: None,
+        }
+    }
+
+    /// Set (or clear) the per-job deadline.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> BfcJob {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Typed admission check: refuse the job if its budget has already
+    /// expired (queue wait included).
+    fn admit(&self) -> Result<(), WinrsError> {
+        let Some(deadline) = self.deadline else {
+            return Ok(());
+        };
+        let elapsed = self.enqueued.elapsed();
+        if elapsed >= deadline {
+            Err(WinrsError::DeadlineExceeded {
+                deadline_ms: deadline.as_millis() as u64,
+                elapsed_ms: elapsed.as_millis() as u64,
+                rung: None,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
 /// A Send + Sync handle that runs planned BFC executions over pool leases
 /// with panic isolation, deadlines and the degradation ladder.
 ///
@@ -518,8 +607,11 @@ impl ExecHandle {
         self
     }
 
-    /// Set (or clear) the per-call deadline. Each rung of the degradation
-    /// ladder gets a fresh window of this length.
+    /// Set (or clear) the per-call deadline. The window opens when
+    /// [`ExecHandle::run`] is entered and is shared by *every* rung of the
+    /// degradation ladder: once it expires no further rung may start, and
+    /// the call fails with [`WinrsError::DeadlineExceeded`] naming the
+    /// rung reached.
     pub fn with_deadline(mut self, deadline: Option<Duration>) -> ExecHandle {
         self.deadline = deadline;
         self
@@ -561,6 +653,10 @@ impl ExecHandle {
         x: &Tensor4<f32>,
         dy: &Tensor4<f32>,
     ) -> Result<(Tensor4<f32>, ExecutionReport), WinrsError> {
+        // The deadline window opens here and is shared by every rung the
+        // call may visit — validation, planning, lease waits and every
+        // degradation all draw from this one budget.
+        let start = Instant::now();
         // Ill-formed shapes are fatal for every rung: reject before
         // touching the pool.
         let shape_violations: Vec<Violation> = conv
@@ -597,7 +693,7 @@ impl ExecHandle {
             return self.run_chosen_substitute(conv, x, dy, d);
         }
 
-        match self.try_winrs(conv, x, dy) {
+        match self.try_winrs(conv, x, dy, start) {
             Ok((dw, mut report)) => {
                 if let Some(d) = &decision {
                     report.chosen = d.chosen;
@@ -617,12 +713,163 @@ impl ExecHandle {
                 if self.policy == FallbackPolicy::Auto
                     && (err.recoverable_by_fallback() || err.recoverable_by_degradation()) =>
             {
-                let (dw, mut report) = self.run_degraded(conv, x, dy, err, decision.as_ref());
+                let (dw, mut report) =
+                    self.run_degraded(conv, x, dy, err, decision.as_ref(), start)?;
                 self.stamp(&mut report);
                 Ok((dw, report))
             }
             Err(err) => Err(err),
         }
+    }
+
+    /// Dispatch a coalesced batch of same-shape jobs through *one* shared
+    /// setup: shape validation, the tuner decision, the plan fetch and the
+    /// workspace lease each happen once for the whole batch — the
+    /// serving-side analogue of Winograd's batch reuse of transformed
+    /// operands. Every job keeps its own operands, admission deadline and
+    /// [`ExecutionReport`]; numerics are identical to dispatching each job
+    /// through [`ExecHandle::run`] (same plan, same workspace discipline).
+    ///
+    /// Per-job semantics match `run` with two batch-specific notes: a job
+    /// whose deadline expired while it waited (coalescing window, queue)
+    /// is refused with [`WinrsError::DeadlineExceeded`] before any work,
+    /// and plan-fetch time is amortised — batch reports do not carry a
+    /// per-job `plan_s`. A panic poisons the shared lease exactly like the
+    /// single-job path; the batch re-leases for the remaining jobs.
+    pub fn run_batch(
+        &self,
+        conv: &ConvShape,
+        jobs: Vec<BfcJob>,
+    ) -> Vec<Result<(Tensor4<f32>, ExecutionReport), WinrsError>> {
+        let shape_violations: Vec<Violation> = conv
+            .violations()
+            .into_iter()
+            .map(Violation::Shape)
+            .collect();
+        if !shape_violations.is_empty() {
+            return jobs
+                .iter()
+                .map(|_| Err(WinrsError::InvalidShape(shape_violations.clone())))
+                .collect();
+        }
+
+        let decision = match self.policy {
+            FallbackPolicy::Auto => {
+                Some(self.pool.tuner_decide(conv, &self.device, self.precision))
+            }
+            _ => None,
+        };
+
+        // Degrade-or-surface for one job, against *its* budget.
+        let settle = |err: WinrsError, job: &BfcJob| {
+            if self.policy == FallbackPolicy::Auto
+                && (err.recoverable_by_fallback() || err.recoverable_by_degradation())
+            {
+                let h = self.clone().with_deadline(job.deadline);
+                let (dw, mut report) =
+                    h.run_degraded(conv, &job.x, &job.dy, err, decision.as_ref(), job.enqueued)?;
+                h.stamp(&mut report);
+                Ok((dw, report))
+            } else {
+                Err(err)
+            }
+        };
+
+        // Substitute chosen (or forced) for the whole batch: no lease to
+        // amortise, but validation and the decision still happened once.
+        if let FallbackPolicy::Force(_) = self.policy {
+            return jobs
+                .into_iter()
+                .map(|job| {
+                    job.admit()?;
+                    self.run(conv, &job.x, &job.dy)
+                })
+                .collect();
+        }
+        if let Some(d) = decision
+            .as_ref()
+            .filter(|d| d.chosen != AlgoChoice::WinRs)
+        {
+            return jobs
+                .into_iter()
+                .map(|job| {
+                    job.admit()?;
+                    self.run_chosen_substitute(conv, &job.x, &job.dy, d)
+                })
+                .collect();
+        }
+
+        // The WinRS batch path: one plan, one lease, k executions.
+        let plan = match self.pool.cached_plan(conv, &self.device, self.precision) {
+            Ok(plan) => plan,
+            Err(err) => {
+                return jobs
+                    .into_iter()
+                    .map(|job| {
+                        job.admit()?;
+                        settle(err.clone(), &job)
+                    })
+                    .collect();
+            }
+        };
+
+        let mut out = Vec::with_capacity(jobs.len());
+        let mut lease: Option<Lease> = None;
+        for job in &jobs {
+            if let Err(refused) = job.admit() {
+                out.push(Err(refused));
+                continue;
+            }
+            // (Re-)acquire the shared lease: once for the batch, again
+            // only after a poisoning discarded it.
+            if lease.is_none() {
+                match self.pool.lease_for(plan.workspace_layout(), self.pool.config().max_wait) {
+                    Ok(l) => lease = Some(l),
+                    Err(err) => {
+                        out.push(settle(err, job));
+                        continue;
+                    }
+                }
+            }
+            let Some(l) = lease.as_mut() else {
+                // winrs-audit: allow(error-hygiene) — guarded by the
+                // acquisition above; structurally unreachable.
+                unreachable!("lease acquired on the previous branch");
+            };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                fallback::run_planned_with(&plan, &job.x, &job.dy, self.guard, l.workspace())
+            }));
+            match outcome {
+                Ok(Ok((dw, mut report))) => {
+                    if let Some(d) = &decision {
+                        report.chosen = d.chosen;
+                        report.tuner = Some(d.stats);
+                        self.pool.tuner_observe(
+                            conv,
+                            &self.device,
+                            self.precision,
+                            AlgoChoice::WinRs,
+                            report.timing.total_s,
+                        );
+                    }
+                    self.stamp(&mut report);
+                    out.push(Ok((dw, report)));
+                }
+                Ok(Err(err)) => out.push(settle(err, job)),
+                Err(payload) => {
+                    if let Some(mut poisoned) = lease.take() {
+                        poisoned.poison();
+                    }
+                    out.push(settle(
+                        WinrsError::ExecutionPanicked {
+                            site: panic_site(payload),
+                        },
+                        job,
+                    ));
+                }
+            }
+        }
+        out
     }
 
     /// The tuner chose a substitute over WinRS. If WinRS was *rejected*
@@ -659,13 +906,16 @@ impl ExecHandle {
     }
 
     /// Rung 1: the WinRS engine over a pool lease, under `catch_unwind`.
+    /// `start` is the instant the whole call entered [`ExecHandle::run`]:
+    /// the deadline budget this rung draws from is shared with every
+    /// later rung.
     fn try_winrs(
         &self,
         conv: &ConvShape,
         x: &Tensor4<f32>,
         dy: &Tensor4<f32>,
+        start: Instant,
     ) -> Result<(Tensor4<f32>, ExecutionReport), WinrsError> {
-        let start = Instant::now();
         // Standing chaos slowness lands here, ahead of the deadline check,
         // exactly like a slow dependency would.
         #[cfg(feature = "faults")]
@@ -715,10 +965,14 @@ impl ExecHandle {
         }
     }
 
-    /// The lower rungs: WinRS started (or was chosen) but failed, so walk
-    /// the tuner's ranked substitute ladder. Each rung gets a fresh
-    /// deadline window; an expired window drops to the next rung, and the
-    /// last rung (always direct) delivers unconditionally.
+    /// The lower rungs: WinRS started (or was chosen) but failed, so take
+    /// the first rung of the tuner's ranked substitute ladder. The rung is
+    /// charged against the *shared* budget opened when the call entered
+    /// [`ExecHandle::run`] (`start`): it may begin only while that window
+    /// is still open. A budget that has already expired refuses the rung
+    /// with [`WinrsError::DeadlineExceeded`] naming it — degradation may
+    /// overrun the deadline by one rung's runtime (there is no mid-run
+    /// cancellation), never by rungs× the window.
     fn run_degraded(
         &self,
         conv: &ConvShape,
@@ -726,27 +980,23 @@ impl ExecHandle {
         dy: &Tensor4<f32>,
         reason: WinrsError,
         decision: Option<&TunerDecision>,
-    ) -> (Tensor4<f32>, ExecutionReport) {
+        start: Instant,
+    ) -> Result<(Tensor4<f32>, ExecutionReport), WinrsError> {
         self.pool.note_degradation();
-        let rung_start = Instant::now();
-        // Standing slowness delays this rung too; with `slow_ms` beyond
-        // the deadline the window expires a second time and the ladder
-        // bottoms out at direct.
-        #[cfg(feature = "faults")]
-        crate::faults::maybe_slow(crate::faults::Site::SlowBlockLoop);
         let ladder = decision
             .map(|d| d.degradation_ladder())
             .unwrap_or_else(|| vec![AlgoChoice::GemmBfc, AlgoChoice::Direct]);
-        let mut rung = 0;
-        while rung + 1 < ladder.len() && self.check_deadline(rung_start).is_err() {
-            self.pool.note_degradation();
-            rung += 1;
-        }
-        let alg = ladder
-            .get(rung)
-            .copied()
-            .unwrap_or(AlgoChoice::Direct)
-            .algorithm();
+        let choice = ladder.first().copied().unwrap_or(AlgoChoice::Direct);
+        // Admission before work: the budget check precedes the rung's
+        // standing chaos slowness, so a rung that would start late is
+        // refused instead of paying its (possibly slow) execution only to
+        // deliver past the deadline anyway.
+        self.check_deadline_at(start, Some(choice.name()))?;
+        // Standing slowness delays the surviving rung too, exactly like a
+        // slow substitute kernel would.
+        #[cfg(feature = "faults")]
+        crate::faults::maybe_slow(crate::faults::Site::SlowBlockLoop);
+        let alg = choice.algorithm();
         let mut report = ExecutionReport::new(alg, self.precision, self.guard);
         if let Some(d) = decision {
             report.chosen = d.chosen;
@@ -757,10 +1007,21 @@ impl ExecHandle {
         report.fallback_reason = Some(reason);
         report.mem = fallback::substitute_footprint(alg, conv);
         let dw = fallback::run_substitute_timed(alg, conv, x, dy, &mut report);
-        (dw, report)
+        Ok((dw, report))
     }
 
     fn check_deadline(&self, start: Instant) -> Result<(), WinrsError> {
+        self.check_deadline_at(start, None)
+    }
+
+    /// Budget check against the shared window opened at `start`. `rung`
+    /// names the degradation rung about to run (None on the primary
+    /// path), surfaced on the error so callers see how far the ladder got.
+    fn check_deadline_at(
+        &self,
+        start: Instant,
+        rung: Option<&'static str>,
+    ) -> Result<(), WinrsError> {
         let Some(deadline) = self.deadline else {
             return Ok(());
         };
@@ -769,6 +1030,7 @@ impl ExecHandle {
             Err(WinrsError::DeadlineExceeded {
                 deadline_ms: deadline.as_millis() as u64,
                 elapsed_ms: elapsed.as_millis() as u64,
+                rung,
             })
         } else {
             Ok(())
@@ -814,6 +1076,67 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ExecHandle>();
         assert_send_sync::<WorkspacePool>();
+        fn assert_send<T: Send>() {}
+        assert_send::<BfcJob>();
+    }
+
+    #[test]
+    fn run_batch_amortises_setup_and_matches_single_runs_bitwise() {
+        // Three same-shape jobs through one batched dispatch: one tuner
+        // decision, one plan miss, ONE lease for the whole batch — and
+        // every job's ∇W bit-identical to its own single-job dispatch.
+        let conv = ConvShape::square(1, 16, 2, 2, 3);
+        let jobs: Vec<BfcJob> = (0..3)
+            .map(|i| {
+                BfcJob::new(
+                    Tensor4::<f32>::random_uniform([1, 16, 16, 2], 200 + i, 1.0),
+                    Tensor4::<f32>::random_uniform([1, 16, 16, 2], 300 + i, 1.0),
+                )
+            })
+            .collect();
+        let singles: Vec<Tensor4<f32>> = jobs
+            .iter()
+            .map(|j| {
+                let handle =
+                    ExecHandle::new(WorkspacePool::with_slots(1), RTX_4090, Precision::Fp32);
+                handle.run(&conv, &j.x, &j.dy).unwrap().0
+            })
+            .collect();
+
+        let pool = WorkspacePool::with_slots(2);
+        let handle = ExecHandle::new(Arc::clone(&pool), RTX_4090, Precision::Fp32);
+        let results = handle.run_batch(&conv, jobs);
+        assert_eq!(results.len(), 3);
+        for (res, reference) in results.into_iter().zip(&singles) {
+            let (dw, report) = res.unwrap();
+            assert_eq!(report.algorithm, Algorithm::WinRs);
+            assert_eq!(&dw, reference, "batched dispatch changed the numerics");
+            assert!(report.pool.is_some(), "per-job pool stats");
+        }
+        let st = pool.stats();
+        assert_eq!(st.leases, 1, "one lease amortised over the batch: {st}");
+        let (hits, misses) = pool.plan_stats();
+        assert_eq!((hits, misses), (0, 1), "one plan fetch for the batch");
+        assert_eq!(pool.tuner_counters().decisions, 1, "one decision for the batch");
+    }
+
+    #[test]
+    fn run_batch_refuses_expired_jobs_and_delivers_the_rest() {
+        let conv = ConvShape::square(1, 16, 2, 2, 3);
+        let x = Tensor4::<f32>::random_uniform([1, 16, 16, 2], 210, 1.0);
+        let dy = Tensor4::<f32>::random_uniform([1, 16, 16, 2], 211, 1.0);
+        let expired = BfcJob::new(x.clone(), dy.clone())
+            .with_deadline(Some(Duration::ZERO));
+        let healthy = BfcJob::new(x, dy).with_deadline(Some(Duration::from_secs(30)));
+        let handle = ExecHandle::new(WorkspacePool::with_slots(1), RTX_4090, Precision::Fp32);
+        let mut results = handle.run_batch(&conv, vec![expired, healthy]).into_iter();
+        let first = results.next().unwrap();
+        assert!(
+            matches!(first, Err(WinrsError::DeadlineExceeded { rung: None, .. })),
+            "queue-expired job refused before any work"
+        );
+        let (_, report) = results.next().unwrap().unwrap();
+        assert_eq!(report.algorithm, Algorithm::WinRs, "healthy job unaffected");
     }
 
     #[test]
@@ -988,32 +1311,107 @@ mod tests {
     }
 
     #[test]
-    fn zero_deadline_degrades_to_substitute() {
+    fn zero_deadline_refuses_every_rung_with_shared_budget() {
+        // Regression (PR 8): pre-fix, each ladder rung opened a *fresh*
+        // deadline window, so a zero deadline still delivered via direct
+        // after burning rungs× the budget. With one shared budget the
+        // expired window refuses degradation outright, naming the rung
+        // that could not start.
         let conv = ConvShape::square(1, 12, 2, 2, 3);
         let x = Tensor4::<f32>::random_uniform([1, 12, 12, 2], 95, 1.0);
         let dy = Tensor4::<f32>::random_uniform([1, 12, 12, 2], 96, 1.0);
-        let handle = ExecHandle::new(WorkspacePool::with_slots(1), RTX_4090, Precision::Fp32)
+        let pool = WorkspacePool::with_slots(1);
+        let handle = ExecHandle::new(Arc::clone(&pool), RTX_4090, Precision::Fp32)
             .with_deadline(Some(Duration::ZERO));
-        let (dw, report) = handle.run(&conv, &x, &dy).unwrap();
-        // Rung 1 expires instantly; each later rung gets a fresh window,
-        // which is also zero — the ladder bottoms out at direct.
-        assert_eq!(report.algorithm, Algorithm::Direct);
-        assert!(matches!(
-            report.fallback_reason,
-            Some(WinrsError::DeadlineExceeded { .. })
-        ));
-        assert_eq!(report.pool.unwrap().degradations, 2);
-        let x64: Tensor4<f64> = x.cast();
-        let dy64: Tensor4<f64> = dy.cast();
-        let exact = direct::bfc_direct(&conv, &x64, &dy64);
-        assert!(mare(&dw, &exact) < 1e-5);
+        let err = handle.run(&conv, &x, &dy).unwrap_err();
+        match err {
+            WinrsError::DeadlineExceeded { rung, .. } => {
+                assert!(rung.is_some(), "the refused degradation names its rung");
+            }
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+        // The ladder was *entered* (counted) but the rung never ran.
+        assert_eq!(pool.stats().degradations, 1);
 
-        // Strict policy surfaces the typed error instead.
+        // Strict policy surfaces the typed error from the primary path,
+        // before any ladder rung is in play.
         let strict = ExecHandle::new(WorkspacePool::with_slots(1), RTX_4090, Precision::Fp32)
             .with_policy(FallbackPolicy::Strict)
             .with_deadline(Some(Duration::ZERO));
         let err = strict.run(&conv, &x, &dy).unwrap_err();
-        assert!(matches!(err, WinrsError::DeadlineExceeded { .. }), "{err}");
+        assert!(
+            matches!(err, WinrsError::DeadlineExceeded { rung: None, .. }),
+            "{err}"
+        );
+
+        // A generous deadline still delivers WinRS untouched.
+        let relaxed = ExecHandle::new(WorkspacePool::with_slots(1), RTX_4090, Precision::Fp32)
+            .with_deadline(Some(Duration::from_secs(30)));
+        let (dw, report) = relaxed.run(&conv, &x, &dy).unwrap();
+        assert_eq!(report.algorithm, Algorithm::WinRs);
+        let x64: Tensor4<f64> = x.cast();
+        let dy64: Tensor4<f64> = dy.cast();
+        let exact = direct::bfc_direct(&conv, &x64, &dy64);
+        assert!(mare(&dw, &exact) < 1e-5);
+    }
+
+    #[test]
+    fn contended_wait_neither_underflows_nor_spins_past_budget() {
+        // Regression (PR 8): a wakeup landing near the deadline used to
+        // feed an unclamped `max_wait - elapsed` back into `wait_timeout`
+        // and ignored the timed-out flag, so a barging releaser could keep
+        // a loser re-waiting on slivers past its budget. The waiter must
+        // come back with typed backpressure in ~max_wait even while the
+        // slot churns.
+        let max_wait = Duration::from_millis(40);
+        let pool = WorkspacePool::new(PoolConfig {
+            slots: 1,
+            max_wait,
+            ..PoolConfig::default()
+        });
+        let layout = small_layout();
+
+        // Churner: grab-and-drop the sole slot in a tight loop. Every drop
+        // notifies the parked waiter, who races the churner's immediate
+        // re-lease and usually loses — a stream of wakeups with (almost)
+        // nothing to take, each of which re-derives the waiter's remaining
+        // budget.
+        let p2 = Arc::clone(&pool);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let churner = std::thread::spawn(move || {
+            let layout = WorkspaceLayout::scratch_only(16, 1);
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                if let Ok(l) = p2.lease_for(&layout, Duration::ZERO) {
+                    drop(l);
+                }
+            }
+        });
+
+        // Whether a given attempt wins a slot or exhausts is a race; the
+        // invariant is that *every* attempt comes back within its budget
+        // (plus scheduler slack), and typed exhaustion never claims to
+        // have waited much longer than asked.
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            let res = pool.lease_for(&layout, max_wait);
+            let waited = t0.elapsed();
+            assert!(
+                waited < max_wait * 3,
+                "lease attempt spun past its wait budget: {waited:?}"
+            );
+            if let Err(err) = res {
+                match err {
+                    WinrsError::PoolExhausted { waited_ms, .. } => assert!(
+                        waited_ms <= max_wait.as_millis() as u64 + 40,
+                        "over-reported wait: {waited_ms} ms"
+                    ),
+                    other => panic!("expected PoolExhausted, got {other}"),
+                }
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        churner.join().unwrap();
     }
 
     #[test]

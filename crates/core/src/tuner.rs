@@ -265,6 +265,14 @@ pub enum TuneDbWarning {
         /// The parser's description of the first syntax error.
         error: String,
     },
+    /// The file exists but is empty (zero bytes or only whitespace) — a
+    /// crash between `create` and the first write, not a torn document.
+    /// The loader continues with an empty database and the next
+    /// successful save repairs the file in place.
+    Empty {
+        /// The offending path.
+        path: String,
+    },
     /// Valid JSON, but a different (older/newer) schema tag.
     SchemaMismatch {
         /// The offending path.
@@ -289,6 +297,13 @@ impl fmt::Display for TuneDbWarning {
             }
             TuneDbWarning::Parse { path, error } => {
                 write!(f, "tuning db {path}: unparseable (torn write?): {error}")
+            }
+            TuneDbWarning::Empty { path } => {
+                write!(
+                    f,
+                    "tuning db {path}: empty file (crash before first write?); \
+                     continuing cold, next save repairs it"
+                )
             }
             TuneDbWarning::SchemaMismatch { path, found } => write!(
                 f,
@@ -555,11 +570,17 @@ impl TuneDb {
     }
 
     /// Load from disk. A missing file is an empty database (cold start,
-    /// not a warning); anything else unreadable is a typed warning and the
-    /// caller proceeds with pure cost-model dispatch.
+    /// not a warning); a zero-byte (or whitespace-only) file is a
+    /// dedicated [`TuneDbWarning::Empty`] — a crash between `create` and
+    /// the first write, distinct from a torn document; anything else
+    /// unreadable is a typed warning and the caller proceeds with pure
+    /// cost-model dispatch.
     pub fn load(path: &Path) -> Result<TuneDb, TuneDbWarning> {
         let shown = path.display().to_string();
         match std::fs::read_to_string(path) {
+            Ok(text) if text.trim().is_empty() => {
+                Err(TuneDbWarning::Empty { path: shown })
+            }
             Ok(text) => TuneDb::parse(&text, &shown),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(TuneDb::new()),
             Err(e) => Err(TuneDbWarning::Io {
@@ -586,6 +607,11 @@ impl TuneDb {
         if crate::faults::fire_if_armed(crate::faults::Site::TuneDbTorn) {
             // Simulate a crash mid-write: half a document, no closing brace.
             doc.truncate(doc.len() / 2);
+        }
+        #[cfg(feature = "faults")]
+        if crate::faults::fire_if_armed(crate::faults::Site::TuneDbEmpty) {
+            // Simulate a crash between create and write: zero bytes.
+            doc.clear();
         }
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
@@ -767,6 +793,10 @@ pub struct Tuner {
     db: TuneDb,
     db_path: Option<PathBuf>,
     warning: Option<TuneDbWarning>,
+    /// True while [`Tuner::warning_once`] has not yet delivered the
+    /// standing warning — the dedupe bit that keeps per-lookup callers
+    /// (the serve layer polls per request) from re-emitting it.
+    warning_fresh: bool,
     counters: TunerCounters,
 }
 
@@ -783,6 +813,7 @@ impl Tuner {
             db: TuneDb::new(),
             db_path: None,
             warning: None,
+            warning_fresh: false,
             counters: TunerCounters::default(),
         }
     }
@@ -799,19 +830,37 @@ impl Tuner {
             Ok(db) => {
                 self.db = db;
                 self.warning = None;
+                self.warning_fresh = false;
                 None
             }
             Err(w) => {
                 self.db = TuneDb::new();
                 self.warning = Some(w.clone());
+                self.warning_fresh = true;
                 Some(w)
             }
         }
     }
 
-    /// The load/save warning currently standing, if any.
+    /// The load/save warning currently standing, if any. A peek: repeated
+    /// calls keep returning the same warning (use
+    /// [`Tuner::warning_once`] for emit-once semantics).
     pub fn warning(&self) -> Option<&TuneDbWarning> {
         self.warning.as_ref()
+    }
+
+    /// The standing warning, delivered at most once per occurrence: the
+    /// first call after a load/save recorded a warning returns it, later
+    /// calls return `None` until a *new* warning is recorded. Per-lookup
+    /// callers (a serving loop polling between requests) use this so one
+    /// empty or torn database file logs one line, not one per request.
+    pub fn warning_once(&mut self) -> Option<TuneDbWarning> {
+        if self.warning_fresh {
+            self.warning_fresh = false;
+            self.warning.clone()
+        } else {
+            None
+        }
     }
 
     /// Cumulative counters.
@@ -846,9 +895,16 @@ impl Tuner {
             return Ok(());
         };
         match self.db.save(&path) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                // A successful save rewrites the full document, repairing
+                // whatever (empty or torn) file the warning described.
+                self.warning = None;
+                self.warning_fresh = false;
+                Ok(())
+            }
             Err(w) => {
                 self.warning = Some(w.clone());
+                self.warning_fresh = true;
                 Err(w)
             }
         }

@@ -69,7 +69,12 @@ pub struct Conv2d {
     /// as `cache_hits` in [`Conv2d::last_report`]).
     pub pool: Arc<WorkspacePool>,
     /// Optional per-backward-pass deadline (see
-    /// [`winrs_core::pool::ExecHandle::with_deadline`]).
+    /// [`winrs_core::pool::ExecHandle::with_deadline`]). The budget is
+    /// *shared* across the whole degradation ladder — waiting for a
+    /// pool slot and every attempted substitute draw from the same
+    /// clock — so a miss surfaces as one
+    /// [`WinrsError::DeadlineExceeded`](winrs_core::WinrsError) naming
+    /// the ladder rung that ran out, never as an over-budget success.
     pub deadline: Option<std::time::Duration>,
 }
 

@@ -17,21 +17,25 @@
 #      must print the full 32-row decision table from the cost model alone,
 #      and a `--db` run must persist a winrs-tune-v1 database that
 #      round-trips through `--inspect`
-#   7. `cargo xtask audit`: the workspace's own invariant lints (hot-loop
+#   7. serve smoke: `winrs serve` on an ephemeral port answers a raw
+#      `POST /v1/bfc` with 200 + a well-formed ExecutionReport, serves one
+#      `winrs loadgen` job with zero failures, and shuts itself down
+#      cleanly (exit 0) once its `--max-jobs` budget drains — DESIGN.md §13
+#   8. `cargo xtask audit`: the workspace's own invariant lints (hot-loop
 #      allocation ban, unsafe registry + SAFETY comments, atomic-ordering
 #      justifications, bit-identity FMA ban, error hygiene) with clickable
 #      file:line:col diagnostics — see DESIGN.md §10
-#   8. loom concurrency models: exhaustive interleaving checks of
+#   9. loom concurrency models: exhaustive interleaving checks of
 #      TimingSink / ScratchPool / PlanCache / the leasing WorkspacePool
 #      under `--cfg loom`, built in a separate target dir so the cfg flag
 #      doesn't thrash the cache
-#   9. seeded chaos campaigns: deterministic fault injection (hot-loop
+#  10. seeded chaos campaigns: deterministic fault injection (hot-loop
 #      panic, slot exhaustion, allocation-budget refusal, deadline-blowing
 #      slowness) against the resilient pool layer, on every feature leg,
 #      plus a `winrs verify --fault-seed` replay smoke — DESIGN.md §11
 #      (the torn tuning-db site is exercised by tests/tuner_dispatch.rs
 #      in step 2)
-#  10. sanitizer jobs (gated): Miri smoke on the pure-arithmetic crates
+#  11. sanitizer jobs (gated): Miri smoke on the pure-arithmetic crates
 #      and a ThreadSanitizer pass over the loom-modelled types, each
 #      skipped with a notice when the toolchain component is unavailable
 #      (this offline image ships neither)
@@ -102,6 +106,42 @@ grep -q '"schema":"winrs-tune-v1"' "$TUNE_DB"
 "$WINRS" tune --db "$TUNE_DB" --inspect | tee /dev/stderr \
   | grep -q "24 entries, schema winrs-tune-v1"
 rm -f "$TUNE_DB"
+
+echo "==> serve smoke (batched BFC service: POST /v1/bfc end-to-end)"
+# Start the service on an ephemeral port with a 2-job budget: one raw
+# HTTP POST (bash /dev/tcp — the image ships no curl) plus one job from
+# the official load generator drain the budget, after which the server
+# must shut itself down cleanly (exit 0) — the leak-free teardown check.
+SERVE_ADDR_FILE=$(mktemp -t winrs-ci-serve-XXXXXX.addr)
+: > "$SERVE_ADDR_FILE"
+"$WINRS" serve --port 0 --addr-file "$SERVE_ADDR_FILE" --max-jobs 2 --window-ms 1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$SERVE_ADDR_FILE" ] && break; sleep 0.05; done
+[ -s "$SERVE_ADDR_FILE" ] || { echo "serve smoke: server never bound"; exit 1; }
+SERVE_HOST=$(cut -d: -f1 "$SERVE_ADDR_FILE")
+SERVE_PORT=$(cut -d: -f2 "$SERVE_ADDR_FILE")
+# One fig10 job over raw HTTP: must answer 200 with a well-formed
+# ExecutionReport (algorithm, timing, pool counters, summary line).
+SERVE_BODY='{"shape": {"n":2, "ih":16, "iw":16, "ic":8, "oc":8, "fh":3, "fw":3}}'
+exec 3<>"/dev/tcp/$SERVE_HOST/$SERVE_PORT"
+printf 'POST /v1/bfc HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %s\r\nConnection: close\r\n\r\n%s' \
+  "$SERVE_HOST" "${#SERVE_BODY}" "$SERVE_BODY" >&3
+SERVE_OUT=$(cat <&3)
+exec 3<&- 3>&-
+echo "$SERVE_OUT" | head -1 >&2
+echo "$SERVE_OUT" | grep -q "HTTP/1.1 200 OK"
+echo "$SERVE_OUT" | grep -q '"ok":true'
+echo "$SERVE_OUT" | grep -q '"algorithm":"winrs"'
+echo "$SERVE_OUT" | grep -q '"total_s":'
+echo "$SERVE_OUT" | grep -q '"pool":'
+echo "$SERVE_OUT" | grep -q '"summary":'
+echo "$SERVE_OUT" | grep -q '"fnv1a64":'
+# Second job through the official client; its exit code asserts zero
+# failed jobs, which also drains the server's budget.
+"$WINRS" loadgen --addr "$SERVE_HOST:$SERVE_PORT" --jobs 1 --concurrency 1 >&2
+# Clean self-stop: the server must exit 0 on its own, no kill needed.
+wait "$SERVE_PID"
+rm -f "$SERVE_ADDR_FILE"
 
 echo "==> cargo xtask audit (custom invariant lints + unsafe inventory)"
 cargo xtask audit

@@ -16,12 +16,16 @@
 //! * [`gpu`] — the analytic GPU performance model used to regenerate the
 //!   paper's throughput experiments.
 //! * [`nn`] — a minimal CNN training substrate for the convergence study.
+//! * [`serve`] — batched BFC-as-a-service: an HTTP/JSON front end with a
+//!   coalescing dispatcher and bounded-queue backpressure over the shared
+//!   workspace pool.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory; each table and figure of the paper has a regeneration binary
 //! in the `winrs-bench` crate.
 
 pub use winrs_conv as conv;
+pub use winrs_json as json;
 pub use winrs_core as core;
 pub use winrs_fft as fft;
 pub use winrs_fp16 as fp16;
@@ -29,6 +33,7 @@ pub use winrs_gemm as gemm;
 pub use winrs_gpu_sim as gpu;
 pub use winrs_nn as nn;
 pub use winrs_rational as rational;
+pub use winrs_serve as serve;
 pub use winrs_tensor as tensor;
 pub use winrs_winograd as winograd;
 

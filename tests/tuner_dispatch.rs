@@ -186,6 +186,83 @@ fn torn_tune_db_warns_and_dispatch_continues() {
 }
 
 #[test]
+fn empty_tune_db_warns_once_and_is_repaired_by_next_save() {
+    // Regression (PR 8): a zero-byte database file — a crash between
+    // `create` and the first write — used to be indistinguishable from a
+    // torn document (`TuneDbWarning::Parse`), and the standing warning
+    // re-surfaced on every lookup. It is now its own variant, delivered
+    // once, and the next successful save repairs the file.
+    let _g = faults::serial_guard();
+    let path = std::env::temp_dir().join(format!(
+        "winrs-empty-tune-db-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let conv = ConvShape::square(2, 16, 4, 4, 3);
+
+    // Arm the empty-write chaos site: save() leaves zero bytes behind.
+    let mut t = Tuner::new(TunerConfig::default());
+    assert!(t.attach_db(&path).is_none());
+    let d = t.decide(&conv, &RTX_4090, Precision::Fp32);
+    t.db_mut().insert(
+        &RTX_4090.fingerprint(),
+        &conv,
+        Precision::Fp32,
+        TunedEntry {
+            algo: d.chosen,
+            predicted_s: d.stats.predicted_s,
+            measured_s: None,
+            trials: 0,
+        },
+    );
+    faults::arm_sites([faults::Site::TuneDbEmpty]);
+    t.save().expect("the empty write itself succeeds");
+    assert_eq!(faults::disarm_sites(), vec![faults::Site::TuneDbEmpty]);
+    assert_eq!(
+        std::fs::metadata(&path).expect("file exists").len(),
+        0,
+        "the chaos site must leave a zero-byte file"
+    );
+
+    // Reload: the dedicated variant, not Parse — and the database loads
+    // empty so dispatch continues from the cost model alone.
+    let mut t2 = Tuner::new(TunerConfig::default());
+    let warning = t2.attach_db(&path).expect("empty db must warn");
+    assert!(matches!(warning, TuneDbWarning::Empty { .. }), "{warning}");
+    assert!(warning.to_string().contains("empty file"), "{warning}");
+    assert!(t2.db().is_empty());
+
+    // Emit-once dedupe: the first poll sees the warning, later per-lookup
+    // polls stay silent while the standing warning remains peekable.
+    assert!(t2.warning_once().is_some(), "first poll delivers");
+    let _ = t2.decide(&conv, &RTX_4090, Precision::Fp32);
+    assert!(t2.warning_once().is_none(), "second poll is deduped");
+    let _ = t2.decide(&conv, &RTX_4090, Precision::Fp32);
+    assert!(t2.warning_once().is_none(), "lookups do not re-arm it");
+    assert!(t2.warning().is_some(), "peek still sees the standing warning");
+
+    // The next clean save repairs the file in place and clears the
+    // warning; a fresh process loads it without complaint.
+    t2.db_mut().insert(
+        &RTX_4090.fingerprint(),
+        &conv,
+        Precision::Fp32,
+        TunedEntry {
+            algo: d.chosen,
+            predicted_s: d.stats.predicted_s,
+            measured_s: None,
+            trials: 0,
+        },
+    );
+    t2.save().expect("repairing save");
+    assert!(t2.warning().is_none(), "repair clears the standing warning");
+    let mut t3 = Tuner::new(TunerConfig::default());
+    assert!(t3.attach_db(&path).is_none(), "repaired file loads clean");
+    assert_eq!(t3.db().len(), 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn fallback_layer_is_a_policy_filter_not_an_orderer() {
     // Source-level: the Auto path derives its substitute from the tuner's
     // ranked candidate list — fallback.rs holds no ordering of its own.
