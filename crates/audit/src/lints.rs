@@ -84,7 +84,7 @@ const ALLOC_TOKENS: &[&str] = &[
 ];
 
 /// Fused-multiply-add spellings denied on the bit-identity paths.
-const FMA_TOKENS: &[&str] = &["mul_add", "fmadd", "fmaf"];
+const FMA_TOKENS: &[&str] = &["mul_add", "fmadd", "fmaf", "vfma", "vfms"];
 
 /// Panic-family constructs denied in library code.
 const PANIC_TOKENS: &[&str] = &[
@@ -105,7 +105,9 @@ const LOCK_POISON_TOKENS: &[&str] = &[".lock().unwrap()", ".lock().expect("];
 const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
 /// Paths (suffix match) under the scalar/SIMD bit-identity contract.
-const BIT_IDENTITY_SCOPES: &[&str] = &["crates/gemm/src/micro.rs", "crates/core/src/engine/"];
+/// `micro` is a directory now: the prefix covers `mod.rs` plus every
+/// per-width body (`avx2.rs`, `avx512.rs`, `neon.rs`).
+const BIT_IDENTITY_SCOPES: &[&str] = &["crates/gemm/src/micro", "crates/core/src/engine/"];
 
 /// Library-crate directories exempt from error-hygiene: binaries and the
 /// auditor itself (panics in a CLI are reported to a human, not a caller).

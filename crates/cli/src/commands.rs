@@ -46,6 +46,8 @@ commands:
              --n N --res R --ic C --oc C --f F [--pad P] [--device NAME] [--fp16|--bf16]
   kernels  list the 13-kernel inventory
   devices  list the modelled GPUs
+  simd     report the micro-kernel width family: per-width availability on
+           this host, the detected (widest) width, and any active pin
   tune     rank WinRS against GEMM-BFC / FFT-BFC / direct with the cost
            model, print the decision table, and persist winners to a
            winrs-tune-v1 tuning database
@@ -80,7 +82,10 @@ commands:
                             small layer: n2 16x16 ic8 oc8 f3)
            [--deadline-ms MS] [--out PATH]  (also write the report to PATH)
 
-devices: 4090 (default), 3090, l40s, a5000";
+devices: 4090 (default), 3090, l40s, a5000
+global : --force-width scalar|avx2|avx512|neon  pin the micro-kernel SIMD
+         width for this invocation (same contract as WINRS_FORCE_WIDTH;
+         unavailable widths are a hard error, never a silent fallback)";
 
 /// Dispatch `argv` (without the program name) to a subcommand.
 pub fn dispatch(argv: &[String]) -> Result<String, String> {
@@ -88,6 +93,14 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         return Err("no command given".into());
     };
     let flags = Flags::parse(rest)?;
+    // Global width pin: `--force-width` mirrors the WINRS_FORCE_WIDTH
+    // environment override so `winrs profile`/`verify` can measure a
+    // specific kernel family member. Unavailable widths are a hard error
+    // here (never a silent fallback).
+    if let Some(token) = flags.opt_str("force-width") {
+        let w = winrs_core::engine::request_width(token).map_err(|v| v.to_string())?;
+        eprintln!("winrs: pinned SIMD width to {w}");
+    }
     match cmd.as_str() {
         "plan" => cmd_plan(&flags),
         "verify" => cmd_verify(&flags),
@@ -96,6 +109,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "workspace" => cmd_workspace(&flags),
         "kernels" => Ok(cmd_kernels()),
         "devices" => Ok(cmd_devices()),
+        "simd" => Ok(cmd_simd()),
         "tune" => cmd_tune(&flags),
         "serve" => cmd_serve(&flags),
         "loadgen" => cmd_loadgen(&flags),
@@ -657,6 +671,31 @@ fn cmd_devices() -> String {
     out
 }
 
+fn cmd_simd() -> String {
+    use winrs_gemm::micro::{self, SimdWidth};
+    let mut out = String::from("width    lanes  available\n");
+    for w in SimdWidth::ALL {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>5}  {}",
+            w.name(),
+            w.lanes(),
+            if w.is_available() { "yes" } else { "-" }
+        );
+    }
+    let _ = writeln!(out, "\ndetected : {}", micro::detected_width().name());
+    let _ = writeln!(
+        out,
+        "active   : {}{}",
+        micro::active_width().name(),
+        match micro::forced_width() {
+            Some(_) => " (pinned)",
+            None => "",
+        }
+    );
+    out
+}
+
 /// Labelled shape list for `winrs tune`.
 fn tune_shapes(flags: &Flags) -> Result<Vec<(String, ConvShape)>, String> {
     match flags.opt_str("shapes") {
@@ -772,6 +811,11 @@ fn cmd_tune(flags: &Flags) -> Result<String, String> {
         device.name,
         device.fingerprint()
     );
+    let _ = writeln!(
+        out,
+        "device key  : {}",
+        winrs_core::device_key(&device)
+    );
     let _ = writeln!(out, "precision   : {}", precision_tag(precision));
     let _ = writeln!(out, "schema      : {TUNE_DB_SCHEMA}");
     let header = format!(
@@ -791,7 +835,10 @@ fn cmd_tune(flags: &Flags) -> Result<String, String> {
             }
         }
         let _ = writeln!(out, "\n{header}");
-        let fp = device.fingerprint();
+        // Key on the SIMD-qualified device key, not the raw fingerprint:
+        // `Tuner::decide` looks entries up under `device_key`, so rows
+        // written with the bare fingerprint would never be found again.
+        let fp = winrs_core::device_key(&device);
         for (label, conv) in &shapes {
             let d = tuner.decide(conv, &device, precision);
             tune_row(&mut out, label, &d);

@@ -28,12 +28,14 @@ use winrs_winograd::cook_toom::TransformReal;
 /// paths widen reduced-precision channel runs into.
 pub(super) const MAX_BLOCK: usize = 128;
 
-/// Raw-pointer view of one segment's bucket for the flattened
-/// `(oc-tile × filter-row)` task list. Each task owns every bucket index
-/// with an `oc` in its tile and `f_h` equal to its filter row, so the
-/// row ranges handed out by [`BucketWriter::row_mut`] are disjoint across
-/// concurrently running tasks — that disjointness is the safety argument
-/// for the `Sync` impl.
+/// Raw-pointer view of the bucket region for a pass's block groups. Each
+/// `(bucket, oc-tile, filter-row)` task owns every index whose bucket
+/// offset, `oc` and `f_h` match its coordinates — distinct buckets occupy
+/// disjoint `base` ranges and tasks within a bucket differ in oc-tile or
+/// filter row — so the row ranges handed out by [`BucketWriter::row_mut`]
+/// are disjoint across concurrently running tasks *regardless of which
+/// worker the steal scheduler hands a task to*. That disjointness is the
+/// safety argument for the `Sync` impl.
 pub(super) struct BucketWriter<T> {
     ptr: *mut T,
     len: usize,
@@ -122,9 +124,12 @@ impl Lap {
 
 /// Process every `(ic-tile, filter-width-tile)` block of one
 /// `(oc-tile, filter-row)` task of one segment. Writes go through `out`
-/// into the rows this task owns (see [`BucketWriter`]). Health counts and
-/// phase timings accumulate in locals and flush into their sinks once at
-/// the end.
+/// — a view of the whole bucket region, with this task's bucket starting
+/// at element `base` — into the rows this task owns (see
+/// [`BucketWriter`]). `slot` pins all scratch draws to one pool slot (the
+/// scheduler passes its worker index, keeping each worker's tiles
+/// cache-resident across block groups). Health counts and phase timings
+/// accumulate in locals and flush into their sinks once at the end.
 #[allow(clippy::too_many_arguments)]
 pub(super) fn run_block_tile<T: Scalar>(
     conv: &ConvShape,
@@ -134,10 +139,12 @@ pub(super) fn run_block_tile<T: Scalar>(
     x: &Tensor4<T>,
     dy: &Tensor4<T>,
     mode: TileMode,
+    base: usize,
     oc0: usize,
     bn_cur: usize,
     bm: usize,
     fh: usize,
+    slot: usize,
     out: &BucketWriter<T>,
     health: Option<&HealthSink>,
     timing: Option<&TimingSink>,
@@ -163,11 +170,11 @@ pub(super) fn run_block_tile<T: Scalar>(
     let (i_lo, i_hi) = clip_rows(seg.h0, seg.h1, fh, conv.ph, conv.ih);
 
     // The block's "SMEM": ĝ, d̂, accumulator and OT row-buffer tiles
-    // carved from one pooled slot. Slots arrive dirty — ĝ/d̂ are fully
-    // overwritten by the tile loaders, the accumulator region in use is
-    // zero-filled per filter tile below and the row buffer per row, so
-    // nothing stale is ever read.
-    scratch.with_slot(alpha * (bn_cur + bm_c + bn_cur * bm_c) + bm_c, |buf| {
+    // carved from the pool slot this worker is pinned to. Slots arrive
+    // dirty — ĝ/d̂ are fully overwritten by the tile loaders, the
+    // accumulator region in use is zero-filled per filter tile below and
+    // the row buffer per row, so nothing stale is ever read.
+    scratch.with_slot_at(slot, alpha * (bn_cur + bm_c + bn_cur * bm_c) + bm_c, |buf| {
         let (ghat, rest) = buf.split_at_mut(alpha * bn_cur);
         let (dhat, rest) = rest.split_at_mut(alpha * bm_c);
         let (acc, orow_buf) = rest.split_at_mut(alpha * bn_cur * bm_c);
@@ -234,9 +241,12 @@ pub(super) fn run_block_tile<T: Scalar>(
                             .map(|y| u64::from(!y.is_finite()))
                             .sum::<u64>();
                         let fw = fw0 + d;
-                        let dst = (((oc0 + oi) * conv.fh + fh) * conv.fw + fw) * conv.ic + ic0;
+                        let dst = base
+                            + (((oc0 + oi) * conv.fh + fh) * conv.fw + fw) * conv.ic
+                            + ic0;
                         // SAFETY: this task owns every (oc ∈ tile, f_h = fh)
-                        // row; ranges are disjoint across concurrent tasks.
+                        // row of its own bucket (offset `base`); ranges are
+                        // disjoint across concurrent tasks and buckets.
                         let out_row = unsafe { out.row_mut(dst, bm_cur) };
                         match T::as_f32s_mut(out_row) {
                             Some(o) => micro::add_assign(o, orow),

@@ -10,7 +10,7 @@
 //! loop. The output transform `Aᵀ` runs once per block at the end, and the
 //! result is written to the segment's `∇Ŵ` bucket.
 //!
-//! On this CPU substrate a "block" is a rayon task and `v` lives in the
+//! On this CPU substrate a "block" is a scheduler task (see [`sched`]) and `v` lives in the
 //! task's stack/heap instead of registers+SMEM, but the numerics — what is
 //! computed, in which precision, in which order — follow Algorithm 3
 //! exactly, including:
@@ -38,6 +38,7 @@
 
 mod clip;
 mod hot;
+pub mod sched;
 
 pub use clip::{clip_rows, clip_savings_fraction, clipped_rows_total};
 pub use hot::{load_filter_tile, load_input_tile};
@@ -47,8 +48,8 @@ use crate::metrics::TimingSink;
 use crate::partition::{Partition, Segment};
 use crate::workspace::ScratchPool;
 use hot::{run_block_tile, BucketWriter};
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
+use winrs_gemm::micro::{self, SimdWidth};
 use winrs_conv::ConvShape;
 use winrs_tensor::{Scalar, Tensor4};
 use winrs_winograd::cook_toom::TransformReal;
@@ -190,6 +191,11 @@ pub struct ExecOptions<'a, 'p> {
     /// time their FT/IT/EWMM/OT phases with local counters and flush them
     /// into the sink once per column — same discipline as `health`.
     pub timing: Option<&'a TimingSink>,
+    /// Worker threads for the block-group scheduler (see [`sched`]). When
+    /// `None`, one worker per hardware thread
+    /// ([`crate::workspace::default_scratch_slots`]). `Some(1)` runs the
+    /// whole pass on the calling thread with no queues at all.
+    pub workers: Option<usize>,
 }
 
 /// The engine's cache-block geometry `(B_N, B_M)` for `mode` at transform
@@ -313,6 +319,9 @@ pub fn execute_segments_with<T: Scalar, S: TransformSource>(
             got: dy.dims(),
         });
     }
+    if let Err(v) = apply_forced_width() {
+        violations.push(v);
+    }
     if !violations.is_empty() {
         return Err(WinrsError::ExecutionRejected(violations));
     }
@@ -343,8 +352,76 @@ pub fn execute_segments_with<T: Scalar, S: TransformSource>(
     Ok(())
 }
 
+/// Apply the `WINRS_FORCE_WIDTH` environment override (satellite of the
+/// width-dispatch family): parse the token, pin the kernel family to that
+/// member, and convert any failure — junk token or an unavailable width —
+/// into a typed [`Violation::SimdWidthUnavailable`] instead of a silent
+/// fallback. Absent/empty leaves the current dispatch state (detected or
+/// programmatically pinned) untouched. Returns the width that was pinned,
+/// if any.
+pub fn apply_forced_width() -> Result<Option<SimdWidth>, Violation> {
+    let Ok(raw) = std::env::var(micro::FORCE_WIDTH_ENV) else {
+        return Ok(None);
+    };
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    let pinned = request_width(&raw)?;
+    Ok(Some(pinned))
+}
+
+/// Pin the kernel family to the width named by `token` (the CLI's
+/// `--force-width` path; [`apply_forced_width`] routes the environment
+/// override through here). Junk tokens and unavailable widths both come
+/// back as a typed [`Violation::SimdWidthUnavailable`].
+pub fn request_width(token: &str) -> Result<SimdWidth, Violation> {
+    let Some(w) = SimdWidth::parse(token) else {
+        return Err(Violation::SimdWidthUnavailable {
+            requested: token.to_string(),
+            detected: micro::detected_width().name(),
+        });
+    };
+    match micro::force_width(Some(w)) {
+        Ok(()) => Ok(w),
+        Err(e) => Err(Violation::SimdWidthUnavailable {
+            requested: token.to_string(),
+            detected: e.detected.name(),
+        }),
+    }
+}
+
+/// Target resident footprint of one scheduler task: its worker's scratch
+/// slot plus the bucket rows the task's filter-row span writes should stay
+/// L2-resident (1 MiB — conservative for current server cores, close for
+/// client cores). Groups are sized from this; see [`sched`] for why the
+/// grouping matters.
+const L2_TARGET_BYTES: usize = 1 << 20;
+
+/// One scheduler task: filter rows `fh0..fh1` of one oc-tile of one
+/// bucket. The triple `(base, oc0, fh-range)` is the deterministic owner
+/// coordinate that keeps `BucketWriter` rows disjoint across tasks no
+/// matter which worker steals the group.
+struct BlockGroup {
+    seg_idx: usize,
+    /// Element offset of the owning bucket in the bucket region.
+    base: usize,
+    oc0: usize,
+    bn_cur: usize,
+    bm: usize,
+    fh0: usize,
+    fh1: usize,
+}
+
 /// The two sequential launch passes over an argument-validated, zeroed
 /// bucket buffer, drawing all block scratch from `scratch`.
+///
+/// Each pass builds a deterministic list of [`BlockGroup`]s —
+/// bucket-major, then oc-tile, then filter-row span, with spans sized by
+/// the [`L2_TARGET_BYTES`] rule — and hands it to the work-stealing
+/// scheduler ([`sched::run_tasks`]). Workers keep their groups' scratch
+/// in a pinned [`ScratchPool`] slot (`with_slot_at(worker, ..)`), and
+/// every group writes disjoint bucket rows, so `∇W` is bitwise identical
+/// for every worker count and steal order.
 #[allow(clippy::too_many_arguments)]
 fn run_passes<T: Scalar, S: TransformSource>(
     conv: &ConvShape,
@@ -359,51 +436,77 @@ fn run_passes<T: Scalar, S: TransformSource>(
 ) {
     let dw_elems = conv.dw_elems();
     let enabled = |bucket: usize| opts.bucket_filter.is_none_or(|f| f[bucket]);
+    let workers = opts
+        .workers
+        .unwrap_or_else(crate::workspace::default_scratch_slots)
+        .max(1);
     for pass in 0..=1u8 {
         // Bucket -> owning segment for this pass, precomputed at partition
-        // build so the steady-state loop allocates nothing of its own.
+        // build so the steady-state loop allocates nothing beyond the task
+        // list itself.
         let owners = partition.bucket_owners(pass);
-        buckets
-            .par_chunks_mut(dw_elems)
-            .zip(owners.iter().copied().into_par_iter())
-            .for_each(|(bucket, owner)| {
-                let Some(seg_idx) = owner else { return };
-                let segment: &Segment = &partition.segments[seg_idx];
-                if !enabled(segment.bucket) {
-                    return;
-                }
-                let (bn, bm) = cache_block(mode, segment.kernel.alpha());
-                let t = transforms.transform(segment.kernel);
-                // Parallelise at (oc-tile × filter-row) granularity inside
-                // the segment: tail segments with few oc tiles no longer
-                // serialise a whole column on one worker. Tasks write
-                // strided-but-disjoint bucket rows through `BucketWriter`.
-                let tiles = conv.oc.div_ceil(bn);
-                let writer = BucketWriter::new(bucket);
-                (0..tiles * conv.fh).into_par_iter().for_each(|task| {
-                    let tile_idx = task / conv.fh;
-                    let fh = task % conv.fh;
-                    let oc0 = tile_idx * bn;
-                    let bn_cur = bn.min(conv.oc - oc0);
-                    run_block_tile(
-                        conv,
-                        segment,
+        let mut groups: Vec<BlockGroup> = Vec::new();
+        for (z, owner) in owners.iter().copied().enumerate() {
+            let Some(seg_idx) = owner else { continue };
+            let segment: &Segment = &partition.segments[seg_idx];
+            if !enabled(segment.bucket) {
+                continue;
+            }
+            let (bn, bm) = cache_block(mode, segment.kernel.alpha());
+            let slot_bytes =
+                scratch_slot_elems(conv, segment.kernel, mode) * std::mem::size_of::<f32>();
+            let tiles = conv.oc.div_ceil(bn);
+            for tile_idx in 0..tiles {
+                let oc0 = tile_idx * bn;
+                let bn_cur = bn.min(conv.oc - oc0);
+                // L2 sizing rule: one filter row of this tile touches
+                // `bn_cur · F_W · I_C` bucket elements; group as many rows
+                // as fit next to the scratch slot, at least one.
+                let row_bytes = bn_cur * conv.fw * conv.ic * std::mem::size_of::<T>();
+                let budget = L2_TARGET_BYTES.saturating_sub(slot_bytes);
+                let rows = (budget / row_bytes.max(1)).clamp(1, conv.fh);
+                let mut fh0 = 0;
+                while fh0 < conv.fh {
+                    let fh1 = (fh0 + rows).min(conv.fh);
+                    groups.push(BlockGroup {
                         seg_idx,
-                        t,
-                        x,
-                        dy,
-                        mode,
+                        base: z * dw_elems,
                         oc0,
                         bn_cur,
                         bm,
-                        fh,
-                        &writer,
-                        opts.health,
-                        opts.timing,
-                        scratch,
-                    );
-                });
-            });
+                        fh0,
+                        fh1,
+                    });
+                    fh0 = fh1;
+                }
+            }
+        }
+        let writer = BucketWriter::new(buckets);
+        sched::run_tasks(groups, workers, |worker, grp: BlockGroup| {
+            let segment = &partition.segments[grp.seg_idx];
+            let t = transforms.transform(segment.kernel);
+            for fh in grp.fh0..grp.fh1 {
+                run_block_tile(
+                    conv,
+                    segment,
+                    grp.seg_idx,
+                    t,
+                    x,
+                    dy,
+                    mode,
+                    grp.base,
+                    grp.oc0,
+                    grp.bn_cur,
+                    grp.bm,
+                    fh,
+                    worker,
+                    &writer,
+                    opts.health,
+                    opts.timing,
+                    scratch,
+                );
+            }
+        });
     }
 }
 

@@ -103,6 +103,17 @@ pub enum Violation {
         /// Precision that entry point requires.
         required: Precision,
     },
+    /// A pinned SIMD width (`WINRS_FORCE_WIDTH` / `--force-width`) names a
+    /// kernel-family member this build + CPU cannot run. Rejected typed
+    /// rather than silently falling back: a user pinning `avx512` for a
+    /// bit-reproduction run must not silently get `avx2` numbers-equal-
+    /// but-timing-different behaviour.
+    SimdWidthUnavailable {
+        /// The width token as given (possibly not even a valid name).
+        requested: String,
+        /// The best width the host actually supports.
+        detected: &'static str,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -156,6 +167,15 @@ impl fmt::Display for Violation {
                 f,
                 "`{entry}` requires a {required:?} plan, but this plan was \
                  built for {plan:?}"
+            ),
+            Violation::SimdWidthUnavailable {
+                requested,
+                detected,
+            } => write!(
+                f,
+                "forced SIMD width `{requested}` is unavailable on this host \
+                 (best compiled+detected width: `{detected}`; unset \
+                 WINRS_FORCE_WIDTH or pick an available width)"
             ),
         }
     }

@@ -79,8 +79,8 @@ pub use cache::PlanCache;
 pub use plan::WinRsPlan;
 pub use pool::{BfcJob, ExecHandle, Lease, PoolConfig, WorkspacePool};
 pub use tuner::{
-    AlgoChoice, ChoiceSource, RankedCandidate, TuneDb, TuneDbWarning, TunedEntry, Tuner,
-    TunerConfig, TunerCounters, TunerDecision, TunerStats, TUNE_DB_SCHEMA,
+    device_key, AlgoChoice, ChoiceSource, RankedCandidate, TuneDb, TuneDbWarning, TunedEntry,
+    Tuner, TunerConfig, TunerCounters, TunerDecision, TunerStats, TUNE_DB_SCHEMA,
 };
 pub use workspace::{ExecCtx, Region, RegionKind, ScratchPool, Workspace, WorkspaceLayout};
 

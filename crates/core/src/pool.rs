@@ -142,6 +142,10 @@ pub struct WorkspacePool {
 impl WorkspacePool {
     /// Build a pool with `cfg.slots` fresh workspaces.
     pub fn new(cfg: PoolConfig) -> Arc<WorkspacePool> {
+        // Warm the one-time SIMD width probe here, off the hot path, so the
+        // first leased execution never pays for CPUID sniffing and the
+        // tuner's `device_key` sees a settled detection result.
+        let _ = winrs_gemm::micro::detected_width();
         let slots = cfg.slots.max(1);
         let free = (0..slots)
             .map(|_| Slot {

@@ -16,10 +16,13 @@
 //!    is opt-in (`explore_trials = 0` by default) so plain dispatch stays
 //!    deterministic;
 //! 3. **persists** committed winners to an on-disk database ([`TuneDb`],
-//!    schema [`TUNE_DB_SCHEMA`]) keyed by the device fingerprint
-//!    ([`winrs_gpu_sim::DeviceSpec::fingerprint`]), so a warm process never
+//!    schema [`TUNE_DB_SCHEMA`]) keyed by [`device_key`] — the device
+//!    fingerprint ([`winrs_gpu_sim::DeviceSpec::fingerprint`]) extended
+//!    with the host's detected SIMD width — so a warm process never
 //!    re-measures: a database hit commits the stored choice immediately and
-//!    no trials run.
+//!    no trials run, and entries measured on an AVX2 host never apply on an
+//!    AVX-512 one (the widths' timings differ even though their ∇W bits
+//!    don't).
 //!
 //! The policy layer ([`crate::fallback`]) is deliberately *not* in this
 //! module: Strict/Auto/Force filter the ranked list but never reorder it,
@@ -48,6 +51,23 @@ use winrs_json::Json;
 /// format change: loaders reject other tags with
 /// [`TuneDbWarning::SchemaMismatch`] instead of misreading them.
 pub const TUNE_DB_SCHEMA: &str = "winrs-tune-v1";
+
+/// The tuning-database key for `device` on *this* host: the device
+/// fingerprint extended with the SIMD width the kernel family detected
+/// (`|host-simd:avx512`, `|host-simd:avx2`, …). Measured wall times depend
+/// on the dispatch width — the block loop's FT/IT/EWMM throughput roughly
+/// doubles from AVX2 to AVX-512 — so a [`TuneDb`] entry committed on one
+/// width must never be applied on another. Note this keys on the
+/// *detected* width, not any transient `WINRS_FORCE_WIDTH` pin: forced
+/// widths are a debugging/reproduction tool and must not pollute the
+/// persistent database with slower-width timings.
+pub fn device_key(device: &DeviceSpec) -> String {
+    format!(
+        "{}|host-simd:{}",
+        device.fingerprint(),
+        winrs_gemm::micro::detected_width().name()
+    )
+}
 
 // ---------------------------------------------------------------------------
 // Candidate algorithms and cost-model ranking
@@ -926,7 +946,7 @@ impl Tuner {
             let (ranked, winrs_rejection) = rank_with_rejection(conv, device, precision);
             let db_entry = self
                 .db
-                .get(&device.fingerprint(), conv, precision)
+                .get(&device_key(device), conv, precision)
                 .copied()
                 // A stored winner the current ranking does not even list
                 // (e.g. a stale FFT entry for a now-FP16 key) is ignored.
@@ -979,7 +999,7 @@ impl Tuner {
                 Self::commit_state(st);
             }
             self.counters.commits += 1;
-            let fp = device.fingerprint();
+            let fp = device_key(device);
             self.store_commit(&fp, conv, precision, &key);
         }
 
@@ -1083,7 +1103,7 @@ impl Tuner {
         if st.runs > explore && st.sums.len() >= 2 {
             Self::commit_state(st);
             self.counters.commits += 1;
-            let fp = device.fingerprint();
+            let fp = device_key(device);
             self.store_commit(&fp, conv, precision, &key);
         }
     }
@@ -1180,6 +1200,17 @@ mod tests {
 
     fn small() -> ConvShape {
         ConvShape::square(2, 16, 4, 4, 3)
+    }
+
+    /// The SIMD-qualified device key wraps the raw fingerprint plus the
+    /// host's *detected* (never forced) micro-kernel width, so a database
+    /// written on AVX-512 hardware is never replayed onto a scalar host.
+    #[test]
+    fn device_key_is_fingerprint_plus_detected_width() {
+        let key = device_key(&RTX_4090);
+        assert!(key.starts_with(&RTX_4090.fingerprint()));
+        let expect = format!("|host-simd:{}", winrs_gemm::micro::detected_width().name());
+        assert!(key.ends_with(&expect), "{key}");
     }
 
     /// A shape the model hands to GEMM: tiny filter, tiny channels, large
@@ -1282,7 +1313,7 @@ mod tests {
         // Database carries the commitment.
         assert_eq!(
             t.db()
-                .get(&RTX_4090.fingerprint(), &conv, Precision::Fp32)
+                .get(&device_key(&RTX_4090), &conv, Precision::Fp32)
                 .map(|e| e.algo),
             Some(d1.chosen)
         );
@@ -1390,7 +1421,7 @@ mod tests {
 
     #[test]
     fn db_hit_commits_without_trials() {
-        let fp = RTX_4090.fingerprint();
+        let fp = device_key(&RTX_4090);
         let conv = small();
         let mut t = Tuner::new(TunerConfig {
             explore_trials: 3,

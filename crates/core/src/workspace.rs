@@ -346,6 +346,31 @@ impl<'a> ScratchPool<'a> {
         }
     }
 
+    /// [`ScratchPool::with_slot`] with a caller-pinned slot: the task runs
+    /// in slot `idx % slots` instead of drawing a round-robin ticket. The
+    /// work-stealing scheduler pins each worker to one slot this way, so a
+    /// worker's ĝ/d̂/accumulator tiles stay in the same cache-resident
+    /// lines across every block group it runs (round-robin would migrate
+    /// the worker to a cold slot on every block). Falls back to a counted
+    /// heap allocation exactly like `with_slot` when `need` overflows the
+    /// slot size.
+    pub fn with_slot_at<R>(&self, idx: usize, need: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+        if need <= self.slot_elems && !self.slots.is_empty() {
+            let mut guard = match self.slots[idx % self.slots.len()].lock() {
+                Ok(g) => g,
+                // A poisoning panic elsewhere doesn't invalidate f32
+                // scratch (callers initialise before reading).
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            f(&mut guard[..need])
+        } else {
+            // ORDERING: diagnostic counter, read after the run completes.
+            self.overflow_allocs.fetch_add(1, Ordering::Relaxed);
+            let mut buf = vec![0.0f32; need];
+            f(&mut buf)
+        }
+    }
+
     /// Heap allocations that escaped the pool so far.
     pub fn hot_loop_allocs(&self) -> u64 {
         self.overflow_allocs.load(Ordering::Relaxed) // ORDERING: post-run read

@@ -1,0 +1,227 @@
+//! 8-lane AVX2 bodies of the micro-kernel family (dispatched by the
+//! parent module when [`super::SimdWidth::Avx2`] is active).
+//!
+//! All bodies use mul+add, never fmadd: the fused op skips the
+//! intermediate rounding and would break the cross-width bit-identity
+//! contract stated at the family top (`super`).
+#![doc = "audit: no-alloc"]
+
+use super::{LANES, MR, NR};
+use std::arch::x86_64::*;
+
+/// # Safety
+/// Caller must have verified `avx2` and `fma` at runtime.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn axpy(dst: &mut [f32], a: f32, x: &[f32]) {
+    let n = dst.len();
+    let dp = dst.as_mut_ptr();
+    let xp = x.as_ptr();
+    let av = _mm256_set1_ps(a);
+    let mut i = 0;
+    while i + LANES <= n {
+        let prod = _mm256_mul_ps(av, _mm256_loadu_ps(xp.add(i)));
+        _mm256_storeu_ps(dp.add(i), _mm256_add_ps(_mm256_loadu_ps(dp.add(i)), prod));
+        i += LANES;
+    }
+    while i < n {
+        *dp.add(i) += a * *xp.add(i);
+        i += 1;
+    }
+}
+
+/// # Safety
+/// Caller must have verified `avx2` and `fma` at runtime.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn add_assign(dst: &mut [f32], x: &[f32]) {
+    let n = dst.len();
+    let dp = dst.as_mut_ptr();
+    let xp = x.as_ptr();
+    let mut i = 0;
+    while i + LANES <= n {
+        let sum = _mm256_add_ps(_mm256_loadu_ps(dp.add(i)), _mm256_loadu_ps(xp.add(i)));
+        _mm256_storeu_ps(dp.add(i), sum);
+        i += LANES;
+    }
+    while i < n {
+        *dp.add(i) += *xp.add(i);
+        i += 1;
+    }
+}
+
+/// Batched transform AXPY (see the safe wrapper): the β loop runs
+/// inside the `target_feature` body so the per-chunk `axpy` calls
+/// inline here instead of going through dispatch again.
+///
+/// # Safety
+/// Caller must have verified `avx2` and `fma` at runtime.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn expand_axpy(dst: &mut [f32], coeffs: &[f32], cstride: usize, src: &[f32]) {
+    let w = src.len();
+    for (j, chunk) in dst.chunks_exact_mut(w).enumerate() {
+        axpy(chunk, *coeffs.get_unchecked(j * cstride), src);
+    }
+}
+
+/// Batched reduction AXPY (see the safe wrapper).
+///
+/// # Safety
+/// Caller must have verified `avx2` and `fma` at runtime.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn gather_axpy(dst: &mut [f32], coeffs: &[f32], src: &[f32], sstride: usize) {
+    let w = dst.len();
+    for (j, &c) in coeffs.iter().enumerate() {
+        axpy(dst, c, src.get_unchecked(j * sstride..j * sstride + w));
+    }
+}
+
+/// α-batched rank-1 accumulation (see the safe wrapper).
+///
+/// # Safety
+/// Caller must have verified `avx2` and `fma` at runtime.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn rank1_batch(
+    acc: &mut [f32],
+    g: &[f32],
+    d: &[f32],
+    alpha: usize,
+    bn: usize,
+    bm: usize,
+) {
+    for beta in 0..alpha {
+        rank1(
+            acc.get_unchecked_mut(beta * bn * bm..(beta + 1) * bn * bm),
+            g.get_unchecked(beta * bn..(beta + 1) * bn),
+            d.get_unchecked(beta * bm..(beta + 1) * bm),
+        );
+    }
+}
+
+/// Two-row register blocking: each `d̂` vector is loaded once and used
+/// against a pair of `ĝ` broadcasts.
+///
+/// # Safety
+/// Caller must have verified `avx2` and `fma` at runtime.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn rank1(acc: &mut [f32], g: &[f32], d: &[f32]) {
+    let bm = d.len();
+    let ap = acc.as_mut_ptr();
+    let dp = d.as_ptr();
+    let mut oi = 0;
+    while oi + 2 <= g.len() {
+        let g0 = _mm256_set1_ps(*g.get_unchecked(oi));
+        let g1 = _mm256_set1_ps(*g.get_unchecked(oi + 1));
+        let r0 = ap.add(oi * bm);
+        let r1 = ap.add((oi + 1) * bm);
+        let mut j = 0;
+        while j + LANES <= bm {
+            let dv = _mm256_loadu_ps(dp.add(j));
+            let s0 = _mm256_add_ps(_mm256_loadu_ps(r0.add(j)), _mm256_mul_ps(g0, dv));
+            let s1 = _mm256_add_ps(_mm256_loadu_ps(r1.add(j)), _mm256_mul_ps(g1, dv));
+            _mm256_storeu_ps(r0.add(j), s0);
+            _mm256_storeu_ps(r1.add(j), s1);
+            j += LANES;
+        }
+        while j < bm {
+            let dv = *dp.add(j);
+            *r0.add(j) += *g.get_unchecked(oi) * dv;
+            *r1.add(j) += *g.get_unchecked(oi + 1) * dv;
+            j += 1;
+        }
+        oi += 2;
+    }
+    if oi < g.len() {
+        axpy(&mut acc[oi * bm..(oi + 1) * bm], *g.get_unchecked(oi), d);
+    }
+}
+
+/// `MR × NR` GEMM register tile: each accumulator row is one 256-bit
+/// register; per rank-1 step a B row is loaded once and combined with
+/// four A broadcasts via separate mul + add (bit-identical to the scalar
+/// body's `row[jj] += av * bp[jj]`).
+///
+/// # Safety
+/// Caller must have verified `avx2` and `fma` at runtime, and slice
+/// bounds as asserted by the safe wrapper (`a` ≥ `(MR-1)·lda + kc`,
+/// `b` ≥ `kc·ldb` with `ldb ≥ NR`, `c` ≥ `(MR-1)·ldc + NR`).
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn micro_kernel_4x8(
+    kc: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let cp = c.as_mut_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut acc2 = _mm256_setzero_ps();
+    let mut acc3 = _mm256_setzero_ps();
+    for p in 0..kc {
+        let bv = _mm256_loadu_ps(bp.add(p * ldb));
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_set1_ps(*ap.add(p)), bv));
+        acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_set1_ps(*ap.add(lda + p)), bv));
+        acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_set1_ps(*ap.add(2 * lda + p)), bv));
+        acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_set1_ps(*ap.add(3 * lda + p)), bv));
+    }
+    let av = _mm256_set1_ps(alpha);
+    for (ii, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
+        let crow = cp.add(ii * ldc);
+        let sum = _mm256_add_ps(_mm256_loadu_ps(crow), _mm256_mul_ps(av, acc));
+        _mm256_storeu_ps(crow, sum);
+    }
+}
+
+/// NR-tail GEMM tile: B rows are zero-padded into a full 8-lane vector
+/// (identical to the scalar body's padded `bp` buffer) and the epilogue
+/// writes back only the live `nr` columns from a spilled accumulator, one
+/// scalar mul+add per element — the same per-element sequence as scalar.
+///
+/// # Safety
+/// Caller must have verified `avx2` and `fma` at runtime, and slice
+/// bounds as asserted by the safe wrapper (`b` rows hold `nr` live
+/// elements, `c` rows hold `nr`).
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn micro_kernel_4xn(
+    kc: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    nr: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let ap = a.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut acc2 = _mm256_setzero_ps();
+    let mut acc3 = _mm256_setzero_ps();
+    for p in 0..kc {
+        let mut pad = [0.0f32; NR];
+        pad[..nr].copy_from_slice(b.get_unchecked(p * ldb..p * ldb + nr));
+        let bv = _mm256_loadu_ps(pad.as_ptr());
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_set1_ps(*ap.add(p)), bv));
+        acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_set1_ps(*ap.add(lda + p)), bv));
+        acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_set1_ps(*ap.add(2 * lda + p)), bv));
+        acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_set1_ps(*ap.add(3 * lda + p)), bv));
+    }
+    let mut spill = [[0.0f32; NR]; MR];
+    _mm256_storeu_ps(spill[0].as_mut_ptr(), acc0);
+    _mm256_storeu_ps(spill[1].as_mut_ptr(), acc1);
+    _mm256_storeu_ps(spill[2].as_mut_ptr(), acc2);
+    _mm256_storeu_ps(spill[3].as_mut_ptr(), acc3);
+    for (ii, row) in spill.iter().enumerate() {
+        let crow = c.get_unchecked_mut(ii * ldc..ii * ldc + nr);
+        for jj in 0..nr {
+            crow[jj] += alpha * row[jj];
+        }
+    }
+}

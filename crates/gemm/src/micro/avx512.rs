@@ -1,0 +1,213 @@
+//! 16-lane AVX-512 bodies of the micro-kernel family (dispatched by the
+//! parent module when [`super::SimdWidth::Avx512`] is active).
+//!
+//! All bodies use mul+add, never fmadd — same cross-width bit-identity
+//! contract as the family top (`super`). Every `target_feature` set here
+//! enables `avx2`+`fma` alongside `avx512f` because tails and the GEMM
+//! tiles (whose natural shape is one 256-bit row; no 512-bit form of the
+//! 4×8 tile exists) run AVX2 instructions — `avx512_ready` verifies the
+//! full set.
+#![doc = "audit: no-alloc"]
+
+use super::NR;
+use std::arch::x86_64::*;
+
+/// f32 lanes per 512-bit register.
+const LANES16: usize = 16;
+/// f32 lanes per 256-bit register — the sub-tail width. Rows shorter than
+/// 16 lanes (tiny channel counts are common) would otherwise fall straight
+/// to the scalar remainder and run *slower* than the AVX2 member; the
+/// 8-lane step keeps them vectorised. Bit-identity is unaffected: the ops
+/// are element-independent mul+add at any lane count.
+const LANES8: usize = 8;
+
+/// # Safety
+/// Caller must have verified `avx512f`, `avx2` and `fma` at runtime.
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+pub unsafe fn axpy(dst: &mut [f32], a: f32, x: &[f32]) {
+    let n = dst.len();
+    let dp = dst.as_mut_ptr();
+    let xp = x.as_ptr();
+    let av = _mm512_set1_ps(a);
+    let mut i = 0;
+    while i + LANES16 <= n {
+        let prod = _mm512_mul_ps(av, _mm512_loadu_ps(xp.add(i)));
+        _mm512_storeu_ps(dp.add(i), _mm512_add_ps(_mm512_loadu_ps(dp.add(i)), prod));
+        i += LANES16;
+    }
+    if i + LANES8 <= n {
+        let av8 = _mm256_set1_ps(a);
+        let prod = _mm256_mul_ps(av8, _mm256_loadu_ps(xp.add(i)));
+        _mm256_storeu_ps(dp.add(i), _mm256_add_ps(_mm256_loadu_ps(dp.add(i)), prod));
+        i += LANES8;
+    }
+    while i < n {
+        *dp.add(i) += a * *xp.add(i);
+        i += 1;
+    }
+}
+
+/// # Safety
+/// Caller must have verified `avx512f`, `avx2` and `fma` at runtime.
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+pub unsafe fn add_assign(dst: &mut [f32], x: &[f32]) {
+    let n = dst.len();
+    let dp = dst.as_mut_ptr();
+    let xp = x.as_ptr();
+    let mut i = 0;
+    while i + LANES16 <= n {
+        let sum = _mm512_add_ps(_mm512_loadu_ps(dp.add(i)), _mm512_loadu_ps(xp.add(i)));
+        _mm512_storeu_ps(dp.add(i), sum);
+        i += LANES16;
+    }
+    if i + LANES8 <= n {
+        let sum = _mm256_add_ps(_mm256_loadu_ps(dp.add(i)), _mm256_loadu_ps(xp.add(i)));
+        _mm256_storeu_ps(dp.add(i), sum);
+        i += LANES8;
+    }
+    while i < n {
+        *dp.add(i) += *xp.add(i);
+        i += 1;
+    }
+}
+
+/// Batched transform AXPY (see the safe wrapper): the β loop runs inside
+/// the `target_feature` body so the per-chunk `axpy` calls inline here.
+///
+/// # Safety
+/// Caller must have verified `avx512f`, `avx2` and `fma` at runtime.
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+pub unsafe fn expand_axpy(dst: &mut [f32], coeffs: &[f32], cstride: usize, src: &[f32]) {
+    let w = src.len();
+    for (j, chunk) in dst.chunks_exact_mut(w).enumerate() {
+        axpy(chunk, *coeffs.get_unchecked(j * cstride), src);
+    }
+}
+
+/// Batched reduction AXPY (see the safe wrapper).
+///
+/// # Safety
+/// Caller must have verified `avx512f`, `avx2` and `fma` at runtime.
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+pub unsafe fn gather_axpy(dst: &mut [f32], coeffs: &[f32], src: &[f32], sstride: usize) {
+    let w = dst.len();
+    for (j, &c) in coeffs.iter().enumerate() {
+        axpy(dst, c, src.get_unchecked(j * sstride..j * sstride + w));
+    }
+}
+
+/// α-batched rank-1 accumulation (see the safe wrapper).
+///
+/// # Safety
+/// Caller must have verified `avx512f`, `avx2` and `fma` at runtime.
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+pub unsafe fn rank1_batch(
+    acc: &mut [f32],
+    g: &[f32],
+    d: &[f32],
+    alpha: usize,
+    bn: usize,
+    bm: usize,
+) {
+    for beta in 0..alpha {
+        rank1(
+            acc.get_unchecked_mut(beta * bn * bm..(beta + 1) * bn * bm),
+            g.get_unchecked(beta * bn..(beta + 1) * bn),
+            d.get_unchecked(beta * bm..(beta + 1) * bm),
+        );
+    }
+}
+
+/// Two-row register blocking over 512-bit vectors: each `d̂` vector is
+/// loaded once and used against a pair of `ĝ` broadcasts.
+///
+/// # Safety
+/// Caller must have verified `avx512f`, `avx2` and `fma` at runtime.
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+pub unsafe fn rank1(acc: &mut [f32], g: &[f32], d: &[f32]) {
+    let bm = d.len();
+    let ap = acc.as_mut_ptr();
+    let dp = d.as_ptr();
+    let mut oi = 0;
+    while oi + 2 <= g.len() {
+        let g0 = _mm512_set1_ps(*g.get_unchecked(oi));
+        let g1 = _mm512_set1_ps(*g.get_unchecked(oi + 1));
+        let r0 = ap.add(oi * bm);
+        let r1 = ap.add((oi + 1) * bm);
+        let mut j = 0;
+        while j + LANES16 <= bm {
+            let dv = _mm512_loadu_ps(dp.add(j));
+            let s0 = _mm512_add_ps(_mm512_loadu_ps(r0.add(j)), _mm512_mul_ps(g0, dv));
+            let s1 = _mm512_add_ps(_mm512_loadu_ps(r1.add(j)), _mm512_mul_ps(g1, dv));
+            _mm512_storeu_ps(r0.add(j), s0);
+            _mm512_storeu_ps(r1.add(j), s1);
+            j += LANES16;
+        }
+        if j + LANES8 <= bm {
+            let g0v = _mm256_set1_ps(*g.get_unchecked(oi));
+            let g1v = _mm256_set1_ps(*g.get_unchecked(oi + 1));
+            let dv = _mm256_loadu_ps(dp.add(j));
+            let s0 = _mm256_add_ps(_mm256_loadu_ps(r0.add(j)), _mm256_mul_ps(g0v, dv));
+            let s1 = _mm256_add_ps(_mm256_loadu_ps(r1.add(j)), _mm256_mul_ps(g1v, dv));
+            _mm256_storeu_ps(r0.add(j), s0);
+            _mm256_storeu_ps(r1.add(j), s1);
+            j += LANES8;
+        }
+        while j < bm {
+            let dv = *dp.add(j);
+            *r0.add(j) += *g.get_unchecked(oi) * dv;
+            *r1.add(j) += *g.get_unchecked(oi + 1) * dv;
+            j += 1;
+        }
+        oi += 2;
+    }
+    if oi < g.len() {
+        axpy(&mut acc[oi * bm..(oi + 1) * bm], *g.get_unchecked(oi), d);
+    }
+}
+
+/// `MR × NR` GEMM tile under an AVX-512 pin. The tile is NR = 8 columns —
+/// one 256-bit row — so there is no 512-bit body to write; this delegates
+/// to the AVX2 tile (compiled here with `avx512f` also enabled, letting
+/// LLVM use EVEX encodings and the extra registers).
+///
+/// # Safety
+/// Caller must have verified `avx512f`, `avx2` and `fma` at runtime, plus
+/// the slice bounds documented on [`super::avx2::micro_kernel_4x8`].
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn micro_kernel_4x8(
+    kc: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    super::avx2::micro_kernel_4x8(kc, alpha, a, lda, b, ldb, c, ldc);
+}
+
+/// NR-tail GEMM tile under an AVX-512 pin — delegates to the AVX2 body
+/// for the same reason as [`micro_kernel_4x8`].
+///
+/// # Safety
+/// Caller must have verified `avx512f`, `avx2` and `fma` at runtime, plus
+/// the slice bounds documented on [`super::avx2::micro_kernel_4xn`].
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn micro_kernel_4xn(
+    kc: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    nr: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    debug_assert!(nr < NR);
+    super::avx2::micro_kernel_4xn(kc, alpha, a, lda, b, ldb, nr, c, ldc);
+}

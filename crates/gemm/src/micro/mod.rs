@@ -1,0 +1,941 @@
+//! Register-blocked f32 micro-kernels shared by the GEMM panels and the
+//! fused Winograd engine (`winrs-core::engine`).
+//!
+//! Every kernel exists as a **width-dispatched family** whose members are
+//! all **bit-identical**:
+//!
+//! * a scalar body written as fixed-width unrolled loops, which LLVM
+//!   auto-vectorises to SSE/AVX on any target;
+//! * an explicit 8-lane AVX2 body ([`SimdWidth::Avx2`]);
+//! * an explicit 16-lane AVX-512 body ([`SimdWidth::Avx512`]);
+//! * an explicit 4-lane NEON body on aarch64 ([`SimdWidth::Neon`]).
+//!
+//! The explicit bodies need the `simd` cargo feature and are selected by
+//! runtime feature detection, probed once and cached (see
+//! [`active_width`]).
+//!
+//! Bit-identity is a hard contract, not an accident: every explicit body
+//! uses separate vector multiply + add instead of a fused multiply-add
+//! (`_mm256_fmadd_ps`, `vfmaq_f32`, …), because the fused op skips the
+//! intermediate rounding and would make the dispatch width change `∇W`
+//! bits. Each kernel's per-element operation sequence is independent of
+//! the vector width — element `i` always computes `dst[i] + a·x[i]` with
+//! one IEEE-754 multiply and one add, whichever register it rides in —
+//! so scalar, 4-, 8- and 16-lane bodies produce identical bits and the
+//! engine's equivalence tests assert exact equality across every
+//! compiled-in width.
+//!
+//! [`force_width`] pins the dispatch to one member (the test hook behind
+//! the cross-width equivalence suites) and rejects unavailable members
+//! with a typed [`UnsupportedWidth`]; [`force_scalar`] survives as the
+//! old boolean front-end for it. The `WINRS_FORCE_WIDTH` environment
+//! override ([`FORCE_WIDTH_ENV`]) is applied by the engine / CLI layer,
+//! which owns the typed rejection of unavailable widths at execute time.
+#![doc = "audit: no-alloc"]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx512;
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+mod neon;
+
+/// Vector width of the scalar bodies' unrolled loops: 8 f32 lanes = one
+/// 256-bit register. (The AVX-512 bodies run 16 lanes and the NEON bodies
+/// 4; see [`SimdWidth::lanes`].)
+pub const LANES: usize = 8;
+
+/// Register micro-tile rows of the GEMM kernel.
+pub const MR: usize = 4;
+/// Register micro-tile columns of the GEMM kernel.
+pub const NR: usize = 8;
+
+/// Environment variable the engine/CLI layer reads to pin the dispatch
+/// width (`scalar`, `avx2`, `avx512` or `neon`). Parsing and the typed
+/// rejection of unavailable widths live in `winrs-core::engine`; this
+/// module only exposes the knob ([`force_width`]).
+pub const FORCE_WIDTH_ENV: &str = "WINRS_FORCE_WIDTH";
+
+/// One member of the kernel family: the vector width the dispatcher
+/// selects bodies for. All members are bit-identical (module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SimdWidth {
+    /// Auto-vectorised scalar bodies — always available.
+    Scalar = 0,
+    /// Explicit 8-lane AVX2 bodies (x86-64, `avx2` + `fma` detected).
+    Avx2 = 1,
+    /// Explicit 16-lane AVX-512 bodies (x86-64, `avx512f` on top of the
+    /// AVX2 pair — the 4×8 GEMM tile and row epilogues reuse 256-bit ops).
+    Avx512 = 2,
+    /// Explicit 4-lane NEON bodies (aarch64).
+    Neon = 3,
+}
+
+impl SimdWidth {
+    /// Every member. Iterated by tests and the CLI's width report.
+    pub const ALL: [SimdWidth; 4] = [
+        SimdWidth::Scalar,
+        SimdWidth::Avx2,
+        SimdWidth::Avx512,
+        SimdWidth::Neon,
+    ];
+
+    /// f32 lanes per vector register of this member's explicit bodies
+    /// (1 for the scalar bodies).
+    pub fn lanes(self) -> usize {
+        match self {
+            SimdWidth::Scalar => 1,
+            SimdWidth::Avx2 => 8,
+            SimdWidth::Avx512 => 16,
+            SimdWidth::Neon => 4,
+        }
+    }
+
+    /// Canonical lower-case name — the spelling [`SimdWidth::parse`]
+    /// accepts and `WINRS_FORCE_WIDTH` uses.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdWidth::Scalar => "scalar",
+            SimdWidth::Avx2 => "avx2",
+            SimdWidth::Avx512 => "avx512",
+            SimdWidth::Neon => "neon",
+        }
+    }
+
+    /// Parse a canonical width name (case-sensitive, as documented for
+    /// `WINRS_FORCE_WIDTH`).
+    pub fn parse(s: &str) -> Option<SimdWidth> {
+        match s {
+            "scalar" => Some(SimdWidth::Scalar),
+            "avx2" => Some(SimdWidth::Avx2),
+            "avx512" => Some(SimdWidth::Avx512),
+            "neon" => Some(SimdWidth::Neon),
+            _ => None,
+        }
+    }
+
+    /// True when this member's bodies are compiled in *and* the running
+    /// CPU reports the features they need. `Scalar` is always available.
+    pub fn is_available(self) -> bool {
+        match self {
+            SimdWidth::Scalar => true,
+            SimdWidth::Avx2 => avx2_ready(),
+            SimdWidth::Avx512 => avx512_ready(),
+            SimdWidth::Neon => neon_ready(),
+        }
+    }
+}
+
+impl std::fmt::Display for SimdWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A width that cannot be pinned on this host: either its bodies are not
+/// compiled in (`simd` feature off, wrong architecture) or the CPU lacks
+/// the features they need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnsupportedWidth {
+    /// The width the caller asked to pin.
+    pub requested: SimdWidth,
+    /// The best width this build + CPU actually supports.
+    pub detected: SimdWidth,
+}
+
+impl std::fmt::Display for UnsupportedWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SIMD width `{}` is unavailable on this host (best compiled+detected width: `{}`)",
+            self.requested.name(),
+            self.detected.name()
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedWidth {}
+
+/// Pinned dispatch width: 0 = auto (use [`detected_width`]), otherwise
+/// the [`SimdWidth`] discriminant + 1. Global; tests that pin must
+/// serialise among themselves, exactly as with the old `FORCE_SCALAR`.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// Pin dispatch to one family member (`Some`) or restore auto detection
+/// (`None`). Fails with a typed [`UnsupportedWidth`] — never a silent
+/// fallback — when the requested member is not available on this host;
+/// a failed pin leaves the previous dispatch state untouched.
+pub fn force_width(width: Option<SimdWidth>) -> Result<(), UnsupportedWidth> {
+    match width {
+        None => {
+            // ORDERING: idempotent dispatch pin with no associated data —
+            // there is nothing to publish, so Relaxed is sufficient.
+            FORCED.store(0, Ordering::Relaxed);
+            Ok(())
+        }
+        Some(w) if w.is_available() => {
+            // ORDERING: as above — the pin carries no data to publish.
+            FORCED.store(w as u8 + 1, Ordering::Relaxed);
+            Ok(())
+        }
+        Some(w) => Err(UnsupportedWidth {
+            requested: w,
+            detected: detected_width(),
+        }),
+    }
+}
+
+/// The currently pinned width, if any.
+pub fn forced_width() -> Option<SimdWidth> {
+    // ORDERING: dispatch pin only — a stale read selects another
+    // (bit-identical) family member, so Relaxed is safe.
+    match FORCED.load(Ordering::Relaxed) {
+        1 => Some(SimdWidth::Scalar),
+        2 => Some(SimdWidth::Avx2),
+        3 => Some(SimdWidth::Avx512),
+        4 => Some(SimdWidth::Neon),
+        _ => None,
+    }
+}
+
+/// Pin (or unpin) dispatch to the scalar bodies — the boolean front-end
+/// [`force_width`] generalises, kept for the existing equivalence suites.
+pub fn force_scalar(on: bool) {
+    let pin = if on { Some(SimdWidth::Scalar) } else { None };
+    // Scalar is always available and `None` always succeeds, so the old
+    // infallible signature still holds.
+    let _ = force_width(pin);
+}
+
+/// True when an explicit SIMD body (any width) will be used.
+#[inline]
+pub fn simd_active() -> bool {
+    active_width() != SimdWidth::Scalar
+}
+
+/// The width kernels dispatch on right now: the pinned width if any,
+/// otherwise the best detected one.
+#[inline]
+pub fn active_width() -> SimdWidth {
+    forced_width().unwrap_or_else(detected_width)
+}
+
+/// Best width this build + CPU supports, probed once and cached. The
+/// preference is widest-first per architecture: AVX-512 over AVX2 over
+/// scalar on x86-64, NEON over scalar on aarch64.
+pub fn detected_width() -> SimdWidth {
+    static DETECTED: OnceLock<SimdWidth> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        if avx512_ready() {
+            SimdWidth::Avx512
+        } else if avx2_ready() {
+            SimdWidth::Avx2
+        } else if neon_ready() {
+            SimdWidth::Neon
+        } else {
+            SimdWidth::Scalar
+        }
+    })
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn avx2_ready() -> bool {
+    static READY: OnceLock<bool> = OnceLock::new();
+    *READY.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    })
+}
+
+/// The AVX-512 bodies need `avx512f` for the 16-lane ops *and* the AVX2
+/// pair: the 4×8 GEMM tile is one 256-bit row (no 512-bit shape exists
+/// for it), so its body and the row epilogues run AVX2 instructions.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn avx512_ready() -> bool {
+    static READY: OnceLock<bool> = OnceLock::new();
+    *READY.get_or_init(|| std::arch::is_x86_feature_detected!("avx512f") && avx2_ready())
+}
+
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+fn neon_ready() -> bool {
+    static READY: OnceLock<bool> = OnceLock::new();
+    *READY.get_or_init(|| std::arch::is_aarch64_feature_detected!("neon"))
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+#[inline(always)]
+fn avx2_ready() -> bool {
+    false
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+#[inline(always)]
+fn avx512_ready() -> bool {
+    false
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "aarch64")))]
+#[inline(always)]
+fn neon_ready() -> bool {
+    false
+}
+
+/// `dst[i] += a · x[i]` over `dst.len()` elements (`x` at least as long).
+///
+/// The engine's transform loops are built from this: one AXPY per
+/// transform coefficient, vectorised over the channel axis.
+#[inline]
+pub fn axpy(dst: &mut [f32], a: f32, x: &[f32]) {
+    let n = dst.len();
+    debug_assert!(x.len() >= n, "axpy: x shorter than dst");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    match active_width() {
+        // SAFETY: avx512f+avx2+fma verified at runtime (`avx512_ready`)
+        // before Avx512 can be detected or pinned.
+        SimdWidth::Avx512 => return unsafe { avx512::axpy(dst, a, &x[..n]) },
+        // SAFETY: avx2+fma verified at runtime (`avx2_ready`).
+        SimdWidth::Avx2 => return unsafe { avx2::axpy(dst, a, &x[..n]) },
+        _ => {}
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if active_width() == SimdWidth::Neon {
+        // SAFETY: neon verified at runtime (`neon_ready`).
+        return unsafe { neon::axpy(dst, a, &x[..n]) };
+    }
+    axpy_scalar(dst, a, &x[..n]);
+}
+
+/// `dst[i] += x[i]` over `dst.len()` elements (`x` at least as long).
+#[inline]
+pub fn add_assign(dst: &mut [f32], x: &[f32]) {
+    let n = dst.len();
+    debug_assert!(x.len() >= n, "add_assign: x shorter than dst");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    match active_width() {
+        // SAFETY: avx512f+avx2+fma verified at runtime (`avx512_ready`).
+        SimdWidth::Avx512 => return unsafe { avx512::add_assign(dst, &x[..n]) },
+        // SAFETY: avx2+fma verified at runtime (`avx2_ready`).
+        SimdWidth::Avx2 => return unsafe { avx2::add_assign(dst, &x[..n]) },
+        _ => {}
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if active_width() == SimdWidth::Neon {
+        // SAFETY: neon verified at runtime (`neon_ready`).
+        return unsafe { neon::add_assign(dst, &x[..n]) };
+    }
+    add_assign_scalar(dst, &x[..n]);
+}
+
+/// Rank-1 accumulation `acc[oi][..] += g[oi] · d[..]` — the α-batched EWMM
+/// outer product for one β. `acc` is row-major `g.len() × d.len()`.
+#[inline]
+pub fn rank1_accumulate(acc: &mut [f32], g: &[f32], d: &[f32]) {
+    let bm = d.len();
+    debug_assert!(acc.len() >= g.len() * bm, "rank1: acc too short");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    match active_width() {
+        // SAFETY: avx512f+avx2+fma verified at runtime (`avx512_ready`).
+        SimdWidth::Avx512 => return unsafe { avx512::rank1(acc, g, d) },
+        // SAFETY: avx2+fma verified at runtime (`avx2_ready`).
+        SimdWidth::Avx2 => return unsafe { avx2::rank1(acc, g, d) },
+        _ => {}
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if active_width() == SimdWidth::Neon {
+        // SAFETY: neon verified at runtime (`neon_ready`).
+        return unsafe { neon::rank1(acc, g, d) };
+    }
+    for (oi, &gv) in g.iter().enumerate() {
+        axpy_scalar(&mut acc[oi * bm..(oi + 1) * bm], gv, d);
+    }
+}
+
+/// Batched transform AXPY: `dst` is `k` consecutive chunks of width
+/// `src.len()`, and chunk `j` accumulates `coeffs[j·cstride] · src`. One
+/// call covers a whole transform column — the β loop lives inside the
+/// kernel, so the engine pays the dispatch check (atomic load + feature
+/// probe) once per ∇Y column instead of once per 4–8 element AXPY.
+#[inline]
+pub fn expand_axpy(dst: &mut [f32], coeffs: &[f32], cstride: usize, src: &[f32]) {
+    let w = src.len();
+    debug_assert!(w > 0 && dst.len().is_multiple_of(w), "expand_axpy: ragged dst");
+    let k = dst.len() / w;
+    debug_assert!(coeffs.len() > (k - 1) * cstride, "expand_axpy: coeffs short");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    match active_width() {
+        // SAFETY: avx512f+avx2+fma verified at runtime (`avx512_ready`).
+        SimdWidth::Avx512 => return unsafe { avx512::expand_axpy(dst, coeffs, cstride, src) },
+        // SAFETY: avx2+fma verified at runtime (`avx2_ready`).
+        SimdWidth::Avx2 => return unsafe { avx2::expand_axpy(dst, coeffs, cstride, src) },
+        _ => {}
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if active_width() == SimdWidth::Neon {
+        // SAFETY: neon verified at runtime (`neon_ready`).
+        return unsafe { neon::expand_axpy(dst, coeffs, cstride, src) };
+    }
+    // Channel blocks are small (4–32); a compile-time width turns each
+    // chunk update into exact fixed-width vector code with no per-chunk
+    // iterator or bounds-check overhead.
+    match w {
+        2 => expand_axpy_w::<2>(dst, coeffs, cstride, src),
+        4 => expand_axpy_w::<4>(dst, coeffs, cstride, src),
+        8 => expand_axpy_w::<8>(dst, coeffs, cstride, src),
+        16 => expand_axpy_w::<16>(dst, coeffs, cstride, src),
+        _ => {
+            for (j, chunk) in dst.chunks_exact_mut(w).enumerate() {
+                axpy_scalar(chunk, coeffs[j * cstride], src);
+            }
+        }
+    }
+}
+
+/// Const-width body of [`expand_axpy`]'s scalar path.
+#[inline]
+fn expand_axpy_w<const W: usize>(dst: &mut [f32], coeffs: &[f32], cstride: usize, src: &[f32]) {
+    let Ok(s) = <&[f32; W]>::try_from(src) else {
+        return; // unreachable: the caller matched on src.len()
+    };
+    for (chunk, c) in dst
+        .chunks_exact_mut(W)
+        .zip(coeffs.iter().step_by(cstride.max(1)))
+    {
+        for l in 0..W {
+            chunk[l] += *c * s[l];
+        }
+    }
+}
+
+/// Batched reduction AXPY (the output-transform dual of [`expand_axpy`]):
+/// `dst += Σ_j coeffs[j] · src[j·sstride .. j·sstride + dst.len()]`. One
+/// call folds all α accumulator planes into the row buffer.
+#[inline]
+pub fn gather_axpy(dst: &mut [f32], coeffs: &[f32], src: &[f32], sstride: usize) {
+    let w = dst.len();
+    debug_assert!(
+        coeffs.is_empty() || src.len() >= (coeffs.len() - 1) * sstride + w,
+        "gather_axpy: src short"
+    );
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    match active_width() {
+        // SAFETY: avx512f+avx2+fma verified at runtime (`avx512_ready`).
+        SimdWidth::Avx512 => return unsafe { avx512::gather_axpy(dst, coeffs, src, sstride) },
+        // SAFETY: avx2+fma verified at runtime (`avx2_ready`).
+        SimdWidth::Avx2 => return unsafe { avx2::gather_axpy(dst, coeffs, src, sstride) },
+        _ => {}
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if active_width() == SimdWidth::Neon {
+        // SAFETY: neon verified at runtime (`neon_ready`).
+        return unsafe { neon::gather_axpy(dst, coeffs, src, sstride) };
+    }
+    match w {
+        2 => gather_axpy_w::<2>(dst, coeffs, src, sstride),
+        4 => gather_axpy_w::<4>(dst, coeffs, src, sstride),
+        8 => gather_axpy_w::<8>(dst, coeffs, src, sstride),
+        16 => gather_axpy_w::<16>(dst, coeffs, src, sstride),
+        _ => {
+            for (j, &c) in coeffs.iter().enumerate() {
+                axpy_scalar(dst, c, &src[j * sstride..j * sstride + w]);
+            }
+        }
+    }
+}
+
+/// Const-width body of [`gather_axpy`]'s scalar path.
+#[inline]
+fn gather_axpy_w<const W: usize>(dst: &mut [f32], coeffs: &[f32], src: &[f32], sstride: usize) {
+    let Ok(d) = <&mut [f32; W]>::try_from(dst) else {
+        return; // unreachable: the caller matched on dst.len()
+    };
+    for (j, &c) in coeffs.iter().enumerate() {
+        let plane = &src[j * sstride..j * sstride + W];
+        for l in 0..W {
+            d[l] += c * plane[l];
+        }
+    }
+}
+
+/// α-batched EWMM: for every β, `acc[β] += ĝ[β] ⊗ d̂[β]` where `acc` holds
+/// α row-major `bn × bm` planes, `g` α rows of `bn` and `d` α rows of `bm`.
+/// The whole per-tile outer-product batch is one call — dispatch checked
+/// once, bodies inlined.
+#[inline]
+pub fn rank1_batch(acc: &mut [f32], g: &[f32], d: &[f32], alpha: usize) {
+    debug_assert!(alpha > 0 && g.len().is_multiple_of(alpha) && d.len().is_multiple_of(alpha));
+    let bn = g.len() / alpha;
+    let bm = d.len() / alpha;
+    debug_assert!(acc.len() >= alpha * bn * bm, "rank1_batch: acc too short");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    match active_width() {
+        // SAFETY: avx512f+avx2+fma verified at runtime (`avx512_ready`).
+        SimdWidth::Avx512 => return unsafe { avx512::rank1_batch(acc, g, d, alpha, bn, bm) },
+        // SAFETY: avx2+fma verified at runtime (`avx2_ready`).
+        SimdWidth::Avx2 => return unsafe { avx2::rank1_batch(acc, g, d, alpha, bn, bm) },
+        _ => {}
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if active_width() == SimdWidth::Neon {
+        // SAFETY: neon verified at runtime (`neon_ready`).
+        return unsafe { neon::rank1_batch(acc, g, d, alpha, bn, bm) };
+    }
+    match bm {
+        2 => rank1_batch_w::<2>(acc, g, d, alpha, bn),
+        4 => rank1_batch_w::<4>(acc, g, d, alpha, bn),
+        8 => rank1_batch_w::<8>(acc, g, d, alpha, bn),
+        16 => rank1_batch_w::<16>(acc, g, d, alpha, bn),
+        _ => {
+            for beta in 0..alpha {
+                let plane = &mut acc[beta * bn * bm..(beta + 1) * bn * bm];
+                let grow = &g[beta * bn..(beta + 1) * bn];
+                let drow = &d[beta * bm..(beta + 1) * bm];
+                for (oi, &gv) in grow.iter().enumerate() {
+                    axpy_scalar(&mut plane[oi * bm..(oi + 1) * bm], gv, drow);
+                }
+            }
+        }
+    }
+}
+
+/// Const-width (`bm`) body of [`rank1_batch`]'s scalar path.
+#[inline]
+fn rank1_batch_w<const W: usize>(acc: &mut [f32], g: &[f32], d: &[f32], alpha: usize, bn: usize) {
+    for beta in 0..alpha {
+        let grow = &g[beta * bn..(beta + 1) * bn];
+        let plane = &mut acc[beta * bn * W..(beta + 1) * bn * W];
+        let Ok(drow) = <&[f32; W]>::try_from(&d[beta * W..(beta + 1) * W]) else {
+            return; // unreachable: slice length is W by construction
+        };
+        for (row, &gv) in plane.chunks_exact_mut(W).zip(grow) {
+            for l in 0..W {
+                row[l] += gv * drow[l];
+            }
+        }
+    }
+}
+
+// The scalar bodies carry `#[inline]` too: the public wrappers are
+// cross-crate inlined into the engine's hot loop, and without MIR for the
+// bodies every 4–8 element AXPY would stay an outlined call.
+//
+// They are written as plain element zips, not manual LANES-chunked loops:
+// every element update is independent, so LLVM's auto-vectoriser produces
+// the same bit-exact results with its own (cheaper) tail handling — and
+// the engine's dominant widths are *small* (a channel block, often 4–16),
+// where iterator chunking machinery would cost more than the payload.
+#[inline]
+fn axpy_scalar(dst: &mut [f32], a: f32, x: &[f32]) {
+    for (d, s) in dst.iter_mut().zip(x) {
+        *d += a * *s;
+    }
+}
+
+#[inline]
+fn add_assign_scalar(dst: &mut [f32], x: &[f32]) {
+    for (d, s) in dst.iter_mut().zip(x) {
+        *d += *s;
+    }
+}
+
+/// `MR × NR` register-tile GEMM micro-kernel:
+/// `C[0..MR][0..NR] += alpha · A[0..MR][0..kc] · B[0..kc][0..NR]`.
+/// The fixed-width inner updates auto-vectorise on the scalar path; the
+/// explicit bodies keep each accumulator row in one (or two) registers.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn micro_kernel_4x8(
+    kc: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    match active_width() {
+        SimdWidth::Avx512 => {
+            // SAFETY: avx512f+avx2+fma verified at runtime (`avx512_ready`).
+            return unsafe { avx512::micro_kernel_4x8(kc, alpha, a, lda, b, ldb, c, ldc) };
+        }
+        SimdWidth::Avx2 => {
+            // SAFETY: avx2+fma verified at runtime (`avx2_ready`).
+            return unsafe { avx2::micro_kernel_4x8(kc, alpha, a, lda, b, ldb, c, ldc) };
+        }
+        _ => {}
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if active_width() == SimdWidth::Neon {
+        // SAFETY: neon verified at runtime (`neon_ready`).
+        return unsafe { neon::micro_kernel_4x8(kc, alpha, a, lda, b, ldb, c, ldc) };
+    }
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let bp = &b[p * ldb..p * ldb + NR];
+        for (ii, row) in acc.iter_mut().enumerate() {
+            let av = a[ii * lda + p];
+            for jj in 0..NR {
+                row[jj] += av * bp[jj];
+            }
+        }
+    }
+    for (ii, row) in acc.iter().enumerate() {
+        let crow = &mut c[ii * ldc..ii * ldc + NR];
+        for jj in 0..NR {
+            crow[jj] += alpha * row[jj];
+        }
+    }
+}
+
+/// NR-tail specialisation of [`micro_kernel_4x8`]: full `MR` rows but only
+/// `nr < NR` columns. B rows are zero-padded into a fixed `[f32; NR]` lane
+/// buffer so the accumulation keeps the vector shape instead of degrading
+/// to the scalar edge loop; the padding lanes are discarded on store.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn micro_kernel_4xn(
+    kc: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    nr: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    debug_assert!(nr > 0 && nr < NR);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    match active_width() {
+        SimdWidth::Avx512 => {
+            // SAFETY: avx512f+avx2+fma verified at runtime (`avx512_ready`).
+            return unsafe { avx512::micro_kernel_4xn(kc, alpha, a, lda, b, ldb, nr, c, ldc) };
+        }
+        SimdWidth::Avx2 => {
+            // SAFETY: avx2+fma verified at runtime (`avx2_ready`).
+            return unsafe { avx2::micro_kernel_4xn(kc, alpha, a, lda, b, ldb, nr, c, ldc) };
+        }
+        _ => {}
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if active_width() == SimdWidth::Neon {
+        // SAFETY: neon verified at runtime (`neon_ready`).
+        return unsafe { neon::micro_kernel_4xn(kc, alpha, a, lda, b, ldb, nr, c, ldc) };
+    }
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let mut bp = [0.0f32; NR];
+        bp[..nr].copy_from_slice(&b[p * ldb..p * ldb + nr]);
+        for (ii, row) in acc.iter_mut().enumerate() {
+            let av = a[ii * lda + p];
+            for jj in 0..NR {
+                row[jj] += av * bp[jj];
+            }
+        }
+    }
+    for (ii, row) in acc.iter().enumerate() {
+        let crow = &mut c[ii * ldc..ii * ldc + nr];
+        for jj in 0..nr {
+            crow[jj] += alpha * row[jj];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The dispatch pin is process-global; tests that toggle it serialise
+    /// through this lock.
+    static DISPATCH_LOCK: Mutex<()> = Mutex::new(());
+
+    fn pseudo(seed: u32, len: usize) -> Vec<f32> {
+        // Tiny LCG: deterministic, no rand dependency in the hot crate.
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                (s >> 8) as f32 / (1u32 << 24) as f32 * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// Every family member available on this build + CPU (always at least
+    /// `Scalar`), for the cross-width equivalence loops.
+    fn available() -> Vec<SimdWidth> {
+        SimdWidth::ALL
+            .iter()
+            .copied()
+            .filter(|w| w.is_available())
+            .collect()
+    }
+
+    #[test]
+    fn axpy_matches_plain_loop_all_lengths_every_width() {
+        let _g = DISPATCH_LOCK.lock().unwrap();
+        for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 33, 100] {
+            let x = pseudo(n as u32 + 1, n);
+            let base = pseudo(n as u32 + 2, n);
+            let mut want = base.clone();
+            for i in 0..n {
+                want[i] += 1.25 * x[i];
+            }
+            for w in available() {
+                force_width(Some(w)).unwrap();
+                let mut dst = base.clone();
+                axpy(&mut dst, 1.25, &x);
+                assert_eq!(dst, want, "n={n} width={w}");
+            }
+            force_width(None).unwrap();
+        }
+    }
+
+    #[test]
+    fn add_assign_matches_plain_loop_every_width() {
+        let _g = DISPATCH_LOCK.lock().unwrap();
+        for n in [3usize, 8, 16, 17, 33, 64] {
+            let x = pseudo(n as u32 + 9, n);
+            let base = pseudo(n as u32 + 10, n);
+            let mut want = base.clone();
+            for i in 0..n {
+                want[i] += x[i];
+            }
+            for w in available() {
+                force_width(Some(w)).unwrap();
+                let mut dst = base.clone();
+                add_assign(&mut dst, &x);
+                assert_eq!(dst, want, "n={n} width={w}");
+            }
+            force_width(None).unwrap();
+        }
+    }
+
+    #[test]
+    fn rank1_all_widths_are_bit_identical() {
+        let _g = DISPATCH_LOCK.lock().unwrap();
+        for (bn, bm) in [(1usize, 1usize), (3, 5), (4, 8), (7, 13), (5, 17), (64, 32)] {
+            let g = pseudo(77, bn);
+            let d = pseudo(78, bm);
+            let base = pseudo(79, bn * bm);
+            force_width(Some(SimdWidth::Scalar)).unwrap();
+            let mut scalar = base.clone();
+            rank1_accumulate(&mut scalar, &g, &d);
+            for w in available() {
+                force_width(Some(w)).unwrap();
+                let mut got = base.clone();
+                rank1_accumulate(&mut got, &g, &d);
+                assert_eq!(
+                    scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "bn={bn} bm={bm} width={w}"
+                );
+            }
+            force_width(None).unwrap();
+            // And the scalar member matches the naive outer product.
+            let mut want = base.clone();
+            for oi in 0..bn {
+                for ii in 0..bm {
+                    want[oi * bm + ii] += g[oi] * d[ii];
+                }
+            }
+            assert_eq!(scalar, want);
+        }
+    }
+
+    #[test]
+    fn batched_kernels_match_per_call_loops_bitwise_every_width() {
+        let _g = DISPATCH_LOCK.lock().unwrap();
+        for (alpha, bn, bm, cstride) in [
+            (1usize, 1usize, 1usize, 1usize),
+            (6, 4, 5, 6),
+            (8, 8, 3, 8),
+            (6, 18, 17, 6), // spans a 16-lane vector plus an odd tail
+        ] {
+            let g = pseudo(21, alpha * bn);
+            let d = pseudo(22, alpha * bm);
+            let coeffs = pseudo(23, alpha * cstride);
+            let src = pseudo(24, bn);
+            for w in available() {
+                force_width(Some(w)).unwrap();
+
+                // expand_axpy == per-chunk axpy with strided coefficients.
+                let base = pseudo(25, alpha * bn);
+                let mut got = base.clone();
+                expand_axpy(&mut got, &coeffs, cstride, &src);
+                let mut want = base.clone();
+                for j in 0..alpha {
+                    axpy(&mut want[j * bn..(j + 1) * bn], coeffs[j * cstride], &src);
+                }
+                assert_eq!(got, want, "expand_axpy width={w}");
+
+                // rank1_batch == per-β rank1_accumulate.
+                let base = pseudo(26, alpha * bn * bm);
+                let mut got = base.clone();
+                rank1_batch(&mut got, &g, &d, alpha);
+                let mut want = base.clone();
+                for beta in 0..alpha {
+                    rank1_accumulate(
+                        &mut want[beta * bn * bm..(beta + 1) * bn * bm],
+                        &g[beta * bn..(beta + 1) * bn],
+                        &d[beta * bm..(beta + 1) * bm],
+                    );
+                }
+                assert_eq!(got, want, "rank1_batch width={w}");
+
+                // gather_axpy == per-plane axpy over a strided source.
+                let src2 = pseudo(27, alpha * bn * bm);
+                let base = pseudo(28, bm);
+                let mut got = base.clone();
+                gather_axpy(&mut got, &coeffs[..alpha], &src2, bn * bm);
+                let mut want = base.clone();
+                for (j, &c) in coeffs[..alpha].iter().enumerate() {
+                    axpy(&mut want, c, &src2[j * bn * bm..j * bn * bm + bm]);
+                }
+                assert_eq!(got, want, "gather_axpy width={w}");
+            }
+            force_width(None).unwrap();
+        }
+    }
+
+    #[test]
+    fn gemm_tiles_bit_identical_across_widths() {
+        let _g = DISPATCH_LOCK.lock().unwrap();
+        let (kc, lda, ldb, ldc) = (13usize, 13usize, NR, NR);
+        let a = pseudo(31, MR * lda);
+        let b = pseudo(32, kc * ldb);
+        let base = pseudo(33, MR * ldc);
+        force_width(Some(SimdWidth::Scalar)).unwrap();
+        let mut scalar = base.clone();
+        micro_kernel_4x8(kc, 0.75, &a, lda, &b, ldb, &mut scalar, ldc);
+        for w in available() {
+            force_width(Some(w)).unwrap();
+            let mut got = base.clone();
+            micro_kernel_4x8(kc, 0.75, &a, lda, &b, ldb, &mut got, ldc);
+            assert_eq!(
+                scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "4x8 width={w}"
+            );
+        }
+        // Column tails, every nr.
+        for nr in 1..NR {
+            let bt = pseudo(34, kc * nr);
+            let baset = pseudo(35, MR * nr);
+            force_width(Some(SimdWidth::Scalar)).unwrap();
+            let mut scalar = baset.clone();
+            micro_kernel_4xn(kc, 0.75, &a, lda, &bt, nr, nr, &mut scalar, nr);
+            for w in available() {
+                force_width(Some(w)).unwrap();
+                let mut got = baset.clone();
+                micro_kernel_4xn(kc, 0.75, &a, lda, &bt, nr, nr, &mut got, nr);
+                assert_eq!(
+                    scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "4xn nr={nr} width={w}"
+                );
+            }
+        }
+        force_width(None).unwrap();
+    }
+
+    #[test]
+    fn tail_kernel_matches_full_kernel_semantics() {
+        // 4 × nr tail against a hand-rolled triple loop.
+        for nr in 1..NR {
+            let (kc, lda, ldb, ldc) = (11usize, 11usize, nr, nr);
+            let a = pseudo(5, MR * lda);
+            let b = pseudo(6, kc * ldb);
+            let base = pseudo(7, MR * ldc);
+            let mut got = base.clone();
+            micro_kernel_4xn(kc, 0.75, &a, lda, &b, ldb, nr, &mut got, ldc);
+            let mut want = base.clone();
+            for ii in 0..MR {
+                for jj in 0..nr {
+                    let mut acc = 0.0f32;
+                    for p in 0..kc {
+                        acc += a[ii * lda + p] * b[p * ldb + jj];
+                    }
+                    want[ii * ldc + jj] += 0.75 * acc;
+                }
+            }
+            for i in 0..MR * ldc {
+                assert!((got[i] - want[i]).abs() < 1e-5, "nr={nr} elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn width_names_round_trip_and_reject_junk() {
+        for w in SimdWidth::ALL {
+            assert_eq!(SimdWidth::parse(w.name()), Some(w));
+        }
+        assert_eq!(SimdWidth::parse("avx-512"), None);
+        assert_eq!(SimdWidth::parse("AVX2"), None, "names are case-sensitive");
+        assert_eq!(SimdWidth::parse(""), None);
+        assert_eq!(SimdWidth::Scalar.lanes(), 1);
+        assert_eq!(SimdWidth::Neon.lanes(), 4);
+        assert_eq!(SimdWidth::Avx2.lanes(), 8);
+        assert_eq!(SimdWidth::Avx512.lanes(), 16);
+    }
+
+    #[test]
+    fn force_width_rejects_unavailable_with_typed_error() {
+        let _g = DISPATCH_LOCK.lock().unwrap();
+        // Scalar pins always succeed; unavailable members fail typed and
+        // leave the previous pin untouched.
+        force_width(Some(SimdWidth::Scalar)).unwrap();
+        let unavailable: Vec<SimdWidth> = SimdWidth::ALL
+            .iter()
+            .copied()
+            .filter(|w| !w.is_available())
+            .collect();
+        for w in unavailable {
+            let err = force_width(Some(w)).unwrap_err();
+            assert_eq!(err.requested, w);
+            assert_eq!(err.detected, detected_width());
+            assert!(err.to_string().contains(w.name()), "{err}");
+            assert_eq!(forced_width(), Some(SimdWidth::Scalar), "pin must survive");
+        }
+        // On x86-64 NEON is never available; elsewhere AVX-512 is not.
+        #[cfg(target_arch = "x86_64")]
+        assert!(force_width(Some(SimdWidth::Neon)).is_err());
+        #[cfg(target_arch = "aarch64")]
+        assert!(force_width(Some(SimdWidth::Avx512)).is_err());
+        force_width(None).unwrap();
+        assert_eq!(forced_width(), None);
+    }
+
+    #[test]
+    fn force_scalar_front_end_still_pins() {
+        let _g = DISPATCH_LOCK.lock().unwrap();
+        force_scalar(true);
+        assert_eq!(forced_width(), Some(SimdWidth::Scalar));
+        assert!(!simd_active(), "force_scalar must pin the scalar bodies");
+        assert_eq!(active_width(), SimdWidth::Scalar);
+        force_scalar(false);
+        assert_eq!(forced_width(), None);
+        assert_eq!(active_width(), detected_width());
+        if !cfg!(feature = "simd") {
+            assert!(!simd_active(), "simd off: explicit bodies must not run");
+            assert_eq!(detected_width(), SimdWidth::Scalar);
+        }
+    }
+
+    #[test]
+    fn detection_is_widest_available() {
+        let det = detected_width();
+        assert!(det.is_available());
+        for w in SimdWidth::ALL {
+            if w.is_available() {
+                // Preference is widest-first: nothing available may have
+                // more lanes than the detected pick.
+                assert!(w.lanes() <= det.lanes(), "{w} wider than detected {det}");
+            }
+        }
+    }
+}

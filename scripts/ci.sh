@@ -4,7 +4,11 @@
 # touches the network or a registry.
 #
 #   1. release build of every workspace target
-#   2. full test suite (unit + integration + property + doc tests)
+#   2. full test suite (unit + integration + property + doc tests), the
+#      no-default / explicit-SIMD feature legs, the width + scheduler
+#      bit-identity acceptance tests, a WINRS_FORCE_WIDTH matrix replay
+#      over every width available on the host, and a compile-only
+#      aarch64 (NEON) cross-check when that stdlib is installed
 #   3. clippy with warnings promoted to errors — including the
 #      `unwrap_used = "deny"` fail-safe lint on library crates
 #   4. workspace-accounting smoke test: the CLI's layout breakdown must
@@ -56,6 +60,34 @@ cargo test -q -p winrs-core -p winrs-gemm --features winrs-core/simd,winrs-gemm/
 
 echo "==> scalar/SIMD bit-identity acceptance test (root package, --features simd)"
 cargo test -q --test engine_simd --features simd
+
+echo "==> scheduler determinism acceptance test (workers 1/2/8, repeated runs)"
+cargo test -q --test engine_sched --features simd
+
+echo "==> forced-width matrix (WINRS_FORCE_WIDTH over every available width)"
+# `winrs simd` reports per-width availability on this host; replay the
+# scheduler determinism suite under each pin. The env override re-applies
+# on every engine entry, so the whole suite runs at exactly that width.
+AVAILABLE_WIDTHS=$(cargo run -q -p winrs-cli --features simd -- simd | awk '$3 == "yes" { print $1 }')
+for W in $AVAILABLE_WIDTHS; do
+  echo "    width: $W"
+  WINRS_FORCE_WIDTH=$W cargo test -q --test engine_sched --features simd
+done
+# An unknown token must be a typed hard error, never a silent fallback.
+if WINRS_FORCE_WIDTH=avx1024 cargo run -q -p winrs-cli --features simd -- \
+     verify --n 1 --res 8 --ic 2 --oc 2 --f 3 >/dev/null 2>&1; then
+  echo "forced-width matrix: junk WINRS_FORCE_WIDTH was silently accepted"; exit 1
+fi
+
+echo "==> aarch64 cross-check (compile-only: NEON member of the width family)"
+# The offline image may ship only the host stdlib; skip gracefully then.
+AARCH64_LIBDIR=$(rustc --print target-libdir --target aarch64-unknown-linux-gnu 2>/dev/null || true)
+if [ -n "$AARCH64_LIBDIR" ] && [ -d "$AARCH64_LIBDIR" ]; then
+  CARGO_TARGET_DIR=target/aarch64 cargo check -q -p winrs-gemm -p winrs-core \
+    --features winrs-gemm/simd,winrs-core/simd --target aarch64-unknown-linux-gnu
+else
+  echo "    aarch64-unknown-linux-gnu stdlib not installed; skipping cross-check"
+fi
 
 echo "==> cargo clippy (all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings

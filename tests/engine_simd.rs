@@ -13,9 +13,12 @@
 //!    dispatch flavour either, pinned with the deterministic fault
 //!    injector.
 //!
-//! `winrs::gemm::micro::force_scalar` is process-global, so every test
-//! that toggles it serialises on a local mutex (and restores auto dispatch
-//! before releasing it).
+//! The width pin (`winrs::gemm::micro::force_width`) is process-global, so
+//! every test that toggles it serialises on a local mutex (and restores
+//! auto dispatch before releasing it). Tests parameterise over *every*
+//! width available on the host — scalar, AVX2, AVX-512, NEON — so a
+//! single run on wide hardware covers the whole compiled-in family,
+//! including odd tails and border tiles.
 
 use proptest::prelude::*;
 use std::sync::{Mutex, MutexGuard, OnceLock};
@@ -39,6 +42,20 @@ fn dispatch_guard() -> MutexGuard<'static, ()> {
     LOCK.get_or_init(|| Mutex::new(()))
         .lock()
         .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Every micro-kernel width available on this host (always at least
+/// `Scalar`), plus `None` for auto dispatch. Pinning any entry must not
+/// change a single output bit.
+fn pinnable_widths() -> Vec<Option<micro::SimdWidth>> {
+    let mut v: Vec<Option<micro::SimdWidth>> = micro::SimdWidth::ALL
+        .iter()
+        .copied()
+        .filter(|w| w.is_available())
+        .map(Some)
+        .collect();
+    v.push(None); // auto: the detected (widest) width
+    v
 }
 
 /// Scalar reference of the filter-tile load: padded reads, zero-skip, the
@@ -144,7 +161,7 @@ proptest! {
 
     /// Fast-path loaders are bit-identical to the scalar reference for
     /// every kernel geometry, precision, position and odd tail width —
-    /// under both dispatch flavours.
+    /// under every compiled-in dispatch width plus auto.
     #[test]
     fn loaders_match_scalar_reference(
         n in 1usize..5,
@@ -152,16 +169,17 @@ proptest! {
         chans in 1usize..11,
         hw in 4usize..8,
         seed in 0u64..1000,
-        force in 0u8..2,
     ) {
         let _g = dispatch_guard();
-        micro::force_scalar(force == 1);
         let bn_cur = 1 + (seed as usize) % chans; // odd tails included
         let dims = [2, hw, hw, chans];
-        check_loaders::<f32>(n, r, dims, bn_cur, seed);
-        check_loaders::<f16>(n, r, dims, bn_cur, seed.wrapping_add(1));
-        check_loaders::<bf16>(n, r, dims, bn_cur, seed.wrapping_add(2));
-        micro::force_scalar(false);
+        for width in pinnable_widths() {
+            micro::force_width(width).expect("available width");
+            check_loaders::<f32>(n, r, dims, bn_cur, seed);
+            check_loaders::<f16>(n, r, dims, bn_cur, seed.wrapping_add(1));
+            check_loaders::<bf16>(n, r, dims, bn_cur, seed.wrapping_add(2));
+        }
+        micro::force_width(None).expect("auto always pins");
     }
 }
 
@@ -209,11 +227,12 @@ fn run_buckets(conv: &ConvShape, z_hat: usize, mode: TileMode, seed: u64) -> Vec
 }
 
 /// Acceptance criterion: FP32 `∇W` is bit-identical between forced-scalar
-/// and auto (SIMD when compiled+detected) dispatch — across tile modes and
-/// across shapes that hit the border fast-path splits (odd O_W phantom
-/// padding, no padding, large filters).
+/// dispatch and *every* other width available on the host (AVX2, AVX-512,
+/// NEON, plus auto) — across tile modes and across shapes that hit the
+/// border fast-path splits (odd O_W phantom padding, no padding, large
+/// filters).
 #[test]
-fn engine_gradients_bit_identical_scalar_vs_auto_dispatch() {
+fn engine_gradients_bit_identical_across_every_width() {
     let _g = dispatch_guard();
     let shapes = [
         ConvShape::new(2, 16, 16, 4, 6, 3, 3, 1, 1),
@@ -221,25 +240,30 @@ fn engine_gradients_bit_identical_scalar_vs_auto_dispatch() {
         ConvShape::new(2, 13, 17, 3, 2, 2, 2, 0, 0), // no padding
         ConvShape::new(1, 18, 18, 2, 2, 9, 9, 4, 4), // large filter
     ];
+    let widths = pinnable_widths();
     for (si, conv) in shapes.iter().enumerate() {
         for mode in [TileMode::Fp32, TileMode::Fp16, TileMode::Bf16] {
             if mode != TileMode::Fp32 && conv.fw != 3 {
                 continue; // reduced-precision kernels are only ported for F_W = 3
             }
-            micro::force_scalar(true);
+            micro::force_width(Some(micro::SimdWidth::Scalar)).expect("scalar always available");
             let scalar = run_buckets(conv, 3, mode, 90 + si as u64);
-            micro::force_scalar(false);
-            let auto = run_buckets(conv, 3, mode, 90 + si as u64);
-            assert_eq!(scalar.len(), auto.len());
-            for (k, (a, b)) in scalar.iter().zip(&auto).enumerate() {
-                assert_eq!(
-                    a.to_bits(),
-                    b.to_bits(),
-                    "shape {si} mode {mode:?} bucket[{k}]: {a} vs {b}"
-                );
+            for &width in &widths {
+                micro::force_width(width).expect("available width");
+                let got = run_buckets(conv, 3, mode, 90 + si as u64);
+                assert_eq!(scalar.len(), got.len());
+                let wname = width.map_or("auto", |w| w.name());
+                for (k, (a, b)) in scalar.iter().zip(&got).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "shape {si} mode {mode:?} width {wname} bucket[{k}]: {a} vs {b}"
+                    );
+                }
             }
         }
     }
+    micro::force_width(None).expect("auto always pins");
 }
 
 /// Saturation / non-finite counting must be dispatch-invariant: the

@@ -20,7 +20,7 @@
 use winrs::conv::ConvShape;
 use winrs::core::fallback::{run_bfc, FallbackPolicy, NumericGuard};
 use winrs::core::faults;
-use winrs::core::tuner::{self, AlgoChoice, TuneDbWarning, TunedEntry, Tuner, TunerConfig};
+use winrs::core::tuner::{self, device_key, AlgoChoice, TuneDbWarning, TunedEntry, Tuner, TunerConfig};
 use winrs::core::Precision;
 use winrs::gpu::{RTX_3090, RTX_4090};
 use winrs::tensor::Tensor4;
@@ -135,7 +135,7 @@ fn torn_tune_db_warns_and_dispatch_continues() {
     assert!(t.attach_db(&path).is_none(), "missing file is not an error");
     let d = t.decide(&conv, &RTX_4090, Precision::Fp32);
     t.db_mut().insert(
-        &RTX_4090.fingerprint(),
+        &device_key(&RTX_4090),
         &conv,
         Precision::Fp32,
         TunedEntry {
@@ -168,7 +168,7 @@ fn torn_tune_db_warns_and_dispatch_continues() {
 
     // A clean save repairs the file for the next process.
     t2.db_mut().insert(
-        &RTX_4090.fingerprint(),
+        &device_key(&RTX_4090),
         &conv,
         Precision::Fp32,
         TunedEntry {
@@ -205,7 +205,7 @@ fn empty_tune_db_warns_once_and_is_repaired_by_next_save() {
     assert!(t.attach_db(&path).is_none());
     let d = t.decide(&conv, &RTX_4090, Precision::Fp32);
     t.db_mut().insert(
-        &RTX_4090.fingerprint(),
+        &device_key(&RTX_4090),
         &conv,
         Precision::Fp32,
         TunedEntry {
@@ -244,7 +244,7 @@ fn empty_tune_db_warns_once_and_is_repaired_by_next_save() {
     // The next clean save repairs the file in place and clears the
     // warning; a fresh process loads it without complaint.
     t2.db_mut().insert(
-        &RTX_4090.fingerprint(),
+        &device_key(&RTX_4090),
         &conv,
         Precision::Fp32,
         TunedEntry {
